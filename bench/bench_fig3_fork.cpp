@@ -1,0 +1,44 @@
+// Figure 3: ParSubtrees is at best a p-approximation for makespan.
+// On a fork with p*k unit leaves, ParSubtrees' makespan is p(k-1)+2 while
+// the optimum is k+1; ParSubtreesOptim and the list heuristics fix it.
+//
+// Flags: --p (default 4), --maxk (default 256).
+
+#include <iostream>
+
+#include "campaign/runner.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "trees/generators.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treesched;
+  CliArgs args(argc, argv);
+  const int p = (int)args.get_int("p", 4);
+  const int maxk = (int)args.get_int("maxk", 256);
+  args.reject_unknown();
+
+  std::cout << "== Figure 3: fork worst case for ParSubtrees (p = " << p
+            << ") ==\n\n"
+            << "      k   leaves   optimal";
+  for (Heuristic h : all_heuristics()) std::cout << "  " << heuristic_name(h);
+  std::cout << "   ratio(ParSubtrees/opt)\n";
+
+  for (int k = 4; k <= maxk; k *= 4) {
+    Tree t = fork_tree(p * k);
+    const double opt = k + 1;  // k waves of p leaves + root
+    std::cout << "  " << k << "\t" << p * k << "\t" << opt;
+    double first = 0;
+    for (Heuristic h : all_heuristics()) {
+      const double ms = simulate(t, run_heuristic(t, p, h)).makespan;
+      if (h == Heuristic::kParSubtrees) first = ms;
+      std::cout << "\t" << ms;
+    }
+    std::cout << "\t x" << fmt(first / opt, 2) << "\n";
+  }
+  std::cout << "\nExpected: ParSubtrees' ratio tends to p = " << p
+            << " as k grows; all other heuristics stay at the optimum.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// P1: microbenchmarks of the complexity claims in §5:
+//  * optimal postorder           O(n log n)
+//  * Liu exact traversal         O(n^2) worst, near-linear in practice
+//  * SplitSubtrees               O(n (log n + p))
+//  * ParSubtrees end-to-end      O(n log n) with the postorder
+//  * list scheduling             O(n log n)
+//  * simulator replay            O(n log n)
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulator.hpp"
+#include "parallel/par_deepest_first.hpp"
+#include "parallel/par_inner_first.hpp"
+#include "parallel/par_subtrees.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace treesched;
+
+Tree make_bench_tree(std::int64_t n) {
+  Rng rng(0xbe7c4 + (std::uint64_t)n);
+  RandomTreeParams params;
+  params.n = (NodeId)n;
+  params.depth_bias = 1.0;
+  params.max_output = 1000;
+  params.max_exec = 200;
+  params.min_work = 1.0;
+  params.max_work = 100.0;
+  return random_tree(params, rng);
+}
+
+void BM_OptimalPostorder(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(postorder(t).peak);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalPostorder)->Range(1 << 10, 1 << 17)->Complexity();
+
+void BM_LiuExact(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(liu_optimal_traversal(t).peak);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LiuExact)->Range(1 << 10, 1 << 15)->Complexity();
+
+void BM_SplitSubtrees(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(split_subtrees(t, 32).predicted_makespan);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SplitSubtrees)->Range(1 << 10, 1 << 17)->Complexity();
+
+void BM_ParSubtrees(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par_subtrees(t, 16).start.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParSubtrees)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_ParInnerFirst(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par_inner_first(t, 16).start.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParInnerFirst)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_ParDeepestFirst(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(par_deepest_first(t, 16).start.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ParDeepestFirst)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_Simulate(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  const Schedule s = par_deepest_first(t, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(t, s).peak_memory);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Simulate)->Range(1 << 10, 1 << 16)->Complexity();
+
+void BM_SequentialPeak(benchmark::State& state) {
+  const Tree t = make_bench_tree(state.range(0));
+  const auto order = postorder(t).order;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sequential_peak_memory(t, order));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SequentialPeak)->Range(1 << 10, 1 << 17)->Complexity();
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Quickstart: build a small task tree, compute the sequential memory
+// baselines, run every parallel heuristic, and print the memory/makespan
+// trade-off each one picks.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "campaign/runner.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace treesched;
+
+  // A toy multifrontal-style tree. Every node: (parent, f, n, w) where the
+  // output file f goes to the parent, n is the in-core working set and w
+  // the processing time.
+  TreeBuilder b;
+  const NodeId root = b.add_node(kNoNode, /*f=*/0, /*n=*/16, /*w=*/40.0);
+  const NodeId left = b.add_node(root, 9, 12, 25.0);
+  const NodeId right = b.add_node(root, 9, 12, 25.0);
+  for (NodeId join : {left, right}) {
+    for (int i = 0; i < 3; ++i) {
+      const NodeId mid = b.add_node(join, 4, 6, 8.0);
+      b.add_node(mid, 2, 3, 3.0);
+      b.add_node(mid, 2, 3, 3.0);
+    }
+  }
+  const Tree tree = std::move(b).build();
+  std::cout << "tree: " << tree.describe() << "\n\n";
+
+  // Sequential baselines.
+  const auto po = postorder(tree);
+  const auto liu = liu_optimal_traversal(tree);
+  std::cout << "sequential memory: best postorder = " << po.peak
+            << ", exact optimum (Liu) = " << liu.peak << "\n";
+
+  // Parallel heuristics on p = 4 processors.
+  const int p = 4;
+  const auto lb = lower_bounds(tree, p);
+  std::cout << "lower bounds for p = " << p << ": makespan >= " << lb.makespan
+            << ", memory >= " << lb.memory_exact << "\n\n"
+            << "heuristic          makespan  (xLB)   peak-mem  (xMseq)\n";
+  for (Heuristic h : all_heuristics()) {
+    const Schedule s = run_heuristic(tree, p, h);
+    const auto v = validate_schedule(tree, s, p);
+    if (!v.ok) {
+      std::cerr << "invalid schedule: " << v.error << "\n";
+      return 1;
+    }
+    const auto sim = simulate(tree, s);
+    std::cout << "  " << heuristic_name(h);
+    for (std::size_t pad = heuristic_name(h).size(); pad < 17; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << sim.makespan << "   (" << fmt(sim.makespan / lb.makespan, 2)
+              << ")   " << sim.peak_memory << "   ("
+              << fmt((double)sim.peak_memory / (double)po.peak, 2) << ")\n";
+  }
+  std::cout << "\nReading: ParSubtrees* keep memory near the sequential "
+               "optimum; the list heuristics trade memory for speed.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Command-line scheduling driver: the "downstream user" entry point.
+// Reads a tree (file or generated), runs a chosen heuristic, prints the
+// score card and optionally dumps the schedule / memory profile as CSV
+// and an ASCII Gantt chart.
+//
+//   $ ./examples/schedule_tool --gen grid --nx 30 --p 8 \
+//         --heuristic ParDeepestFirst --gantt
+//   $ ./examples/schedule_tool --tree my.tree --p 16 \
+//         --heuristic ParSubtrees --schedule-csv out.csv \
+//         --profile-csv mem.csv
+//   $ ./examples/schedule_tool --gen random --n 500 --cap-factor 2.0
+
+#include <fstream>
+#include <iostream>
+
+#include "campaign/dataset.hpp"
+#include "campaign/runner.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "core/trace.hpp"
+#include "parallel/memory_bounded.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "trees/generators.hpp"
+#include "trees/io.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace treesched;
+
+Tree load_tree(const CliArgs& args) {
+  const std::string path = args.get("tree", "");
+  if (!path.empty()) return read_tree_file(path);
+  const std::string gen = args.get("gen", "random");
+  Rng rng((std::uint64_t)args.get_int("seed", 1));
+  if (gen == "grid") {
+    const int nx = (int)args.get_int("nx", 30);
+    return grid2d_assembly_tree(nx, nx, args.get_int("z", 4));
+  }
+  if (gen == "random") {
+    RandomTreeParams params;
+    params.n = (NodeId)args.get_int("n", 500);
+    params.depth_bias = args.get_double("bias", 1.0);
+    params.max_output = 100;
+    params.max_exec = 20;
+    params.min_work = 1.0;
+    params.max_work = 50.0;
+    return random_tree(params, rng);
+  }
+  if (gen == "synthetic") {
+    return synthetic_assembly_tree((NodeId)args.get_int("n", 2000),
+                                   args.get_double("bias", 2.0), rng);
+  }
+  throw std::invalid_argument("--gen must be grid|random|synthetic");
+}
+
+Heuristic parse_heuristic(const std::string& name) {
+  for (Heuristic h : all_heuristics()) {
+    if (heuristic_name(h) == name) return h;
+  }
+  throw std::invalid_argument("unknown --heuristic " + name +
+                              " (ParSubtrees, ParSubtreesOptim, "
+                              "ParInnerFirst, ParDeepestFirst)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treesched;
+  try {
+    CliArgs args(argc, argv);
+    const int p = (int)args.get_int("p", 8);
+    const std::string hname = args.get("heuristic", "ParDeepestFirst");
+    const double cap_factor = args.get_double("cap-factor", 0.0);
+    const std::string schedule_csv = args.get("schedule-csv", "");
+    const std::string profile_csv = args.get("profile-csv", "");
+    const bool gantt = args.get_bool("gantt", false);
+    const std::string save_tree = args.get("save-tree", "");
+    const Tree tree = load_tree(args);
+    args.reject_unknown();
+
+    std::cout << "tree: " << tree.describe() << "\n";
+    if (!save_tree.empty()) {
+      write_tree_file(save_tree, tree);
+      std::cout << "saved tree to " << save_tree << "\n";
+    }
+
+    const auto lb = lower_bounds(tree, p, tree.size() <= 20000);
+    std::cout << "bounds: makespan >= " << lb.makespan << ", memory >= "
+              << lb.memory_exact << " (postorder estimate "
+              << lb.memory_postorder << ")\n";
+
+    Schedule schedule;
+    std::string used;
+    if (cap_factor > 0.0) {
+      const auto cap =
+          (MemSize)((double)min_feasible_cap(tree) * cap_factor);
+      auto r = memory_bounded_schedule(tree, p, cap);
+      if (!r) {
+        std::cerr << "cap " << cap << " below the feasibility floor "
+                  << min_feasible_cap(tree) << "\n";
+        return 1;
+      }
+      schedule = std::move(r->schedule);
+      used = "MemoryBounded(cap=" + std::to_string(cap) + ")";
+    } else {
+      schedule = run_heuristic(tree, p, parse_heuristic(hname));
+      used = hname;
+    }
+
+    const auto v = validate_schedule(tree, schedule, p);
+    if (!v.ok) {
+      std::cerr << "BUG: invalid schedule: " << v.error << "\n";
+      return 1;
+    }
+    const auto st = schedule_stats(tree, schedule, p);
+    std::cout << "\n" << used << " on p = " << p << ":\n"
+              << "  makespan:   " << st.makespan << "  ("
+              << fmt(st.makespan / lb.makespan, 3) << "x lower bound)\n"
+              << "  peak memory: " << st.peak_memory << "  ("
+              << fmt((double)st.peak_memory / (double)lb.memory_postorder, 3)
+              << "x sequential postorder)\n"
+              << "  processors used: " << st.processors_used << "/" << p
+              << ", avg utilization " << fmt_pct(st.avg_utilization) << "\n";
+
+    if (gantt) {
+      std::cout << "\n";
+      ascii_gantt(std::cout, tree, schedule, p);
+    }
+    if (!schedule_csv.empty()) {
+      std::ofstream os(schedule_csv);
+      write_schedule_csv(os, tree, schedule);
+      std::cout << "wrote schedule to " << schedule_csv << "\n";
+    }
+    if (!profile_csv.empty()) {
+      std::ofstream os(profile_csv);
+      write_memory_profile_csv(os, tree, schedule);
+      std::cout << "wrote memory profile to " << profile_csv << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,148 @@
+#include "campaign/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "spmatrix/amalgamation.hpp"
+#include "spmatrix/assembly.hpp"
+#include "spmatrix/etree.hpp"
+#include "spmatrix/ordering.hpp"
+#include "spmatrix/sparse.hpp"
+#include "spmatrix/symbolic.hpp"
+#include "trees/generators.hpp"
+
+namespace treesched {
+
+namespace {
+
+Tree pattern_to_assembly(const SparsePattern& a, const Ordering& perm,
+                         std::int64_t z) {
+  const SymbolicResult sym = symbolic_cholesky(a, perm);
+  const AssemblyTree at = amalgamate(sym, z);
+  return assembly_to_task_tree(at);
+}
+
+}  // namespace
+
+Tree grid2d_assembly_tree(int nx, int ny, std::int64_t z) {
+  const SparsePattern a = grid2d_pattern(nx, ny);
+  return pattern_to_assembly(a, nested_dissection_2d(nx, ny), z);
+}
+
+Tree grid3d_assembly_tree(int nx, int ny, int nz, std::int64_t z) {
+  const SparsePattern a = grid3d_pattern(nx, ny, nz);
+  return pattern_to_assembly(a, nested_dissection_3d(nx, ny, nz), z);
+}
+
+Tree random_md_assembly_tree(int n, double avg_degree, std::int64_t z,
+                             Rng& rng) {
+  const SparsePattern a = random_pattern(n, avg_degree, rng);
+  return pattern_to_assembly(a, minimum_degree_ordering(a), z);
+}
+
+Tree synthetic_assembly_tree(NodeId n, double depth_bias, Rng& rng) {
+  // Random topology, then assembly-style weights: each node gets
+  // eta in [1, 16] and mu = 1 + round(c * sqrt(subtree node count)), the
+  // front-size scaling of 2D nested dissection.
+  RandomTreeParams params;
+  params.n = n;
+  params.depth_bias = depth_bias;
+  Tree shape = random_tree(params, rng);
+  const std::vector<NodeId> post = shape.natural_postorder();
+  std::vector<std::int64_t> subtree_nodes(static_cast<std::size_t>(n), 0);
+  for (NodeId i : post) {
+    subtree_nodes[i] = 1;
+    for (NodeId c : shape.children(i)) subtree_nodes[i] += subtree_nodes[c];
+  }
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  std::vector<MemSize> out(static_cast<std::size_t>(n));
+  std::vector<MemSize> exec(static_cast<std::size_t>(n));
+  std::vector<double> work(static_cast<std::size_t>(n));
+  const double scale = rng.uniform_real(0.5, 2.0);
+  for (NodeId i = 0; i < n; ++i) {
+    parent[i] = shape.parent(i);
+    const auto eta = static_cast<std::int64_t>(1 + rng.uniform(16));
+    auto mu = static_cast<std::int64_t>(
+        1.0 + scale * std::sqrt(static_cast<double>(subtree_nodes[i])));
+    mu = std::max<std::int64_t>(mu, 1);
+    const AssemblyWeights w = assembly_weights(eta, mu);
+    // The root of a factorization has an empty contribution block.
+    out[i] = parent[i] == kNoNode ? 0 : w.output_size;
+    exec[i] = w.exec_size;
+    work[i] = w.work;
+  }
+  return Tree(std::move(parent), std::move(out), std::move(exec),
+              std::move(work));
+}
+
+std::vector<DatasetEntry> build_dataset(const DatasetParams& params) {
+  std::vector<DatasetEntry> out;
+  Rng rng(params.seed);
+  const double s = std::sqrt(std::max(0.05, params.scale));
+  auto sz = [&](int base) {
+    return std::max(4, static_cast<int>(std::lround(base * s)));
+  };
+
+  auto add = [&](std::string name, Tree tree) {
+    // Tiny scales can round different base sizes to the same dimensions;
+    // keep names unique regardless.
+    for (const auto& e : out) {
+      if (e.name == name) {
+        name += "+";
+      }
+    }
+    out.push_back({std::move(name), std::move(tree)});
+  };
+
+  // 2D grids + nested dissection (MeTiS analogue).
+  for (int base : {24, 40, 64, 96}) {
+    const int nx = sz(base);
+    for (std::int64_t z : params.amalgamations) {
+      std::ostringstream name;
+      name << "grid2d-" << nx << "x" << nx << "-nd-z" << z;
+      add(name.str(), grid2d_assembly_tree(nx, nx, z));
+    }
+  }
+  // Anisotropic 2D grid.
+  {
+    const int nx = sz(120), ny = sz(24);
+    for (std::int64_t z : params.amalgamations) {
+      std::ostringstream name;
+      name << "grid2d-" << nx << "x" << ny << "-nd-z" << z;
+      add(name.str(), grid2d_assembly_tree(nx, ny, z));
+    }
+  }
+  // 3D grids + nested dissection.
+  for (int base : {8, 12, 16}) {
+    const int nx = sz(base);
+    for (std::int64_t z : params.amalgamations) {
+      std::ostringstream name;
+      name << "grid3d-" << nx << "^3-nd-z" << z;
+      add(name.str(), grid3d_assembly_tree(nx, nx, nx, z));
+    }
+  }
+  // Random symmetric matrices + minimum degree (amd analogue).
+  for (int base : {300, 600, 1200}) {
+    const int n = sz(base);
+    for (double deg : {3.0, 6.0}) {
+      for (std::int64_t z : params.amalgamations) {
+        std::ostringstream name;
+        name << "randmat-" << n << "-deg" << deg << "-md-z" << z;
+        add(name.str(), random_md_assembly_tree(n, deg, z, rng));
+      }
+    }
+  }
+  // Direct synthetic assembly trees (largest sizes).
+  for (int base : {2000, 8000, 20000}) {
+    const auto n = static_cast<NodeId>(sz(base));
+    for (double bias : {0.0, 2.0, 6.0}) {
+      std::ostringstream name;
+      name << "synth-" << n << "-bias" << bias;
+      add(name.str(), synthetic_assembly_tree(n, bias, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace treesched

@@ -1,0 +1,55 @@
+#pragma once
+// Builds the experimental data set (the paper's §6.2 at laptop scale).
+//
+// The paper uses 608 assembly trees from 76 UF-collection matrices ordered
+// with MeTiS and amd, with relaxed amalgamation caps 1/2/4/16. We rebuild
+// the same pipeline with synthetic matrices:
+//  * 2D grid Laplacians + geometric nested dissection (the MeTiS analogue),
+//  * 3D grid Laplacians + nested dissection,
+//  * random symmetric patterns + minimum degree (the amd analogue),
+//  * random symmetric patterns + reverse Cuthill-McKee,
+// each put through symbolic Cholesky + relaxed amalgamation (η caps
+// 1/2/4/16) + the paper's (η, µ) weight formulas, plus directly synthesized
+// assembly-like trees for the largest sizes (front size ~ sqrt of subtree
+// size, the 2D-ND scaling law).
+
+#include <string>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+
+struct DatasetEntry {
+  std::string name;
+  Tree tree;
+};
+
+struct DatasetParams {
+  /// Multiplies all instance sizes; 1.0 keeps the default bench runtime
+  /// around a minute, larger values approach the paper's tree sizes.
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Amalgamation caps applied to each matrix (the paper's variants).
+  std::vector<std::int64_t> amalgamations{1, 2, 4, 16};
+};
+
+/// Builds the full campaign data set.
+std::vector<DatasetEntry> build_dataset(const DatasetParams& params);
+
+/// One assembly tree from a 2D grid + nested dissection + amalgamation z.
+Tree grid2d_assembly_tree(int nx, int ny, std::int64_t z);
+
+/// One assembly tree from a 3D grid + nested dissection + amalgamation z.
+Tree grid3d_assembly_tree(int nx, int ny, int nz, std::int64_t z);
+
+/// One assembly tree from a random pattern + minimum degree + amalgamation.
+Tree random_md_assembly_tree(int n, double avg_degree, std::int64_t z,
+                             Rng& rng);
+
+/// Directly synthesized assembly-like tree with front sizes following the
+/// sqrt-of-subtree scaling.
+Tree synthetic_assembly_tree(NodeId n, double depth_bias, Rng& rng);
+
+}  // namespace treesched

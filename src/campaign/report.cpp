@@ -1,0 +1,167 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace treesched {
+
+namespace {
+
+std::size_t heuristic_index(Heuristic h) {
+  const auto& all = all_heuristics();
+  const auto it = std::find(all.begin(), all.end(), h);
+  return static_cast<std::size_t>(it - all.begin());
+}
+
+}  // namespace
+
+std::vector<Table1Row> table1(const std::vector<ScenarioRecord>& records) {
+  const auto& hs = all_heuristics();
+  const std::size_t H = hs.size();
+  std::vector<Table1Row> rows(H);
+  for (std::size_t k = 0; k < H; ++k) rows[k].heuristic = heuristic_name(hs[k]);
+  if (records.empty()) return rows;
+
+  std::vector<std::vector<double>> mem_dev(H), ms_dev(H);
+  std::vector<double> best_mem_cnt(H, 0), within5_mem_cnt(H, 0);
+  std::vector<double> best_ms_cnt(H, 0), within5_ms_cnt(H, 0);
+
+  for (const ScenarioRecord& rec : records) {
+    const MemSize best_mem =
+        *std::min_element(rec.memory.begin(), rec.memory.end());
+    const double best_ms =
+        *std::min_element(rec.makespan.begin(), rec.makespan.end());
+    for (std::size_t k = 0; k < H; ++k) {
+      const auto mem = static_cast<double>(rec.memory[k]);
+      const double ms = rec.makespan[k];
+      if (rec.memory[k] == best_mem) best_mem_cnt[k] += 1;
+      if (mem <= 1.05 * static_cast<double>(best_mem)) within5_mem_cnt[k] += 1;
+      if (ms == best_ms) best_ms_cnt[k] += 1;
+      if (ms <= 1.05 * best_ms) within5_ms_cnt[k] += 1;
+      mem_dev[k].push_back(mem / static_cast<double>(rec.lb_memory) - 1.0);
+      ms_dev[k].push_back(ms / best_ms - 1.0);
+    }
+  }
+  const auto n = static_cast<double>(records.size());
+  for (std::size_t k = 0; k < H; ++k) {
+    rows[k].best_memory_share = best_mem_cnt[k] / n;
+    rows[k].within5_memory_share = within5_mem_cnt[k] / n;
+    rows[k].avg_memory_deviation = mean(mem_dev[k]);
+    rows[k].best_makespan_share = best_ms_cnt[k] / n;
+    rows[k].within5_makespan_share = within5_ms_cnt[k] / n;
+    rows[k].avg_makespan_deviation = mean(ms_dev[k]);
+  }
+  return rows;
+}
+
+std::vector<Table1Row> table1_for_p(const std::vector<ScenarioRecord>& records,
+                                    int p) {
+  std::vector<ScenarioRecord> filtered;
+  for (const ScenarioRecord& rec : records) {
+    if (rec.p == p) filtered.push_back(rec);
+  }
+  return table1(filtered);
+}
+
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
+  os << "Table 1: shares of best (or near-best) performance and average "
+        "deviations\n";
+  os << std::left << std::setw(18) << "Heuristic" << std::right
+     << std::setw(12) << "BestMem" << std::setw(12) << "Mem<=5%"
+     << std::setw(14) << "AvgDevMem" << std::setw(12) << "BestMs"
+     << std::setw(12) << "Ms<=5%" << std::setw(14) << "AvgDevMs" << "\n";
+  for (const Table1Row& r : rows) {
+    os << std::left << std::setw(18) << r.heuristic << std::right
+       << std::setw(12) << fmt_pct(r.best_memory_share) << std::setw(12)
+       << fmt_pct(r.within5_memory_share) << std::setw(14)
+       << fmt_pct(r.avg_memory_deviation) << std::setw(12)
+       << fmt_pct(r.best_makespan_share) << std::setw(12)
+       << fmt_pct(r.within5_makespan_share) << std::setw(14)
+       << fmt_pct(r.avg_makespan_deviation) << "\n";
+  }
+}
+
+std::vector<FigureSeries> figure_series(
+    const std::vector<ScenarioRecord>& records, Normalization norm) {
+  const auto& hs = all_heuristics();
+  const std::size_t H = hs.size();
+  std::vector<FigureSeries> series(H);
+  for (std::size_t k = 0; k < H; ++k) {
+    series[k].heuristic = heuristic_name(hs[k]);
+  }
+  const std::size_t ref_idx =
+      norm == Normalization::kParSubtrees
+          ? heuristic_index(Heuristic::kParSubtrees)
+          : heuristic_index(Heuristic::kParInnerFirst);
+  for (const ScenarioRecord& rec : records) {
+    double ms_ref, mem_ref;
+    if (norm == Normalization::kLowerBound) {
+      ms_ref = rec.lb_makespan;
+      mem_ref = static_cast<double>(rec.lb_memory);
+    } else {
+      ms_ref = rec.makespan[ref_idx];
+      mem_ref = static_cast<double>(rec.memory[ref_idx]);
+    }
+    if (ms_ref <= 0.0 || mem_ref <= 0.0) continue;
+    for (std::size_t k = 0; k < H; ++k) {
+      series[k].rel_makespan.push_back(rec.makespan[k] / ms_ref);
+      series[k].rel_memory.push_back(static_cast<double>(rec.memory[k]) /
+                                     mem_ref);
+    }
+  }
+  for (std::size_t k = 0; k < H; ++k) {
+    series[k].makespan_summary = summarize(series[k].rel_makespan);
+    series[k].memory_summary = summarize(series[k].rel_memory);
+  }
+  return series;
+}
+
+void print_figure(std::ostream& os, const std::vector<FigureSeries>& series,
+                  const std::string& title) {
+  os << title << "\n";
+  os << std::left << std::setw(18) << "Heuristic" << std::right
+     << std::setw(34) << "rel. makespan (p10/mean/p90)" << std::setw(34)
+     << "rel. memory (p10/mean/p90)" << "\n";
+  for (const FigureSeries& s : series) {
+    os << std::left << std::setw(18) << s.heuristic << std::right
+       << std::setw(12) << fmt(s.makespan_summary.p10) << std::setw(10)
+       << fmt(s.makespan_summary.mean) << std::setw(10)
+       << fmt(s.makespan_summary.p90) << std::setw(16)
+       << fmt(s.memory_summary.p10) << std::setw(10)
+       << fmt(s.memory_summary.mean) << std::setw(10)
+       << fmt(s.memory_summary.p90) << "\n";
+  }
+}
+
+void write_scatter_csv(std::ostream& os,
+                       const std::vector<ScenarioRecord>& records,
+                       Normalization norm) {
+  const auto& hs = all_heuristics();
+  os << "tree,n,p,heuristic,rel_makespan,rel_memory,makespan,memory\n";
+  const std::size_t ref_idx =
+      norm == Normalization::kParSubtrees
+          ? heuristic_index(Heuristic::kParSubtrees)
+          : heuristic_index(Heuristic::kParInnerFirst);
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const ScenarioRecord& rec : records) {
+    double ms_ref, mem_ref;
+    if (norm == Normalization::kLowerBound) {
+      ms_ref = rec.lb_makespan;
+      mem_ref = static_cast<double>(rec.lb_memory);
+    } else {
+      ms_ref = rec.makespan[ref_idx];
+      mem_ref = static_cast<double>(rec.memory[ref_idx]);
+    }
+    for (std::size_t k = 0; k < hs.size(); ++k) {
+      os << rec.tree_name << ',' << rec.tree_size << ',' << rec.p << ','
+         << heuristic_name(hs[k]) << ',' << rec.makespan[k] / ms_ref << ','
+         << static_cast<double>(rec.memory[k]) / mem_ref << ','
+         << rec.makespan[k] << ',' << rec.memory[k] << "\n";
+    }
+  }
+}
+
+}  // namespace treesched

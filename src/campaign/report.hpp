@@ -1,0 +1,63 @@
+#pragma once
+// Renders campaign results as the paper's artifacts:
+//  * Table 1: best-memory / best-makespan shares and average deviations;
+//  * Figures 6-8: per-heuristic (relative makespan, relative memory) series
+//    with mean / 10th / 90th percentile "crosses".
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "util/stats.hpp"
+
+namespace treesched {
+
+/// One Table 1 row.
+struct Table1Row {
+  std::string heuristic;
+  double best_memory_share = 0.0;       ///< scenarios where it is best
+  double within5_memory_share = 0.0;    ///< within 5% of the best
+  double avg_memory_deviation = 0.0;    ///< mean(mem / seq optimum - 1)
+  double best_makespan_share = 0.0;
+  double within5_makespan_share = 0.0;
+  double avg_makespan_deviation = 0.0;  ///< mean(ms / best ms - 1)
+};
+
+std::vector<Table1Row> table1(const std::vector<ScenarioRecord>& records);
+void print_table1(std::ostream& os, const std::vector<Table1Row>& rows);
+
+/// Table 1 restricted to scenarios with processor count `p` (per-p
+/// breakdown; the paper aggregates over p = 2..32).
+std::vector<Table1Row> table1_for_p(const std::vector<ScenarioRecord>& records,
+                                    int p);
+
+/// Reference for figure normalization.
+enum class Normalization {
+  kLowerBound,      ///< Figure 6: divide by the scenario's lower bounds
+  kParSubtrees,     ///< Figure 7
+  kParInnerFirst,   ///< Figure 8
+};
+
+/// Per-heuristic scatter series (one point per scenario) plus summaries.
+struct FigureSeries {
+  std::string heuristic;
+  std::vector<double> rel_makespan;
+  std::vector<double> rel_memory;
+  Summary makespan_summary;
+  Summary memory_summary;
+};
+
+std::vector<FigureSeries> figure_series(
+    const std::vector<ScenarioRecord>& records, Normalization norm);
+
+/// Prints the percentile crosses (the visual anchors of Figures 6-8).
+void print_figure(std::ostream& os, const std::vector<FigureSeries>& series,
+                  const std::string& title);
+
+/// Dumps one CSV line per (scenario, heuristic) for external plotting.
+void write_scatter_csv(std::ostream& os,
+                       const std::vector<ScenarioRecord>& records,
+                       Normalization norm);
+
+}  // namespace treesched

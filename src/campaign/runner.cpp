@@ -1,0 +1,90 @@
+#include "campaign/runner.hpp"
+
+#include <stdexcept>
+
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "parallel/par_deepest_first.hpp"
+#include "parallel/par_inner_first.hpp"
+#include "parallel/par_subtrees.hpp"
+#include "sequential/postorder.hpp"
+#include "util/parallel.hpp"
+
+namespace treesched {
+
+const std::vector<Heuristic>& all_heuristics() {
+  static const std::vector<Heuristic> kAll{
+      Heuristic::kParSubtrees,
+      Heuristic::kParSubtreesOptim,
+      Heuristic::kParInnerFirst,
+      Heuristic::kParDeepestFirst,
+  };
+  return kAll;
+}
+
+std::string heuristic_name(Heuristic h) {
+  switch (h) {
+    case Heuristic::kParSubtrees:
+      return "ParSubtrees";
+    case Heuristic::kParSubtreesOptim:
+      return "ParSubtreesOptim";
+    case Heuristic::kParInnerFirst:
+      return "ParInnerFirst";
+    case Heuristic::kParDeepestFirst:
+      return "ParDeepestFirst";
+  }
+  throw std::logic_error("unknown heuristic");
+}
+
+Schedule run_heuristic(const Tree& tree, int p, Heuristic h) {
+  switch (h) {
+    case Heuristic::kParSubtrees:
+      return par_subtrees(tree, p);
+    case Heuristic::kParSubtreesOptim:
+      return par_subtrees_optim(tree, p);
+    case Heuristic::kParInnerFirst:
+      return par_inner_first(tree, p);
+    case Heuristic::kParDeepestFirst:
+      return par_deepest_first(tree, p);
+  }
+  throw std::logic_error("unknown heuristic");
+}
+
+std::vector<ScenarioRecord> run_campaign(
+    const std::vector<DatasetEntry>& dataset, const CampaignParams& params) {
+  std::vector<ScenarioRecord> records(dataset.size() *
+                                      params.processor_counts.size());
+  parallel_for(
+      records.size(),
+      [&](std::size_t idx) {
+        const std::size_t ti = idx / params.processor_counts.size();
+        const std::size_t pi = idx % params.processor_counts.size();
+        const DatasetEntry& entry = dataset[ti];
+        const int p = params.processor_counts[pi];
+        ScenarioRecord rec;
+        rec.tree_name = entry.name;
+        rec.tree_size = entry.tree.size();
+        rec.p = p;
+        rec.lb_makespan = makespan_lower_bound(entry.tree, p);
+        rec.lb_memory = best_postorder_memory(entry.tree);
+        for (Heuristic h : all_heuristics()) {
+          const Schedule s = run_heuristic(entry.tree, p, h);
+          if (params.validate) {
+            const ValidationResult v = validate_schedule(entry.tree, s, p);
+            if (!v.ok) {
+              throw std::logic_error("campaign: invalid schedule from " +
+                                     heuristic_name(h) + " on " + entry.name +
+                                     ": " + v.error);
+            }
+          }
+          const SimulationResult sim = simulate(entry.tree, s);
+          rec.makespan.push_back(sim.makespan);
+          rec.memory.push_back(sim.peak_memory);
+        }
+        records[idx] = std::move(rec);
+      },
+      params.threads);
+  return records;
+}
+
+}  // namespace treesched

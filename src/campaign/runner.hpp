@@ -1,0 +1,56 @@
+#pragma once
+// Campaign runner: executes every heuristic on every (tree, p) scenario,
+// validates and scores the schedules, and collects per-scenario records —
+// the raw material behind Table 1 and Figures 6-8.
+
+#include <string>
+#include <vector>
+
+#include "campaign/dataset.hpp"
+#include "core/schedule.hpp"
+#include "core/tree.hpp"
+
+namespace treesched {
+
+enum class Heuristic {
+  kParSubtrees,
+  kParSubtreesOptim,
+  kParInnerFirst,
+  kParDeepestFirst,
+};
+
+/// The four heuristics, in the paper's Table 1 order.
+const std::vector<Heuristic>& all_heuristics();
+
+/// Display name matching the paper ("ParSubtrees", ...).
+std::string heuristic_name(Heuristic h);
+
+/// Dispatches to the heuristic implementation.
+Schedule run_heuristic(const Tree& tree, int p, Heuristic h);
+
+/// One scenario = (tree, p); stores each heuristic's (makespan, memory)
+/// plus the lower bounds, mirroring one dot per heuristic in Figure 6.
+struct ScenarioRecord {
+  std::string tree_name;
+  NodeId tree_size = 0;
+  int p = 0;
+  double lb_makespan = 0.0;      ///< max(W/p, critical path)
+  MemSize lb_memory = 0;         ///< best sequential postorder peak
+  std::vector<double> makespan;  ///< indexed like all_heuristics()
+  std::vector<MemSize> memory;
+};
+
+struct CampaignParams {
+  std::vector<int> processor_counts{2, 4, 8, 16, 32};
+  /// Validate every schedule (adds ~2x cost; on by default — the campaign
+  /// doubles as an integration test).
+  bool validate = true;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Runs every heuristic on every dataset entry and processor count.
+/// Scenario order is deterministic and independent of thread count.
+std::vector<ScenarioRecord> run_campaign(
+    const std::vector<DatasetEntry>& dataset, const CampaignParams& params);
+
+}  // namespace treesched

@@ -1,0 +1,25 @@
+#include "core/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+
+namespace treesched {
+
+double makespan_lower_bound(const Tree& tree, int p) {
+  if (tree.empty() || p < 1) return 0.0;
+  return std::max(tree.total_work() / static_cast<double>(p),
+                  tree.critical_path());
+}
+
+LowerBounds lower_bounds(const Tree& tree, int p, bool exact_memory) {
+  LowerBounds lb;
+  lb.memory_postorder = best_postorder_memory(tree);
+  lb.memory_exact =
+      exact_memory ? min_sequential_memory(tree) : lb.memory_postorder;
+  lb.makespan = makespan_lower_bound(tree, p);
+  return lb;
+}
+
+}  // namespace treesched

@@ -1,0 +1,28 @@
+#pragma once
+// Lower bounds used throughout the evaluation (paper §6.3, Figure 6):
+//  * memory: the optimal sequential postorder peak (the paper's reference;
+//    within 1% of the true optimum on 95.8% of their instances) and the
+//    true sequential optimum from Liu's exact algorithm. Adding processors
+//    can never reduce the required memory, so both are valid parallel
+//    memory lower bounds (the Liu bound is the tight one).
+//  * makespan: max(total work / p, w-weighted critical path).
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+struct LowerBounds {
+  MemSize memory_postorder = 0;  ///< best postorder peak (paper's reference)
+  MemSize memory_exact = 0;      ///< Liu's exact sequential optimum
+  double makespan = 0.0;         ///< max(W/p, critical path)
+};
+
+/// Computes all bounds. Set `exact_memory` to false to skip Liu's O(n^2)
+/// algorithm on very large trees (memory_exact is then copied from the
+/// postorder bound).
+LowerBounds lower_bounds(const Tree& tree, int p, bool exact_memory = true);
+
+/// Makespan bound only (no memory machinery).
+double makespan_lower_bound(const Tree& tree, int p);
+
+}  // namespace treesched

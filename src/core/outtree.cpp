@@ -1,0 +1,129 @@
+#include "core/outtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace treesched {
+
+Schedule reverse_schedule(const Tree& tree, const Schedule& s) {
+  const double makespan = s.makespan(tree);
+  Schedule out(s.size());
+  for (NodeId i = 0; i < s.size(); ++i) {
+    out.start[i] = makespan - s.finish(tree, i);
+    out.proc[i] = s.proc[i];
+  }
+  return out;
+}
+
+SimulationResult simulate_out_tree(const Tree& tree, const Schedule& s,
+                                   const SimulationOptions& opts) {
+  const NodeId n = tree.size();
+  if (s.size() != n) {
+    throw std::invalid_argument("simulate_out_tree: size mismatch");
+  }
+  SimulationResult res;
+  if (n == 0) return res;
+
+  std::vector<NodeId> by_start(n), by_finish(n);
+  std::iota(by_start.begin(), by_start.end(), 0);
+  by_finish = by_start;
+  std::sort(by_start.begin(), by_start.end(), [&](NodeId a, NodeId b) {
+    if (s.start[a] != s.start[b]) return s.start[a] < s.start[b];
+    return a < b;
+  });
+  std::sort(by_finish.begin(), by_finish.end(), [&](NodeId a, NodeId b) {
+    const double fa = s.finish(tree, a), fb = s.finish(tree, b);
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  // The root's input file is the initial data, resident from time 0.
+  MemSize mem = tree.output_size(tree.root());
+  MemSize peak = mem;
+  std::size_t fi = 0;
+
+  auto record = [&](double t) {
+    if (opts.record_profile) {
+      if (!res.profile.empty() && res.profile.back().time == t) {
+        res.profile.back().mem = mem;
+      } else {
+        res.profile.push_back({t, mem});
+      }
+    }
+  };
+  record(0.0);
+
+  const double eps = 1e-9;
+  for (NodeId idx : by_start) {
+    const double t = s.start[idx];
+    const double tol = eps * std::max(1.0, std::abs(t));
+    while (fi < by_finish.size() &&
+           s.finish(tree, by_finish[fi]) <= t + tol) {
+      const NodeId f = by_finish[fi++];
+      mem -= tree.exec_size(f);
+      mem -= tree.output_size(f);  // consumed its own input edge file
+      done[f] = 1;
+      record(s.finish(tree, f));
+    }
+    const NodeId par = tree.parent(idx);
+    if (par != kNoNode && !done[par]) {
+      std::ostringstream os;
+      os << "simulate_out_tree: task " << idx << " starts before parent "
+         << par << " finishes";
+      throw std::invalid_argument(os.str());
+    }
+    mem += tree.exec_size(idx);
+    for (NodeId c : tree.children(idx)) mem += tree.output_size(c);
+    peak = std::max(peak, mem);
+    record(t);
+  }
+  while (fi < by_finish.size()) {
+    const NodeId f = by_finish[fi++];
+    mem -= tree.exec_size(f);
+    mem -= tree.output_size(f);
+    record(s.finish(tree, f));
+  }
+  res.makespan = s.makespan(tree);
+  res.peak_memory = peak;
+  res.final_memory = mem;
+  return res;
+}
+
+ValidationResult validate_out_tree_schedule(const Tree& tree,
+                                            const Schedule& s, int p) {
+  // Processor/overlap/start checks are direction-independent: reuse the
+  // in-tree validator on a tree whose precedences we check separately.
+  ValidationResult res;
+  const NodeId n = tree.size();
+  if (s.size() != n) {
+    res.ok = false;
+    res.error = "schedule size != tree size";
+    return res;
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId par = tree.parent(i);
+    if (par == kNoNode) continue;
+    const double tol =
+        1e-9 * std::max(1.0, std::max(std::abs(s.start[i]),
+                                      std::abs(s.finish(tree, par))));
+    if (s.start[i] < s.finish(tree, par) - tol) {
+      std::ostringstream os;
+      os << "task " << i << " starts before its out-tree predecessor "
+         << par << " finishes";
+      res.ok = false;
+      res.error = os.str();
+      return res;
+    }
+  }
+  // Overlap and range checks: run the in-tree validator with precedence
+  // errors impossible (we pass a forest-free check by construction)...
+  // simplest: replicate the overlap logic via validate_schedule on a
+  // reversed schedule, which restores in-tree precedences.
+  return validate_schedule(tree, reverse_schedule(tree, s), p);
+}
+
+}  // namespace treesched

@@ -1,0 +1,43 @@
+#pragma once
+// Out-tree scheduling via time reversal.
+//
+// The paper (§1) notes that in-trees and out-trees are equivalent: "a
+// solution for an in-tree can be transformed into a solution for the
+// corresponding out-tree by just reversing the arrow of time" [9]. This
+// module makes that equivalence executable.
+//
+// Out-tree semantics on the same Tree storage (edges kept child->parent):
+//  * dependencies are reversed: task i is ready once parent(i) completed
+//    (the root starts first);
+//  * when task j STARTS it allocates its execution file n_j plus one output
+//    file f_c for every child c (the data it hands down the tree);
+//  * when j FINISHES it frees n_j and its own input file f_j (which its
+//    parent produced); the root's input f_root is resident from time 0
+//    (it is the initial problem data).
+// Reversing a feasible in-tree schedule in time yields a feasible out-tree
+// schedule with the SAME makespan and the SAME peak memory, so every
+// in-tree heuristic doubles as an out-tree heuristic.
+
+#include "core/schedule.hpp"
+#include "core/simulator.hpp"
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// Reverses the arrow of time: start'[i] = makespan - finish[i].
+/// A feasible in-tree schedule becomes a feasible out-tree schedule of the
+/// same tree (and vice versa -- the transform is an involution).
+Schedule reverse_schedule(const Tree& tree, const Schedule& s);
+
+/// Replays `s` under OUT-tree semantics; throws std::invalid_argument on
+/// dependency violations. Returns makespan / peak / final memory, where
+/// final memory is the sum of the leaves' downward outputs... zero, since
+/// leaves produce nothing; what remains resident at the end is nothing.
+SimulationResult simulate_out_tree(const Tree& tree, const Schedule& s,
+                                   const SimulationOptions& opts = {});
+
+/// Validation under out-tree precedences (parent before child).
+ValidationResult validate_out_tree_schedule(const Tree& tree,
+                                            const Schedule& s, int p);
+
+}  // namespace treesched

@@ -1,0 +1,52 @@
+#pragma once
+// A schedule assigns each task a start time and a processor. Finish time is
+// start + w_i. Schedules are produced by the heuristics and scored by the
+// simulator (core/simulator.hpp), which is the single source of truth for
+// makespan and peak memory.
+
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+struct Schedule {
+  std::vector<double> start;  ///< start[i]: start time of task i
+  std::vector<int> proc;      ///< proc[i]: processor executing task i
+
+  Schedule() = default;
+  explicit Schedule(NodeId n)
+      : start(static_cast<std::size_t>(n), 0.0),
+        proc(static_cast<std::size_t>(n), 0) {}
+
+  [[nodiscard]] NodeId size() const {
+    return static_cast<NodeId>(start.size());
+  }
+  [[nodiscard]] double finish(const Tree& tree, NodeId i) const {
+    return start[i] + tree.work(i);
+  }
+  [[nodiscard]] double makespan(const Tree& tree) const;
+
+  /// Tasks sorted by (start time, id): the execution order.
+  [[nodiscard]] std::vector<NodeId> by_start_time() const;
+};
+
+/// Builds the schedule that runs tasks sequentially on processor 0 in the
+/// given traversal order (children-before-parents is the caller's duty;
+/// validate with `validate_schedule`).
+Schedule sequential_schedule(const Tree& tree,
+                             const std::vector<NodeId>& order);
+
+/// Result of schedule validation.
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< empty when ok
+};
+
+/// Checks that `s` is a feasible p-processor schedule of `tree`:
+/// every task scheduled exactly once, no task starts before all of its
+/// children finished, and no more than p tasks overlap in time
+/// (and no two tasks overlap on the same processor).
+ValidationResult validate_schedule(const Tree& tree, const Schedule& s, int p);
+
+}  // namespace treesched

@@ -1,0 +1,104 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace treesched {
+
+SimulationResult simulate(const Tree& tree, const Schedule& s,
+                          const SimulationOptions& opts) {
+  const NodeId n = tree.size();
+  if (s.size() != n) {
+    throw std::invalid_argument("simulate: schedule size != tree size");
+  }
+  SimulationResult res;
+  if (n == 0) return res;
+
+  // Two event streams sorted by time: starts and finishes. At equal times,
+  // finishes are applied before starts so that a task may begin exactly when
+  // its child ends (and memory is not double counted across the boundary).
+  std::vector<NodeId> by_start(n), by_finish(n);
+  std::iota(by_start.begin(), by_start.end(), 0);
+  by_finish = by_start;
+  std::sort(by_start.begin(), by_start.end(), [&](NodeId a, NodeId b) {
+    if (s.start[a] != s.start[b]) return s.start[a] < s.start[b];
+    return a < b;
+  });
+  std::sort(by_finish.begin(), by_finish.end(), [&](NodeId a, NodeId b) {
+    double fa = s.finish(tree, a), fb = s.finish(tree, b);
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  MemSize mem = 0;
+  MemSize peak = 0;
+  std::size_t fi = 0;  // cursor in by_finish
+
+  auto record = [&](double t) {
+    if (opts.record_profile) {
+      if (!res.profile.empty() && res.profile.back().time == t) {
+        res.profile.back().mem = mem;
+      } else {
+        res.profile.push_back({t, mem});
+      }
+    }
+  };
+
+  const double eps = 1e-9;
+  for (NodeId idx : by_start) {
+    const double t = s.start[idx];
+    const double tol = eps * std::max(1.0, t);
+    // Apply all finishes at time <= t (+tolerance).
+    while (fi < by_finish.size() &&
+           s.finish(tree, by_finish[fi]) <= t + tol) {
+      NodeId f = by_finish[fi++];
+      mem -= tree.exec_size(f);
+      for (NodeId c : tree.children(f)) mem -= tree.output_size(c);
+      done[f] = 1;
+      record(s.finish(tree, f));
+    }
+    // Precedence check.
+    for (NodeId c : tree.children(idx)) {
+      if (!done[c]) {
+        std::ostringstream os;
+        os << "simulate: task " << idx << " starts at " << t
+           << " but child " << c << " has not finished";
+        throw std::invalid_argument(os.str());
+      }
+    }
+    mem += tree.exec_size(idx) + tree.output_size(idx);
+    peak = std::max(peak, mem);
+    record(t);
+  }
+  // Drain remaining finishes.
+  while (fi < by_finish.size()) {
+    NodeId f = by_finish[fi++];
+    mem -= tree.exec_size(f);
+    for (NodeId c : tree.children(f)) mem -= tree.output_size(c);
+    record(s.finish(tree, f));
+  }
+  res.makespan = s.makespan(tree);
+  res.peak_memory = peak;
+  res.final_memory = mem;  // = f_root
+  return res;
+}
+
+MemSize sequential_peak_memory(const Tree& tree,
+                               const std::vector<NodeId>& order) {
+  if (static_cast<NodeId>(order.size()) != tree.size()) {
+    throw std::invalid_argument("sequential_peak_memory: bad order length");
+  }
+  MemSize mem = 0, peak = 0;
+  for (NodeId i : order) {
+    mem += tree.exec_size(i) + tree.output_size(i);
+    peak = std::max(peak, mem);
+    mem -= tree.exec_size(i);
+    for (NodeId c : tree.children(i)) mem -= tree.output_size(c);
+  }
+  return peak;
+}
+
+}  // namespace treesched

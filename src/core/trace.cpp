@@ -1,0 +1,122 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace treesched {
+
+ScheduleStats schedule_stats(const Tree& tree, const Schedule& s, int p) {
+  ScheduleStats st;
+  st.makespan = s.makespan(tree);
+  st.peak_memory = simulate(tree, s).peak_memory;
+  st.total_work = tree.total_work();
+  st.per_proc.resize(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) st.per_proc[q].proc = q;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    auto& ps = st.per_proc[s.proc[i]];
+    ps.tasks += 1;
+    ps.busy += tree.work(i);
+  }
+  double util_sum = 0.0;
+  for (auto& ps : st.per_proc) {
+    ps.utilization = st.makespan > 0 ? ps.busy / st.makespan : 0.0;
+    if (ps.tasks > 0) {
+      ++st.processors_used;
+      util_sum += ps.utilization;
+    }
+  }
+  st.avg_utilization =
+      st.processors_used > 0 ? util_sum / st.processors_used : 0.0;
+  return st;
+}
+
+void ascii_gantt(std::ostream& os, const Tree& tree, const Schedule& s,
+                 int p, int width) {
+  const double makespan = s.makespan(tree);
+  if (makespan <= 0.0 || width < 8) {
+    os << "(empty schedule)\n";
+    return;
+  }
+  const double scale = width / makespan;
+  for (int q = 0; q < p; ++q) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (NodeId i = 0; i < tree.size(); ++i) {
+      if (s.proc[i] != q) continue;
+      int lo = static_cast<int>(std::floor(s.start[i] * scale));
+      int hi = static_cast<int>(std::ceil(s.finish(tree, i) * scale));
+      lo = std::clamp(lo, 0, width - 1);
+      hi = std::clamp(hi, lo + 1, width);
+      const char glyph =
+          i <= 9 ? static_cast<char>('0' + i) : (i % 2 ? '#' : '@');
+      for (int c = lo; c < hi; ++c) row[c] = glyph;
+    }
+    os << "P" << q << " |" << row << "|\n";
+  }
+  os << "    0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+     << makespan << "\n";
+}
+
+void write_memory_profile_csv(std::ostream& os, const Tree& tree,
+                              const Schedule& s) {
+  SimulationOptions opts;
+  opts.record_profile = true;
+  const auto sim = simulate(tree, s, opts);
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "time,memory\n";
+  for (const auto& ev : sim.profile) {
+    os << ev.time << ',' << ev.mem << '\n';
+  }
+}
+
+void write_schedule_csv(std::ostream& os, const Tree& tree,
+                        const Schedule& s) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "task,proc,start,finish,work,out,exec\n";
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    os << i << ',' << s.proc[i] << ',' << s.start[i] << ','
+       << s.finish(tree, i) << ',' << tree.work(i) << ','
+       << tree.output_size(i) << ',' << tree.exec_size(i) << '\n';
+  }
+}
+
+Schedule read_schedule_csv(std::istream& is, const Tree& tree) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("task,proc,start", 0) != 0) {
+    throw std::runtime_error("read_schedule_csv: missing header");
+  }
+  Schedule s(tree.size());
+  std::vector<char> seen(static_cast<std::size_t>(tree.size()), 0);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    auto next = [&]() {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("read_schedule_csv: short row: " + line);
+      }
+      return cell;
+    };
+    const long task = std::stol(next());
+    if (task < 0 || task >= tree.size()) {
+      throw std::runtime_error("read_schedule_csv: bad task id");
+    }
+    s.proc[task] = std::stoi(next());
+    s.start[task] = std::stod(next());
+    seen[task] = 1;
+  }
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (!seen[i]) {
+      std::ostringstream msg;
+      msg << "read_schedule_csv: task " << i << " missing";
+      throw std::runtime_error(msg.str());
+    }
+  }
+  return s;
+}
+
+}  // namespace treesched

@@ -1,0 +1,54 @@
+#pragma once
+// Schedule inspection utilities: per-processor statistics, ASCII Gantt
+// charts for small instances, and CSV export of the memory profile and the
+// task trace for external plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/simulator.hpp"
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// Per-processor utilization statistics of a schedule.
+struct ProcessorStats {
+  int proc = 0;
+  int tasks = 0;
+  double busy = 0.0;        ///< total work executed
+  double utilization = 0.0; ///< busy / makespan (0 for empty schedules)
+};
+
+struct ScheduleStats {
+  double makespan = 0.0;
+  MemSize peak_memory = 0;
+  double total_work = 0.0;
+  double avg_utilization = 0.0;  ///< over processors that ran >= 1 task
+  int processors_used = 0;
+  std::vector<ProcessorStats> per_proc;
+};
+
+/// Computes the statistics of a feasible schedule on p processors.
+ScheduleStats schedule_stats(const Tree& tree, const Schedule& s, int p);
+
+/// Renders a one-line-per-processor ASCII Gantt chart. Each task is drawn
+/// as its id repeated over its time span, scaled to `width` columns.
+/// Intended for small trees (ids > 9 are drawn with '#').
+void ascii_gantt(std::ostream& os, const Tree& tree, const Schedule& s,
+                 int p, int width = 72);
+
+/// Writes "time,memory" CSV rows of the memory profile.
+void write_memory_profile_csv(std::ostream& os, const Tree& tree,
+                              const Schedule& s);
+
+/// Writes "task,proc,start,finish,work,out,exec" CSV rows.
+void write_schedule_csv(std::ostream& os, const Tree& tree,
+                        const Schedule& s);
+
+/// Reads a schedule written by write_schedule_csv (tasks may be in any
+/// order; missing tasks raise std::runtime_error).
+Schedule read_schedule_csv(std::istream& is, const Tree& tree);
+
+}  // namespace treesched

@@ -1,0 +1,49 @@
+#pragma once
+// Static, reservation-based memory-capped scheduling: the ParSubtrees
+// philosophy under a memory budget.
+//
+// Where memory_bounded_schedule (the banker) admits individual tasks with
+// a dynamic audit, this scheduler reserves memory at SUBTREE granularity:
+// the tree is split with SplitSubtrees (Algorithm 2), each subtree's
+// sequential-postorder peak m_r is measured, and a subtree may start on an
+// idle processor only if
+//     sum of peaks of running subtrees
+//   + sum of outputs of completed subtrees
+//   + m_r                                  <= cap.
+// Because a running subtree is accounted at its full peak, the bound is
+// conservative and the cap can never be exceeded during the parallel
+// phase; the sequential tail is laid out afterwards and checked exactly.
+//
+// Compared to the banker this trades schedule quality for O(n log n)
+// runtime and a trivially auditable invariant -- the classic static
+// reservation vs dynamic admission trade-off (see bench_memory_bounded).
+
+#include <optional>
+
+#include "core/schedule.hpp"
+#include "core/tree.hpp"
+#include "parallel/par_subtrees.hpp"
+
+namespace treesched {
+
+struct CappedSubtreesResult {
+  Schedule schedule;
+  MemSize cap = 0;
+  /// Highest number of subtrees ever running concurrently.
+  int max_parallelism = 0;
+};
+
+/// Schedules with peak memory <= cap, or nullopt when the cap is too small
+/// for this (conservative) scheme. Any cap >= capped_subtrees_min_cap()
+/// is feasible.
+std::optional<CappedSubtreesResult> capped_subtrees_schedule(
+    const Tree& tree, int p, MemSize cap,
+    SequentialAlgo seq = SequentialAlgo::kOptimalPostorder);
+
+/// The smallest cap the scheme accepts: the peak of its fully serialized
+/// execution (subtrees one at a time in weight order, then the tail).
+MemSize capped_subtrees_min_cap(
+    const Tree& tree, int p,
+    SequentialAlgo seq = SequentialAlgo::kOptimalPostorder);
+
+}  // namespace treesched

@@ -1,0 +1,92 @@
+#include "parallel/list_scheduler.hpp"
+
+#include <stdexcept>
+
+#include "util/heap.hpp"
+
+namespace treesched {
+
+namespace {
+
+struct ReadyEntry {
+  PriorityKey key;
+  NodeId node;
+};
+
+// Max-heap under "less": top = highest priority = smallest key.
+struct ReadyLess {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (b.key < a.key) return true;
+    if (a.key < b.key) return false;
+    return b.node < a.node;
+  }
+};
+
+struct FinishEvent {
+  double time;
+  NodeId node;
+};
+
+struct FinishLess {  // top = earliest finish
+  bool operator()(const FinishEvent& a, const FinishEvent& b) const {
+    if (a.time != b.time) return b.time < a.time;
+    return b.node < a.node;
+  }
+};
+
+}  // namespace
+
+Schedule list_schedule(const Tree& tree, int p,
+                       const std::vector<PriorityKey>& priority) {
+  if (p < 1) throw std::invalid_argument("list_schedule: p < 1");
+  const NodeId n = tree.size();
+  if (static_cast<NodeId>(priority.size()) != n) {
+    throw std::invalid_argument("list_schedule: priority size mismatch");
+  }
+  Schedule s(n);
+  if (n == 0) return s;
+
+  std::vector<NodeId> pending(static_cast<std::size_t>(n));
+  BinaryHeap<ReadyEntry, ReadyLess> ready;
+  ready.reserve(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    pending[i] = tree.num_children(i);
+    if (pending[i] == 0) ready.push({priority[i], i});
+  }
+
+  BinaryHeap<FinishEvent, FinishLess> events;
+  std::vector<int> idle;
+  idle.reserve(static_cast<std::size_t>(p));
+  for (int q = p - 1; q >= 0; --q) idle.push_back(q);
+
+  double now = 0.0;
+  auto assign = [&] {
+    while (!idle.empty() && !ready.empty()) {
+      const ReadyEntry e = ready.pop();
+      const int proc = idle.back();
+      idle.pop_back();
+      s.start[e.node] = now;
+      s.proc[e.node] = proc;
+      events.push({now + tree.work(e.node), e.node});
+    }
+  };
+
+  assign();
+  while (!events.empty()) {
+    now = events.top().time;
+    // Drain every event at the current time before assigning, so memory is
+    // released and parents become ready within one scheduling round.
+    while (!events.empty() && events.top().time == now) {
+      const FinishEvent ev = events.pop();
+      idle.push_back(s.proc[ev.node]);
+      const NodeId par = tree.parent(ev.node);
+      if (par != kNoNode && --pending[par] == 0) {
+        ready.push({priority[par], par});
+      }
+    }
+    assign();
+  }
+  return s;
+}
+
+}  // namespace treesched

@@ -1,0 +1,39 @@
+#pragma once
+// Generic event-driven list scheduler (Algorithm 3 of the paper).
+//
+// At every task-finish event, newly ready tasks enter a priority queue and
+// every idle processor is handed the queue's head. The heuristics
+// (ParInnerFirst, ParDeepestFirst, the memory-bounded extension) only differ
+// in the priority they assign to ready nodes, expressed here as a
+// per-node lexicographic key computed once up front.
+//
+// Any schedule produced this way is a list schedule, hence a (2 - 1/p)
+// approximation of the optimal makespan (Graham 1966) and satisfies
+// C_max <= W/p + (1 - 1/p) * CP.
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// Lexicographic priority: lower key = scheduled earlier.
+struct PriorityKey {
+  double k1 = 0.0;
+  double k2 = 0.0;
+  double k3 = 0.0;
+
+  friend bool operator<(const PriorityKey& a, const PriorityKey& b) {
+    if (a.k1 != b.k1) return a.k1 < b.k1;
+    if (a.k2 != b.k2) return a.k2 < b.k2;
+    return a.k3 < b.k3;
+  }
+};
+
+/// Runs Algorithm 3 with the given per-node priorities (size n).
+/// `p` >= 1 processors. O(n log n).
+Schedule list_schedule(const Tree& tree, int p,
+                       const std::vector<PriorityKey>& priority);
+
+}  // namespace treesched

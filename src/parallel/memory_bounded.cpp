@@ -1,0 +1,194 @@
+#include "parallel/memory_bounded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/par_deepest_first.hpp"
+#include "sequential/postorder.hpp"
+#include "util/heap.hpp"
+
+namespace treesched {
+
+namespace {
+
+struct ReadyEntry {
+  PriorityKey key;
+  NodeId node;
+};
+struct ReadyLess {
+  bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
+    if (b.key < a.key) return true;
+    if (a.key < b.key) return false;
+    return b.node < a.node;
+  }
+};
+struct FinishEvent {
+  double time;
+  NodeId node;
+};
+struct FinishLess {
+  bool operator()(const FinishEvent& a, const FinishEvent& b) const {
+    if (a.time != b.time) return b.time < a.time;
+    return b.node < a.node;
+  }
+};
+
+class BoundedScheduler {
+ public:
+  BoundedScheduler(const Tree& tree, int p, MemSize cap,
+                   MemoryBoundedOptions opts)
+      : tree_(tree), p_(p), cap_(cap), opts_(std::move(opts)) {}
+
+  std::optional<MemoryBoundedResult> run() {
+    const NodeId n = tree_.size();
+    auto po = postorder(tree_, PostorderPolicy::kOptimal);
+    if (po.peak > cap_) return std::nullopt;
+    sigma_ = std::move(po.order);
+    sigma_pos_ = order_positions(sigma_);
+    if (opts_.priority.empty()) {
+      opts_.priority = deepest_first_priorities(tree_, sigma_);
+    }
+
+    MemoryBoundedResult res;
+    res.cap = cap_;
+    res.sigma_peak = po.peak;
+    res.schedule = Schedule(n);
+    if (n == 0) return res;
+
+    started_.assign(static_cast<std::size_t>(n), 0);
+    done_.assign(static_cast<std::size_t>(n), 0);
+    pending_.assign(static_cast<std::size_t>(n), 0);
+    Schedule& s = res.schedule;
+
+    BinaryHeap<ReadyEntry, ReadyLess> ready;
+    for (NodeId i = 0; i < n; ++i) {
+      pending_[i] = tree_.num_children(i);
+      if (pending_[i] == 0) ready.push({opts_.priority[i], i});
+    }
+    BinaryHeap<FinishEvent, FinishLess> events;
+    std::vector<int> idle;
+    for (int q = p_ - 1; q >= 0; --q) idle.push_back(q);
+
+    double now = 0.0;
+    sigma_next_ = 0;
+
+    auto assign = [&] {
+      // Scan up to audit_window candidates in priority order. When the
+      // machine is fully idle and nothing has been admitted yet, keep
+      // scanning past the window: the sigma-next task is always admissible
+      // (deadlock-freedom invariant), so the scan terminates.
+      std::vector<ReadyEntry> deferred;
+      int audits = 0;
+      bool admitted_any = false;
+      while (!idle.empty() && !ready.empty()) {
+        const bool must_continue = running_.empty() && !admitted_any;
+        if (audits >= std::max(1, opts_.audit_window) && !must_continue) {
+          break;
+        }
+        ReadyEntry e = ready.pop();
+        ++audits;
+        if (admissible(e.node)) {
+          const int proc = idle.back();
+          idle.pop_back();
+          start_task(e.node, now, proc, s);
+          events.push({now + tree_.work(e.node), e.node});
+          admitted_any = true;
+          // A start changes memory: already-deferred nodes stay deferred
+          // (memory only grew), but the window resets for new candidates.
+        } else {
+          deferred.push_back(e);
+        }
+      }
+      for (const ReadyEntry& e : deferred) ready.push(e);
+    };
+
+    assign();
+    while (!events.empty()) {
+      now = events.top().time;
+      while (!events.empty() && events.top().time == now) {
+        const FinishEvent ev = events.pop();
+        idle.push_back(s.proc[ev.node]);
+        finish_task(ev.node);
+        const NodeId par = tree_.parent(ev.node);
+        if (par != kNoNode && --pending_[par] == 0) {
+          ready.push({opts_.priority[par], par});
+        }
+      }
+      assign();
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (!done_[i]) throw std::logic_error("memory_bounded: deadlocked");
+    }
+    return res;
+  }
+
+ private:
+  void start_task(NodeId i, double now, int proc, Schedule& s) {
+    s.start[i] = now;
+    s.proc[i] = proc;
+    started_[i] = 1;
+    mem_ += tree_.exec_size(i) + tree_.output_size(i);
+    while (sigma_next_ < sigma_.size() && started_[sigma_[sigma_next_]]) {
+      ++sigma_next_;
+    }
+    running_.push_back(i);
+  }
+
+  void finish_task(NodeId i) {
+    done_[i] = 1;
+    mem_ -= tree_.exec_size(i);
+    for (NodeId c : tree_.children(i)) mem_ -= tree_.output_size(c);
+    running_.erase(std::find(running_.begin(), running_.end(), i));
+  }
+
+  // Admission test for starting `cand` right now.
+  bool admissible(NodeId cand) {
+    const MemSize rise = tree_.exec_size(cand) + tree_.output_size(cand);
+    if (mem_ + rise > cap_) return false;
+    // Banker's audit: complete all running tasks and `cand`, then finish the
+    // rest sequentially in sigma order; peak must stay within cap.
+    MemSize m = mem_ + rise;
+    // Completing running tasks + cand frees their exec files and inputs.
+    auto complete = [&](NodeId r) {
+      m -= tree_.exec_size(r);
+      for (NodeId c : tree_.children(r)) m -= tree_.output_size(c);
+    };
+    for (NodeId r : running_) complete(r);
+    complete(cand);
+    for (std::size_t k = sigma_next_; k < sigma_.size(); ++k) {
+      const NodeId v = sigma_[k];
+      if (started_[v] || v == cand) continue;
+      const MemSize need = m + tree_.exec_size(v) + tree_.output_size(v);
+      if (need > cap_) return false;
+      m = need - tree_.exec_size(v);
+      for (NodeId c : tree_.children(v)) m -= tree_.output_size(c);
+    }
+    return true;
+  }
+
+  const Tree& tree_;
+  int p_;
+  MemSize cap_;
+  MemoryBoundedOptions opts_;
+  std::vector<NodeId> sigma_;
+  std::vector<NodeId> sigma_pos_;
+  std::size_t sigma_next_ = 0;
+  std::vector<char> started_, done_;
+  std::vector<NodeId> pending_;
+  std::vector<NodeId> running_;
+  MemSize mem_ = 0;
+};
+
+}  // namespace
+
+std::optional<MemoryBoundedResult> memory_bounded_schedule(
+    const Tree& tree, int p, MemSize cap, MemoryBoundedOptions opts) {
+  if (p < 1) throw std::invalid_argument("memory_bounded_schedule: p < 1");
+  return BoundedScheduler(tree, p, cap, std::move(opts)).run();
+}
+
+MemSize min_feasible_cap(const Tree& tree) {
+  return best_postorder_memory(tree);
+}
+
+}  // namespace treesched

@@ -1,0 +1,31 @@
+#include "parallel/par_deepest_first.hpp"
+
+#include "sequential/postorder.hpp"
+
+namespace treesched {
+
+std::vector<PriorityKey> deepest_first_priorities(
+    const Tree& tree, const std::vector<NodeId>& order) {
+  const NodeId n = tree.size();
+  const auto wdepth = tree.weighted_depths();
+  const auto pos = order_positions(order);
+  std::vector<PriorityKey> key(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    key[i].k1 = -wdepth[i];
+    key[i].k2 = tree.is_leaf(i) ? 1.0 : 0.0;
+    key[i].k3 = static_cast<double>(pos[i]);
+  }
+  return key;
+}
+
+Schedule par_deepest_first(const Tree& tree, int p,
+                           const std::vector<NodeId>& order) {
+  return list_schedule(tree, p, deepest_first_priorities(tree, order));
+}
+
+Schedule par_deepest_first(const Tree& tree, int p) {
+  return par_deepest_first(tree, p,
+                           postorder(tree, PostorderPolicy::kOptimal).order);
+}
+
+}  // namespace treesched

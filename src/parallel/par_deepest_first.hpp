@@ -1,0 +1,29 @@
+#pragma once
+// ParDeepestFirst (paper §5.3): pure makespan focus. Priority of ready
+// nodes:
+//   1) deepest first, where depth is the w-weighted length of the path to
+//      the root including the node's own w_i (the head of the critical
+//      path is scheduled first);
+//   2) inner nodes before leaves at equal depth;
+//   3) leaves of equal depth in the reference postorder O.
+//
+// Makespan: (2 - 1/p)-approximation, usually near-optimal.
+// Memory: unbounded relative to the sequential optimum (paper Fig. 5).
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/tree.hpp"
+#include "parallel/list_scheduler.hpp"
+
+namespace treesched {
+
+std::vector<PriorityKey> deepest_first_priorities(
+    const Tree& tree, const std::vector<NodeId>& order);
+
+Schedule par_deepest_first(const Tree& tree, int p);
+
+Schedule par_deepest_first(const Tree& tree, int p,
+                           const std::vector<NodeId>& order);
+
+}  // namespace treesched

@@ -1,0 +1,33 @@
+#include "parallel/par_inner_first.hpp"
+
+#include "sequential/postorder.hpp"
+
+namespace treesched {
+
+std::vector<PriorityKey> inner_first_priorities(
+    const Tree& tree, const std::vector<NodeId>& order) {
+  const NodeId n = tree.size();
+  const auto depth = tree.depths();
+  const auto pos = order_positions(order);
+  std::vector<PriorityKey> key(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    const bool leaf = tree.is_leaf(i);
+    key[i].k1 = leaf ? 1.0 : 0.0;
+    key[i].k2 = leaf ? static_cast<double>(pos[i])
+                     : -static_cast<double>(depth[i]);
+    key[i].k3 = static_cast<double>(pos[i]);
+  }
+  return key;
+}
+
+Schedule par_inner_first(const Tree& tree, int p,
+                         const std::vector<NodeId>& order) {
+  return list_schedule(tree, p, inner_first_priorities(tree, order));
+}
+
+Schedule par_inner_first(const Tree& tree, int p) {
+  return par_inner_first(tree, p,
+                         postorder(tree, PostorderPolicy::kOptimal).order);
+}
+
+}  // namespace treesched

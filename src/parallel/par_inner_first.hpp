@@ -1,0 +1,31 @@
+#pragma once
+// ParInnerFirst (paper §5.2): approximate a sequential postorder in
+// parallel. Priority of ready nodes:
+//   1) inner (non-leaf) nodes before leaves, deepest inner nodes first;
+//   2) leaves in the order of a reference sequential postorder O
+//      (by default the memory-optimal postorder, as the paper recommends).
+//
+// Makespan: (2 - 1/p)-approximation (list scheduling).
+// Memory: unbounded relative to the sequential optimum (paper Fig. 4).
+
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "core/tree.hpp"
+#include "parallel/list_scheduler.hpp"
+
+namespace treesched {
+
+/// Priority keys implementing the ParInnerFirst ordering given the
+/// reference traversal `order` (a sequential postorder of the whole tree).
+std::vector<PriorityKey> inner_first_priorities(
+    const Tree& tree, const std::vector<NodeId>& order);
+
+/// Full heuristic: reference order = optimal sequential postorder.
+Schedule par_inner_first(const Tree& tree, int p);
+
+/// Variant with an explicit reference order (ablation A2).
+Schedule par_inner_first(const Tree& tree, int p,
+                         const std::vector<NodeId>& order);
+
+}  // namespace treesched

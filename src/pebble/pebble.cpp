@@ -1,0 +1,75 @@
+#include "pebble/pebble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace treesched {
+
+bool is_pebble_tree(const Tree& tree) {
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.output_size(i) != 1 || tree.exec_size(i) != 0 ||
+        tree.work(i) != 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void require_pebble(const Tree& tree) {
+  if (!is_pebble_tree(tree)) {
+    throw std::invalid_argument("pebble_number: not a pebble tree");
+  }
+}
+
+}  // namespace
+
+MemSize pebble_number(const Tree& tree) {
+  require_pebble(tree);
+  if (tree.empty()) return 0;
+  std::vector<MemSize> peak(static_cast<std::size_t>(tree.size()), 0);
+  for (NodeId i : tree.natural_postorder()) {
+    auto ch = tree.children(i);
+    if (ch.empty()) {
+      peak[i] = 1;
+      continue;
+    }
+    std::vector<MemSize> kids;
+    kids.reserve(ch.size());
+    for (NodeId c : ch) kids.push_back(peak[c]);
+    std::sort(kids.rbegin(), kids.rend());
+    MemSize pk = static_cast<MemSize>(kids.size()) + 1;  // firing the node
+    for (std::size_t j = 0; j < kids.size(); ++j) {
+      pk = std::max(pk, static_cast<MemSize>(j) + kids[j]);
+    }
+    peak[i] = pk;
+  }
+  return peak[tree.root()];
+}
+
+MemSize pebble_number_binary(const Tree& tree) {
+  require_pebble(tree);
+  if (tree.empty()) return 0;
+  if (tree.max_degree() > 2) {
+    throw std::invalid_argument("pebble_number_binary: tree is not binary");
+  }
+  std::vector<MemSize> peak(static_cast<std::size_t>(tree.size()), 0);
+  for (NodeId i : tree.natural_postorder()) {
+    auto ch = tree.children(i);
+    if (ch.empty()) {
+      peak[i] = 1;
+    } else if (ch.size() == 1) {
+      peak[i] = std::max<MemSize>(peak[ch[0]], 2);
+    } else {
+      MemSize p1 = peak[ch[0]], p2 = peak[ch[1]];
+      if (p1 < p2) std::swap(p1, p2);
+      const MemSize unequal_hill = p1 == p2 ? p1 + 1 : p1;
+      peak[i] = std::max<MemSize>({unequal_hill, p2 + 1, 3});
+    }
+  }
+  return peak[tree.root()];
+}
+
+}  // namespace treesched

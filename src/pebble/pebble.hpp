@@ -1,0 +1,36 @@
+#pragma once
+// The Pebble Game model (paper §4): f_i = 1, n_i = 0, w_i = 1 for every
+// task. This module provides closed-form pebble numbers that serve as an
+// independent oracle for the general algorithms: they are derived from the
+// Sethi-Ullman register-allocation recursion (adapted to this paper's
+// accounting, where a node's output pebble coexists with its inputs), not
+// from the postorder/Liu machinery, so agreement is a real cross-check.
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// True iff every task has f = 1, n = 0, w = 1.
+bool is_pebble_tree(const Tree& tree);
+
+/// Minimum pebbles to play the sequential pebble game on `tree`
+/// (= minimum sequential memory). Closed-form recursion over children
+/// peaks sorted in non-increasing order:
+///   P(leaf) = 1,
+///   P(v)    = max( max_j (j - 1 + P_(j)),  k + 1 )
+/// where P_(1) >= P_(2) >= ... are the k children's pebble numbers.
+/// Throws std::invalid_argument if the tree is not a pebble tree.
+/// For trees, contiguous (postorder) pebbling is optimal, so this equals
+/// min_sequential_memory(tree).
+MemSize pebble_number(const Tree& tree);
+
+/// Sethi-Ullman-style recursion specialized to BINARY pebble trees:
+///   P(leaf) = 1,
+///   P(v) = P(c) >= 2 ? ... single child: max(P(c), 2);
+///   P(v) = P1 == P2 ? P1 + 1 : max(P1, P2 + 1, 3)   (two children,
+///                                                    P1 >= P2).
+/// Throws if any node has more than two children or the weights are not
+/// the pebble-game weights.
+MemSize pebble_number_binary(const Tree& tree);
+
+}  // namespace treesched

@@ -1,0 +1,245 @@
+#include "sequential/bruteforce.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace treesched {
+
+namespace {
+
+constexpr MemSize kInf = std::numeric_limits<MemSize>::max();
+
+void check_small(const Tree& tree, NodeId limit) {
+  if (tree.size() > limit) {
+    throw std::invalid_argument("bruteforce: tree too large");
+  }
+}
+
+// Memory resident after completing exactly the downward-closed set `mask`:
+// outputs of members whose parent is not (yet) in the set.
+MemSize resident_after(const Tree& tree, std::uint32_t mask) {
+  MemSize m = 0;
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (!(mask >> i & 1u)) continue;
+    NodeId par = tree.parent(i);
+    if (par == kNoNode || !(mask >> par & 1u)) m += tree.output_size(i);
+  }
+  return m;
+}
+
+}  // namespace
+
+MemSize bruteforce_min_sequential_memory(const Tree& tree) {
+  check_small(tree, 24);
+  const NodeId n = tree.size();
+  if (n == 0) return 0;
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  std::vector<MemSize> best(static_cast<std::size_t>(full) + 1, kInf);
+  std::vector<MemSize> resident(static_cast<std::size_t>(full) + 1, 0);
+  // Precompute resident memory per mask incrementally would be O(2^n);
+  // direct recomputation keeps the code simple at O(2^n * n).
+  best[0] = 0;
+  for (std::uint32_t mask = 0; mask <= full; ++mask) {
+    if (best[mask] == kInf) continue;
+    if (mask == 0) {
+      resident[0] = 0;
+    }
+    const MemSize res_mem = resident[mask];
+    for (NodeId x = 0; x < n; ++x) {
+      if (mask >> x & 1u) continue;
+      bool ready = true;
+      for (NodeId c : tree.children(x)) {
+        if (!(mask >> c & 1u)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      // Processing x on top of `mask`: inputs already resident; add n_x+f_x.
+      const MemSize during = res_mem + tree.exec_size(x) + tree.output_size(x);
+      const MemSize peak = std::max(best[mask], during);
+      const std::uint32_t nm = mask | (1u << x);
+      if (peak < best[nm]) {
+        best[nm] = peak;
+        // residual: x's inputs freed, f_x added.
+        MemSize r = res_mem + tree.output_size(x);
+        for (NodeId c : tree.children(x)) r -= tree.output_size(c);
+        resident[nm] = r;
+      }
+    }
+  }
+  if (best[full] == kInf) {
+    throw std::logic_error("bruteforce: no traversal found");
+  }
+  return best[full];
+}
+
+namespace {
+
+// Best postorder peak for subtree rooted at r, trying all child
+// permutations.
+MemSize best_postorder_rec(const Tree& tree, NodeId r) {
+  auto ch = tree.children(r);
+  if (ch.empty()) return tree.exec_size(r) + tree.output_size(r);
+  if (ch.size() > 8) {
+    throw std::invalid_argument("bruteforce postorder: degree too large");
+  }
+  std::vector<MemSize> peaks;
+  MemSize inputs = 0;
+  std::vector<NodeId> perm(ch.begin(), ch.end());
+  std::sort(perm.begin(), perm.end());
+  for (NodeId c : ch) {
+    peaks.push_back(0);  // filled below per child id order lookup
+    inputs += tree.output_size(c);
+  }
+  std::unordered_map<NodeId, MemSize> child_peak;
+  for (NodeId c : ch) child_peak[c] = best_postorder_rec(tree, c);
+  MemSize best = kInf;
+  do {
+    MemSize resident = 0, pk = 0;
+    for (NodeId c : perm) {
+      pk = std::max(pk, resident + child_peak[c]);
+      resident += tree.output_size(c);
+    }
+    pk = std::max(pk, inputs + tree.exec_size(r) + tree.output_size(r));
+    best = std::min(best, pk);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+}  // namespace
+
+MemSize bruteforce_min_postorder_memory(const Tree& tree) {
+  check_small(tree, 24);
+  if (tree.empty()) return 0;
+  return best_postorder_rec(tree, tree.root());
+}
+
+namespace {
+
+// Parallel unit-weight search. State: (done mask, running mask). One time
+// step completes all running tasks... no: tasks are unit, so every running
+// task finishes exactly one step after it starts. A schedule is therefore a
+// sequence of "waves": at each integer time t we pick a set S_t of ready
+// tasks, |S_t| <= p; task readiness requires children completed (i.e., in a
+// strictly earlier wave). Memory during wave t:
+//   resident(done) + sum_{i in S_t} (n_i + f_i).
+// After the wave, done' = done | S_t.
+// So the state collapses to `done` alone, and we BFS over done-masks.
+struct WaveSearch {
+  const Tree& tree;
+  int p;
+  MemSize cap;
+  std::unordered_map<std::uint32_t, int> dist;
+
+  explicit WaveSearch(const Tree& t, int procs, MemSize c)
+      : tree(t), p(procs), cap(c) {}
+
+  double run() {
+    const NodeId n = tree.size();
+    const std::uint32_t full = (1u << n) - 1u;
+    std::vector<std::uint32_t> frontier{0};
+    dist[0] = 0;
+    int steps = 0;
+    while (!frontier.empty()) {
+      std::vector<std::uint32_t> next_frontier;
+      for (std::uint32_t done : frontier) {
+        if (done == full) return steps;
+        // Ready set.
+        std::vector<NodeId> ready;
+        for (NodeId i = 0; i < n; ++i) {
+          if (done >> i & 1u) continue;
+          bool ok = true;
+          for (NodeId c : tree.children(i)) {
+            if (!(done >> c & 1u)) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) ready.push_back(i);
+        }
+        const MemSize res_mem = resident_after(tree, done);
+        // Enumerate all subsets of ready of size <= p that fit in cap.
+        const std::size_t r = ready.size();
+        for (std::uint32_t sub = 1; sub < (1u << r); ++sub) {
+          if (static_cast<int>(__builtin_popcount(sub)) > p) continue;
+          MemSize need = res_mem;
+          for (std::size_t k = 0; k < r; ++k) {
+            if (sub >> k & 1u) {
+              need += tree.exec_size(ready[k]) + tree.output_size(ready[k]);
+            }
+          }
+          if (need > cap) continue;
+          std::uint32_t nd = done;
+          for (std::size_t k = 0; k < r; ++k) {
+            if (sub >> k & 1u) nd |= 1u << ready[k];
+          }
+          if (!dist.count(nd)) {
+            dist[nd] = steps + 1;
+            next_frontier.push_back(nd);
+          }
+        }
+      }
+      frontier = std::move(next_frontier);
+      ++steps;
+    }
+    return -1.0;
+  }
+};
+
+}  // namespace
+
+double bruteforce_min_makespan_unit(const Tree& tree, int p, MemSize cap) {
+  check_small(tree, 20);
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    if (tree.work(i) != 1.0) {
+      throw std::invalid_argument("bruteforce parallel: needs unit works");
+    }
+  }
+  if (tree.empty()) return 0.0;
+  return WaveSearch(tree, p, cap).run();
+}
+
+std::vector<ParetoPoint> bruteforce_pareto_unit(const Tree& tree, int p) {
+  // Candidate memory bounds: every achievable peak is a sum of f/n values;
+  // sweep caps downward from the (memory-unbounded) requirement.
+  std::vector<ParetoPoint> front;
+  MemSize cap = kInf;
+  for (;;) {
+    double ms = bruteforce_min_makespan_unit(tree, p, cap);
+    if (ms < 0) break;
+    // Find the smallest memory achieving this makespan via binary search on
+    // cap; simpler: tighten the cap by reducing it below the peak actually
+    // needed. We search the minimal cap with the same makespan.
+    MemSize lo = 1, hi = cap == kInf ? 0 : cap;
+    if (cap == kInf) {
+      // establish a finite upper bound: total of all files
+      MemSize tot = 0;
+      for (NodeId i = 0; i < tree.size(); ++i) {
+        tot += tree.exec_size(i) + tree.output_size(i);
+      }
+      hi = tot;
+    }
+    MemSize best_cap = hi;
+    while (lo <= hi) {
+      MemSize mid = lo + (hi - lo) / 2;
+      double m2 = bruteforce_min_makespan_unit(tree, p, mid);
+      if (m2 >= 0 && m2 <= ms) {
+        best_cap = mid;
+        if (mid == 0) break;
+        hi = mid - 1;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    front.push_back({ms, best_cap});
+    if (best_cap == 0) break;
+    cap = best_cap - 1;  // force strictly less memory next round
+  }
+  return front;
+}
+
+}  // namespace treesched

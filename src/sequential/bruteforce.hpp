@@ -1,0 +1,43 @@
+#pragma once
+// Exponential reference implementations. These are the test oracle for the
+// polynomial algorithms:
+//  * exact sequential optimum over ALL traversals (DP over downward-closed
+//    subsets, O(2^n * n), n <= ~20);
+//  * exact optimum over POSTORDERS only (recursive permutation search,
+//    usable for small degrees);
+//  * exact bi-objective parallel schedules for unit-weight (Pebble Game)
+//    trees: minimum makespan under a memory bound and minimum memory under
+//    a makespan bound, by BFS over (done, running) state pairs (n <= ~12).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// Minimum peak memory over all sequential traversals. Throws if n > 24.
+MemSize bruteforce_min_sequential_memory(const Tree& tree);
+
+/// Minimum peak memory over all *postorders*. Throws if n > 24 or any node
+/// has more than 8 children.
+MemSize bruteforce_min_postorder_memory(const Tree& tree);
+
+/// Pebble-game parallel brute force (requires w_i = 1 for all i; f/n
+/// arbitrary). Explores all schedules where tasks start at integer times.
+/// For unit works this is exhaustive (there is always an optimal schedule
+/// with integral start times).
+struct ParetoPoint {
+  double makespan;
+  MemSize memory;
+};
+
+/// Minimum makespan achievable with p processors and peak memory <= cap.
+/// Returns -1.0 if infeasible (cap below the sequential minimum).
+double bruteforce_min_makespan_unit(const Tree& tree, int p, MemSize cap);
+
+/// Full Pareto front (makespan, memory) for unit-weight trees on p
+/// processors, sorted by increasing makespan / decreasing memory.
+std::vector<ParetoPoint> bruteforce_pareto_unit(const Tree& tree, int p);
+
+}  // namespace treesched

@@ -1,0 +1,156 @@
+#include "sequential/liu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treesched {
+
+namespace {
+
+// A canonical segment: memory rises to hill `h`, then settles at valley `v`
+// (both absolute within the subtree's own profile, which starts at 0).
+// `head`/`tail` delimit the chain of task ids executed by this segment in
+// the global `next` array.
+struct Segment {
+  MemSize h;
+  MemSize v;
+  NodeId head;
+  NodeId tail;
+};
+
+// Incremental view used by the merge ordering: rise p = h - v_prev,
+// net growth d = v - v_prev, key = p - d = h - v.
+// Sorting by non-increasing (h - v) is Liu's optimal merge order.
+
+class LiuSolver {
+ public:
+  explicit LiuSolver(const Tree& tree)
+      : tree_(tree), next_(static_cast<std::size_t>(tree.size()), kNoNode) {}
+
+  LiuResult run() {
+    LiuResult res;
+    const NodeId n = tree_.size();
+    if (n == 0) return res;
+    std::vector<std::vector<Segment>> segs(static_cast<std::size_t>(n));
+    for (NodeId i : tree_.natural_postorder()) {
+      segs[i] = make_node_segments(i, segs);
+      // Children segment lists are dead after merging; free them eagerly to
+      // keep the working set linear.
+      for (NodeId c : tree_.children(i)) {
+        segs[c].clear();
+        segs[c].shrink_to_fit();
+      }
+    }
+    const auto& root_segs = segs[tree_.root()];
+    if (root_segs.empty()) throw std::logic_error("liu: empty root profile");
+    res.peak = root_segs.front().h;  // canonical: first hill is the max
+    res.order.reserve(n);
+    for (const Segment& s : root_segs) {
+      for (NodeId cur = s.head;; cur = next_[cur]) {
+        res.order.push_back(cur);
+        if (cur == s.tail) break;
+      }
+    }
+    if (static_cast<NodeId>(res.order.size()) != n) {
+      throw std::logic_error("liu: traversal does not cover the tree");
+    }
+    return res;
+  }
+
+ private:
+  // Builds the canonical segment list for node i given its children's lists.
+  std::vector<Segment> make_node_segments(
+      NodeId i, std::vector<std::vector<Segment>>& segs) {
+    auto ch = tree_.children(i);
+    std::vector<Segment> merged;
+    MemSize inputs = 0;  // sum of children outputs
+    if (!ch.empty()) {
+      // Collect (child, index) refs of all children segments and sort by
+      // non-increasing (h - v); stable so per-child order is preserved
+      // (within a child, h - v is strictly decreasing by canonicality).
+      struct Ref {
+        MemSize h, v;
+        NodeId child;
+        std::uint32_t idx;
+      };
+      std::vector<Ref> refs;
+      std::size_t total = 0;
+      for (NodeId c : ch) total += segs[c].size();
+      refs.reserve(total);
+      for (NodeId c : ch) {
+        const auto& list = segs[c];
+        for (std::uint32_t k = 0; k < list.size(); ++k) {
+          refs.push_back({list[k].h, list[k].v, c, k});
+        }
+        inputs += tree_.output_size(c);
+      }
+      std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+        // non-increasing h - v, unsigned-safe cross addition
+        return a.h + b.v > b.h + a.v;
+      });
+      // Execute the segments in this order, tracking the absolute profile
+      // (base = residual accumulated from segments already run).
+      merged.reserve(refs.size() + 1);
+      MemSize base = 0;
+      std::vector<MemSize> child_resid(ch.size(), 0);
+      // Map child -> position for residual bookkeeping.
+      for (const Ref& r : refs) {
+        const Segment& s = segs[r.child][r.idx];
+        // This segment's own profile is relative to the part of its child
+        // already executed: previous segments of the same child contributed
+        // residual v_{k-1}; the absolute rise of segment k is h_k - v_{k-1}
+        // and it settles at v_k - v_{k-1} above its starting point.
+        MemSize prev_v = r.idx == 0 ? 0 : segs[r.child][r.idx - 1].v;
+        MemSize abs_h = base + (s.h - prev_v);
+        MemSize abs_v = base + (s.v - prev_v);
+        push_canonical(merged, {abs_h, abs_v, s.head, s.tail});
+        base = abs_v;
+      }
+      (void)child_resid;
+      if (base != inputs) {
+        throw std::logic_error("liu: residual mismatch after merging");
+      }
+    }
+    // The node itself: rises to inputs + n_i + f_i, settles at f_i.
+    Segment self{inputs + tree_.exec_size(i) + tree_.output_size(i),
+                 tree_.output_size(i), i, i};
+    push_canonical(merged, self);
+    return merged;
+  }
+
+  // Appends `s` to the canonical list `list`, merging while canonicality
+  // (strictly decreasing hills, strictly increasing valleys) is violated.
+  // Merging two adjacent segments concatenates their task chains; the
+  // combined hill is the max of the two and the combined valley is the
+  // final one.
+  void push_canonical(std::vector<Segment>& list, Segment s) {
+    while (!list.empty()) {
+      Segment& top = list.back();
+      if (s.h >= top.h || s.v <= top.v) {
+        s.h = std::max(s.h, top.h);
+        // valley: final memory after both = s.v (unchanged)
+        next_[top.tail] = s.head;
+        s.head = top.head;
+        list.pop_back();
+      } else {
+        break;
+      }
+    }
+    list.push_back(s);
+  }
+
+  const Tree& tree_;
+  std::vector<NodeId> next_;
+};
+
+}  // namespace
+
+LiuResult liu_optimal_traversal(const Tree& tree) {
+  return LiuSolver(tree).run();
+}
+
+MemSize min_sequential_memory(const Tree& tree) {
+  return liu_optimal_traversal(tree).peak;
+}
+
+}  // namespace treesched

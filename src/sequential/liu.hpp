@@ -1,0 +1,42 @@
+#pragma once
+// Liu's exact memory-minimal tree traversal (Liu 1987, [14] in the paper;
+// rediscovered by Lam et al. 2011 [11]).
+//
+// Every traversal of a subtree induces a memory profile starting at 0 and
+// ending at f_root. The profile is summarized by its *canonical hill/valley
+// decomposition*: segments (h_1, v_1), (h_2, v_2), ... where h_1 is the
+// global maximum, v_1 the (last) minimum after it, h_2 the maximum after
+// that, and so on; hence h_1 >= h_2 >= ... and v_1 <= v_2 <= ...
+//
+// Liu's combination theorem: to merge the traversals of independent
+// subtrees (the children of a node), execute their canonical segments in
+// non-increasing order of (h - v). Because hills decrease and valleys
+// increase within each child, this global order respects per-child segment
+// order, and an adjacent-exchange argument shows it minimizes the peak.
+// Afterwards the node itself is processed (raw segment
+// (sum f_c + n_i + f_i, f_i)) and the list is re-canonicalized.
+//
+// Complexity O(n^2) worst case (long chains of segments), matching the
+// paper's statement; in practice near O(n log n) on assembly trees.
+//
+// The implementation also reconstructs an optimal traversal order by
+// threading intrusive linked lists of nodes through the segments.
+
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+struct LiuResult {
+  std::vector<NodeId> order;  ///< memory-optimal traversal
+  MemSize peak = 0;           ///< minimum sequential memory of the tree
+};
+
+/// Exact minimum sequential memory and an optimal traversal.
+LiuResult liu_optimal_traversal(const Tree& tree);
+
+/// Convenience: just the minimum memory.
+MemSize min_sequential_memory(const Tree& tree);
+
+}  // namespace treesched

@@ -1,0 +1,128 @@
+#include "sequential/postorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treesched {
+
+namespace {
+
+// Signed peak-minus-residual used for the optimal rule; f can exceed P only
+// never (P >= n_i + f_i >= f_i and residual = f_i), but keep signed math to
+// be safe with MemSize arithmetic.
+struct ChildKey {
+  NodeId node;
+  MemSize peak;
+  MemSize resid;
+  double work;
+};
+
+}  // namespace
+
+PostorderResult postorder(const Tree& tree, PostorderPolicy policy) {
+  PostorderResult res;
+  const NodeId n = tree.size();
+  res.order.reserve(n);
+  if (n == 0) return res;
+
+  std::vector<MemSize> peak(static_cast<std::size_t>(n), 0);
+  std::vector<double> subwork;
+  if (policy == PostorderPolicy::kByWork) subwork = tree.subtree_work();
+
+  // head/next intrusive lists holding each subtree's traversal so that
+  // concatenation is O(1) and total construction O(n log n).
+  std::vector<NodeId> head(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> tail(static_cast<std::size_t>(n), kNoNode);
+  std::vector<NodeId> next(static_cast<std::size_t>(n), kNoNode);
+
+  for (NodeId i : tree.natural_postorder()) {
+    auto ch = tree.children(i);
+    if (ch.empty()) {
+      peak[i] = tree.exec_size(i) + tree.output_size(i);
+      head[i] = tail[i] = i;
+      continue;
+    }
+    std::vector<ChildKey> keys;
+    keys.reserve(ch.size());
+    for (NodeId c : ch) {
+      keys.push_back({c, peak[c], tree.output_size(c),
+                      subwork.empty() ? 0.0 : subwork[c]});
+    }
+    switch (policy) {
+      case PostorderPolicy::kOptimal:
+        std::stable_sort(keys.begin(), keys.end(),
+                         [](const ChildKey& a, const ChildKey& b) {
+                           // non-increasing (P - f); signed comparison via
+                           // cross-addition to avoid unsigned underflow.
+                           return a.peak + b.resid > b.peak + a.resid;
+                         });
+        break;
+      case PostorderPolicy::kByPeak:
+        std::stable_sort(keys.begin(), keys.end(),
+                         [](const ChildKey& a, const ChildKey& b) {
+                           return a.peak > b.peak;
+                         });
+        break;
+      case PostorderPolicy::kByOutput:
+        std::stable_sort(keys.begin(), keys.end(),
+                         [](const ChildKey& a, const ChildKey& b) {
+                           return a.resid > b.resid;
+                         });
+        break;
+      case PostorderPolicy::kByWork:
+        std::stable_sort(keys.begin(), keys.end(),
+                         [](const ChildKey& a, const ChildKey& b) {
+                           return a.work > b.work;
+                         });
+        break;
+      case PostorderPolicy::kNatural:
+        break;
+    }
+    MemSize resident = 0;  // outputs of already-processed children
+    MemSize pk = 0;
+    for (const ChildKey& k : keys) {
+      pk = std::max(pk, resident + k.peak);
+      resident += k.resid;
+    }
+    pk = std::max(pk, resident + tree.exec_size(i) + tree.output_size(i));
+    peak[i] = pk;
+    // Concatenate child lists in chosen order, then append i.
+    NodeId h = kNoNode, t = kNoNode;
+    for (const ChildKey& k : keys) {
+      if (h == kNoNode) {
+        h = head[k.node];
+        t = tail[k.node];
+      } else {
+        next[t] = head[k.node];
+        t = tail[k.node];
+      }
+    }
+    next[t] = i;
+    head[i] = h;
+    tail[i] = i;
+  }
+
+  const NodeId r = tree.root();
+  for (NodeId cur = head[r]; cur != kNoNode; cur = next[cur]) {
+    res.order.push_back(cur);
+  }
+  if (static_cast<NodeId>(res.order.size()) != n) {
+    throw std::logic_error("postorder: traversal does not cover the tree");
+  }
+  res.peak = peak[r];
+  return res;
+}
+
+MemSize best_postorder_memory(const Tree& tree) {
+  return postorder(tree, PostorderPolicy::kOptimal).peak;
+}
+
+std::vector<NodeId> order_positions(const std::vector<NodeId>& order) {
+  std::vector<NodeId> pos(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    pos[order[k]] = static_cast<NodeId>(k);
+  }
+  return pos;
+}
+
+}  // namespace treesched

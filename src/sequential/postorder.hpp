@@ -1,0 +1,49 @@
+#pragma once
+// Memory-optimal *postorder* traversal (Liu 1986, [13] in the paper).
+//
+// A postorder processes each subtree contiguously. For a node with children
+// c_1..c_k whose subtrees have best-postorder peaks P_c and residuals f_c,
+// processing child c_j after children c_{l<j} costs
+//     sum_{l<j} f_{c_l} + P_{c_j},
+// so ordering children by non-increasing (P_c - f_c) is optimal (classic
+// exchange argument); the node itself then needs sum f_c + n_i + f_i.
+//
+// The optimal postorder is the paper's reference for "minimum sequential
+// memory" in the whole experimental section (§6.1): it is optimal among all
+// traversals in ~96% of their instances. The true optimum over all
+// traversals is sequential/liu.hpp.
+//
+// Child-ordering policies other than the optimal one are provided for the
+// ablation study (bench_ablation_leaforder) and as baselines.
+
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+enum class PostorderPolicy {
+  kOptimal,      ///< by non-increasing P_c - f_c (Liu's rule; memory-optimal)
+  kByPeak,       ///< by non-increasing P_c
+  kByOutput,     ///< by non-increasing f_c
+  kByWork,       ///< by non-increasing subtree work W_c
+  kNatural,      ///< children in their stored order
+};
+
+struct PostorderResult {
+  std::vector<NodeId> order;  ///< children-before-parents traversal
+  MemSize peak = 0;           ///< peak memory of this traversal
+};
+
+/// Computes the postorder traversal under `policy`. O(n log n).
+PostorderResult postorder(const Tree& tree,
+                          PostorderPolicy policy = PostorderPolicy::kOptimal);
+
+/// Convenience: peak memory of the optimal postorder (the paper's M_seq
+/// estimate).
+MemSize best_postorder_memory(const Tree& tree);
+
+/// Position of each node in `order` (inverse permutation).
+std::vector<NodeId> order_positions(const std::vector<NodeId>& order);
+
+}  // namespace treesched

@@ -1,0 +1,60 @@
+#include "sequential/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treesched {
+
+std::vector<MemSize> traversal_profile(const Tree& tree,
+                                       const std::vector<NodeId>& order) {
+  if (static_cast<NodeId>(order.size()) != tree.size()) {
+    throw std::invalid_argument("traversal_profile: bad order length");
+  }
+  std::vector<MemSize> profile;
+  profile.reserve(order.size() * 2);
+  MemSize mem = 0;
+  for (NodeId i : order) {
+    mem += tree.exec_size(i) + tree.output_size(i);
+    profile.push_back(mem);  // during processing
+    mem -= tree.exec_size(i);
+    for (NodeId c : tree.children(i)) mem -= tree.output_size(c);
+    profile.push_back(mem);  // residual
+  }
+  return profile;
+}
+
+std::vector<HillValley> canonical_decomposition(
+    const std::vector<MemSize>& profile) {
+  if (profile.empty()) return {};
+  std::vector<HillValley> segs;
+  // Stack-merge: every raw step (levels come in (high, low) pairs at task
+  // granularity, but arbitrary sequences are handled uniformly by treating
+  // each level as a candidate hill followed by itself as valley, then
+  // merging adjacent segments that violate canonicality).
+  auto push = [&](HillValley s) {
+    while (!segs.empty()) {
+      HillValley& top = segs.back();
+      if (s.hill >= top.hill || s.valley <= top.valley) {
+        s.hill = std::max(s.hill, top.hill);
+        segs.pop_back();
+      } else {
+        break;
+      }
+    }
+    segs.push_back(s);
+  };
+  for (std::size_t k = 0; k + 1 < profile.size(); k += 2) {
+    push({std::max(profile[k], profile[k + 1]), profile[k + 1]});
+  }
+  if (profile.size() % 2 == 1) {
+    push({profile.back(), profile.back()});
+  }
+  return segs;
+}
+
+std::vector<HillValley> traversal_segments(const Tree& tree,
+                                           const std::vector<NodeId>& order) {
+  return canonical_decomposition(traversal_profile(tree, order));
+}
+
+}  // namespace treesched

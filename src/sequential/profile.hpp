@@ -1,0 +1,47 @@
+#pragma once
+// Memory profiles of sequential traversals and their canonical
+// hill/valley decomposition — the combinatorial object behind Liu's exact
+// algorithm (sequential/liu.hpp), exposed as a first-class API for
+// analysis and testing.
+//
+// For a traversal order sigma of (a subtree of) T, the profile is the
+// piecewise-constant resident-memory function sampled at task boundaries.
+// Its canonical decomposition is the alternating sequence
+//   h_1 >= h_2 >= ... (hills)   and   v_1 <= v_2 <= ... (valleys)
+// obtained by taking the global maximum first, then the (last) minimum
+// after it, then the maximum after that, and so on. Liu's combination
+// theorem schedules canonical segments of independent subtrees in
+// non-increasing (h - v) order.
+
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+/// One canonical segment: memory climbs to `hill`, then settles at
+/// `valley` (absolute values within the traversal's own profile).
+struct HillValley {
+  MemSize hill;
+  MemSize valley;
+};
+
+/// Resident memory after each prefix of `order`, plus the in-processing
+/// peaks: profile[2k] is the memory DURING order[k]'s processing and
+/// profile[2k+1] the residual after it completes. profile.size() == 2n.
+std::vector<MemSize> traversal_profile(const Tree& tree,
+                                       const std::vector<NodeId>& order);
+
+/// Canonical hill/valley decomposition of an arbitrary profile (need not
+/// come from traversal_profile; any non-empty sequence works, where even
+/// entries are treated as potential hills). The result satisfies
+/// strictly decreasing hills and strictly increasing valleys, the first
+/// hill being the global maximum and the last valley the final level.
+std::vector<HillValley> canonical_decomposition(
+    const std::vector<MemSize>& profile);
+
+/// Convenience: canonical decomposition of a traversal.
+std::vector<HillValley> traversal_segments(const Tree& tree,
+                                           const std::vector<NodeId>& order);
+
+}  // namespace treesched

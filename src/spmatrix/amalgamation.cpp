@@ -1,0 +1,75 @@
+#include "spmatrix/amalgamation.hpp"
+
+#include <stdexcept>
+
+namespace treesched {
+
+AssemblyTree amalgamate(const SymbolicResult& symbolic,
+                        std::int64_t max_amalgamation,
+                        bool fundamental_supernodes) {
+  const int n = static_cast<int>(symbolic.col_counts.size());
+  if (max_amalgamation < 1) {
+    throw std::invalid_argument("amalgamate: max_amalgamation >= 1");
+  }
+  const auto& parent = symbolic.etree_parent;
+  const auto& mu = symbolic.col_counts;
+
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    if (parent[j] != -1) children[parent[j]].push_back(j);
+  }
+
+  // merged_into[c] = column whose group absorbed c's group (-1: c is a
+  // group representative, i.e. the group's topmost column).
+  std::vector<int> merged_into(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> eta(static_cast<std::size_t>(n), 1);
+
+  // Columns are processed in increasing order, so every child's group is
+  // final when its parent considers it (child groups are rooted at the
+  // child column itself: merging always attaches below the parent column).
+  for (int p = 0; p < n; ++p) {
+    const bool single_child = children[p].size() == 1;
+    for (int c : children[p]) {
+      const bool fundamental =
+          fundamental_supernodes && single_child && mu[c] == mu[p] + 1;
+      const bool relaxed = eta[p] + eta[c] <= max_amalgamation;
+      if (fundamental || relaxed) {
+        merged_into[c] = p;
+        eta[p] += eta[c];
+      }
+    }
+  }
+
+  // Group representative of every column. merged_into[c] > c always (groups
+  // merge upwards), so a single descending pass resolves all chains.
+  std::vector<int> group_of(static_cast<std::size_t>(n));
+  for (int c = n - 1; c >= 0; --c) {
+    group_of[c] = merged_into[c] == -1 ? c : group_of[merged_into[c]];
+  }
+
+  // Densely number the groups (representatives) and emit nodes.
+  AssemblyTree out;
+  std::vector<int> node_id(static_cast<std::size_t>(n), -1);
+  for (int c = 0; c < n; ++c) {
+    if (group_of[c] == c) {
+      node_id[c] = static_cast<int>(out.nodes.size());
+      AssemblyNode node;
+      node.eta = eta[c];
+      node.mu = mu[c];
+      out.nodes.push_back(node);
+    }
+  }
+  for (int c = 0; c < n; ++c) {
+    if (group_of[c] != c) continue;
+    const int up = parent[c];
+    out.nodes[node_id[c]].parent =
+        up == -1 ? -1 : node_id[group_of[up]];
+  }
+  out.node_of_column.resize(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    out.node_of_column[c] = node_id[group_of[c]];
+  }
+  return out;
+}
+
+}  // namespace treesched

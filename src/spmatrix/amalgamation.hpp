@@ -1,0 +1,40 @@
+#pragma once
+// Node amalgamation: elimination tree -> assembly tree.
+//
+// The paper (§6.2) performs "a relaxed node amalgamation ... allowing
+// 1, 2, 4, and 16 relaxed amalgamations per node". We implement:
+//  * fundamental supernode merging (a child that is the ONLY child of its
+//    parent and whose factor column is the parent's column plus one row,
+//    mu_c == mu_p + 1, is merged: no zero entries are introduced), and
+//  * relaxed merging with a cap z on the number of original columns eta
+//    amalgamated into one assembly node (z = 1 disables relaxed merging).
+// Amalgamated node: eta = number of original columns, mu = column count of
+// the highest (last eliminated) column — exactly the (eta, mu) the paper
+// feeds into its weight formulas.
+
+#include <cstdint>
+#include <vector>
+
+#include "spmatrix/symbolic.hpp"
+
+namespace treesched {
+
+struct AssemblyNode {
+  int parent = -1;        ///< assembly-tree parent (-1 for the root)
+  std::int64_t eta = 0;   ///< #original columns amalgamated (paper's η)
+  std::int64_t mu = 0;    ///< column count of the highest column (paper's µ)
+};
+
+struct AssemblyTree {
+  std::vector<AssemblyNode> nodes;
+  /// assembly node of each original column.
+  std::vector<int> node_of_column;
+};
+
+/// Builds the assembly tree from symbolic factorization output.
+/// `max_amalgamation` = the paper's 1 / 2 / 4 / 16 cap on η.
+AssemblyTree amalgamate(const SymbolicResult& symbolic,
+                        std::int64_t max_amalgamation,
+                        bool fundamental_supernodes = true);
+
+}  // namespace treesched

@@ -1,0 +1,64 @@
+#include "spmatrix/assembly.hpp"
+
+#include <stdexcept>
+
+namespace treesched {
+
+AssemblyWeights assembly_weights(std::int64_t eta, std::int64_t mu) {
+  if (eta < 1 || mu < 1) {
+    throw std::invalid_argument("assembly_weights: eta, mu >= 1");
+  }
+  AssemblyWeights w{};
+  const auto e = static_cast<double>(eta);
+  const auto m1 = static_cast<double>(mu - 1);
+  w.exec_size = static_cast<MemSize>(eta * eta + 2 * eta * (mu - 1));
+  w.output_size = static_cast<MemSize>((mu - 1) * (mu - 1));
+  w.work = (2.0 / 3.0) * e * e * e + e * e * m1 + e * m1 * m1;
+  return w;
+}
+
+Tree assembly_to_task_tree(const AssemblyTree& at,
+                           std::vector<int>* assembly_of_task) {
+  const int n = static_cast<int>(at.nodes.size());
+  if (n == 0) throw std::invalid_argument("assembly_to_task_tree: empty");
+  int num_roots = 0;
+  for (const auto& node : at.nodes) num_roots += node.parent == -1 ? 1 : 0;
+  const bool virtual_root = num_roots > 1;
+
+  std::vector<NodeId> parent;
+  std::vector<MemSize> out, exec;
+  std::vector<double> work;
+  const int total = n + (virtual_root ? 1 : 0);
+  parent.reserve(total);
+  out.reserve(total);
+  exec.reserve(total);
+  work.reserve(total);
+  if (assembly_of_task) assembly_of_task->clear();
+
+  for (int i = 0; i < n; ++i) {
+    const AssemblyNode& node = at.nodes[i];
+    const AssemblyWeights w = assembly_weights(node.eta, node.mu);
+    NodeId par;
+    if (node.parent == -1) {
+      par = virtual_root ? static_cast<NodeId>(n) : kNoNode;
+    } else {
+      par = static_cast<NodeId>(node.parent);
+    }
+    parent.push_back(par);
+    out.push_back(w.output_size);
+    exec.push_back(w.exec_size);
+    work.push_back(w.work);
+    if (assembly_of_task) assembly_of_task->push_back(i);
+  }
+  if (virtual_root) {
+    parent.push_back(kNoNode);
+    out.push_back(0);
+    exec.push_back(0);
+    work.push_back(0.0);
+    if (assembly_of_task) assembly_of_task->push_back(-1);
+  }
+  return Tree(std::move(parent), std::move(out), std::move(exec),
+              std::move(work));
+}
+
+}  // namespace treesched

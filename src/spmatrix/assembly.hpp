@@ -1,0 +1,33 @@
+#pragma once
+// Assembly tree -> scheduling task tree with the paper's weight model
+// (§6.2). For an assembly node with η amalgamated columns and column count
+// µ (of its highest column):
+//
+//   n_i = η² + 2η(µ−1)                      (frontal-matrix memory)
+//   w_i = (2/3)η³ + η²(µ−1) + η(µ−1)²       (factorization flops)
+//   f_i = (µ−1)²                            (contribution block)
+//
+// These correspond to one η×η Gaussian elimination, two triangular
+// η×η · η×(µ−1) multiplications, and one (µ−1)×η · η×(µ−1) update.
+
+#include "core/tree.hpp"
+#include "spmatrix/amalgamation.hpp"
+
+namespace treesched {
+
+/// The paper's weight formulas for a single (η, µ) node.
+struct AssemblyWeights {
+  MemSize exec_size;    // n_i
+  MemSize output_size;  // f_i
+  double work;          // w_i
+};
+AssemblyWeights assembly_weights(std::int64_t eta, std::int64_t mu);
+
+/// Converts the assembly tree to a scheduling Tree. If the assembly tree is
+/// a forest (disconnected matrix), a zero-weight virtual root is added.
+/// `assembly_of_task`, when given, maps task ids back to assembly nodes
+/// (-1 for the virtual root).
+Tree assembly_to_task_tree(const AssemblyTree& at,
+                           std::vector<int>* assembly_of_task = nullptr);
+
+}  // namespace treesched

@@ -1,0 +1,42 @@
+#pragma once
+// Fill-reducing orderings, replacing MeTiS and amd in the paper's pipeline.
+//
+// An ordering is the pivot sequence: perm[k] = original vertex eliminated
+// at step k (so the permuted matrix's column k is original vertex perm[k]).
+
+#include <vector>
+
+#include "spmatrix/sparse.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+
+using Ordering = std::vector<int>;
+
+/// Identity ordering (natural).
+Ordering natural_ordering(int n);
+
+/// Inverse of an ordering: inv[perm[k]] = k.
+Ordering inverse_ordering(const Ordering& perm);
+
+/// Minimum-degree ordering by explicit clique updates (the amd analogue).
+/// Exact-degree greedy with lazy-heap tie-breaking; O(sum of eliminated
+/// clique sizes squared) — fine up to a few thousand vertices.
+Ordering minimum_degree_ordering(const SparsePattern& a);
+
+/// Reverse Cuthill-McKee (bandwidth-reducing baseline).
+Ordering rcm_ordering(const SparsePattern& a);
+
+/// Geometric nested dissection for a 2D grid laid out as x + nx * y
+/// (the MeTiS analogue for model problems). `min_block`: boxes at most
+/// this wide are ordered naturally.
+Ordering nested_dissection_2d(int nx, int ny, int min_block = 4);
+
+/// Geometric nested dissection for a 3D grid laid out as
+/// x + nx * (y + ny * z).
+Ordering nested_dissection_3d(int nx, int ny, int nz, int min_block = 3);
+
+/// Uniformly random permutation (stress-test baseline).
+Ordering random_ordering(int n, Rng& rng);
+
+}  // namespace treesched

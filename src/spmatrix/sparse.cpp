@@ -1,0 +1,81 @@
+#include "spmatrix/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace treesched {
+
+SparsePattern::SparsePattern(int n, std::vector<std::pair<int, int>> edges)
+    : n_(n) {
+  if (n < 0) throw std::invalid_argument("SparsePattern: n < 0");
+  // Normalize: both directions, dedupe, drop self loops.
+  std::vector<std::pair<int, int>> dir;
+  dir.reserve(edges.size() * 2);
+  for (auto [i, j] : edges) {
+    if (i == j) continue;
+    if (i < 0 || i >= n || j < 0 || j >= n) {
+      throw std::invalid_argument("SparsePattern: vertex out of range");
+    }
+    dir.emplace_back(i, j);
+    dir.emplace_back(j, i);
+  }
+  std::sort(dir.begin(), dir.end());
+  dir.erase(std::unique(dir.begin(), dir.end()), dir.end());
+  begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto& [i, j] : dir) ++begin_[i + 1];
+  for (int i = 0; i < n; ++i) begin_[i + 1] += begin_[i];
+  adj_.resize(dir.size());
+  std::vector<std::int64_t> cursor(begin_.begin(), begin_.end() - 1);
+  for (auto& [i, j] : dir) adj_[cursor[i]++] = j;
+}
+
+SparsePattern grid2d_pattern(int nx, int ny) {
+  if (nx < 1 || ny < 1) throw std::invalid_argument("grid2d: bad dims");
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(nx) * ny * 2);
+  auto id = [nx](int x, int y) { return x + nx * y; };
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (x + 1 < nx) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return SparsePattern(nx * ny, std::move(edges));
+}
+
+SparsePattern grid3d_pattern(int nx, int ny, int nz) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    throw std::invalid_argument("grid3d: bad dims");
+  }
+  std::vector<std::pair<int, int>> edges;
+  auto id = [nx, ny](int x, int y, int z) { return x + nx * (y + ny * z); };
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.emplace_back(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) edges.emplace_back(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) edges.emplace_back(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return SparsePattern(nx * ny * nz, std::move(edges));
+}
+
+SparsePattern random_pattern(int n, double avg_degree, Rng& rng) {
+  if (n < 1) throw std::invalid_argument("random_pattern: n < 1");
+  std::vector<std::pair<int, int>> edges;
+  // Random spanning tree for connectivity.
+  for (int v = 1; v < n; ++v) {
+    edges.emplace_back(v, static_cast<int>(rng.uniform(v)));
+  }
+  const auto extra = static_cast<std::int64_t>(
+      std::max(0.0, avg_degree / 2.0 - 1.0) * n);
+  for (std::int64_t e = 0; e < extra; ++e) {
+    int i = static_cast<int>(rng.uniform(n));
+    int j = static_cast<int>(rng.uniform(n));
+    if (i != j) edges.emplace_back(i, j);
+  }
+  return SparsePattern(n, std::move(edges));
+}
+
+}  // namespace treesched

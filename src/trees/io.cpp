@@ -1,0 +1,59 @@
+#include "trees/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace treesched {
+
+void write_tree(std::ostream& os, const Tree& tree) {
+  os << "treesched-tree v1\n" << tree.size() << "\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    os << tree.parent(i) << ' ' << tree.output_size(i) << ' '
+       << tree.exec_size(i) << ' ' << tree.work(i) << '\n';
+  }
+}
+
+void write_tree_file(const std::string& path, const Tree& tree) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_tree_file: cannot open " + path);
+  write_tree(os, tree);
+  if (!os) throw std::runtime_error("write_tree_file: write failed " + path);
+}
+
+Tree read_tree(std::istream& is) {
+  std::string line;
+  // Skip comments/blank lines before the header.
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] != '#') break;
+  }
+  if (line != "treesched-tree v1") {
+    throw std::runtime_error("read_tree: bad header: '" + line + "'");
+  }
+  NodeId n = 0;
+  if (!(is >> n) || n < 0) throw std::runtime_error("read_tree: bad size");
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  std::vector<MemSize> out(static_cast<std::size_t>(n));
+  std::vector<MemSize> exec(static_cast<std::size_t>(n));
+  std::vector<double> work(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    if (!(is >> parent[i] >> out[i] >> exec[i] >> work[i])) {
+      std::ostringstream os;
+      os << "read_tree: truncated at node " << i;
+      throw std::runtime_error(os.str());
+    }
+  }
+  return Tree(std::move(parent), std::move(out), std::move(exec),
+              std::move(work));
+}
+
+Tree read_tree_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_tree_file: cannot open " + path);
+  return read_tree(is);
+}
+
+}  // namespace treesched

@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text tree serialization. Format (after optional '#' comment lines):
+//
+//   treesched-tree v1
+//   <n>
+//   <parent_0> <f_0> <n_0> <w_0>
+//   ...
+//   <parent_{n-1}> <f_{n-1}> <n_{n-1}> <w_{n-1}>
+//
+// parent is -1 for the root. Round-trip safe (works are printed with
+// max_digits10 precision).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+void write_tree(std::ostream& os, const Tree& tree);
+void write_tree_file(const std::string& path, const Tree& tree);
+
+/// Throws std::runtime_error on malformed input.
+Tree read_tree(std::istream& is);
+Tree read_tree_file(const std::string& path);
+
+}  // namespace treesched

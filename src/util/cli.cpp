@@ -1,0 +1,79 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace treesched {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("bare '--' argument");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";  // boolean-style flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  seen_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  seen_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes")
+    return true;
+  if (it->second == "0" || it->second == "false" || it->second == "no")
+    return false;
+  throw std::invalid_argument("bad boolean value for --" + name + ": " +
+                              it->second);
+}
+
+void CliArgs::describe(const std::string& name) { seen_[name] = true; }
+
+void CliArgs::reject_unknown() const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!seen_.count(name)) {
+      throw std::invalid_argument("unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace treesched

@@ -1,0 +1,77 @@
+#pragma once
+// Binary heap with O(log n) push/pop, mirroring the data structure the paper
+// uses for its priority queues ("priority queues have been implemented using
+// binary heap", §6.1). A thin wrapper over a flat vector so that heuristics
+// can also inspect the raw contents (SplitSubtrees needs the sum of the
+// elements beyond the p largest at every step).
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace treesched {
+
+/// Max-heap by default ("highest priority first") under `Less`:
+/// the top element is the one for which Less puts everything else before it.
+template <typename T, typename Less = std::less<T>>
+class BinaryHeap {
+ public:
+  BinaryHeap() = default;
+  explicit BinaryHeap(Less less) : less_(std::move(less)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+
+  const T& top() const { return data_.front(); }
+
+  void push(T value) {
+    data_.push_back(std::move(value));
+    sift_up(data_.size() - 1);
+  }
+
+  T pop() {
+    T out = std::move(data_.front());
+    data_.front() = std::move(data_.back());
+    data_.pop_back();
+    if (!data_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// Heap-ordered raw storage (not sorted). Useful for whole-heap scans.
+  const std::vector<T>& raw() const noexcept { return data_; }
+
+  void clear() noexcept { data_.clear(); }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+ private:
+  // `less_(a, b)` == a has lower priority than b.
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (!less_(data_[parent], data_[i])) break;
+      std::swap(data_[parent], data_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = data_.size();
+    for (;;) {
+      std::size_t l = 2 * i + 1;
+      std::size_t r = l + 1;
+      std::size_t best = i;
+      if (l < n && less_(data_[best], data_[l])) best = l;
+      if (r < n && less_(data_[best], data_[r])) best = r;
+      if (best == i) break;
+      std::swap(data_[i], data_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<T> data_;
+  Less less_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,43 @@
+#pragma once
+// Minimal deterministic parallel-for used by the campaign runner: results
+// are written to pre-sized slots indexed by the loop variable, so the
+// output is identical regardless of thread count.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace treesched {
+
+/// Runs fn(i) for i in [0, n) on up to `threads` worker threads
+/// (0 = hardware concurrency). fn must be safe to call concurrently for
+/// distinct i. Exceptions inside fn terminate (keep workers exception-free;
+/// the campaign runner catches and records per-item errors itself).
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                         unsigned threads = 0) {
+  if (n == 0) return;
+  unsigned hw = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (hw == 0) hw = 1;
+  hw = static_cast<unsigned>(std::min<std::size_t>(hw, n));
+  if (hw == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(hw);
+  for (unsigned t = 0; t < hw; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace treesched

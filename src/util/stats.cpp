@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace treesched {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += std::log(v);
+  return std::exp(s / static_cast<double>(values.size()));
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = mean(values);
+  s.min = values.front();
+  s.max = values.back();
+  s.p10 = quantile_sorted(values, 0.10);
+  s.p50 = quantile_sorted(values, 0.50);
+  s.p90 = quantile_sorted(values, 0.90);
+  bool all_positive = values.front() > 0.0;
+  s.geomean = all_positive ? geomean(values) : 0.0;
+  return s;
+}
+
+double fraction_within_of_best(const std::vector<double>& values, double tol) {
+  if (values.empty()) return 0.0;
+  const double best = *std::min_element(values.begin(), values.end());
+  std::size_t n = 0;
+  for (double v : values) {
+    if (v <= best * (1.0 + tol)) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+std::string fmt(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, x);
+  return buf;
+}
+
+std::string fmt_pct(double ratio, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f %%", digits, 100.0 * ratio);
+  return buf;
+}
+
+}  // namespace treesched

@@ -1,0 +1,45 @@
+#pragma once
+// Descriptive statistics for the experimental campaign (Table 1 and the
+// percentile "crosses" of Figures 6-8).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace treesched {
+
+/// Summary of a sample: mean, geometric mean, min/max and selected quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double geomean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p10 = 0.0;  ///< 10th percentile
+  double p50 = 0.0;  ///< median
+  double p90 = 0.0;  ///< 90th percentile
+};
+
+/// Computes a Summary. Empty input yields a zeroed Summary.
+Summary summarize(std::vector<double> values);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0,1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Arithmetic mean (0 for empty input).
+double mean(const std::vector<double>& values);
+
+/// Geometric mean (0 for empty input; requires positive values).
+double geomean(const std::vector<double>& values);
+
+/// Fraction of entries within `tol` of the minimum of `values`, i.e.
+/// v <= min * (1 + tol). Used for the "within 5% of best" columns of Table 1.
+double fraction_within_of_best(const std::vector<double>& values, double tol);
+
+/// Formats `x` with `digits` significant decimals (fixed notation).
+std::string fmt(double x, int digits = 2);
+
+/// Formats a ratio as a percentage string, e.g. 0.812 -> "81.2 %".
+std::string fmt_pct(double ratio, int digits = 1);
+
+}  // namespace treesched

@@ -1,0 +1,116 @@
+#include "spmatrix/amalgamation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace treesched {
+namespace {
+
+SymbolicResult path_symbolic(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  SparsePattern a(n, std::move(edges));
+  return symbolic_cholesky(a, natural_ordering(n));
+}
+
+TEST(Amalgamation, CapOneWithoutFundamentalKeepsEliminationTree) {
+  auto sym = path_symbolic(6);
+  auto at = amalgamate(sym, 1, /*fundamental_supernodes=*/false);
+  EXPECT_EQ(at.nodes.size(), 6u);
+  for (std::size_t i = 0; i < at.nodes.size(); ++i) {
+    EXPECT_EQ(at.nodes[i].eta, 1);
+  }
+}
+
+TEST(Amalgamation, PathCollapsesUnderFundamentalRule) {
+  // On a path, every non-root column has mu=2 and the parent mu=2 except
+  // the root (mu=1): fundamental merges only where mu_c == mu_p + 1, i.e.
+  // the column just below the root.
+  auto sym = path_symbolic(5);
+  auto at = amalgamate(sym, 1, /*fundamental_supernodes=*/true);
+  // Column 3 (mu=2) merges into root 4 (mu=1): 4 nodes remain.
+  EXPECT_EQ(at.nodes.size(), 4u);
+  std::int64_t total_eta = 0;
+  for (const auto& node : at.nodes) total_eta += node.eta;
+  EXPECT_EQ(total_eta, 5);
+}
+
+TEST(Amalgamation, EtaNeverExceedsCapWithoutFundamental) {
+  Rng rng(3);
+  SparsePattern a = random_pattern(200, 4.0, rng);
+  auto sym = symbolic_cholesky(a, minimum_degree_ordering(a));
+  for (std::int64_t z : {1, 2, 4, 16}) {
+    auto at = amalgamate(sym, z, /*fundamental_supernodes=*/false);
+    std::int64_t total = 0;
+    for (const auto& node : at.nodes) {
+      EXPECT_LE(node.eta, z);
+      total += node.eta;
+    }
+    EXPECT_EQ(total, 200);  // every column accounted for exactly once
+  }
+}
+
+TEST(Amalgamation, LargerCapMeansFewerNodes) {
+  Rng rng(5);
+  SparsePattern a = random_pattern(300, 5.0, rng);
+  auto sym = symbolic_cholesky(a, minimum_degree_ordering(a));
+  std::size_t prev = (std::size_t)-1;
+  for (std::int64_t z : {1, 2, 4, 16}) {
+    auto at = amalgamate(sym, z);
+    EXPECT_LE(at.nodes.size(), prev);
+    prev = at.nodes.size();
+  }
+}
+
+TEST(Amalgamation, ParentPointersFormAForestRespectingColumns) {
+  Rng rng(7);
+  SparsePattern a = random_pattern(150, 4.0, rng);
+  auto sym = symbolic_cholesky(a, minimum_degree_ordering(a));
+  auto at = amalgamate(sym, 4);
+  const int m = (int)at.nodes.size();
+  int roots = 0;
+  for (int i = 0; i < m; ++i) {
+    const int p = at.nodes[i].parent;
+    if (p == -1) {
+      ++roots;
+    } else {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, m);
+      EXPECT_NE(p, i);
+    }
+  }
+  EXPECT_EQ(roots, 1);  // connected matrix -> one tree
+  // node_of_column maps every column into range.
+  for (int c = 0; c < 150; ++c) {
+    ASSERT_GE(at.node_of_column[c], 0);
+    ASSERT_LT(at.node_of_column[c], m);
+  }
+}
+
+TEST(Amalgamation, ChildColumnMapsToSameNodeAfterMerge) {
+  auto sym = path_symbolic(4);
+  auto at = amalgamate(sym, 4, /*fundamental_supernodes=*/false);
+  // Cap 4 on a 4-path merges everything into one node chain-wise.
+  EXPECT_EQ(at.nodes.size(), 1u);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(at.node_of_column[c], 0);
+  EXPECT_EQ(at.nodes[0].eta, 4);
+  EXPECT_EQ(at.nodes[0].mu, 1);  // root column count
+}
+
+TEST(Amalgamation, MuIsTopColumnCount) {
+  auto sym = path_symbolic(6);
+  auto at = amalgamate(sym, 2, /*fundamental_supernodes=*/false);
+  // Pairs merge: (0,1), (2,3), (4,5): three nodes with mu of columns 1,3,5.
+  ASSERT_EQ(at.nodes.size(), 3u);
+  EXPECT_EQ(at.nodes[0].mu, sym.col_counts[1]);
+  EXPECT_EQ(at.nodes[2].mu, sym.col_counts[5]);
+}
+
+TEST(Amalgamation, RejectsBadCap) {
+  auto sym = path_symbolic(3);
+  EXPECT_THROW(amalgamate(sym, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,82 @@
+#include "spmatrix/assembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "spmatrix/ordering.hpp"
+#include "spmatrix/symbolic.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(AssemblyWeights, PaperFormulas) {
+  // eta = 2, mu = 4: n = 4 + 2*2*3 = 16; f = 9; w = 16/3 + 12 + 18.
+  auto w = assembly_weights(2, 4);
+  EXPECT_EQ(w.exec_size, 16u);
+  EXPECT_EQ(w.output_size, 9u);
+  EXPECT_DOUBLE_EQ(w.work, 2.0 / 3.0 * 8 + 4 * 3 + 2 * 9);
+}
+
+TEST(AssemblyWeights, RootWithMuOneHasEmptyOutput) {
+  auto w = assembly_weights(3, 1);
+  EXPECT_EQ(w.output_size, 0u);
+  EXPECT_EQ(w.exec_size, 9u);
+  EXPECT_DOUBLE_EQ(w.work, 18.0);  // 2/3*27
+}
+
+TEST(AssemblyWeights, RejectsBadInputs) {
+  EXPECT_THROW(assembly_weights(0, 3), std::invalid_argument);
+  EXPECT_THROW(assembly_weights(2, 0), std::invalid_argument);
+}
+
+TEST(AssemblyToTaskTree, GridPipelineEndToEnd) {
+  SparsePattern a = grid2d_pattern(8, 8);
+  auto sym = symbolic_cholesky(a, nested_dissection_2d(8, 8));
+  auto at = amalgamate(sym, 4);
+  std::vector<int> back;
+  Tree t = assembly_to_task_tree(at, &back);
+  EXPECT_EQ(t.size(), (NodeId)at.nodes.size());
+  // Weights follow the formulas node by node.
+  for (NodeId i = 0; i < t.size(); ++i) {
+    const auto& node = at.nodes[back[i]];
+    const auto w = assembly_weights(node.eta, node.mu);
+    EXPECT_EQ(t.exec_size(i), w.exec_size);
+    EXPECT_EQ(t.output_size(i), w.output_size);
+    EXPECT_DOUBLE_EQ(t.work(i), w.work);
+  }
+  // The tree is schedulable sequentially.
+  auto po = postorder(t);
+  EXPECT_EQ(sequential_peak_memory(t, po.order), po.peak);
+  EXPECT_GT(po.peak, 0u);
+}
+
+TEST(AssemblyToTaskTree, RootOutputIsEmptyForConnectedMatrix) {
+  SparsePattern a = grid2d_pattern(6, 6);
+  auto sym = symbolic_cholesky(a, natural_ordering(36));
+  auto at = amalgamate(sym, 2);
+  Tree t = assembly_to_task_tree(at);
+  // Root assembly node holds the last column (mu = 1) -> f = 0.
+  EXPECT_EQ(t.output_size(t.root()), 0u);
+}
+
+TEST(AssemblyToTaskTree, ForestGetsVirtualRoot) {
+  AssemblyTree at;
+  at.nodes.push_back({-1, 1, 1});
+  at.nodes.push_back({-1, 2, 1});
+  at.node_of_column = {0, 1, 1};
+  std::vector<int> back;
+  Tree t = assembly_to_task_tree(at, &back);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(back.back(), -1);
+  EXPECT_EQ(t.work(t.root()), 0.0);
+  EXPECT_EQ(t.num_children(t.root()), 2);
+}
+
+TEST(AssemblyToTaskTree, RejectsEmpty) {
+  AssemblyTree at;
+  EXPECT_THROW(assembly_to_task_tree(at), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,100 @@
+#include "sequential/bruteforce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::make_tree;
+using testing::pebble_tree;
+
+TEST(BruteForce, SequentialChain) {
+  Tree t = pebble_tree({kNoNode, 0, 1});
+  EXPECT_EQ(bruteforce_min_sequential_memory(t), 2u);
+}
+
+TEST(BruteForce, SequentialFork) {
+  // Fork with k leaves: root processing needs k inputs + 1 output.
+  for (int k : {1, 2, 5}) {
+    Tree t = fork_tree(k);
+    EXPECT_EQ(bruteforce_min_sequential_memory(t), (MemSize)k + 1);
+    EXPECT_EQ(bruteforce_min_postorder_memory(t), (MemSize)k + 1);
+  }
+}
+
+TEST(BruteForce, PostorderNeverBelowGeneral) {
+  Rng rng(211);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(9);
+    params.max_output = 6;
+    params.max_exec = 4;
+    Tree t = random_tree(params, rng);
+    EXPECT_LE(bruteforce_min_sequential_memory(t),
+              bruteforce_min_postorder_memory(t));
+  }
+}
+
+TEST(BruteForce, RejectsLargeTrees) {
+  Rng rng(1);
+  Tree t = random_pebble_tree(30, rng);
+  EXPECT_THROW(bruteforce_min_sequential_memory(t), std::invalid_argument);
+}
+
+TEST(BruteForceParallel, ChainNeedsLengthSteps) {
+  Tree t = pebble_tree({kNoNode, 0, 1});
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 4, 1000), 3.0);
+}
+
+TEST(BruteForceParallel, ForkWithEnoughProcessors) {
+  Tree t = fork_tree(4);
+  // 4 procs: all leaves, then the root: 2 steps.
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 4, 1000), 2.0);
+  // 2 procs: ceil(4/2) + 1 = 3 steps.
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 2, 1000), 3.0);
+}
+
+TEST(BruteForceParallel, MemoryBoundForcesSequential) {
+  // Fork with 3 leaves: the root always needs 3 inputs + 1 output = 4, so
+  // no schedule fits below cap 4; at cap 4 even the fully parallel
+  // schedule fits (3 leaves at once use 3).
+  Tree t = fork_tree(3);
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 3, 4), 2.0);
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 3, 3), -1.0);  // infeasible
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 1, 4), 4.0);   // one proc
+  EXPECT_DOUBLE_EQ(bruteforce_min_makespan_unit(t, 3, 1000), 2.0);
+}
+
+TEST(BruteForceParallel, RequiresUnitWorks) {
+  Tree t = make_tree({kNoNode, 0}, {1, 1}, {0, 0}, {1.0, 2.0});
+  EXPECT_THROW(bruteforce_min_makespan_unit(t, 2, 10), std::invalid_argument);
+}
+
+TEST(BruteForceParallel, ParetoFrontIsMonotone) {
+  Rng rng(307);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tree t = random_pebble_tree(2 + (NodeId)rng.uniform(8), rng);
+    auto front = bruteforce_pareto_unit(t, 2);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t k = 1; k < front.size(); ++k) {
+      EXPECT_GT(front[k].makespan, front[k - 1].makespan);
+      EXPECT_LT(front[k].memory, front[k - 1].memory);
+    }
+  }
+}
+
+TEST(BruteForceParallel, MoreProcessorsNeverHurt) {
+  Rng rng(311);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree t = random_pebble_tree(2 + (NodeId)rng.uniform(8), rng);
+    const double m2 = bruteforce_min_makespan_unit(t, 2, 1000000);
+    const double m4 = bruteforce_min_makespan_unit(t, 4, 1000000);
+    EXPECT_LE(m4, m2);
+  }
+}
+
+}  // namespace
+}  // namespace treesched

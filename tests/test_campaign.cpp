@@ -1,0 +1,128 @@
+#include "campaign/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/report.hpp"
+#include "trees/generators.hpp"
+
+namespace treesched {
+namespace {
+
+std::vector<DatasetEntry> tiny_dataset() {
+  std::vector<DatasetEntry> ds;
+  Rng rng(5);
+  ds.push_back({"pebble-60", random_pebble_tree(60, rng, 1.0)});
+  ds.push_back({"pebble-100", random_pebble_tree(100, rng, 0.0)});
+  ds.push_back({"grid", grid2d_assembly_tree(8, 8, 2)});
+  return ds;
+}
+
+TEST(Campaign, RunsAndValidatesAllScenarios) {
+  CampaignParams params;
+  params.processor_counts = {2, 4};
+  auto records = run_campaign(tiny_dataset(), params);
+  ASSERT_EQ(records.size(), 6u);
+  for (const auto& rec : records) {
+    EXPECT_EQ(rec.makespan.size(), all_heuristics().size());
+    EXPECT_EQ(rec.memory.size(), all_heuristics().size());
+    for (std::size_t k = 0; k < rec.makespan.size(); ++k) {
+      EXPECT_GE(rec.makespan[k], rec.lb_makespan - 1e-9);
+      EXPECT_GE(rec.memory[k], 1u);
+    }
+  }
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  CampaignParams one;
+  one.processor_counts = {2, 8};
+  one.threads = 1;
+  CampaignParams many = one;
+  many.threads = 8;
+  auto a = run_campaign(tiny_dataset(), one);
+  auto b = run_campaign(tiny_dataset(), many);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tree_name, b[i].tree_name);
+    EXPECT_EQ(a[i].p, b[i].p);
+    EXPECT_EQ(a[i].makespan, b[i].makespan);
+    EXPECT_EQ(a[i].memory, b[i].memory);
+  }
+}
+
+TEST(Campaign, HeuristicNamesMatchPaper) {
+  EXPECT_EQ(heuristic_name(Heuristic::kParSubtrees), "ParSubtrees");
+  EXPECT_EQ(heuristic_name(Heuristic::kParSubtreesOptim), "ParSubtreesOptim");
+  EXPECT_EQ(heuristic_name(Heuristic::kParInnerFirst), "ParInnerFirst");
+  EXPECT_EQ(heuristic_name(Heuristic::kParDeepestFirst), "ParDeepestFirst");
+  EXPECT_EQ(all_heuristics().size(), 4u);
+}
+
+TEST(Report, Table1SharesAreConsistent) {
+  CampaignParams params;
+  params.processor_counts = {2, 4, 8};
+  auto records = run_campaign(tiny_dataset(), params);
+  auto rows = table1(records);
+  ASSERT_EQ(rows.size(), 4u);
+  double best_mem_total = 0, best_ms_total = 0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.best_memory_share, 0.0);
+    EXPECT_LE(r.best_memory_share, 1.0);
+    EXPECT_LE(r.best_memory_share, r.within5_memory_share + 1e-12);
+    EXPECT_LE(r.best_makespan_share, r.within5_makespan_share + 1e-12);
+    EXPECT_GE(r.avg_memory_deviation, 0.0);
+    EXPECT_GE(r.avg_makespan_deviation, 0.0);
+    best_mem_total += r.best_memory_share;
+    best_ms_total += r.best_makespan_share;
+  }
+  // At least one heuristic is best per scenario (ties can exceed 1).
+  EXPECT_GE(best_mem_total, 1.0 - 1e-12);
+  EXPECT_GE(best_ms_total, 1.0 - 1e-12);
+}
+
+TEST(Report, FigureSeriesNormalizations) {
+  CampaignParams params;
+  params.processor_counts = {4};
+  auto records = run_campaign(tiny_dataset(), params);
+  for (auto norm : {Normalization::kLowerBound, Normalization::kParSubtrees,
+                    Normalization::kParInnerFirst}) {
+    auto series = figure_series(records, norm);
+    ASSERT_EQ(series.size(), 4u);
+    for (const auto& s : series) {
+      EXPECT_EQ(s.rel_makespan.size(), records.size());
+      for (double v : s.rel_makespan) EXPECT_GT(v, 0.0);
+    }
+  }
+  // Self-normalization: ParSubtrees against itself is exactly 1.
+  auto series = figure_series(records, Normalization::kParSubtrees);
+  for (double v : series[0].rel_makespan) EXPECT_DOUBLE_EQ(v, 1.0);
+  for (double v : series[0].rel_memory) EXPECT_DOUBLE_EQ(v, 1.0);
+  // Lower-bound normalization: every makespan ratio >= 1; memory ratios
+  // compare against the postorder bound, which the true optimum may undercut
+  // slightly, so only require them to be near or above 1.
+  auto lbseries = figure_series(records, Normalization::kLowerBound);
+  for (const auto& s : lbseries) {
+    for (double v : s.rel_makespan) EXPECT_GE(v, 1.0 - 1e-9);
+    for (double v : s.rel_memory) EXPECT_GE(v, 0.9);
+  }
+}
+
+TEST(Report, PrintersProduceOutput) {
+  CampaignParams params;
+  params.processor_counts = {2};
+  auto records = run_campaign(tiny_dataset(), params);
+  std::ostringstream os;
+  print_table1(os, table1(records));
+  EXPECT_NE(os.str().find("ParSubtrees"), std::string::npos);
+  std::ostringstream fig;
+  print_figure(fig, figure_series(records, Normalization::kLowerBound),
+               "Figure 6");
+  EXPECT_NE(fig.str().find("Figure 6"), std::string::npos);
+  std::ostringstream csv;
+  write_scatter_csv(csv, records, Normalization::kLowerBound);
+  EXPECT_NE(csv.str().find("tree,n,p,heuristic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,85 @@
+#include "campaign/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sequential/postorder.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Dataset, Grid2dAssemblyTreeIsValid) {
+  Tree t = grid2d_assembly_tree(12, 12, 4);
+  EXPECT_GT(t.size(), 10);
+  EXPECT_LE(t.size(), 144);
+  EXPECT_GT(postorder(t).peak, 0u);
+  EXPECT_GT(t.total_work(), 0.0);
+}
+
+TEST(Dataset, Grid3dAssemblyTreeIsValid) {
+  Tree t = grid3d_assembly_tree(5, 5, 5, 2);
+  EXPECT_GT(t.size(), 5);
+  EXPECT_LE(t.size(), 125);
+}
+
+TEST(Dataset, RandomMdAssemblyTreeIsValid) {
+  Rng rng(3);
+  Tree t = random_md_assembly_tree(150, 4.0, 4, rng);
+  EXPECT_GT(t.size(), 5);
+  EXPECT_LE(t.size(), 150);
+}
+
+TEST(Dataset, AmalgamationShrinksTrees) {
+  const Tree t1 = grid2d_assembly_tree(10, 10, 1);
+  const Tree t16 = grid2d_assembly_tree(10, 10, 16);
+  EXPECT_GT(t1.size(), t16.size());
+}
+
+TEST(Dataset, SyntheticAssemblyTreeHasHeavyRoot) {
+  Rng rng(5);
+  Tree t = synthetic_assembly_tree(500, 1.0, rng);
+  EXPECT_EQ(t.size(), 500);
+  EXPECT_EQ(t.output_size(t.root()), 0u);
+  // Inner nodes near the root should be heavier than typical leaves
+  // (sqrt-of-subtree law): root work above the median work.
+  std::vector<double> works;
+  for (NodeId i = 0; i < t.size(); ++i) works.push_back(t.work(i));
+  std::sort(works.begin(), works.end());
+  EXPECT_GT(t.work(t.root()), works[works.size() / 2]);
+}
+
+TEST(Dataset, BuildDatasetSmallScale) {
+  DatasetParams params;
+  params.scale = 0.05;
+  params.amalgamations = {1, 4};
+  auto ds = build_dataset(params);
+  ASSERT_GT(ds.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& e : ds) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_GE(e.tree.size(), 1);
+    names.insert(e.name);
+  }
+  EXPECT_EQ(names.size(), ds.size());  // unique names
+}
+
+TEST(Dataset, DeterministicForFixedSeed) {
+  DatasetParams params;
+  params.scale = 0.05;
+  params.amalgamations = {2};
+  auto a = build_dataset(params);
+  auto b = build_dataset(params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].name, b[k].name);
+    ASSERT_EQ(a[k].tree.size(), b[k].tree.size());
+    for (NodeId i = 0; i < a[k].tree.size(); ++i) {
+      EXPECT_EQ(a[k].tree.output_size(i), b[k].tree.output_size(i));
+      EXPECT_DOUBLE_EQ(a[k].tree.work(i), b[k].tree.work(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,154 @@
+#include "trees/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+TEST(Generators, ThreePartitionGadgetShape) {
+  // m = 1, B = 10, a = {3, 3, 4} (B/4 < a_i < B/2 holds for 3 and 4).
+  ThreePartitionInstance inst{{3, 3, 4}, 10};
+  Tree t = threepartition_gadget(inst);
+  // nodes: 1 root + 3 N_i + 3*1*(3+3+4) = 34.
+  EXPECT_EQ(t.size(), 34);
+  EXPECT_EQ(t.num_children(0), 3);
+  EXPECT_EQ(t.num_children(1), 9);   // 3m * a_0 = 9
+  EXPECT_EQ(t.num_children(3), 12);  // 3m * a_2 = 12
+  auto bounds = threepartition_bounds(inst);
+  EXPECT_EQ(bounds.processors, 30);
+  EXPECT_DOUBLE_EQ(bounds.makespan_bound, 3.0);
+  EXPECT_EQ(bounds.memory_bound, 33u);
+}
+
+TEST(Generators, InapproxTreeShapeAndCriticalPath) {
+  const int n = 3, delta = 4;
+  Tree t = inapprox_tree(n, delta);
+  // per subtree: (delta^2 + 5*delta - 2)/2 = (16+20-2)/2 = 17; +1 root.
+  EXPECT_EQ(t.size(), 3 * 17 + 1);
+  // Critical path = delta + 2 nodes.
+  EXPECT_EQ(t.height(), delta + 2);
+  EXPECT_DOUBLE_EQ(t.critical_path(), (double)(delta + 2));
+}
+
+TEST(Generators, InapproxSequentialPeakIsNPlusDelta) {
+  // Theorem 2's closed form: optimal sequential memory = n + delta.
+  for (int n : {2, 4}) {
+    for (int delta : {3, 5, 8}) {
+      Tree t = inapprox_tree(n, delta);
+      Schedule s = inapprox_sequential_schedule(t, n, delta);
+      ASSERT_TRUE(validate_schedule(t, s, 1).ok) << "n=" << n;
+      EXPECT_EQ(simulate(t, s).peak_memory, (MemSize)(n + delta));
+    }
+  }
+}
+
+TEST(Generators, InapproxProofScheduleIsMemoryOptimal) {
+  // The optimal postorder should not beat the proof's bound n + delta
+  // (the proof shows it is a lower bound too).
+  const int n = 3, delta = 4;
+  Tree t = inapprox_tree(n, delta);
+  EXPECT_EQ(postorder(t).peak, (MemSize)(n + delta));
+}
+
+TEST(Generators, ForkTree) {
+  Tree t = fork_tree(7);
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.num_children(0), 7);
+  EXPECT_EQ(t.num_leaves(), 7);
+}
+
+TEST(Generators, InnerFirstAdversaryShape) {
+  const int k = 5, p = 4;
+  Tree t = innerfirst_adversary_tree(k, p);
+  // spine 2k + (k-1)(p-1) side leaves.
+  EXPECT_EQ(t.size(), 2 * k + (k - 1) * (p - 1));
+  EXPECT_EQ(t.height(), 2 * k);
+  // Sequential optimal postorder peak is p + 1.
+  EXPECT_EQ(postorder(t).peak, (MemSize)(p + 1));
+}
+
+TEST(Generators, ChainsTreeShape) {
+  const int chains = 4, len = 6;
+  Tree t = chains_tree(chains, len);
+  // spine `chains` + sum of chain lengths len..len+chains-1.
+  int expected = chains;
+  for (int j = 0; j < chains; ++j) expected += len + j;
+  EXPECT_EQ(t.size(), expected);
+  // All leaves at the same depth.
+  auto depth = t.depths();
+  std::set<NodeId> leaf_depths;
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (t.is_leaf(i)) leaf_depths.insert(depth[i]);
+  }
+  EXPECT_EQ(leaf_depths.size(), 1u);
+  // Sequential memory is 3 (2 inputs + 1 output at spine joins).
+  EXPECT_EQ(postorder(t).peak, 3u);
+}
+
+TEST(Generators, ChainsTreeSingleChainIsAChain) {
+  Tree t = chains_tree(1, 5);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.max_degree(), 1);
+  EXPECT_EQ(postorder(t).peak, 2u);
+}
+
+TEST(Generators, RandomTreeRespectsWeightRanges) {
+  Rng rng(3);
+  RandomTreeParams params;
+  params.n = 500;
+  params.min_output = 2;
+  params.max_output = 9;
+  params.min_exec = 1;
+  params.max_exec = 4;
+  params.min_work = 0.5;
+  params.max_work = 1.5;
+  Tree t = random_tree(params, rng);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.output_size(i), 2u);
+    EXPECT_LE(t.output_size(i), 9u);
+    EXPECT_GE(t.exec_size(i), 1u);
+    EXPECT_LE(t.exec_size(i), 4u);
+    EXPECT_GE(t.work(i), 0.5);
+    EXPECT_LE(t.work(i), 1.5);
+  }
+}
+
+TEST(Generators, DepthBiasDeepensTrees) {
+  Rng rng(5);
+  double shallow = 0, deep = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    shallow += random_pebble_tree(300, rng, 0.0).height();
+    deep += random_pebble_tree(300, rng, 8.0).height();
+  }
+  EXPECT_GT(deep, shallow);
+}
+
+TEST(Generators, AllTreeShapesCounts) {
+  // (n-1)! parent arrays with parent[i] < i.
+  EXPECT_EQ(all_tree_shapes(1).size(), 1u);
+  EXPECT_EQ(all_tree_shapes(2).size(), 1u);
+  EXPECT_EQ(all_tree_shapes(3).size(), 2u);
+  EXPECT_EQ(all_tree_shapes(4).size(), 6u);
+  EXPECT_EQ(all_tree_shapes(5).size(), 24u);
+}
+
+TEST(Generators, RejectsBadParameters) {
+  EXPECT_THROW(threepartition_gadget({{1, 2}, 3}), std::invalid_argument);
+  EXPECT_THROW(inapprox_tree(0, 4), std::invalid_argument);
+  EXPECT_THROW(inapprox_tree(2, 1), std::invalid_argument);
+  EXPECT_THROW(innerfirst_adversary_tree(1, 4), std::invalid_argument);
+  EXPECT_THROW(chains_tree(0, 5), std::invalid_argument);
+  Rng rng(1);
+  RandomTreeParams params;
+  params.n = 0;
+  EXPECT_THROW(random_tree(params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

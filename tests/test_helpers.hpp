@@ -1,0 +1,34 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <vector>
+
+#include "core/tree.hpp"
+
+namespace treesched::testing {
+
+/// Builds a tree from a parent array with pebble-game weights.
+inline Tree pebble_tree(std::vector<NodeId> parent) {
+  const std::size_t n = parent.size();
+  return Tree(std::move(parent), std::vector<MemSize>(n, 1),
+              std::vector<MemSize>(n, 0), std::vector<double>(n, 1.0));
+}
+
+/// Builds a tree from parallel arrays.
+inline Tree make_tree(std::vector<NodeId> parent, std::vector<MemSize> out,
+                      std::vector<MemSize> exec, std::vector<double> work) {
+  return Tree(std::move(parent), std::move(out), std::move(exec),
+              std::move(work));
+}
+
+/// The paper's running example shape: a small two-level tree.
+///        0
+///      / | \
+///     1  2  3
+///    /|     |
+///   4 5     6
+inline Tree example_tree() {
+  return pebble_tree({kNoNode, 0, 0, 0, 1, 1, 3});
+}
+
+}  // namespace treesched::testing

@@ -1,0 +1,133 @@
+#include "sequential/liu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "sequential/bruteforce.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::make_tree;
+using testing::pebble_tree;
+
+TEST(Liu, SingleNode) {
+  Tree t = make_tree({kNoNode}, {4}, {2}, {1.0});
+  auto r = liu_optimal_traversal(t);
+  EXPECT_EQ(r.order, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.peak, 6u);
+}
+
+TEST(Liu, Chain) {
+  Tree t = pebble_tree({kNoNode, 0, 1, 2});
+  auto r = liu_optimal_traversal(t);
+  EXPECT_EQ(r.peak, 2u);
+  EXPECT_EQ(sequential_peak_memory(t, r.order), 2u);
+}
+
+TEST(Liu, KnownNonPostorderOptimality) {
+  // Classic instance where the optimal traversal is NOT a postorder:
+  // interleaving two subtrees beats processing either contiguously.
+  // root with two children A and B; A has a huge-peak cheap-residual
+  // subtree and a large output; B likewise. Interleaving the heavy parts
+  // first, outputs later, can win.
+  //
+  //        r (f=1)
+  //       /        \
+  //      A(f=6)     B(f=6)
+  //      |          |
+  //      a(f=1,n=8) b(f=1,n=8)
+  //
+  // Postorder: peak >= 10 + 6... process A's subtree: a: 9 peak, resid 1;
+  // A: 1+6=7 peak... then B's: 6 resident + 9 = 15.
+  // Optimal: a (9), b (resid 1: 1+9=10), A (1+1+6=8... inputs a=1 -> 1+1+6)
+  // -> interleaving leaves first: peak 10 < 15.
+  Tree t = make_tree({kNoNode, 0, 0, 1, 2}, {1, 6, 6, 1, 1}, {0, 0, 0, 8, 8},
+                     {1, 1, 1, 1, 1});
+  const MemSize exact = bruteforce_min_sequential_memory(t);
+  const MemSize po = postorder(t).peak;
+  auto liu = liu_optimal_traversal(t);
+  EXPECT_EQ(liu.peak, exact);
+  EXPECT_LT(exact, po);  // the gap proves we exercise non-postorder orders
+  EXPECT_EQ(sequential_peak_memory(t, liu.order), liu.peak);
+}
+
+TEST(Liu, MatchesBruteForceOnAllShapesPebble) {
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const Tree& t : all_tree_shapes(n)) {
+      EXPECT_EQ(liu_optimal_traversal(t).peak,
+                bruteforce_min_sequential_memory(t))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Liu, MatchesBruteForceOnAllShapesWeighted) {
+  Rng rng(101);
+  for (NodeId n = 2; n <= 6; ++n) {
+    for (const Tree& shape : all_tree_shapes(n)) {
+      for (int rep = 0; rep < 3; ++rep) {
+        std::vector<NodeId> parent(shape.size());
+        std::vector<MemSize> out(shape.size()), exec(shape.size());
+        std::vector<double> work(shape.size(), 1.0);
+        for (NodeId i = 0; i < shape.size(); ++i) {
+          parent[i] = shape.parent(i);
+          out[i] = 1 + rng.uniform(7);
+          exec[i] = rng.uniform(5);
+        }
+        Tree t(std::move(parent), std::move(out), std::move(exec),
+               std::move(work));
+        const MemSize bf = bruteforce_min_sequential_memory(t);
+        auto liu = liu_optimal_traversal(t);
+        EXPECT_EQ(liu.peak, bf);
+        EXPECT_EQ(sequential_peak_memory(t, liu.order), liu.peak);
+      }
+    }
+  }
+}
+
+TEST(Liu, MatchesBruteForceOnRandomMediumTrees) {
+  Rng rng(103);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(13);  // up to 14 nodes
+    params.max_output = 9;
+    params.max_exec = 6;
+    params.depth_bias = rng.uniform01() * 3;
+    Tree t = random_tree(params, rng);
+    EXPECT_EQ(liu_optimal_traversal(t).peak,
+              bruteforce_min_sequential_memory(t));
+  }
+}
+
+TEST(Liu, NeverWorseThanOptimalPostorder) {
+  Rng rng(107);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(300);
+    params.max_output = 9;
+    params.max_exec = 5;
+    Tree t = random_tree(params, rng);
+    EXPECT_LE(liu_optimal_traversal(t).peak, postorder(t).peak);
+  }
+}
+
+TEST(Liu, TraversalIsValidOnLargeTree) {
+  Rng rng(109);
+  Tree t = random_pebble_tree(3000, rng, 1.5);
+  auto r = liu_optimal_traversal(t);
+  ASSERT_EQ((NodeId)r.order.size(), t.size());
+  EXPECT_EQ(sequential_peak_memory(t, r.order), r.peak);
+}
+
+TEST(Liu, MinSequentialMemoryConvenience) {
+  Tree t = pebble_tree({kNoNode, 0, 0});
+  EXPECT_EQ(min_sequential_memory(t), liu_optimal_traversal(t).peak);
+}
+
+}  // namespace
+}  // namespace treesched

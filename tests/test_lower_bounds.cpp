@@ -1,0 +1,76 @@
+#include "core/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "campaign/runner.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::make_tree;
+
+TEST(LowerBounds, MakespanBoundComponents) {
+  // chain of 3 with works 1,2,3: W=6, CP=6 -> bound 6 even with p=8.
+  Tree t = make_tree({kNoNode, 0, 1}, {1, 1, 1}, {0, 0, 0}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(t, 8), 6.0);
+  // fork with 8 unit leaves: W=9, CP=2; p=2 -> 4.5.
+  Tree f = fork_tree(8);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(f, 2), 4.5);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(f, 100), 2.0);
+}
+
+TEST(LowerBounds, MemoryBoundsOrdered) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(60);
+    params.max_output = 8;
+    params.max_exec = 4;
+    Tree t = random_tree(params, rng);
+    const auto lb = lower_bounds(t, 4);
+    EXPECT_LE(lb.memory_exact, lb.memory_postorder);
+    EXPECT_GT(lb.memory_exact, 0u);
+  }
+}
+
+TEST(LowerBounds, SkippingExactMemoryCopiesPostorder) {
+  Rng rng(13);
+  Tree t = random_pebble_tree(50, rng);
+  const auto lb = lower_bounds(t, 2, /*exact_memory=*/false);
+  EXPECT_EQ(lb.memory_exact, lb.memory_postorder);
+}
+
+TEST(LowerBounds, AllHeuristicsRespectBothBounds) {
+  Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(150);
+    params.max_output = 9;
+    params.max_exec = 3;
+    params.min_work = 1.0;
+    params.max_work = 7.0;
+    params.depth_bias = rng.uniform01() * 2;
+    Tree t = random_tree(params, rng);
+    for (int p : {2, 8}) {
+      const auto lb = lower_bounds(t, p);
+      for (Heuristic h : all_heuristics()) {
+        const auto sim = simulate(t, run_heuristic(t, p, h));
+        EXPECT_GE(sim.makespan, lb.makespan - 1e-9)
+            << heuristic_name(h);
+        EXPECT_GE(sim.peak_memory, lb.memory_exact) << heuristic_name(h);
+      }
+    }
+  }
+}
+
+TEST(LowerBounds, EmptyTree) {
+  Tree t;
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(t, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace treesched

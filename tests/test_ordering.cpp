@@ -1,0 +1,111 @@
+#include "spmatrix/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "spmatrix/symbolic.hpp"
+
+namespace treesched {
+namespace {
+
+void expect_is_permutation(const Ordering& perm, int n) {
+  ASSERT_EQ((int)perm.size(), n);
+  Ordering sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Ordering, NaturalAndInverse) {
+  auto perm = natural_ordering(5);
+  expect_is_permutation(perm, 5);
+  Ordering p{3, 1, 0, 2};
+  auto inv = inverse_ordering(p);
+  EXPECT_EQ(inv, (Ordering{2, 1, 3, 0}));
+}
+
+TEST(Ordering, MinimumDegreeIsPermutation) {
+  Rng rng(3);
+  SparsePattern a = random_pattern(100, 4.0, rng);
+  expect_is_permutation(minimum_degree_ordering(a), 100);
+}
+
+TEST(Ordering, MinimumDegreeEliminatesLeavesFirstOnAPath) {
+  // Path graph: MD should never pick an interior vertex while endpoints
+  // (degree 1) remain -> produces no fill; factor nnz = 2n - 1.
+  SparsePattern a(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto perm = minimum_degree_ordering(a);
+  auto sym = symbolic_cholesky(a, perm);
+  EXPECT_EQ(sym.factor_nnz, 2 * 6 - 1);
+}
+
+TEST(Ordering, MinimumDegreeBeatsNaturalOnGrid) {
+  SparsePattern a = grid2d_pattern(8, 8);
+  const auto nnz_md =
+      symbolic_cholesky(a, minimum_degree_ordering(a)).factor_nnz;
+  const auto nnz_nat =
+      symbolic_cholesky(a, natural_ordering(a.size())).factor_nnz;
+  EXPECT_LT(nnz_md, nnz_nat);
+}
+
+TEST(Ordering, RcmIsPermutation) {
+  Rng rng(5);
+  SparsePattern a = random_pattern(150, 3.0, rng);
+  expect_is_permutation(rcm_ordering(a), 150);
+}
+
+TEST(Ordering, RcmReducesBandwidthOnGrid) {
+  SparsePattern a = grid2d_pattern(10, 10);
+  auto perm = rcm_ordering(a);
+  auto inv = inverse_ordering(perm);
+  std::int64_t band = 0;
+  for (int v = 0; v < a.size(); ++v) {
+    for (int u : a.neighbors(v)) {
+      band = std::max<std::int64_t>(band, std::abs(inv[v] - inv[u]));
+    }
+  }
+  EXPECT_LE(band, 15);  // natural ordering has bandwidth 10; RCM similar
+}
+
+TEST(Ordering, NestedDissection2dIsPermutation) {
+  expect_is_permutation(nested_dissection_2d(9, 7), 63);
+  expect_is_permutation(nested_dissection_2d(16, 16), 256);
+}
+
+TEST(Ordering, NestedDissection3dIsPermutation) {
+  expect_is_permutation(nested_dissection_3d(5, 4, 3), 60);
+}
+
+TEST(Ordering, NestedDissectionBeatsNaturalOnGrid) {
+  const int k = 16;
+  SparsePattern a = grid2d_pattern(k, k);
+  const auto nnz_nd =
+      symbolic_cholesky(a, nested_dissection_2d(k, k)).factor_nnz;
+  const auto nnz_nat =
+      symbolic_cholesky(a, natural_ordering(a.size())).factor_nnz;
+  EXPECT_LT(nnz_nd, nnz_nat);
+}
+
+TEST(Ordering, SeparatorLastProperty) {
+  // The middle column of an odd grid is a separator and must be ordered
+  // after everything else in the first dissection level.
+  const int k = 9;
+  auto perm = nested_dissection_2d(k, k, /*min_block=*/2);
+  auto inv = inverse_ordering(perm);
+  const int mid = k / 2;
+  // Every separator vertex (x = mid) must come after all non-separator
+  // vertices of its own half? Weaker, robust check: the LAST eliminated
+  // vertex lies on the top-level separator.
+  int last = perm.back();
+  EXPECT_EQ(last % k, mid);
+  (void)inv;
+}
+
+TEST(Ordering, RandomOrderingIsPermutation) {
+  Rng rng(9);
+  expect_is_permutation(random_ordering(77, rng), 77);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,123 @@
+#include "core/outtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "campaign/runner.hpp"
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::pebble_tree;
+
+TEST(OutTree, ReverseScheduleIsInvolution) {
+  Rng rng(3);
+  RandomTreeParams params;
+  params.n = 80;
+  params.min_work = 1.0;
+  params.max_work = 5.0;
+  Tree t = random_tree(params, rng);
+  Schedule s = run_heuristic(t, 4, Heuristic::kParInnerFirst);
+  Schedule rr = reverse_schedule(t, reverse_schedule(t, s));
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(rr.start[i], s.start[i], 1e-9);
+    EXPECT_EQ(rr.proc[i], s.proc[i]);
+  }
+}
+
+TEST(OutTree, ReversedScheduleIsFeasibleOutTree) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(100);
+    params.max_output = 6;
+    params.max_exec = 3;
+    params.min_work = 1.0;
+    params.max_work = 4.0;
+    Tree t = random_tree(params, rng);
+    for (Heuristic h : all_heuristics()) {
+      Schedule s = run_heuristic(t, 4, h);
+      Schedule rev = reverse_schedule(t, s);
+      EXPECT_TRUE(validate_out_tree_schedule(t, rev, 4).ok)
+          << heuristic_name(h);
+    }
+  }
+}
+
+TEST(OutTree, TimeReversalPreservesMakespanAndPeak) {
+  // The paper's §1 equivalence: same makespan, same peak memory.
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(120);
+    params.max_output = 9;
+    params.max_exec = 5;
+    params.min_work = 1.0;
+    params.max_work = 6.0;
+    params.depth_bias = rng.uniform01() * 2;
+    Tree t = random_tree(params, rng);
+    for (int p : {1, 3, 8}) {
+      Schedule s = run_heuristic(t, p, Heuristic::kParDeepestFirst);
+      const auto fwd = simulate(t, s);
+      const auto bwd = simulate_out_tree(t, reverse_schedule(t, s));
+      EXPECT_DOUBLE_EQ(bwd.makespan, fwd.makespan);
+      EXPECT_EQ(bwd.peak_memory, fwd.peak_memory);
+    }
+  }
+}
+
+TEST(OutTree, RootInputResidentFromStart) {
+  // Chain 1 <- 0 (out-tree: 0 runs first). Root input f_0 resident at t=0.
+  Tree t = pebble_tree({kNoNode, 0});
+  Schedule s(2);
+  s.start = {0.0, 1.0};
+  s.proc = {0, 0};
+  SimulationOptions opts;
+  opts.record_profile = true;
+  const auto sim = simulate_out_tree(t, s, opts);
+  ASSERT_FALSE(sim.profile.empty());
+  // At t=0: f_root (1) + exec 0 + child file f_1 (1) = 2.
+  EXPECT_EQ(sim.profile.front().mem, 2u);
+  EXPECT_EQ(sim.final_memory, 0u);
+  EXPECT_EQ(sim.peak_memory, 2u);
+}
+
+TEST(OutTree, ThrowsOnDependencyViolation) {
+  Tree t = pebble_tree({kNoNode, 0});
+  Schedule s(2);
+  s.start = {0.0, 0.0};  // child together with root: illegal out-tree
+  s.proc = {0, 1};
+  EXPECT_THROW(simulate_out_tree(t, s), std::invalid_argument);
+}
+
+TEST(OutTree, ValidateRejectsParentAfterChild) {
+  Tree t = pebble_tree({kNoNode, 0});
+  Schedule s(2);
+  s.start = {1.0, 0.0};  // in-tree order: invalid as out-tree
+  s.proc = {0, 0};
+  EXPECT_FALSE(validate_out_tree_schedule(t, s, 1).ok);
+}
+
+TEST(OutTree, SequentialOutTreeMemoryMatchesInTreeOptimum) {
+  // Minimal out-tree memory equals minimal in-tree memory (reverse the
+  // optimal traversal).
+  Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(60);
+    params.max_output = 7;
+    params.max_exec = 4;
+    Tree t = random_tree(params, rng);
+    auto po = postorder(t);
+    Schedule s = sequential_schedule(t, po.order);
+    const auto rev = simulate_out_tree(t, reverse_schedule(t, s));
+    EXPECT_EQ(rev.peak_memory, po.peak);
+  }
+}
+
+}  // namespace
+}  // namespace treesched

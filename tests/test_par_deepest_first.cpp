@@ -1,0 +1,107 @@
+#include "parallel/par_deepest_first.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::make_tree;
+
+TEST(ParDeepestFirst, PicksCriticalPathFirst) {
+  // Node 2 heads a longer weighted path than node 3; it must start first.
+  //    0(w=1)
+  //    /    \
+  //  1(w=1)  3(w=2, leaf)
+  //    |
+  //  2(w=9, leaf)
+  Tree t = make_tree({kNoNode, 0, 1, 0}, {1, 1, 1, 1}, {0, 0, 0, 0},
+                     {1, 1, 9, 2});
+  Schedule s = par_deepest_first(t, 1);
+  auto order = s.by_start_time();
+  EXPECT_EQ(order.front(), 2);
+}
+
+TEST(ParDeepestFirst, ChainsTreeMemoryGrowsWithChainCount) {
+  // Paper Figure 5: sequential memory stays 3, ParDeepestFirst grows with
+  // the number of chains.
+  const int p = 4;
+  MemSize prev = 0;
+  for (int chains : {4, 8, 16}) {
+    Tree t = chains_tree(chains, 10);
+    EXPECT_LE(postorder(t).peak, 3u);
+    Schedule s = par_deepest_first(t, p);
+    ASSERT_TRUE(validate_schedule(t, s, p).ok);
+    const MemSize mem = simulate(t, s).peak_memory;
+    EXPECT_GE(mem, prev);
+    prev = mem;
+  }
+  Tree t = chains_tree(16, 10);
+  EXPECT_GT((double)simulate(t, par_deepest_first(t, p)).peak_memory /
+                (double)postorder(t).peak,
+            3.0);
+}
+
+TEST(ParDeepestFirst, NearOptimalMakespanOnBalancedTrees) {
+  // On a complete binary tree with unit works and p=2, deepest-first
+  // keeps both processors busy almost always.
+  TreeBuilder b;
+  b.add_node(kNoNode, 1, 0, 1.0);
+  for (NodeId i = 1; i < 63; ++i) b.add_node((i - 1) / 2, 1, 0, 1.0);
+  Tree t = std::move(b).build();
+  Schedule s = par_deepest_first(t, 2);
+  ASSERT_TRUE(validate_schedule(t, s, 2).ok);
+  const double cmax = simulate(t, s).makespan;
+  // 63 nodes / 2 procs = 31.5 -> LB 32 (critical path 6); expect <= 36.
+  EXPECT_GE(cmax, makespan_lower_bound(t, 2));
+  EXPECT_LE(cmax, 36.0);
+}
+
+TEST(ParDeepestFirst, ValidAcrossProcessorCounts) {
+  Rng rng(19);
+  RandomTreeParams params;
+  params.n = 300;
+  params.min_work = 1.0;
+  params.max_work = 20.0;
+  params.max_output = 50;
+  params.max_exec = 10;
+  Tree t = random_tree(params, rng);
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    Schedule s = par_deepest_first(t, p);
+    EXPECT_TRUE(validate_schedule(t, s, p).ok);
+  }
+}
+
+TEST(ParDeepestFirst, BeatsOrMatchesInnerFirstOnMakespanUsually) {
+  // Not a theorem, but the paper observes ParDeepestFirst is the makespan
+  // champion; check it is never dramatically worse on random instances.
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(200);
+    params.min_work = 1.0;
+    params.max_work = 10.0;
+    Tree t = random_tree(params, rng);
+    const double df = simulate(t, par_deepest_first(t, 4)).makespan;
+    const double lb = makespan_lower_bound(t, 4);
+    EXPECT_LE(df, 2.0 * lb + 1e-9);  // far tighter than the Graham bound
+  }
+}
+
+TEST(ParDeepestFirst, DeterministicAcrossRuns) {
+  Rng rng(29);
+  Tree t = random_pebble_tree(120, rng, 1.0);
+  Schedule a = par_deepest_first(t, 4);
+  Schedule b = par_deepest_first(t, 4);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.proc, b.proc);
+}
+
+}  // namespace
+}  // namespace treesched

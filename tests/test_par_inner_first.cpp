@@ -1,0 +1,103 @@
+#include "parallel/par_inner_first.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::pebble_tree;
+
+TEST(ParInnerFirst, OneProcessorReproducesReferencePostorder) {
+  // With p = 1 the rules yield exactly the reference postorder, hence the
+  // optimal sequential memory (paper §5.2: "when applied using a single
+  // processor, they give rise to a postorder traversal").
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(100);
+    params.max_output = 6;
+    params.max_exec = 3;
+    params.depth_bias = rng.uniform01() * 2;
+    Tree t = random_tree(params, rng);
+    auto po = postorder(t);
+    Schedule s = par_inner_first(t, 1);
+    ASSERT_TRUE(validate_schedule(t, s, 1).ok);
+    EXPECT_EQ(simulate(t, s).peak_memory, po.peak);
+    EXPECT_EQ(s.by_start_time(), po.order);
+  }
+}
+
+TEST(ParInnerFirst, ValidSchedulesAcrossProcessorCounts) {
+  Rng rng(7);
+  Tree t = random_pebble_tree(200, rng, 1.0);
+  for (int p : {1, 2, 4, 8, 32}) {
+    Schedule s = par_inner_first(t, p);
+    EXPECT_TRUE(validate_schedule(t, s, p).ok);
+  }
+}
+
+TEST(ParInnerFirst, PrefersReadyInnerNodeOverLeaves) {
+  // Spine with side leaves: after the deepest leaf completes, the ready
+  // inner node must start before other leaves.
+  //      0
+  //     / \
+  //    1   2(leaf)
+  //    |
+  //    3(leaf)
+  Tree t = pebble_tree({kNoNode, 0, 0, 1});
+  Schedule s = par_inner_first(t, 1);
+  auto order = s.by_start_time();
+  // leaf 3 first (reference postorder starts in subtree of 1), then inner 1
+  // must preempt leaf 2 in priority.
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(ParInnerFirst, AdversaryTreeMemoryGrowsWithK) {
+  // Paper Figure 4: memory ratio to sequential optimum is unbounded in k.
+  const int p = 4;
+  MemSize prev = 0;
+  for (int k : {3, 6, 12}) {
+    Tree t = innerfirst_adversary_tree(k, p);
+    const MemSize seq = postorder(t).peak;
+    EXPECT_LE(seq, (MemSize)(p + 1));
+    Schedule s = par_inner_first(t, p);
+    ASSERT_TRUE(validate_schedule(t, s, p).ok);
+    const MemSize mem = simulate(t, s).peak_memory;
+    EXPECT_GT(mem, prev);
+    prev = mem;
+  }
+  // At k = 12 the ratio is already large.
+  Tree t = innerfirst_adversary_tree(12, p);
+  const double ratio =
+      (double)simulate(t, par_inner_first(t, p)).peak_memory /
+      (double)postorder(t).peak;
+  EXPECT_GT(ratio, 4.0);
+}
+
+TEST(ParInnerFirst, CustomReferenceOrderIsHonored) {
+  Rng rng(9);
+  Tree t = random_pebble_tree(60, rng);
+  auto natural = postorder(t, PostorderPolicy::kNatural).order;
+  Schedule s = par_inner_first(t, 1, natural);
+  EXPECT_EQ(s.by_start_time(), natural);
+}
+
+TEST(ParInnerFirst, DeterministicAcrossRuns) {
+  Rng rng(13);
+  Tree t = random_pebble_tree(150, rng, 2.0);
+  Schedule a = par_inner_first(t, 8);
+  Schedule b = par_inner_first(t, 8);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.proc, b.proc);
+}
+
+}  // namespace
+}  // namespace treesched

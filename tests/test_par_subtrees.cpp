@@ -1,0 +1,214 @@
+#include "parallel/par_subtrees.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::pebble_tree;
+
+// Brute force over all splittings: a splitting is an antichain of subtree
+// roots (no root an ancestor of another); its nodes outside the subtrees
+// are sequential. Cost = W_max + seq work + surplus subtree work.
+double bruteforce_best_split_cost(const Tree& t, int p) {
+  const NodeId n = t.size();
+  const auto W = t.subtree_work();
+  // ancestors matrix
+  std::vector<std::vector<char>> anc((std::size_t)n,
+                                     std::vector<char>((std::size_t)n, 0));
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId a = t.parent(i);
+    while (a != kNoNode) {
+      anc[i][a] = 1;  // a is an ancestor of i
+      a = t.parent(a);
+    }
+  }
+  double best = 1e300;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    // roots = set bits; must be an antichain.
+    std::vector<NodeId> roots;
+    bool ok = true;
+    for (NodeId i = 0; i < n && ok; ++i) {
+      if (!(mask >> i & 1u)) continue;
+      for (NodeId j : roots) {
+        if (anc[i][j] || anc[j][i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) roots.push_back(i);
+    }
+    if (!ok || roots.empty()) continue;
+    std::vector<double> ws;
+    double covered = 0;
+    for (NodeId r : roots) {
+      ws.push_back(W[r]);
+      covered += W[r];
+    }
+    std::sort(ws.rbegin(), ws.rend());
+    double surplus = 0;
+    for (std::size_t k = (std::size_t)p; k < ws.size(); ++k) surplus += ws[k];
+    const double seq = t.total_work() - covered;
+    best = std::min(best, ws.front() + seq + surplus);
+  }
+  return best;
+}
+
+TEST(SplitSubtrees, SingleNode) {
+  Tree t = pebble_tree({kNoNode});
+  auto r = split_subtrees(t, 4);
+  EXPECT_EQ(r.subtree_roots, (std::vector<NodeId>{0}));
+  EXPECT_TRUE(r.seq_nodes.empty());
+  EXPECT_DOUBLE_EQ(r.predicted_makespan, 1.0);
+}
+
+TEST(SplitSubtrees, ForkSplitsAtRoot) {
+  Tree t = fork_tree(6);
+  auto r = split_subtrees(t, 3);
+  // Splitting the root leaves 6 unit leaves; best cost = 1 (largest leaf)
+  // + 1 (root seq) + 3 surplus = 5; not splitting costs 7. So it splits.
+  EXPECT_EQ(r.seq_nodes, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.subtree_roots.size(), 6u);
+  EXPECT_DOUBLE_EQ(r.predicted_makespan, 5.0);
+}
+
+TEST(SplitSubtrees, MatchesBruteForceOnAllShapes) {
+  // Lemma 1: the SplitSubtrees split is makespan-optimal among ALL
+  // splittings for the ParSubtrees scheme.
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const Tree& t : all_tree_shapes(n)) {
+      for (int p : {1, 2, 3}) {
+        auto r = split_subtrees(t, p);
+        EXPECT_NEAR(r.predicted_makespan, bruteforce_best_split_cost(t, p),
+                    1e-9)
+            << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(SplitSubtrees, MatchesBruteForceOnWeightedRandomTrees) {
+  Rng rng(59);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(10);
+    params.min_work = 1.0;
+    params.max_work = 9.0;
+    Tree t = random_tree(params, rng);
+    for (int p : {2, 4}) {
+      auto r = split_subtrees(t, p);
+      EXPECT_NEAR(r.predicted_makespan, bruteforce_best_split_cost(t, p),
+                  1e-9);
+    }
+  }
+}
+
+TEST(ParSubtrees, PredictedMakespanMatchesSimulation) {
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(200);
+    params.min_work = 1.0;
+    params.max_work = 9.0;
+    params.depth_bias = rng.uniform01() * 2;
+    Tree t = random_tree(params, rng);
+    for (int p : {2, 4, 8}) {
+      auto split = split_subtrees(t, p);
+      Schedule s = par_subtrees(t, p);
+      ASSERT_TRUE(validate_schedule(t, s, p).ok);
+      EXPECT_NEAR(simulate(t, s).makespan, split.predicted_makespan, 1e-6);
+    }
+  }
+}
+
+TEST(ParSubtrees, MemoryWithinPPlusOneTimesSequential) {
+  // Theorem (§5.1): peak <= (p + 1) * M_seq.
+  Rng rng(67);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(150);
+    params.max_output = 9;
+    params.max_exec = 5;
+    params.min_work = 1.0;
+    params.max_work = 5.0;
+    Tree t = random_tree(params, rng);
+    const MemSize mseq = postorder(t).peak;
+    for (int p : {2, 4, 8}) {
+      const MemSize mem = simulate(t, par_subtrees(t, p)).peak_memory;
+      EXPECT_LE(mem, (MemSize)(p + 1) * mseq);
+    }
+  }
+}
+
+TEST(ParSubtrees, ForkWorstCaseMakespanRatioApproachesP) {
+  // Paper Figure 3: with p*k unit leaves, ParSubtrees' makespan is
+  // p(k-1) + 2 while the optimum is k + 1.
+  const int p = 4, k = 50;
+  Tree t = fork_tree(p * k);
+  Schedule s = par_subtrees(t, p);
+  ASSERT_TRUE(validate_schedule(t, s, p).ok);
+  const double cmax = simulate(t, s).makespan;
+  EXPECT_DOUBLE_EQ(cmax, (double)(p * (k - 1) + 2));
+  const double opt = k + 1;
+  EXPECT_GT(cmax / opt, 0.9 * p);
+}
+
+TEST(ParSubtreesOptim, FixesForkWorstCase) {
+  const int p = 4, k = 50;
+  Tree t = fork_tree(p * k);
+  Schedule s = par_subtrees_optim(t, p);
+  ASSERT_TRUE(validate_schedule(t, s, p).ok);
+  // LPT packs k leaves per processor: k + 1 total.
+  EXPECT_DOUBLE_EQ(simulate(t, s).makespan, (double)(k + 1));
+}
+
+TEST(ParSubtreesOptim, NeverWorseMakespanThanParSubtrees) {
+  Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(200);
+    params.min_work = 1.0;
+    params.max_work = 9.0;
+    Tree t = random_tree(params, rng);
+    for (int p : {2, 4}) {
+      const double plain = simulate(t, par_subtrees(t, p)).makespan;
+      const double optim = simulate(t, par_subtrees_optim(t, p)).makespan;
+      EXPECT_LE(optim, plain + 1e-9);
+    }
+  }
+}
+
+TEST(ParSubtrees, SequentialAlgoVariantsAreValid) {
+  Rng rng(73);
+  RandomTreeParams params;
+  params.n = 120;
+  params.max_output = 7;
+  params.max_exec = 3;
+  Tree t = random_tree(params, rng);
+  for (auto seq : {SequentialAlgo::kOptimalPostorder, SequentialAlgo::kLiuExact,
+                   SequentialAlgo::kNaturalPostorder}) {
+    ParSubtreesOptions opts;
+    opts.sequential = seq;
+    Schedule s = par_subtrees(t, 4, opts);
+    EXPECT_TRUE(validate_schedule(t, s, 4).ok);
+  }
+}
+
+TEST(ParSubtrees, SingleProcessorEqualsSequential) {
+  Rng rng(79);
+  Tree t = random_pebble_tree(80, rng);
+  Schedule s = par_subtrees(t, 1);
+  ASSERT_TRUE(validate_schedule(t, s, 1).ok);
+  EXPECT_DOUBLE_EQ(simulate(t, s).makespan, t.total_work());
+}
+
+}  // namespace
+}  // namespace treesched

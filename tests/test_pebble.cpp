@@ -1,0 +1,112 @@
+#include "pebble/pebble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sequential/bruteforce.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::make_tree;
+using testing::pebble_tree;
+
+Tree random_binary_pebble(NodeId n, Rng& rng) {
+  // Random binary tree: each new node attaches to a node with < 2 kids.
+  std::vector<NodeId> parent{kNoNode};
+  std::vector<int> kids{0};
+  for (NodeId i = 1; i < n; ++i) {
+    NodeId p;
+    do {
+      p = (NodeId)rng.uniform((std::uint64_t)i);
+    } while (kids[p] >= 2);
+    parent.push_back(p);
+    kids.push_back(0);
+    ++kids[p];
+  }
+  return pebble_tree(std::move(parent));
+}
+
+TEST(Pebble, DetectsPebbleTrees) {
+  EXPECT_TRUE(is_pebble_tree(pebble_tree({kNoNode, 0})));
+  EXPECT_FALSE(is_pebble_tree(make_tree({kNoNode}, {2}, {0}, {1.0})));
+  EXPECT_FALSE(is_pebble_tree(make_tree({kNoNode}, {1}, {1}, {1.0})));
+  EXPECT_FALSE(is_pebble_tree(make_tree({kNoNode}, {1}, {0}, {2.0})));
+}
+
+TEST(Pebble, KnownValues) {
+  EXPECT_EQ(pebble_number(pebble_tree({kNoNode})), 1u);       // leaf
+  EXPECT_EQ(pebble_number(pebble_tree({kNoNode, 0})), 2u);    // chain
+  EXPECT_EQ(pebble_number(fork_tree(3)), 4u);                 // fork: k+1
+  EXPECT_EQ(pebble_number(fork_tree(7)), 8u);
+  // Complete binary tree of height 3 (7 nodes): pebble number 4.
+  Tree bin = pebble_tree({kNoNode, 0, 0, 1, 1, 2, 2});
+  EXPECT_EQ(pebble_number(bin), 4u);
+  EXPECT_EQ(pebble_number_binary(bin), 4u);
+}
+
+TEST(Pebble, CompleteBinaryTreesGrowLogarithmically) {
+  // Height-h complete binary tree needs h + 1 pebbles under this model.
+  NodeId n = 1;
+  for (int h = 2; h <= 7; ++h) {
+    n = 2 * n + 1;
+    std::vector<NodeId> parent((std::size_t)n);
+    parent[0] = kNoNode;
+    for (NodeId i = 1; i < n; ++i) parent[i] = (i - 1) / 2;
+    Tree t = pebble_tree(std::move(parent));
+    EXPECT_EQ(pebble_number(t), (MemSize)(h + 1));
+  }
+}
+
+TEST(Pebble, MatchesLiuExactOnRandomTrees) {
+  // Contiguous pebbling is optimal on trees, so the closed form equals the
+  // general exact algorithm -- two completely different derivations.
+  Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    Tree t = random_pebble_tree(1 + (NodeId)rng.uniform(200), rng,
+                                rng.uniform01() * 3);
+    EXPECT_EQ(pebble_number(t), min_sequential_memory(t));
+    EXPECT_EQ(pebble_number(t), postorder(t).peak);
+  }
+}
+
+TEST(Pebble, MatchesBruteForceOnAllShapes) {
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const Tree& t : all_tree_shapes(n)) {
+      EXPECT_EQ(pebble_number(t), bruteforce_min_sequential_memory(t));
+    }
+  }
+}
+
+TEST(Pebble, BinaryFormulaMatchesGeneral) {
+  Rng rng(19);
+  for (int trial = 0; trial < 60; ++trial) {
+    Tree t = random_binary_pebble(1 + (NodeId)rng.uniform(150), rng);
+    EXPECT_EQ(pebble_number_binary(t), pebble_number(t));
+    EXPECT_EQ(pebble_number_binary(t), min_sequential_memory(t));
+  }
+}
+
+TEST(Pebble, BinaryFormulaRejectsWideTrees) {
+  EXPECT_THROW(pebble_number_binary(fork_tree(3)), std::invalid_argument);
+}
+
+TEST(Pebble, RejectsNonPebbleTrees) {
+  Tree t = make_tree({kNoNode, 0}, {1, 2}, {0, 0}, {1, 1});
+  EXPECT_THROW(pebble_number(t), std::invalid_argument);
+}
+
+TEST(Pebble, PaperGadgetsHaveExpectedPebbleNumbers) {
+  // Figure 4 adversary: p + 1; Figure 5 chains: 3.
+  EXPECT_EQ(pebble_number(innerfirst_adversary_tree(6, 4)), 5u);
+  EXPECT_EQ(pebble_number(chains_tree(8, 5)), 3u);
+  // Figure 2 tree: n + delta.
+  EXPECT_EQ(pebble_number(inapprox_tree(5, 4)), 9u);
+}
+
+}  // namespace
+}  // namespace treesched

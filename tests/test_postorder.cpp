@@ -1,0 +1,149 @@
+#include "sequential/postorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "sequential/bruteforce.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::example_tree;
+using testing::make_tree;
+using testing::pebble_tree;
+
+TEST(Postorder, SingleNode) {
+  Tree t = make_tree({kNoNode}, {4}, {2}, {1.0});
+  auto r = postorder(t);
+  EXPECT_EQ(r.order, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.peak, 6u);
+}
+
+TEST(Postorder, Chain) {
+  Tree t = pebble_tree({kNoNode, 0, 1, 2});
+  auto r = postorder(t);
+  EXPECT_EQ(r.order, (std::vector<NodeId>{3, 2, 1, 0}));
+  EXPECT_EQ(r.peak, 2u);
+}
+
+TEST(Postorder, OrderIsAValidTraversalWithReportedPeak) {
+  Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    RandomTreeParams params;
+    params.n = 1 + (NodeId)rng.uniform(120);
+    params.max_output = 8;
+    params.max_exec = 6;
+    params.depth_bias = rng.uniform01() * 3;
+    Tree t = random_tree(params, rng);
+    auto r = postorder(t);
+    ASSERT_EQ((NodeId)r.order.size(), t.size());
+    EXPECT_EQ(sequential_peak_memory(t, r.order), r.peak);
+  }
+}
+
+TEST(Postorder, ChildOrderingRuleBeatsAlternatives) {
+  // A node where ordering by (P - f) differs from ordering by P or f:
+  // child A: P=10, f=9; child B: P=8, f=1.
+  // Optimal: B first (peak max(8, 1+10) = 11); A first: max(10, 9+8) = 17.
+  TreeBuilder b;
+  b.add_node(kNoNode, 1, 0, 1.0);  // root
+  NodeId a = b.add_node(0, 9, 1, 1.0);   // leaf A: peak 10, resid 9
+  NodeId bb = b.add_node(0, 1, 7, 1.0);  // leaf B: peak 8, resid 1
+  (void)a;
+  (void)bb;
+  Tree t = std::move(b).build();
+  auto opt = postorder(t, PostorderPolicy::kOptimal);
+  EXPECT_EQ(opt.peak, 11u);
+  auto bypeak = postorder(t, PostorderPolicy::kByPeak);
+  EXPECT_EQ(bypeak.peak, 17u);
+}
+
+TEST(Postorder, OptimalMatchesBruteForceOnAllShapes) {
+  // Exhaustive over all tree shapes on <= 7 nodes with adversarial weights.
+  Rng rng(23);
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const Tree& shape : all_tree_shapes(n)) {
+      // Randomize weights twice per shape.
+      for (int rep = 0; rep < 2; ++rep) {
+        std::vector<NodeId> parent(shape.size());
+        std::vector<MemSize> out(shape.size()), exec(shape.size());
+        std::vector<double> work(shape.size(), 1.0);
+        for (NodeId i = 0; i < shape.size(); ++i) {
+          parent[i] = shape.parent(i);
+          out[i] = 1 + rng.uniform(6);
+          exec[i] = rng.uniform(4);
+        }
+        Tree t(std::move(parent), std::move(out), std::move(exec),
+               std::move(work));
+        EXPECT_EQ(postorder(t).peak, bruteforce_min_postorder_memory(t))
+            << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Postorder, PoliciesAreAllValidTraversals) {
+  Rng rng(31);
+  RandomTreeParams params;
+  params.n = 60;
+  params.max_output = 5;
+  params.max_exec = 3;
+  Tree t = random_tree(params, rng);
+  for (auto pol :
+       {PostorderPolicy::kOptimal, PostorderPolicy::kByPeak,
+        PostorderPolicy::kByOutput, PostorderPolicy::kByWork,
+        PostorderPolicy::kNatural}) {
+    auto r = postorder(t, pol);
+    EXPECT_EQ(sequential_peak_memory(t, r.order), r.peak);
+  }
+}
+
+TEST(Postorder, OptimalNeverWorseThanOtherPolicies) {
+  Rng rng(37);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(80);
+    params.max_output = 9;
+    params.max_exec = 4;
+    Tree t = random_tree(params, rng);
+    const MemSize opt = postorder(t, PostorderPolicy::kOptimal).peak;
+    for (auto pol : {PostorderPolicy::kByPeak, PostorderPolicy::kByOutput,
+                     PostorderPolicy::kByWork, PostorderPolicy::kNatural}) {
+      EXPECT_LE(opt, postorder(t, pol).peak);
+    }
+  }
+}
+
+TEST(Postorder, SubtreesAreContiguous) {
+  Rng rng(41);
+  Tree t = random_pebble_tree(80, rng, 1.0);
+  auto order = postorder(t).order;
+  auto pos = order_positions(order);
+  // For a postorder, the positions of every subtree form an interval ending
+  // at the subtree root.
+  std::vector<NodeId> lo(t.size()), count(t.size());
+  for (NodeId i : t.natural_postorder()) {
+    lo[i] = pos[i];
+    count[i] = 1;
+    for (NodeId c : t.children(i)) {
+      lo[i] = std::min(lo[i], lo[c]);
+      count[i] += count[c];
+    }
+    EXPECT_EQ(pos[i] - lo[i] + 1, count[i]) << "subtree not contiguous at " << i;
+  }
+}
+
+TEST(Postorder, OrderPositionsIsInverse) {
+  std::vector<NodeId> order{3, 1, 0, 2};
+  auto pos = order_positions(order);
+  EXPECT_EQ(pos[3], 0);
+  EXPECT_EQ(pos[1], 1);
+  EXPECT_EQ(pos[0], 2);
+  EXPECT_EQ(pos[2], 3);
+}
+
+}  // namespace
+}  // namespace treesched

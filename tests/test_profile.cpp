@@ -1,0 +1,118 @@
+#include "sequential/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::pebble_tree;
+
+TEST(TraversalProfile, ChainProfile) {
+  Tree t = pebble_tree({kNoNode, 0, 1});
+  auto profile = traversal_profile(t, {2, 1, 0});
+  // node 2: during 1, after 1; node 1: during 2, after 1; node 0: 2, 1.
+  EXPECT_EQ(profile,
+            (std::vector<MemSize>{1, 1, 2, 1, 2, 1}));
+}
+
+TEST(TraversalProfile, PeakMatchesSimulator) {
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    RandomTreeParams params;
+    params.n = 1 + (NodeId)rng.uniform(100);
+    params.max_output = 8;
+    params.max_exec = 5;
+    Tree t = random_tree(params, rng);
+    auto order = postorder(t).order;
+    auto profile = traversal_profile(t, order);
+    EXPECT_EQ(*std::max_element(profile.begin(), profile.end()),
+              sequential_peak_memory(t, order));
+  }
+}
+
+TEST(CanonicalDecomposition, EmptyAndTrivial) {
+  EXPECT_TRUE(canonical_decomposition({}).empty());
+  auto segs = canonical_decomposition({5, 2});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].hill, 5u);
+  EXPECT_EQ(segs[0].valley, 2u);
+}
+
+TEST(CanonicalDecomposition, MergesDominatedHills) {
+  // (3,1) then (5,2): the later, larger hill absorbs the earlier segment.
+  auto segs = canonical_decomposition({3, 1, 5, 2});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].hill, 5u);
+  EXPECT_EQ(segs[0].valley, 2u);
+}
+
+TEST(CanonicalDecomposition, KeepsSeparatedSegments) {
+  // (9,1) then (7,6): canonical as-is.
+  auto segs = canonical_decomposition({9, 1, 7, 6});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].hill, 9u);
+  EXPECT_EQ(segs[1].valley, 6u);
+}
+
+TEST(CanonicalDecomposition, InvariantsOnRandomTraversals) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    RandomTreeParams params;
+    params.n = 1 + (NodeId)rng.uniform(200);
+    params.max_output = 9;
+    params.max_exec = 6;
+    params.depth_bias = rng.uniform01() * 3;
+    Tree t = random_tree(params, rng);
+    auto order = (trial % 2 == 0) ? postorder(t).order
+                                  : liu_optimal_traversal(t).order;
+    auto profile = traversal_profile(t, order);
+    auto segs = traversal_segments(t, order);
+    ASSERT_FALSE(segs.empty());
+    // First hill = global max; last valley = final level.
+    EXPECT_EQ(segs.front().hill,
+              *std::max_element(profile.begin(), profile.end()));
+    EXPECT_EQ(segs.back().valley, profile.back());
+    for (std::size_t k = 0; k < segs.size(); ++k) {
+      EXPECT_GE(segs[k].hill, segs[k].valley);
+      if (k > 0) {
+        EXPECT_LT(segs[k].hill, segs[k - 1].hill);      // hills decrease
+        EXPECT_GT(segs[k].valley, segs[k - 1].valley);  // valleys increase
+      }
+    }
+  }
+}
+
+TEST(CanonicalDecomposition, LiuOrderNeverHasLargerFirstHill) {
+  // The first hill of Liu's traversal equals the exact optimum, so it is
+  // minimal among all traversals we can produce.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(80);
+    params.max_output = 7;
+    params.max_exec = 3;
+    Tree t = random_tree(params, rng);
+    auto liu = liu_optimal_traversal(t);
+    auto segs = traversal_segments(t, liu.order);
+    EXPECT_EQ(segs.front().hill, liu.peak);
+    auto po_segs = traversal_segments(t, postorder(t).order);
+    EXPECT_LE(segs.front().hill, po_segs.front().hill);
+  }
+}
+
+TEST(TraversalProfile, RejectsShortOrder) {
+  Tree t = pebble_tree({kNoNode, 0});
+  EXPECT_THROW(traversal_profile(t, {0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched

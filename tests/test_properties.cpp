@@ -1,0 +1,219 @@
+// Parameterized property sweeps across (heuristic x processor count x
+// instance family) combinations: every schedule any heuristic emits, on
+// any instance, must be feasible, respect both lower bounds, and satisfy
+// the structural guarantees proved in the paper.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "campaign/runner.hpp"
+#include "core/lower_bounds.hpp"
+#include "core/simulator.hpp"
+#include "sequential/liu.hpp"
+#include "sequential/postorder.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+enum class Family { kPebbleShallow, kPebbleDeep, kWeighted, kAssemblyLike };
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kPebbleShallow:
+      return "PebbleShallow";
+    case Family::kPebbleDeep:
+      return "PebbleDeep";
+    case Family::kWeighted:
+      return "Weighted";
+    case Family::kAssemblyLike:
+      return "AssemblyLike";
+  }
+  return "?";
+}
+
+Tree make_family_tree(Family f, std::uint64_t seed) {
+  Rng rng(seed);
+  RandomTreeParams params;
+  params.n = 60 + (NodeId)rng.uniform(120);
+  switch (f) {
+    case Family::kPebbleShallow:
+      break;
+    case Family::kPebbleDeep:
+      params.depth_bias = 5.0;
+      break;
+    case Family::kWeighted:
+      params.max_output = 50;
+      params.max_exec = 20;
+      params.min_work = 1.0;
+      params.max_work = 40.0;
+      params.depth_bias = 1.0;
+      break;
+    case Family::kAssemblyLike:
+      params.max_output = 400;
+      params.max_exec = 100;
+      params.min_work = 1.0;
+      params.max_work = 1000.0;
+      params.depth_bias = 2.0;
+      break;
+  }
+  return random_tree(params, rng);
+}
+
+using HeuristicCase = std::tuple<Heuristic, int, Family>;
+
+class HeuristicProperty : public ::testing::TestWithParam<HeuristicCase> {};
+
+TEST_P(HeuristicProperty, ScheduleIsFeasible) {
+  const auto [h, p, fam] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Tree t = make_family_tree(fam, seed);
+    const Schedule s = run_heuristic(t, p, h);
+    const auto v = validate_schedule(t, s, p);
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+}
+
+TEST_P(HeuristicProperty, RespectsLowerBounds) {
+  const auto [h, p, fam] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Tree t = make_family_tree(fam, seed);
+    const auto sim = simulate(t, run_heuristic(t, p, h));
+    EXPECT_GE(sim.makespan, makespan_lower_bound(t, p) - 1e-9);
+    EXPECT_GE(sim.peak_memory, min_sequential_memory(t));
+  }
+}
+
+TEST_P(HeuristicProperty, EveryTaskRunsExactlyOnceAndInWindow) {
+  const auto [h, p, fam] = GetParam();
+  const Tree t = make_family_tree(fam, 7);
+  const Schedule s = run_heuristic(t, p, h);
+  const double makespan = s.makespan(t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_GE(s.start[i], 0.0);
+    EXPECT_LE(s.finish(t, i), makespan + 1e-9);
+    EXPECT_GE(s.proc[i], 0);
+    EXPECT_LT(s.proc[i], p);
+  }
+}
+
+TEST_P(HeuristicProperty, ListSchedulersMeetGrahamBound) {
+  const auto [h, p, fam] = GetParam();
+  if (h == Heuristic::kParSubtrees || h == Heuristic::kParSubtreesOptim) {
+    GTEST_SKIP() << "Graham bound applies to list schedules only";
+  }
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Tree t = make_family_tree(fam, seed);
+    const auto sim = simulate(t, run_heuristic(t, p, h));
+    const double bound =
+        t.total_work() / p + (1.0 - 1.0 / p) * t.critical_path();
+    EXPECT_LE(sim.makespan, bound + 1e-6);
+  }
+}
+
+TEST_P(HeuristicProperty, ParSubtreesMemoryGuarantee) {
+  const auto [h, p, fam] = GetParam();
+  if (h != Heuristic::kParSubtrees) {
+    GTEST_SKIP() << "the (p+1)-approximation is ParSubtrees' theorem";
+  }
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Tree t = make_family_tree(fam, seed);
+    const auto sim = simulate(t, run_heuristic(t, p, h));
+    EXPECT_LE(sim.peak_memory, (MemSize)(p + 1) * postorder(t).peak);
+  }
+}
+
+std::string heuristic_case_name(
+    const ::testing::TestParamInfo<HeuristicCase>& info) {
+  const auto [h, p, fam] = info.param;
+  return heuristic_name(h) + "_p" + std::to_string(p) + "_" +
+         family_name(fam);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristics, HeuristicProperty,
+    ::testing::Combine(
+        ::testing::Values(Heuristic::kParSubtrees,
+                          Heuristic::kParSubtreesOptim,
+                          Heuristic::kParInnerFirst,
+                          Heuristic::kParDeepestFirst),
+        ::testing::Values(2, 4, 16),
+        ::testing::Values(Family::kPebbleShallow, Family::kPebbleDeep,
+                          Family::kWeighted, Family::kAssemblyLike)),
+    heuristic_case_name);
+
+// ---------------------------------------------------------------------------
+// Postorder policies: every policy yields a valid traversal; the optimal
+// policy dominates.
+// ---------------------------------------------------------------------------
+
+class PostorderPolicyProperty
+    : public ::testing::TestWithParam<PostorderPolicy> {};
+
+TEST_P(PostorderPolicyProperty, TraversalValidAndPeakExact) {
+  const PostorderPolicy policy = GetParam();
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomTreeParams params;
+    params.n = 2 + (NodeId)rng.uniform(150);
+    params.max_output = 20;
+    params.max_exec = 10;
+    const Tree t = random_tree(params, rng);
+    const auto r = postorder(t, policy);
+    ASSERT_EQ((NodeId)r.order.size(), t.size());
+    EXPECT_EQ(sequential_peak_memory(t, r.order), r.peak);
+    EXPECT_GE(r.peak, postorder(t, PostorderPolicy::kOptimal).peak);
+    EXPECT_GE(r.peak, min_sequential_memory(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PostorderPolicyProperty,
+    ::testing::Values(PostorderPolicy::kOptimal, PostorderPolicy::kByPeak,
+                      PostorderPolicy::kByOutput, PostorderPolicy::kByWork,
+                      PostorderPolicy::kNatural),
+    [](const ::testing::TestParamInfo<PostorderPolicy>& info) {
+      switch (info.param) {
+        case PostorderPolicy::kOptimal:
+          return std::string("Optimal");
+        case PostorderPolicy::kByPeak:
+          return std::string("ByPeak");
+        case PostorderPolicy::kByOutput:
+          return std::string("ByOutput");
+        case PostorderPolicy::kByWork:
+          return std::string("ByWork");
+        case PostorderPolicy::kNatural:
+          return std::string("Natural");
+      }
+      return std::string("?");
+    });
+
+// ---------------------------------------------------------------------------
+// Exactness sweep: Liu's algorithm equals the subset-DP optimum on every
+// tree shape of size n (pebble weights and randomized weights).
+// ---------------------------------------------------------------------------
+
+class LiuExactnessBySize : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(LiuExactnessBySize, TraversalConsistentAndDominant) {
+  // The brute-force equality is covered in test_liu.cpp; this sweep checks
+  // structural invariants on EVERY shape of size n: the reported peak is
+  // what the traversal replays to, and it never exceeds the best postorder.
+  const NodeId n = GetParam();
+  for (const Tree& shape : all_tree_shapes(n)) {
+    const auto r = liu_optimal_traversal(shape);
+    EXPECT_EQ(sequential_peak_memory(shape, r.order), r.peak);
+    EXPECT_LE(r.peak, postorder(shape).peak);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSizes, LiuExactnessBySize,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<NodeId>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace treesched

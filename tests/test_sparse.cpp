@@ -1,0 +1,84 @@
+#include "spmatrix/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace treesched {
+namespace {
+
+TEST(SparsePattern, NormalizesEdges) {
+  // duplicates, both orientations and self loops collapse.
+  SparsePattern a(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_EQ(a.num_edges(), 2);
+  EXPECT_EQ(a.degree(1), 2);
+  EXPECT_EQ(a.degree(2), 1);
+}
+
+TEST(SparsePattern, NeighborsAreSorted) {
+  SparsePattern a(4, {{2, 0}, {2, 3}, {2, 1}});
+  auto nb = a.neighbors(2);
+  std::vector<int> v(nb.begin(), nb.end());
+  EXPECT_EQ(v, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(SparsePattern, RejectsOutOfRange) {
+  EXPECT_THROW(SparsePattern(2, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(Grid2d, StructureAndDegrees) {
+  SparsePattern a = grid2d_pattern(3, 3);
+  EXPECT_EQ(a.size(), 9);
+  EXPECT_EQ(a.num_edges(), 12);  // 2 * 3 * 2 grids of edges
+  EXPECT_EQ(a.degree(4), 4);     // center
+  EXPECT_EQ(a.degree(0), 2);     // corner
+}
+
+TEST(Grid3d, StructureAndDegrees) {
+  SparsePattern a = grid3d_pattern(3, 3, 3);
+  EXPECT_EQ(a.size(), 27);
+  EXPECT_EQ(a.degree(13), 6);  // center of the cube
+  EXPECT_EQ(a.degree(0), 3);   // corner
+}
+
+TEST(Grid2d, DegenerateLine) {
+  SparsePattern a = grid2d_pattern(5, 1);
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_EQ(a.num_edges(), 4);
+}
+
+TEST(RandomPattern, ConnectedAndSized) {
+  Rng rng(5);
+  SparsePattern a = random_pattern(200, 4.0, rng);
+  EXPECT_EQ(a.size(), 200);
+  EXPECT_GE(a.num_edges(), 199);  // spanning tree at minimum
+  // connectivity: BFS reaches everything.
+  std::vector<char> seen(200, 0);
+  std::vector<int> stack{0};
+  seen[0] = 1;
+  int count = 0;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    ++count;
+    for (int u : a.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        stack.push_back(u);
+      }
+    }
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST(RandomPattern, AverageDegreeApproximatelyRespected) {
+  Rng rng(7);
+  SparsePattern a = random_pattern(2000, 6.0, rng);
+  const double avg = 2.0 * (double)a.num_edges() / a.size();
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 7.0);
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace treesched {
+namespace {
+
+TEST(Stats, MeanAndGeomean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(Stats, QuantileSorted) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.9), 7.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  auto s = summarize({5, 1, 3, 2, 4});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_GT(s.p90, s.p10);
+}
+
+TEST(Stats, SummaryEmpty) {
+  auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, FractionWithinOfBest) {
+  // best = 10; within 5%: 10, 10.4; outside: 11.
+  EXPECT_DOUBLE_EQ(fraction_within_of_best({10, 10.4, 11}, 0.05), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(fraction_within_of_best({}, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_within_of_best({3}, 0.05), 1.0);
+}
+
+TEST(Stats, Format) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.8125, 1), "81.2 %");
+}
+
+}  // namespace
+}  // namespace treesched

@@ -1,0 +1,129 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "campaign/runner.hpp"
+#include "parallel/par_deepest_first.hpp"
+#include "test_helpers.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using testing::pebble_tree;
+
+TEST(ScheduleStats, SequentialUtilization) {
+  Tree t = pebble_tree({kNoNode, 0, 0});
+  Schedule s = sequential_schedule(t, {1, 2, 0});
+  auto st = schedule_stats(t, s, 2);
+  EXPECT_DOUBLE_EQ(st.makespan, 3.0);
+  EXPECT_EQ(st.processors_used, 1);
+  EXPECT_DOUBLE_EQ(st.per_proc[0].utilization, 1.0);
+  EXPECT_EQ(st.per_proc[1].tasks, 0);
+  EXPECT_DOUBLE_EQ(st.total_work, 3.0);
+}
+
+TEST(ScheduleStats, ParallelWorkConservation) {
+  Rng rng(3);
+  RandomTreeParams params;
+  params.n = 120;
+  params.min_work = 1.0;
+  params.max_work = 5.0;
+  Tree t = random_tree(params, rng);
+  const int p = 4;
+  Schedule s = par_deepest_first(t, p);
+  auto st = schedule_stats(t, s, p);
+  double busy = 0;
+  int tasks = 0;
+  for (const auto& ps : st.per_proc) {
+    busy += ps.busy;
+    tasks += ps.tasks;
+    EXPECT_LE(ps.utilization, 1.0 + 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(busy, t.total_work());
+  EXPECT_EQ(tasks, t.size());
+  EXPECT_GT(st.avg_utilization, 0.0);
+}
+
+TEST(AsciiGantt, DrawsEveryProcessorRow) {
+  Tree t = pebble_tree({kNoNode, 0, 0});
+  Schedule s(3);
+  s.start = {1.0, 0.0, 0.0};
+  s.proc = {0, 0, 1};
+  std::ostringstream os;
+  ascii_gantt(os, t, s, 2, 40);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("P0 |"), std::string::npos);
+  EXPECT_NE(out.find("P1 |"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(AsciiGantt, EmptyScheduleMessage) {
+  Tree t;
+  Schedule s(0);
+  std::ostringstream os;
+  ascii_gantt(os, t, s, 1);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(MemoryProfileCsv, MatchesSimulatorPeak) {
+  Rng rng(5);
+  Tree t = random_pebble_tree(50, rng);
+  Schedule s = par_deepest_first(t, 4);
+  std::ostringstream os;
+  write_memory_profile_csv(os, t, s);
+  // Parse back and find the max.
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "time,memory");
+  MemSize maxmem = 0;
+  while (std::getline(is, line)) {
+    const auto comma = line.find(',');
+    maxmem = std::max(maxmem, (MemSize)std::stoull(line.substr(comma + 1)));
+  }
+  EXPECT_EQ(maxmem, simulate(t, s).peak_memory);
+}
+
+TEST(ScheduleCsv, RoundTrip) {
+  Rng rng(7);
+  RandomTreeParams params;
+  params.n = 60;
+  params.min_work = 0.5;
+  params.max_work = 3.0;
+  Tree t = random_tree(params, rng);
+  Schedule s = par_deepest_first(t, 3);
+  std::ostringstream os;
+  write_schedule_csv(os, t, s);
+  std::istringstream is(os.str());
+  Schedule back = read_schedule_csv(is, t);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.start[i], s.start[i]);
+    EXPECT_EQ(back.proc[i], s.proc[i]);
+  }
+}
+
+TEST(ScheduleCsv, RejectsMissingTask) {
+  Tree t = pebble_tree({kNoNode, 0});
+  std::istringstream is("task,proc,start,finish,work,out,exec\n0,0,0,1,1,1,0\n");
+  EXPECT_THROW(read_schedule_csv(is, t), std::runtime_error);
+}
+
+TEST(ScheduleCsv, RejectsBadHeader) {
+  Tree t = pebble_tree({kNoNode});
+  std::istringstream is("nope\n");
+  EXPECT_THROW(read_schedule_csv(is, t), std::runtime_error);
+}
+
+TEST(ScheduleCsv, RejectsOutOfRangeTask) {
+  Tree t = pebble_tree({kNoNode});
+  std::istringstream is("task,proc,start,finish,work,out,exec\n5,0,0,1,1,1,0\n");
+  EXPECT_THROW(read_schedule_csv(is, t), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace treesched
