@@ -17,7 +17,8 @@ struct CampaignSetup {
 };
 
 /// Flags: --scale (default 1.0), --seed, --procs "2,4,8,16,32",
-/// --threads, --csv <path>.
+/// --threads, --algos "ParSubtrees,Liu,..." (default: the full registry
+/// roster minus oracles), --csv <path>.
 inline CampaignSetup make_campaign(const CliArgs& args) {
   CampaignSetup setup;
   DatasetParams dp;
@@ -25,15 +26,10 @@ inline CampaignSetup make_campaign(const CliArgs& args) {
   dp.seed = (std::uint64_t)args.get_int("seed", 42);
   setup.dataset = build_dataset(dp);
   setup.params.threads = (unsigned)args.get_int("threads", 0);
-  const std::string procs = args.get("procs", "2,4,8,16,32");
+  setup.params.algorithms = split_csv(args.get("algos", ""));
   setup.params.processor_counts.clear();
-  std::size_t pos = 0;
-  while (pos < procs.size()) {
-    std::size_t comma = procs.find(',', pos);
-    if (comma == std::string::npos) comma = procs.size();
-    setup.params.processor_counts.push_back(
-        std::stoi(procs.substr(pos, comma - pos)));
-    pos = comma + 1;
+  for (const std::string& tok : split_csv(args.get("procs", "2,4,8,16,32"))) {
+    setup.params.processor_counts.push_back(std::stoi(tok));
   }
   return setup;
 }

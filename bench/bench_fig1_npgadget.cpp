@@ -9,8 +9,8 @@
 #include <array>
 #include <iostream>
 
-#include "campaign/runner.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "trees/generators.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -56,12 +56,13 @@ int main(int argc, char** argv) {
             << " peak=" << sim.peak_memory << " (bound "
             << bounds.memory_bound << ")\n\n";
 
-  std::cout << "heuristics on the gadget (p = " << bounds.processors
+  std::cout << "parallel algorithms on the gadget (p = " << bounds.processors
             << "):\n";
-  for (Heuristic h : all_heuristics()) {
-    Schedule s = run_heuristic(tree, bounds.processors, h);
+  for (const std::string& name : parallel_campaign_algorithms()) {
+    Schedule s = SchedulerRegistry::instance().create(name)->schedule(
+        tree, Resources{bounds.processors, 0});
     auto hs = simulate(tree, s);
-    std::cout << "  " << heuristic_name(h) << ": makespan=" << hs.makespan
+    std::cout << "  " << name << ": makespan=" << hs.makespan
               << " (" << fmt(hs.makespan / bounds.makespan_bound, 2)
               << "x bound), peak=" << hs.peak_memory << " ("
               << fmt((double)hs.peak_memory / (double)bounds.memory_bound, 2)

@@ -6,9 +6,9 @@
 
 #include <iostream>
 
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "trees/generators.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
   const int maxk = (int)args.get_int("maxk", 256);
   args.reject_unknown();
 
+  const auto algos = parallel_campaign_algorithms();
+
   std::cout << "== Figure 3: fork worst case for ParSubtrees (p = " << p
             << ") ==\n\n"
             << "      k   leaves   optimal";
-  for (Heuristic h : all_heuristics()) std::cout << "  " << heuristic_name(h);
+  for (const std::string& name : algos) std::cout << "  " << name;
   std::cout << "   ratio(ParSubtrees/opt)\n";
 
   for (int k = 4; k <= maxk; k *= 4) {
@@ -31,9 +33,12 @@ int main(int argc, char** argv) {
     const double opt = k + 1;  // k waves of p leaves + root
     std::cout << "  " << k << "\t" << p * k << "\t" << opt;
     double first = 0;
-    for (Heuristic h : all_heuristics()) {
-      const double ms = simulate(t, run_heuristic(t, p, h)).makespan;
-      if (h == Heuristic::kParSubtrees) first = ms;
+    for (const std::string& name : algos) {
+      const double ms =
+          simulate(t, SchedulerRegistry::instance().create(name)->schedule(
+                          t, Resources{p, 0}))
+              .makespan;
+      if (name == "ParSubtrees") first = ms;
       std::cout << "\t" << ms;
     }
     std::cout << "\t x" << fmt(first / opt, 2) << "\n";

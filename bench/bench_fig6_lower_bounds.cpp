@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nmax observed memory blow-up per heuristic:\n";
   for (const auto& s : series) {
-    std::cout << "  " << s.heuristic << ": x" << fmt(s.memory_summary.max, 1)
+    std::cout << "  " << s.algorithm << ": x" << fmt(s.memory_summary.max, 1)
               << " (makespan up to x" << fmt(s.makespan_summary.max, 2)
               << ")\n";
   }

@@ -5,6 +5,12 @@
 //  * ParSubtrees end-to-end      O(n log n) with the postorder
 //  * list scheduling             O(n log n)
 //  * simulator replay            O(n log n)
+// plus one end-to-end benchmark per registered (non-oracle) scheduling
+// algorithm ("BM_Sched/<Name>"), registered dynamically from the registry
+// in main() so new algorithms are benchmarked without touching this file.
+//
+// Smoke run for the perf pipeline:
+//   bench_perf --benchmark_filter=BM_Sched --benchmark_format=json
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +18,7 @@
 #include "parallel/par_deepest_first.hpp"
 #include "parallel/par_inner_first.hpp"
 #include "parallel/par_subtrees.hpp"
+#include "sched/registry.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "trees/generators.hpp"
@@ -107,4 +114,32 @@ void BM_SequentialPeak(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialPeak)->Range(1 << 10, 1 << 17)->Complexity();
 
+// One end-to-end benchmark per registered algorithm on a fixed mid-size
+// tree: the perf-trajectory signal for the whole roster.
+void register_scheduler_benchmarks() {
+  constexpr std::int64_t kSchedBenchNodes = 1 << 13;
+  for (const std::string& name : default_campaign_algorithms()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Sched/" + name).c_str(),
+        [name](benchmark::State& state) {
+          const Tree t = make_bench_tree(kSchedBenchNodes);
+          const SchedulerPtr sched =
+              SchedulerRegistry::instance().create(name);
+          const Resources res{16, 0};
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(sched->schedule(t, res).start.size());
+          }
+        });
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  register_scheduler_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,9 +9,9 @@
 
 #include <iostream>
 
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "sequential/postorder.hpp"
 #include "spmatrix/amalgamation.hpp"
 #include "spmatrix/assembly.hpp"
@@ -55,11 +55,12 @@ int main(int argc, char** argv) {
   std::cout << "sequential postorder memory: " << mseq << " (matrix entries)"
             << "\nmakespan lower bound on p = " << p << ": " << lb.makespan
             << " (flops)\n\n"
-            << "heuristic          makespan(xLB)  memory(xMseq)\n";
-  for (Heuristic h : all_heuristics()) {
-    const auto sim = simulate(tree, run_heuristic(tree, p, h));
-    std::cout << "  " << heuristic_name(h);
-    for (std::size_t pad = heuristic_name(h).size(); pad < 17; ++pad) {
+            << "algorithm          makespan(xLB)  memory(xMseq)\n";
+  for (const std::string& name : default_campaign_algorithms()) {
+    const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
+    const auto sim = simulate(tree, sched->schedule(tree, Resources{p, 0}));
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 17; ++pad) {
       std::cout << ' ';
     }
     std::cout << fmt(sim.makespan / lb.makespan, 3) << "\t   "

@@ -9,8 +9,8 @@
 
 #include <iostream>
 
-#include "campaign/runner.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "sequential/bruteforce.hpp"
 #include "sequential/liu.hpp"
 #include "trees/generators.hpp"
@@ -40,9 +40,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n  sequential optimum (Liu): " << min_sequential_memory(t)
               << "\n";
-    for (Heuristic h : all_heuristics()) {
-      const auto sim = simulate(t, run_heuristic(t, p, h));
-      std::cout << "  " << heuristic_name(h) << ": (" << sim.makespan << ","
+    // Trees this small fit every registered algorithm, oracle included.
+    for (const std::string& name : SchedulerRegistry::instance().names()) {
+      const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
+      const auto sim = simulate(t, sched->schedule(t, Resources{p, 0}));
+      std::cout << "  " << name << ": (" << sim.makespan << ","
                 << sim.peak_memory << ")\n";
     }
   }

@@ -1,14 +1,14 @@
 // Quickstart: build a small task tree, compute the sequential memory
-// baselines, run every parallel heuristic, and print the memory/makespan
-// trade-off each one picks.
+// baselines, run every registered scheduling algorithm, and print the
+// memory/makespan trade-off each one picks.
 //
 //   $ ./examples/quickstart
 
 #include <iostream>
 
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "util/stats.hpp"
@@ -39,29 +39,37 @@ int main() {
   std::cout << "sequential memory: best postorder = " << po.peak
             << ", exact optimum (Liu) = " << liu.peak << "\n";
 
-  // Parallel heuristics on p = 4 processors.
+  // Every registered algorithm (oracle included: this tree is tiny) on
+  // p = 4 processors.
   const int p = 4;
   const auto lb = lower_bounds(tree, p);
   std::cout << "lower bounds for p = " << p << ": makespan >= " << lb.makespan
             << ", memory >= " << lb.memory_exact << "\n\n"
-            << "heuristic          makespan  (xLB)   peak-mem  (xMseq)\n";
-  for (Heuristic h : all_heuristics()) {
-    const Schedule s = run_heuristic(tree, p, h);
+            << "algorithm          makespan  (xLB)   peak-mem  (xMseq)\n";
+  for (const std::string& name : SchedulerRegistry::instance().names()) {
+    const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
+    if (sched->capabilities().is_oracle() &&
+        tree.size() > sched->capabilities().max_nodes) {
+      continue;
+    }
+    const Schedule s = sched->schedule(tree, Resources{p, 0});
     const auto v = validate_schedule(tree, s, p);
     if (!v.ok) {
       std::cerr << "invalid schedule: " << v.error << "\n";
       return 1;
     }
     const auto sim = simulate(tree, s);
-    std::cout << "  " << heuristic_name(h);
-    for (std::size_t pad = heuristic_name(h).size(); pad < 17; ++pad) {
+    std::cout << "  " << name;
+    for (std::size_t pad = name.size(); pad < 17; ++pad) {
       std::cout << ' ';
     }
     std::cout << sim.makespan << "   (" << fmt(sim.makespan / lb.makespan, 2)
               << ")   " << sim.peak_memory << "   ("
               << fmt((double)sim.peak_memory / (double)po.peak, 2) << ")\n";
   }
-  std::cout << "\nReading: ParSubtrees* keep memory near the sequential "
-               "optimum; the list heuristics trade memory for speed.\n";
+  std::cout << "\nReading: ParSubtrees* and the memory-capped schedulers "
+               "keep memory near the sequential optimum; the list "
+               "heuristics trade memory for speed; the sequential rows are "
+               "the memory floor and the makespan ceiling.\n";
   return 0;
 }

@@ -1,24 +1,32 @@
 // Command-line scheduling driver: the "downstream user" entry point.
-// Reads a tree (file or generated), runs a chosen heuristic, prints the
-// score card and optionally dumps the schedule / memory profile as CSV
-// and an ASCII Gantt chart.
+// Reads a tree (file or generated), runs any set of registered algorithms,
+// prints the score card per algorithm and optionally dumps the schedule /
+// memory profile as CSV and an ASCII Gantt chart.
 //
 //   $ ./examples/schedule_tool --gen grid --nx 30 --p 8 \
-//         --heuristic ParDeepestFirst --gantt
+//         --algo ParDeepestFirst --gantt
 //   $ ./examples/schedule_tool --tree my.tree --p 16 \
-//         --heuristic ParSubtrees --schedule-csv out.csv \
+//         --algo ParSubtrees,ParInnerFirst,Liu --schedule-csv out.csv \
 //         --profile-csv mem.csv
 //   $ ./examples/schedule_tool --gen random --n 500 --cap-factor 2.0
+//   $ ./examples/schedule_tool --list
+//
+// --algo takes one or more comma-separated SchedulerRegistry names
+// (--list prints them). --cap-factor F sets a memory cap of F times the
+// best-postorder peak for the memory-capped algorithms; with no --algo it
+// implies --algo MemoryBounded.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "campaign/dataset.hpp"
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/simulator.hpp"
 #include "core/trace.hpp"
 #include "parallel/memory_bounded.hpp"
+#include "sched/registry.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "trees/generators.hpp"
@@ -56,13 +64,30 @@ Tree load_tree(const CliArgs& args) {
   throw std::invalid_argument("--gen must be grid|random|synthetic");
 }
 
-Heuristic parse_heuristic(const std::string& name) {
-  for (Heuristic h : all_heuristics()) {
-    if (heuristic_name(h) == name) return h;
+// With several --algo names, per-algorithm CSV dumps get the algorithm
+// name spliced in before the extension so later runs don't clobber
+// earlier ones ("out.csv" -> "out.ParSubtrees.csv"). Only dots in the
+// filename component count as an extension separator.
+std::string algo_csv_path(const std::string& base, const std::string& algo,
+                          bool multi) {
+  if (!multi) return base;
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t name_begin = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || dot <= name_begin) {
+    return base + "." + algo;
   }
-  throw std::invalid_argument("unknown --heuristic " + name +
-                              " (ParSubtrees, ParSubtreesOptim, "
-                              "ParInnerFirst, ParDeepestFirst)");
+  return base.substr(0, dot) + "." + algo + base.substr(dot);
+}
+
+void dump_csv(const std::string& path, const std::string& what,
+              const std::function<void(std::ostream&)>& write) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  write(os);
+  std::cout << "wrote " << what << " to " << path << "\n";
 }
 
 }  // namespace
@@ -72,12 +97,36 @@ int main(int argc, char** argv) {
   try {
     CliArgs args(argc, argv);
     const int p = (int)args.get_int("p", 8);
-    const std::string hname = args.get("heuristic", "ParDeepestFirst");
     const double cap_factor = args.get_double("cap-factor", 0.0);
+    const std::string default_algo =
+        cap_factor > 0.0 ? "MemoryBounded" : "ParDeepestFirst";
+    const std::vector<std::string> algos =
+        split_csv(args.get("algo", default_algo));
+    if (algos.empty()) {
+      throw std::invalid_argument(
+          "--algo needs at least one registry name (see --list)");
+    }
     const std::string schedule_csv = args.get("schedule-csv", "");
     const std::string profile_csv = args.get("profile-csv", "");
     const bool gantt = args.get_bool("gantt", false);
+    const bool list = args.get_bool("list", false);
     const std::string save_tree = args.get("save-tree", "");
+    if (list) {
+      args.reject_unknown();
+      std::cout << "registered algorithms:\n";
+      for (const std::string& name : SchedulerRegistry::instance().names()) {
+        const auto caps =
+            SchedulerRegistry::instance().create(name)->capabilities();
+        std::cout << "  " << name;
+        if (caps.sequential_only) std::cout << "  [sequential]";
+        if (caps.memory_capped) std::cout << "  [memory-capped]";
+        if (caps.is_oracle()) {
+          std::cout << "  [oracle, n <= " << caps.max_nodes << "]";
+        }
+        std::cout << "\n";
+      }
+      return 0;
+    }
     const Tree tree = load_tree(args);
     args.reject_unknown();
 
@@ -92,52 +141,52 @@ int main(int argc, char** argv) {
               << lb.memory_exact << " (postorder estimate "
               << lb.memory_postorder << ")\n";
 
-    Schedule schedule;
-    std::string used;
+    Resources res{p, 0};
     if (cap_factor > 0.0) {
-      const auto cap =
+      res.memory_cap =
           (MemSize)((double)min_feasible_cap(tree) * cap_factor);
-      auto r = memory_bounded_schedule(tree, p, cap);
-      if (!r) {
-        std::cerr << "cap " << cap << " below the feasibility floor "
-                  << min_feasible_cap(tree) << "\n";
+      std::cout << "memory cap: " << res.memory_cap << " (" << cap_factor
+                << "x the best-postorder peak)\n";
+    }
+
+    for (const std::string& name : algos) {
+      const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
+      if (res.memory_cap != 0 && !sched->capabilities().memory_capped) {
+        std::cout << "note: " << name
+                  << " is not memory-capped and ignores --cap-factor\n";
+      }
+      const Schedule schedule = sched->schedule(tree, res);
+      const auto v = validate_schedule(tree, schedule, p);
+      if (!v.ok) {
+        std::cerr << "BUG: invalid schedule from " << name << ": " << v.error
+                  << "\n";
         return 1;
       }
-      schedule = std::move(r->schedule);
-      used = "MemoryBounded(cap=" + std::to_string(cap) + ")";
-    } else {
-      schedule = run_heuristic(tree, p, parse_heuristic(hname));
-      used = hname;
-    }
+      const auto st = schedule_stats(tree, schedule, p);
+      std::cout << "\n" << name << " on p = " << p << ":\n"
+                << "  makespan:   " << st.makespan << "  ("
+                << fmt(st.makespan / lb.makespan, 3) << "x lower bound)\n"
+                << "  peak memory: " << st.peak_memory << "  ("
+                << fmt((double)st.peak_memory / (double)lb.memory_postorder, 3)
+                << "x sequential postorder)\n"
+                << "  processors used: " << st.processors_used << "/" << p
+                << ", avg utilization " << fmt_pct(st.avg_utilization) << "\n";
 
-    const auto v = validate_schedule(tree, schedule, p);
-    if (!v.ok) {
-      std::cerr << "BUG: invalid schedule: " << v.error << "\n";
-      return 1;
-    }
-    const auto st = schedule_stats(tree, schedule, p);
-    std::cout << "\n" << used << " on p = " << p << ":\n"
-              << "  makespan:   " << st.makespan << "  ("
-              << fmt(st.makespan / lb.makespan, 3) << "x lower bound)\n"
-              << "  peak memory: " << st.peak_memory << "  ("
-              << fmt((double)st.peak_memory / (double)lb.memory_postorder, 3)
-              << "x sequential postorder)\n"
-              << "  processors used: " << st.processors_used << "/" << p
-              << ", avg utilization " << fmt_pct(st.avg_utilization) << "\n";
-
-    if (gantt) {
-      std::cout << "\n";
-      ascii_gantt(std::cout, tree, schedule, p);
-    }
-    if (!schedule_csv.empty()) {
-      std::ofstream os(schedule_csv);
-      write_schedule_csv(os, tree, schedule);
-      std::cout << "wrote schedule to " << schedule_csv << "\n";
-    }
-    if (!profile_csv.empty()) {
-      std::ofstream os(profile_csv);
-      write_memory_profile_csv(os, tree, schedule);
-      std::cout << "wrote memory profile to " << profile_csv << "\n";
+      if (gantt) {
+        std::cout << "\n";
+        ascii_gantt(std::cout, tree, schedule, p);
+      }
+      const bool multi = algos.size() > 1;
+      if (!schedule_csv.empty()) {
+        dump_csv(algo_csv_path(schedule_csv, name, multi), "schedule",
+                 [&](std::ostream& os) { write_schedule_csv(os, tree, schedule); });
+      }
+      if (!profile_csv.empty()) {
+        dump_csv(algo_csv_path(profile_csv, name, multi), "memory profile",
+                 [&](std::ostream& os) {
+                   write_memory_profile_csv(os, tree, schedule);
+                 });
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -10,19 +10,35 @@ namespace treesched {
 
 namespace {
 
-std::size_t heuristic_index(Heuristic h) {
-  const auto& all = all_heuristics();
-  const auto it = std::find(all.begin(), all.end(), h);
-  return static_cast<std::size_t>(it - all.begin());
+/// The shared algorithm roster of a record set. Campaigns run every
+/// algorithm on every scenario, so the first record is authoritative;
+/// mixing records from campaigns with different rosters is rejected
+/// rather than read out of bounds.
+const std::vector<std::string>& roster(
+    const std::vector<ScenarioRecord>& records) {
+  static const std::vector<std::string> kEmpty;
+  if (records.empty()) return kEmpty;
+  for (const ScenarioRecord& rec : records) {
+    if (rec.algos != records.front().algos) {
+      throw std::invalid_argument(
+          "report: records mix different algorithm rosters");
+    }
+  }
+  return records.front().algos;
+}
+
+std::string norm_reference(Normalization norm) {
+  return norm == Normalization::kParSubtrees ? "ParSubtrees"
+                                             : "ParInnerFirst";
 }
 
 }  // namespace
 
 std::vector<Table1Row> table1(const std::vector<ScenarioRecord>& records) {
-  const auto& hs = all_heuristics();
-  const std::size_t H = hs.size();
+  const std::vector<std::string>& algos = roster(records);
+  const std::size_t H = algos.size();
   std::vector<Table1Row> rows(H);
-  for (std::size_t k = 0; k < H; ++k) rows[k].heuristic = heuristic_name(hs[k]);
+  for (std::size_t k = 0; k < H; ++k) rows[k].algorithm = algos[k];
   if (records.empty()) return rows;
 
   std::vector<std::vector<double>> mem_dev(H), ms_dev(H);
@@ -69,12 +85,12 @@ std::vector<Table1Row> table1_for_p(const std::vector<ScenarioRecord>& records,
 void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
   os << "Table 1: shares of best (or near-best) performance and average "
         "deviations\n";
-  os << std::left << std::setw(18) << "Heuristic" << std::right
+  os << std::left << std::setw(18) << "Algorithm" << std::right
      << std::setw(12) << "BestMem" << std::setw(12) << "Mem<=5%"
      << std::setw(14) << "AvgDevMem" << std::setw(12) << "BestMs"
      << std::setw(12) << "Ms<=5%" << std::setw(14) << "AvgDevMs" << "\n";
   for (const Table1Row& r : rows) {
-    os << std::left << std::setw(18) << r.heuristic << std::right
+    os << std::left << std::setw(18) << r.algorithm << std::right
        << std::setw(12) << fmt_pct(r.best_memory_share) << std::setw(12)
        << fmt_pct(r.within5_memory_share) << std::setw(14)
        << fmt_pct(r.avg_memory_deviation) << std::setw(12)
@@ -86,16 +102,17 @@ void print_table1(std::ostream& os, const std::vector<Table1Row>& rows) {
 
 std::vector<FigureSeries> figure_series(
     const std::vector<ScenarioRecord>& records, Normalization norm) {
-  const auto& hs = all_heuristics();
-  const std::size_t H = hs.size();
+  const std::vector<std::string>& algos = roster(records);
+  const std::size_t H = algos.size();
   std::vector<FigureSeries> series(H);
   for (std::size_t k = 0; k < H; ++k) {
-    series[k].heuristic = heuristic_name(hs[k]);
+    series[k].algorithm = algos[k];
   }
+  if (records.empty()) return series;
   const std::size_t ref_idx =
-      norm == Normalization::kParSubtrees
-          ? heuristic_index(Heuristic::kParSubtrees)
-          : heuristic_index(Heuristic::kParInnerFirst);
+      norm == Normalization::kLowerBound
+          ? 0  // unused
+          : records.front().index_of(norm_reference(norm));
   for (const ScenarioRecord& rec : records) {
     double ms_ref, mem_ref;
     if (norm == Normalization::kLowerBound) {
@@ -122,11 +139,11 @@ std::vector<FigureSeries> figure_series(
 void print_figure(std::ostream& os, const std::vector<FigureSeries>& series,
                   const std::string& title) {
   os << title << "\n";
-  os << std::left << std::setw(18) << "Heuristic" << std::right
+  os << std::left << std::setw(18) << "Algorithm" << std::right
      << std::setw(34) << "rel. makespan (p10/mean/p90)" << std::setw(34)
      << "rel. memory (p10/mean/p90)" << "\n";
   for (const FigureSeries& s : series) {
-    os << std::left << std::setw(18) << s.heuristic << std::right
+    os << std::left << std::setw(18) << s.algorithm << std::right
        << std::setw(12) << fmt(s.makespan_summary.p10) << std::setw(10)
        << fmt(s.makespan_summary.mean) << std::setw(10)
        << fmt(s.makespan_summary.p90) << std::setw(16)
@@ -139,12 +156,13 @@ void print_figure(std::ostream& os, const std::vector<FigureSeries>& series,
 void write_scatter_csv(std::ostream& os,
                        const std::vector<ScenarioRecord>& records,
                        Normalization norm) {
-  const auto& hs = all_heuristics();
-  os << "tree,n,p,heuristic,rel_makespan,rel_memory,makespan,memory\n";
+  os << "tree,n,p,algorithm,rel_makespan,rel_memory,makespan,memory\n";
+  if (records.empty()) return;
+  (void)roster(records);  // reject mixed-roster record sets
   const std::size_t ref_idx =
-      norm == Normalization::kParSubtrees
-          ? heuristic_index(Heuristic::kParSubtrees)
-          : heuristic_index(Heuristic::kParInnerFirst);
+      norm == Normalization::kLowerBound
+          ? 0  // unused
+          : records.front().index_of(norm_reference(norm));
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const ScenarioRecord& rec : records) {
     double ms_ref, mem_ref;
@@ -155,9 +173,9 @@ void write_scatter_csv(std::ostream& os,
       ms_ref = rec.makespan[ref_idx];
       mem_ref = static_cast<double>(rec.memory[ref_idx]);
     }
-    for (std::size_t k = 0; k < hs.size(); ++k) {
+    for (std::size_t k = 0; k < rec.algos.size(); ++k) {
       os << rec.tree_name << ',' << rec.tree_size << ',' << rec.p << ','
-         << heuristic_name(hs[k]) << ',' << rec.makespan[k] / ms_ref << ','
+         << rec.algos[k] << ',' << rec.makespan[k] / ms_ref << ','
          << static_cast<double>(rec.memory[k]) / mem_ref << ','
          << rec.makespan[k] << ',' << rec.memory[k] << "\n";
     }

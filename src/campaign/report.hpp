@@ -1,8 +1,12 @@
 #pragma once
 // Renders campaign results as the paper's artifacts:
 //  * Table 1: best-memory / best-makespan shares and average deviations;
-//  * Figures 6-8: per-heuristic (relative makespan, relative memory) series
+//  * Figures 6-8: per-algorithm (relative makespan, relative memory) series
 //    with mean / 10th / 90th percentile "crosses".
+//
+// Rows are keyed by SchedulerRegistry name and derived from the records
+// themselves, so any campaign roster (paper heuristics, memory-capped
+// schedulers, sequential baselines) renders without code changes.
 
 #include <iosfwd>
 #include <string>
@@ -15,10 +19,11 @@ namespace treesched {
 
 /// One Table 1 row.
 struct Table1Row {
-  std::string heuristic;
+  std::string algorithm;                ///< SchedulerRegistry name
   double best_memory_share = 0.0;       ///< scenarios where it is best
   double within5_memory_share = 0.0;    ///< within 5% of the best
-  double avg_memory_deviation = 0.0;    ///< mean(mem / seq optimum - 1)
+  double avg_memory_deviation = 0.0;    ///< mean(mem / postorder bound - 1);
+                                        ///< can dip below 0 for Liu
   double best_makespan_share = 0.0;
   double within5_makespan_share = 0.0;
   double avg_makespan_deviation = 0.0;  ///< mean(ms / best ms - 1)
@@ -39,15 +44,17 @@ enum class Normalization {
   kParInnerFirst,   ///< Figure 8
 };
 
-/// Per-heuristic scatter series (one point per scenario) plus summaries.
+/// Per-algorithm scatter series (one point per scenario) plus summaries.
 struct FigureSeries {
-  std::string heuristic;
+  std::string algorithm;
   std::vector<double> rel_makespan;
   std::vector<double> rel_memory;
   Summary makespan_summary;
   Summary memory_summary;
 };
 
+/// Throws std::invalid_argument when the normalization reference algorithm
+/// is not part of the campaign roster.
 std::vector<FigureSeries> figure_series(
     const std::vector<ScenarioRecord>& records, Normalization norm);
 
@@ -55,7 +62,7 @@ std::vector<FigureSeries> figure_series(
 void print_figure(std::ostream& os, const std::vector<FigureSeries>& series,
                   const std::string& title);
 
-/// Dumps one CSV line per (scenario, heuristic) for external plotting.
+/// Dumps one CSV line per (scenario, algorithm) for external plotting.
 void write_scatter_csv(std::ostream& os,
                        const std::vector<ScenarioRecord>& records,
                        Normalization norm);

@@ -1,57 +1,43 @@
 #include "campaign/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/lower_bounds.hpp"
 #include "core/simulator.hpp"
-#include "parallel/par_deepest_first.hpp"
-#include "parallel/par_inner_first.hpp"
-#include "parallel/par_subtrees.hpp"
 #include "sequential/postorder.hpp"
 #include "util/parallel.hpp"
 
 namespace treesched {
 
-const std::vector<Heuristic>& all_heuristics() {
-  static const std::vector<Heuristic> kAll{
-      Heuristic::kParSubtrees,
-      Heuristic::kParSubtreesOptim,
-      Heuristic::kParInnerFirst,
-      Heuristic::kParDeepestFirst,
-  };
-  return kAll;
+std::size_t ScenarioRecord::index_of(const std::string& algo) const {
+  for (std::size_t k = 0; k < algos.size(); ++k) {
+    if (algos[k] == algo) return k;
+  }
+  throw std::invalid_argument("ScenarioRecord: algorithm \"" + algo +
+                              "\" not in this campaign");
 }
 
-std::string heuristic_name(Heuristic h) {
-  switch (h) {
-    case Heuristic::kParSubtrees:
-      return "ParSubtrees";
-    case Heuristic::kParSubtreesOptim:
-      return "ParSubtreesOptim";
-    case Heuristic::kParInnerFirst:
-      return "ParInnerFirst";
-    case Heuristic::kParDeepestFirst:
-      return "ParDeepestFirst";
+bool ScenarioRecord::has(const std::string& algo) const {
+  for (const std::string& a : algos) {
+    if (a == algo) return true;
   }
-  throw std::logic_error("unknown heuristic");
-}
-
-Schedule run_heuristic(const Tree& tree, int p, Heuristic h) {
-  switch (h) {
-    case Heuristic::kParSubtrees:
-      return par_subtrees(tree, p);
-    case Heuristic::kParSubtreesOptim:
-      return par_subtrees_optim(tree, p);
-    case Heuristic::kParInnerFirst:
-      return par_inner_first(tree, p);
-    case Heuristic::kParDeepestFirst:
-      return par_deepest_first(tree, p);
-  }
-  throw std::logic_error("unknown heuristic");
+  return false;
 }
 
 std::vector<ScenarioRecord> run_campaign(
     const std::vector<DatasetEntry>& dataset, const CampaignParams& params) {
+  const std::vector<std::string> algos = params.algorithms.empty()
+                                             ? default_campaign_algorithms()
+                                             : params.algorithms;
+  // Resolve all names up front: unknown names fail before any work, and
+  // the (stateless, thread-safe) instances are shared across workers.
+  std::vector<SchedulerPtr> schedulers;
+  schedulers.reserve(algos.size());
+  for (const std::string& name : algos) {
+    schedulers.push_back(SchedulerRegistry::instance().create(name));
+  }
+
   std::vector<ScenarioRecord> records(dataset.size() *
                                       params.processor_counts.size());
   parallel_for(
@@ -67,14 +53,16 @@ std::vector<ScenarioRecord> run_campaign(
         rec.p = p;
         rec.lb_makespan = makespan_lower_bound(entry.tree, p);
         rec.lb_memory = best_postorder_memory(entry.tree);
-        for (Heuristic h : all_heuristics()) {
-          const Schedule s = run_heuristic(entry.tree, p, h);
+        rec.algos = algos;
+        for (std::size_t k = 0; k < schedulers.size(); ++k) {
+          const Schedule s =
+              schedulers[k]->schedule(entry.tree, Resources{p, 0});
           if (params.validate) {
             const ValidationResult v = validate_schedule(entry.tree, s, p);
             if (!v.ok) {
               throw std::logic_error("campaign: invalid schedule from " +
-                                     heuristic_name(h) + " on " + entry.name +
-                                     ": " + v.error);
+                                     algos[k] + " on " + entry.name + ": " +
+                                     v.error);
             }
           }
           const SimulationResult sim = simulate(entry.tree, s);

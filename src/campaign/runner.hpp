@@ -1,55 +1,55 @@
 #pragma once
-// Campaign runner: executes every heuristic on every (tree, p) scenario,
-// validates and scores the schedules, and collects per-scenario records —
-// the raw material behind Table 1 and Figures 6-8.
+// Campaign runner: executes a roster of registered scheduling algorithms
+// on every (tree, p) scenario, validates and scores the schedules, and
+// collects per-scenario records — the raw material behind Table 1 and
+// Figures 6-8.
+//
+// Algorithms are selected by SchedulerRegistry name; the default roster is
+// default_campaign_algorithms() (paper heuristics + memory-capped
+// schedulers + sequential baselines, oracles excluded).
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "campaign/dataset.hpp"
 #include "core/schedule.hpp"
 #include "core/tree.hpp"
+#include "sched/registry.hpp"
 
 namespace treesched {
 
-enum class Heuristic {
-  kParSubtrees,
-  kParSubtreesOptim,
-  kParInnerFirst,
-  kParDeepestFirst,
-};
-
-/// The four heuristics, in the paper's Table 1 order.
-const std::vector<Heuristic>& all_heuristics();
-
-/// Display name matching the paper ("ParSubtrees", ...).
-std::string heuristic_name(Heuristic h);
-
-/// Dispatches to the heuristic implementation.
-Schedule run_heuristic(const Tree& tree, int p, Heuristic h);
-
-/// One scenario = (tree, p); stores each heuristic's (makespan, memory)
-/// plus the lower bounds, mirroring one dot per heuristic in Figure 6.
+/// One scenario = (tree, p); stores each algorithm's (makespan, memory)
+/// plus the lower bounds, mirroring one dot per algorithm in Figure 6.
 struct ScenarioRecord {
   std::string tree_name;
   NodeId tree_size = 0;
   int p = 0;
-  double lb_makespan = 0.0;      ///< max(W/p, critical path)
-  MemSize lb_memory = 0;         ///< best sequential postorder peak
-  std::vector<double> makespan;  ///< indexed like all_heuristics()
-  std::vector<MemSize> memory;
+  double lb_makespan = 0.0;        ///< max(W/p, critical path)
+  MemSize lb_memory = 0;           ///< best sequential postorder peak
+  std::vector<std::string> algos;  ///< registry names, campaign order
+  std::vector<double> makespan;    ///< indexed like algos
+  std::vector<MemSize> memory;     ///< indexed like algos
+
+  /// Position of `algo` in `algos`. Throws std::invalid_argument when the
+  /// algorithm was not part of the campaign.
+  [[nodiscard]] std::size_t index_of(const std::string& algo) const;
+  [[nodiscard]] bool has(const std::string& algo) const;
 };
 
 struct CampaignParams {
   std::vector<int> processor_counts{2, 4, 8, 16, 32};
+  /// SchedulerRegistry names to run; empty = default_campaign_algorithms().
+  std::vector<std::string> algorithms;
   /// Validate every schedule (adds ~2x cost; on by default — the campaign
   /// doubles as an integration test).
   bool validate = true;
   unsigned threads = 0;  ///< 0 = hardware concurrency
 };
 
-/// Runs every heuristic on every dataset entry and processor count.
-/// Scenario order is deterministic and independent of thread count.
+/// Runs every selected algorithm on every dataset entry and processor
+/// count. Scenario order is deterministic and independent of thread count.
+/// Throws std::invalid_argument up front on unknown algorithm names.
 std::vector<ScenarioRecord> run_campaign(
     const std::vector<DatasetEntry>& dataset, const CampaignParams& params);
 

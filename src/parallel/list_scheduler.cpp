@@ -13,12 +13,11 @@ struct ReadyEntry {
   NodeId node;
 };
 
-// Max-heap under "less": top = highest priority = smallest key.
+// Max-heap under "less": top = highest priority = smallest key. The key's
+// embedded node id (stamped by list_schedule) makes the order total.
 struct ReadyLess {
   bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    if (b.key < a.key) return true;
-    if (a.key < b.key) return false;
-    return b.node < a.node;
+    return b.key < a.key;
   }
 };
 
@@ -46,12 +45,16 @@ Schedule list_schedule(const Tree& tree, int p,
   Schedule s(n);
   if (n == 0) return s;
 
+  // Stamp the node id into each key: the explicit final tie-break.
+  std::vector<PriorityKey> key(priority);
+  for (NodeId i = 0; i < n; ++i) key[i].node = i;
+
   std::vector<NodeId> pending(static_cast<std::size_t>(n));
   BinaryHeap<ReadyEntry, ReadyLess> ready;
   ready.reserve(static_cast<std::size_t>(n));
   for (NodeId i = 0; i < n; ++i) {
     pending[i] = tree.num_children(i);
-    if (pending[i] == 0) ready.push({priority[i], i});
+    if (pending[i] == 0) ready.push({key[i], i});
   }
 
   BinaryHeap<FinishEvent, FinishLess> events;
@@ -81,7 +84,7 @@ Schedule list_schedule(const Tree& tree, int p,
       idle.push_back(s.proc[ev.node]);
       const NodeId par = tree.parent(ev.node);
       if (par != kNoNode && --pending[par] == 0) {
-        ready.push({priority[par], par});
+        ready.push({key[par], par});
       }
     }
     assign();

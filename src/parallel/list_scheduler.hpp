@@ -11,6 +11,7 @@
 // approximation of the optimal makespan (Graham 1966) and satisfies
 // C_max <= W/p + (1 - 1/p) * CP.
 
+#include <tuple>
 #include <vector>
 
 #include "core/schedule.hpp"
@@ -18,16 +19,18 @@
 
 namespace treesched {
 
-/// Lexicographic priority: lower key = scheduled earlier.
+/// Lexicographic priority: lower key = scheduled earlier. The node id is
+/// the explicit final tie-break, so ordering is total and list schedules
+/// are fully deterministic even when k1-k3 collide.
 struct PriorityKey {
   double k1 = 0.0;
   double k2 = 0.0;
   double k3 = 0.0;
+  NodeId node = kNoNode;  ///< set by list_schedule; kNoNode compares equal
 
   friend bool operator<(const PriorityKey& a, const PriorityKey& b) {
-    if (a.k1 != b.k1) return a.k1 < b.k1;
-    if (a.k2 != b.k2) return a.k2 < b.k2;
-    return a.k3 < b.k3;
+    return std::tie(a.k1, a.k2, a.k3, a.node) <
+           std::tie(b.k1, b.k2, b.k3, b.node);
   }
 };
 

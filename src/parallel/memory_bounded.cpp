@@ -17,9 +17,7 @@ struct ReadyEntry {
 };
 struct ReadyLess {
   bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {
-    if (b.key < a.key) return true;
-    if (a.key < b.key) return false;
-    return b.node < a.node;
+    return b.key < a.key;
   }
 };
 struct FinishEvent {
@@ -47,7 +45,11 @@ class BoundedScheduler {
     sigma_pos_ = order_positions(sigma_);
     if (opts_.priority.empty()) {
       opts_.priority = deepest_first_priorities(tree_, sigma_);
+    } else if (static_cast<NodeId>(opts_.priority.size()) != n) {
+      throw std::invalid_argument("memory_bounded: priority size mismatch");
     }
+    // Stamp the node id into each key: the explicit final tie-break.
+    for (NodeId i = 0; i < n; ++i) opts_.priority[i].node = i;
 
     MemoryBoundedResult res;
     res.cap = cap_;

@@ -1,0 +1,81 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace treesched {
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  detail::link_builtin_schedulers();
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+void SchedulerRegistry::add(const std::string& name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("SchedulerRegistry: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("SchedulerRegistry: null factory for " + name);
+  }
+  if (contains(name)) {
+    throw std::invalid_argument("SchedulerRegistry: duplicate name " + name);
+  }
+  entries_.push_back({name, std::move(factory)});
+}
+
+bool SchedulerRegistry::contains(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+SchedulerPtr SchedulerRegistry::create(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.factory();
+  }
+  std::string known;
+  for (const Entry& e : entries_) {
+    if (!known.empty()) known += ", ";
+    known += e.name;
+  }
+  throw std::invalid_argument("SchedulerRegistry: unknown scheduler \"" +
+                              name + "\" (known: " + known + ")");
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> SchedulerRegistry::names_where(
+    const std::function<bool(const Scheduler&)>& pred) const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (pred(*e.factory())) out.push_back(e.name);
+  }
+  return out;
+}
+
+SchedulerRegistrar::SchedulerRegistrar(const std::string& name,
+                                       SchedulerRegistry::Factory factory) {
+  SchedulerRegistry::instance().add(name, std::move(factory));
+}
+
+std::vector<std::string> default_campaign_algorithms() {
+  return SchedulerRegistry::instance().names_where([](const Scheduler& s) {
+    return !s.capabilities().is_oracle();
+  });
+}
+
+std::vector<std::string> parallel_campaign_algorithms() {
+  return SchedulerRegistry::instance().names_where([](const Scheduler& s) {
+    const SchedulerCapabilities caps = s.capabilities();
+    return !caps.is_oracle() && !caps.sequential_only;
+  });
+}
+
+}  // namespace treesched

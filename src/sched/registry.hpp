@@ -1,0 +1,82 @@
+#pragma once
+// String-keyed registry of scheduling algorithms. Adding a heuristic is a
+// single self-registering class (TREESCHED_REGISTER_SCHEDULER) instead of
+// the old 6-file `Heuristic` enum surgery; campaigns, benches, CLIs and
+// tests enumerate algorithms exclusively through this registry.
+//
+// Registration order is preserved: the built-ins register in the paper's
+// Table 1 order first, so default enumerations match the paper's layout.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace treesched {
+
+class SchedulerRegistry {
+ public:
+  using Factory = std::function<SchedulerPtr()>;
+
+  /// The process-wide registry (built-ins are linked in on first use).
+  static SchedulerRegistry& instance();
+
+  /// Registers a factory under `name`. Throws std::invalid_argument on a
+  /// duplicate name. Not thread-safe against concurrent lookups; all
+  /// registration happens during static initialization.
+  void add(const std::string& name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Instantiates the scheduler registered under `name`. Throws
+  /// std::invalid_argument listing the known names when `name` is unknown.
+  [[nodiscard]] SchedulerPtr create(const std::string& name) const;
+
+  /// All registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Names whose scheduler satisfies `pred`, in registration order.
+  [[nodiscard]] std::vector<std::string> names_where(
+      const std::function<bool(const Scheduler&)>& pred) const;
+
+ private:
+  SchedulerRegistry() = default;
+
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Registers a scheduler factory at static-initialization time:
+///   namespace { const SchedulerRegistrar reg{"Name", [] { ... }}; }
+class SchedulerRegistrar {
+ public:
+  SchedulerRegistrar(const std::string& name,
+                     SchedulerRegistry::Factory factory);
+};
+
+#define TREESCHED_REGISTER_SCHEDULER(tag, name, ...)              \
+  namespace {                                                     \
+  const ::treesched::SchedulerRegistrar registrar_##tag{          \
+      name, [] { return ::treesched::SchedulerPtr(__VA_ARGS__); }}; \
+  }
+
+/// The default campaign roster: every registered algorithm that scales to
+/// arbitrary trees (oracles excluded), in registration (= paper) order.
+std::vector<std::string> default_campaign_algorithms();
+
+/// The parallel subset of the campaign roster (sequential baselines also
+/// excluded) — what makespan-focused benches iterate.
+std::vector<std::string> parallel_campaign_algorithms();
+
+namespace detail {
+/// Defined in builtin_schedulers.cpp; referencing it forces the linker to
+/// keep that translation unit (and its self-registering statics) when
+/// treesched is consumed as a static library.
+void link_builtin_schedulers();
+}  // namespace detail
+
+}  // namespace treesched

@@ -33,20 +33,23 @@ MemSize resident_after(const Tree& tree, std::uint32_t mask) {
 }  // namespace
 
 MemSize bruteforce_min_sequential_memory(const Tree& tree) {
+  return bruteforce_optimal_traversal(tree).peak;
+}
+
+BruteforceTraversal bruteforce_optimal_traversal(const Tree& tree) {
   check_small(tree, 24);
+  BruteforceTraversal result;
   const NodeId n = tree.size();
-  if (n == 0) return 0;
-  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  if (n == 0) return result;
+  const std::uint32_t full = (1u << n) - 1u;
   std::vector<MemSize> best(static_cast<std::size_t>(full) + 1, kInf);
+  // `resident` is mask-determined (outputs of members whose parent is not
+  // yet in the mask), so updating it only on DP improvements is sound.
   std::vector<MemSize> resident(static_cast<std::size_t>(full) + 1, 0);
-  // Precompute resident memory per mask incrementally would be O(2^n);
-  // direct recomputation keeps the code simple at O(2^n * n).
+  std::vector<std::int8_t> choice(static_cast<std::size_t>(full) + 1, -1);
   best[0] = 0;
   for (std::uint32_t mask = 0; mask <= full; ++mask) {
     if (best[mask] == kInf) continue;
-    if (mask == 0) {
-      resident[0] = 0;
-    }
     const MemSize res_mem = resident[mask];
     for (NodeId x = 0; x < n; ++x) {
       if (mask >> x & 1u) continue;
@@ -64,6 +67,7 @@ MemSize bruteforce_min_sequential_memory(const Tree& tree) {
       const std::uint32_t nm = mask | (1u << x);
       if (peak < best[nm]) {
         best[nm] = peak;
+        choice[nm] = static_cast<std::int8_t>(x);
         // residual: x's inputs freed, f_x added.
         MemSize r = res_mem + tree.output_size(x);
         for (NodeId c : tree.children(x)) r -= tree.output_size(c);
@@ -74,7 +78,15 @@ MemSize bruteforce_min_sequential_memory(const Tree& tree) {
   if (best[full] == kInf) {
     throw std::logic_error("bruteforce: no traversal found");
   }
-  return best[full];
+  result.peak = best[full];
+  result.order.resize(static_cast<std::size_t>(n));
+  std::uint32_t mask = full;
+  for (NodeId k = n - 1; k >= 0; --k) {
+    const auto x = static_cast<NodeId>(choice[mask]);
+    result.order[static_cast<std::size_t>(k)] = x;
+    mask ^= (1u << x);
+  }
+  return result;
 }
 
 namespace {

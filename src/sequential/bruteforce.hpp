@@ -19,6 +19,16 @@ namespace treesched {
 /// Minimum peak memory over all sequential traversals. Throws if n > 24.
 MemSize bruteforce_min_sequential_memory(const Tree& tree);
 
+/// A traversal achieving the exact sequential optimum (same DP as
+/// bruteforce_min_sequential_memory with predecessor reconstruction).
+/// Throws if n > 24. Backs the "BruteForceSeq" oracle in the scheduler
+/// registry.
+struct BruteforceTraversal {
+  std::vector<NodeId> order;  ///< memory-optimal traversal
+  MemSize peak = 0;           ///< == bruteforce_min_sequential_memory(tree)
+};
+BruteforceTraversal bruteforce_optimal_traversal(const Tree& tree);
+
 /// Minimum peak memory over all *postorders*. Throws if n > 24 or any node
 /// has more than 8 children.
 MemSize bruteforce_min_postorder_memory(const Tree& tree);

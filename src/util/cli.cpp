@@ -65,6 +65,18 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
                               it->second);
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) out.push_back(csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
 void CliArgs::describe(const std::string& name) { seen_[name] = true; }
 
 void CliArgs::reject_unknown() const {

@@ -10,6 +10,10 @@
 
 namespace treesched {
 
+/// Splits "a,b,c" into its non-empty components (for list-valued flags
+/// like --algo and --procs).
+std::vector<std::string> split_csv(const std::string& csv);
+
 class CliArgs {
  public:
   /// Parses argv. Throws std::invalid_argument on malformed input.

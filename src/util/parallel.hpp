@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -13,8 +15,10 @@ namespace treesched {
 
 /// Runs fn(i) for i in [0, n) on up to `threads` worker threads
 /// (0 = hardware concurrency). fn must be safe to call concurrently for
-/// distinct i. Exceptions inside fn terminate (keep workers exception-free;
-/// the campaign runner catches and records per-item errors itself).
+/// distinct i. If any fn(i) throws, the first exception (by completion
+/// time) is captured, the remaining iterations are abandoned as workers
+/// notice the failure, and the exception is rethrown on the calling thread
+/// after all workers joined.
 inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                          unsigned threads = 0) {
   if (n == 0) return;
@@ -26,18 +30,30 @@ inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& 
     return;
   }
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(hw);
   for (unsigned t = 0; t < hw; ++t) {
     pool.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace treesched

@@ -8,8 +8,8 @@
 #include <algorithm>
 #include <limits>
 
-#include "campaign/runner.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "trees/generators.hpp"
 #include "util/random.hpp"
 
@@ -30,7 +30,8 @@ Fixture make_fixture(std::uint64_t seed) {
   params.max_work = 5.0;
   params.depth_bias = 1.0;
   Fixture f{random_tree(params, rng), {}, 4};
-  f.schedule = run_heuristic(f.tree, f.p, Heuristic::kParInnerFirst);
+  f.schedule = SchedulerRegistry::instance().create("ParInnerFirst")
+                   ->schedule(f.tree, Resources{f.p, 0});
   return f;
 }
 

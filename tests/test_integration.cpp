@@ -7,13 +7,13 @@
 
 #include <sstream>
 
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
 #include "core/outtree.hpp"
 #include "core/simulator.hpp"
 #include "core/trace.hpp"
 #include "parallel/capped_subtrees.hpp"
 #include "parallel/memory_bounded.hpp"
+#include "sched/registry.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "spmatrix/amalgamation.hpp"
@@ -60,11 +60,13 @@ TEST_P(PipelineTest, EndToEnd) {
   EXPECT_LE(liu.peak, po.peak);
   EXPECT_EQ(sequential_peak_memory(tree, liu.order), liu.peak);
 
-  // 5. Every heuristic produces a feasible schedule above both bounds.
+  // 5. Every campaign algorithm produces a feasible schedule above both
+  // bounds.
   const auto lb = lower_bounds(tree, p);
-  for (Heuristic h : all_heuristics()) {
-    const Schedule s = run_heuristic(tree, p, h);
-    ASSERT_TRUE(validate_schedule(tree, s, p).ok) << heuristic_name(h);
+  for (const std::string& algo : default_campaign_algorithms()) {
+    const Schedule s = SchedulerRegistry::instance().create(algo)->schedule(
+        tree, Resources{p, 0});
+    ASSERT_TRUE(validate_schedule(tree, s, p).ok) << algo;
     const auto sim = simulate(tree, s);
     EXPECT_GE(sim.makespan, lb.makespan - 1e-9);
     EXPECT_GE(sim.peak_memory, lb.memory_exact);

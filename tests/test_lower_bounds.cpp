@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulator.hpp"
-#include "campaign/runner.hpp"
+#include "sched/registry.hpp"
 #include "test_helpers.hpp"
 #include "trees/generators.hpp"
 #include "util/random.hpp"
@@ -44,7 +44,7 @@ TEST(LowerBounds, SkippingExactMemoryCopiesPostorder) {
   EXPECT_EQ(lb.memory_exact, lb.memory_postorder);
 }
 
-TEST(LowerBounds, AllHeuristicsRespectBothBounds) {
+TEST(LowerBounds, AllCampaignAlgorithmsRespectBothBounds) {
   Rng rng(17);
   for (int trial = 0; trial < 15; ++trial) {
     RandomTreeParams params;
@@ -57,11 +57,12 @@ TEST(LowerBounds, AllHeuristicsRespectBothBounds) {
     Tree t = random_tree(params, rng);
     for (int p : {2, 8}) {
       const auto lb = lower_bounds(t, p);
-      for (Heuristic h : all_heuristics()) {
-        const auto sim = simulate(t, run_heuristic(t, p, h));
-        EXPECT_GE(sim.makespan, lb.makespan - 1e-9)
-            << heuristic_name(h);
-        EXPECT_GE(sim.peak_memory, lb.memory_exact) << heuristic_name(h);
+      for (const std::string& algo : default_campaign_algorithms()) {
+        const auto sim =
+            simulate(t, SchedulerRegistry::instance().create(algo)->schedule(
+                            t, Resources{p, 0}));
+        EXPECT_GE(sim.makespan, lb.makespan - 1e-9) << algo;
+        EXPECT_GE(sim.peak_memory, lb.memory_exact) << algo;
       }
     }
   }

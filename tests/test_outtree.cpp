@@ -2,8 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include "campaign/runner.hpp"
 #include "core/simulator.hpp"
+#include "sched/registry.hpp"
 #include "sequential/postorder.hpp"
 #include "test_helpers.hpp"
 #include "trees/generators.hpp"
@@ -21,7 +21,8 @@ TEST(OutTree, ReverseScheduleIsInvolution) {
   params.min_work = 1.0;
   params.max_work = 5.0;
   Tree t = random_tree(params, rng);
-  Schedule s = run_heuristic(t, 4, Heuristic::kParInnerFirst);
+  Schedule s = SchedulerRegistry::instance().create("ParInnerFirst")
+                   ->schedule(t, Resources{4, 0});
   Schedule rr = reverse_schedule(t, reverse_schedule(t, s));
   for (NodeId i = 0; i < t.size(); ++i) {
     EXPECT_NEAR(rr.start[i], s.start[i], 1e-9);
@@ -39,11 +40,11 @@ TEST(OutTree, ReversedScheduleIsFeasibleOutTree) {
     params.min_work = 1.0;
     params.max_work = 4.0;
     Tree t = random_tree(params, rng);
-    for (Heuristic h : all_heuristics()) {
-      Schedule s = run_heuristic(t, 4, h);
+    for (const std::string& algo : default_campaign_algorithms()) {
+      Schedule s = SchedulerRegistry::instance().create(algo)->schedule(
+          t, Resources{4, 0});
       Schedule rev = reverse_schedule(t, s);
-      EXPECT_TRUE(validate_out_tree_schedule(t, rev, 4).ok)
-          << heuristic_name(h);
+      EXPECT_TRUE(validate_out_tree_schedule(t, rev, 4).ok) << algo;
     }
   }
 }
@@ -61,7 +62,8 @@ TEST(OutTree, TimeReversalPreservesMakespanAndPeak) {
     params.depth_bias = rng.uniform01() * 2;
     Tree t = random_tree(params, rng);
     for (int p : {1, 3, 8}) {
-      Schedule s = run_heuristic(t, p, Heuristic::kParDeepestFirst);
+      Schedule s = SchedulerRegistry::instance().create("ParDeepestFirst")
+                       ->schedule(t, Resources{p, 0});
       const auto fwd = simulate(t, s);
       const auto bwd = simulate_out_tree(t, reverse_schedule(t, s));
       EXPECT_DOUBLE_EQ(bwd.makespan, fwd.makespan);

@@ -1,14 +1,15 @@
-// Parameterized property sweeps across (heuristic x processor count x
-// instance family) combinations: every schedule any heuristic emits, on
-// any instance, must be feasible, respect both lower bounds, and satisfy
-// the structural guarantees proved in the paper.
+// Parameterized property sweeps across (algorithm x processor count x
+// instance family) combinations: every schedule any registered algorithm
+// emits, on any instance, must be feasible, respect both lower bounds, and
+// satisfy the structural guarantees proved in the paper.
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
-#include "campaign/runner.hpp"
 #include "core/lower_bounds.hpp"
+#include "sched/registry.hpp"
 #include "core/simulator.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
@@ -62,34 +63,39 @@ Tree make_family_tree(Family f, std::uint64_t seed) {
   return random_tree(params, rng);
 }
 
-using HeuristicCase = std::tuple<Heuristic, int, Family>;
+using AlgorithmCase = std::tuple<std::string, int, Family>;
 
-class HeuristicProperty : public ::testing::TestWithParam<HeuristicCase> {};
+Schedule run_algo(const std::string& name, const Tree& t, int p) {
+  return SchedulerRegistry::instance().create(name)->schedule(
+      t, Resources{p, 0});
+}
 
-TEST_P(HeuristicProperty, ScheduleIsFeasible) {
-  const auto [h, p, fam] = GetParam();
+class AlgorithmProperty : public ::testing::TestWithParam<AlgorithmCase> {};
+
+TEST_P(AlgorithmProperty, ScheduleIsFeasible) {
+  const auto [algo, p, fam] = GetParam();
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Tree t = make_family_tree(fam, seed);
-    const Schedule s = run_heuristic(t, p, h);
+    const Schedule s = run_algo(algo, t, p);
     const auto v = validate_schedule(t, s, p);
     EXPECT_TRUE(v.ok) << v.error;
   }
 }
 
-TEST_P(HeuristicProperty, RespectsLowerBounds) {
-  const auto [h, p, fam] = GetParam();
+TEST_P(AlgorithmProperty, RespectsLowerBounds) {
+  const auto [algo, p, fam] = GetParam();
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Tree t = make_family_tree(fam, seed);
-    const auto sim = simulate(t, run_heuristic(t, p, h));
+    const auto sim = simulate(t, run_algo(algo, t, p));
     EXPECT_GE(sim.makespan, makespan_lower_bound(t, p) - 1e-9);
     EXPECT_GE(sim.peak_memory, min_sequential_memory(t));
   }
 }
 
-TEST_P(HeuristicProperty, EveryTaskRunsExactlyOnceAndInWindow) {
-  const auto [h, p, fam] = GetParam();
+TEST_P(AlgorithmProperty, EveryTaskRunsExactlyOnceAndInWindow) {
+  const auto [algo, p, fam] = GetParam();
   const Tree t = make_family_tree(fam, 7);
-  const Schedule s = run_heuristic(t, p, h);
+  const Schedule s = run_algo(algo, t, p);
   const double makespan = s.makespan(t);
   for (NodeId i = 0; i < t.size(); ++i) {
     EXPECT_GE(s.start[i], 0.0);
@@ -99,50 +105,62 @@ TEST_P(HeuristicProperty, EveryTaskRunsExactlyOnceAndInWindow) {
   }
 }
 
-TEST_P(HeuristicProperty, ListSchedulersMeetGrahamBound) {
-  const auto [h, p, fam] = GetParam();
-  if (h == Heuristic::kParSubtrees || h == Heuristic::kParSubtreesOptim) {
-    GTEST_SKIP() << "Graham bound applies to list schedules only";
+TEST_P(AlgorithmProperty, ListSchedulersMeetGrahamBound) {
+  const auto [algo, p, fam] = GetParam();
+  if (algo != "ParInnerFirst" && algo != "ParDeepestFirst") {
+    GTEST_SKIP() << "Graham bound applies to plain list schedules only";
   }
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Tree t = make_family_tree(fam, seed);
-    const auto sim = simulate(t, run_heuristic(t, p, h));
+    const auto sim = simulate(t, run_algo(algo, t, p));
     const double bound =
         t.total_work() / p + (1.0 - 1.0 / p) * t.critical_path();
     EXPECT_LE(sim.makespan, bound + 1e-6);
   }
 }
 
-TEST_P(HeuristicProperty, ParSubtreesMemoryGuarantee) {
-  const auto [h, p, fam] = GetParam();
-  if (h != Heuristic::kParSubtrees) {
+TEST_P(AlgorithmProperty, ParSubtreesMemoryGuarantee) {
+  const auto [algo, p, fam] = GetParam();
+  if (algo != "ParSubtrees") {
     GTEST_SKIP() << "the (p+1)-approximation is ParSubtrees' theorem";
   }
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const Tree t = make_family_tree(fam, seed);
-    const auto sim = simulate(t, run_heuristic(t, p, h));
+    const auto sim = simulate(t, run_algo(algo, t, p));
     EXPECT_LE(sim.peak_memory, (MemSize)(p + 1) * postorder(t).peak);
   }
 }
 
-std::string heuristic_case_name(
-    const ::testing::TestParamInfo<HeuristicCase>& info) {
-  const auto [h, p, fam] = info.param;
-  return heuristic_name(h) + "_p" + std::to_string(p) + "_" +
-         family_name(fam);
+TEST_P(AlgorithmProperty, SequentialAlgorithmsUseOneProcessor) {
+  const auto [algo, p, fam] = GetParam();
+  const SchedulerPtr sched = SchedulerRegistry::instance().create(algo);
+  if (!sched->capabilities().sequential_only) {
+    GTEST_SKIP() << "parallel algorithm";
+  }
+  const Tree t = make_family_tree(fam, 3);
+  const Schedule s = sched->schedule(t, Resources{p, 0});
+  for (NodeId i = 0; i < t.size(); ++i) EXPECT_EQ(s.proc[i], 0);
+  EXPECT_DOUBLE_EQ(s.makespan(t), t.total_work());
 }
 
+std::string algorithm_case_name(
+    const ::testing::TestParamInfo<AlgorithmCase>& info) {
+  const auto [algo, p, fam] = info.param;
+  return algo + "_p" + std::to_string(p) + "_" + family_name(fam);
+}
+
+// The sweep enumerates the registry (every default-campaign algorithm),
+// so newly registered algorithms are property-checked with no edit here.
+// The generator is evaluated at test-registration time, after all static
+// initialization, so the registry is fully populated.
 INSTANTIATE_TEST_SUITE_P(
-    AllHeuristics, HeuristicProperty,
+    AllAlgorithms, AlgorithmProperty,
     ::testing::Combine(
-        ::testing::Values(Heuristic::kParSubtrees,
-                          Heuristic::kParSubtreesOptim,
-                          Heuristic::kParInnerFirst,
-                          Heuristic::kParDeepestFirst),
+        ::testing::ValuesIn(default_campaign_algorithms()),
         ::testing::Values(2, 4, 16),
         ::testing::Values(Family::kPebbleShallow, Family::kPebbleDeep,
                           Family::kWeighted, Family::kAssemblyLike)),
-    heuristic_case_name);
+    algorithm_case_name);
 
 // ---------------------------------------------------------------------------
 // Postorder policies: every policy yields a valid traversal; the optimal

@@ -114,7 +114,7 @@ TEST(Cli, FallbacksAndUnknownRejection) {
 TEST(Cli, BadBooleanThrows) {
   const char* argv[] = {"prog", "--flag", "maybe"};
   CliArgs args(3, const_cast<char**>(argv));
-  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+  EXPECT_THROW((void)args.get_bool("flag", false), std::invalid_argument);
 }
 
 }  // namespace
