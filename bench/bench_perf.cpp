@@ -7,12 +7,25 @@
 //  * simulator replay            O(n log n)
 // plus one end-to-end benchmark per registered (non-oracle) scheduling
 // algorithm ("BM_Sched/<Name>"), registered dynamically from the registry
-// in main() so new algorithms are benchmarked without touching this file.
+// in main() so new algorithms are benchmarked without touching this file,
+// plus the scheduling-service batch path ("BM_Service/{cached,uncached}",
+// requests/sec via items_per_second).
+//
+// Every run also writes a machine-readable summary (default
+// BENCH_PR2.json, override with --bench_json=<path>): one entry per
+// benchmark with ns/op and items/sec — the perf-trajectory data points
+// the CI perf-smoke step uploads as an artifact.
 //
 // Smoke run for the perf pipeline:
-//   bench_perf --benchmark_filter=BM_Sched --benchmark_format=json
+//   bench_perf --benchmark_filter='BM_Sched|BM_Service' \
+//       --benchmark_min_time=0.01 --bench_json=BENCH_PR2.json
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/simulator.hpp"
 #include "parallel/par_deepest_first.hpp"
@@ -21,6 +34,7 @@
 #include "sched/registry.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
+#include "service/service.hpp"
 #include "trees/generators.hpp"
 #include "util/random.hpp"
 
@@ -133,13 +147,127 @@ void register_scheduler_benchmarks() {
   }
 }
 
+// The service batch path: K distinct requests (trees x algos x procs)
+// answered as one batch per iteration. Cached answers from the result
+// cache after the first iteration; uncached recomputes every request —
+// the requests/sec ratio is the cache's leverage.
+void BM_Service(benchmark::State& state, std::size_t cache_bytes) {
+  SchedulingService service(ServiceConfig{.cache_bytes = cache_bytes});
+  std::vector<ScheduleRequest> reqs;
+  for (std::int64_t seed = 0; seed < 4; ++seed) {
+    const TreeHandle handle =
+        service.intern(make_bench_tree((1 << 10) + seed));
+    for (const std::string& algo :
+         {"ParSubtrees", "ParInnerFirst", "ParDeepestFirst", "Liu"}) {
+      for (int p : {4, 16}) {
+        ScheduleRequest req;
+        req.tree = handle;
+        req.algo = algo;
+        req.p = p;
+        reqs.push_back(req);
+      }
+    }
+  }
+  // Warm-up batch outside the timing loop: the cached variant measures
+  // steady-state (hot cache) throughput, not the first-batch miss cost.
+  benchmark::DoNotOptimize(service.schedule_batch(reqs).size());
+  for (auto _ : state) {
+    const auto responses = service.schedule_batch(reqs);
+    benchmark::DoNotOptimize(responses.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reqs.size()));
+}
+
+void register_service_benchmarks() {
+  benchmark::RegisterBenchmark("BM_Service/cached", [](benchmark::State& s) {
+    BM_Service(s, ResultCache::kDefaultByteBudget);
+  });
+  benchmark::RegisterBenchmark("BM_Service/uncached",
+                               [](benchmark::State& s) { BM_Service(s, 0); });
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_PR2.json: a ConsoleReporter that additionally collects every
+// per-iteration run and writes {name, ns_per_op, items_per_second} when
+// the run finishes.
+// ---------------------------------------------------------------------------
+
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.report_big_o ||
+          run.report_rms || run.error_occurred || run.iterations == 0 ||
+          run.repetition_index > 0) {  // one entry per name, not per rep
+        continue;
+      }
+      Entry e;
+      e.name = run.benchmark_name();
+      e.ns_per_op = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      e.items_per_second =
+          it == run.counters.end() ? 0.0 : static_cast<double>(it->second);
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// True on success; complains on stderr otherwise.
+  bool write_json(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "bench_perf: cannot open " << path << " for writing\n";
+      return false;
+    }
+    os.precision(17);
+    os << "{\n  \"schema\": \"treesched-bench-pr2-v1\",\n"
+       << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      os << "    {\"name\": \"" << e.name << "\", \"ns_per_op\": "
+         << e.ns_per_op << ", \"items_per_second\": " << e.items_per_second
+         << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Our own flag, stripped before Google Benchmark parses the rest.
+  std::string json_path = "BENCH_PR2.json";
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const std::string prefix = "--bench_json=";
+      if (arg.rfind(prefix, 0) == 0) {
+        json_path = arg.substr(prefix.size());
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
   register_scheduler_benchmarks();
+  register_service_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  JsonTrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const bool wrote = reporter.write_json(json_path);
   benchmark::Shutdown();
-  return 0;
+  return wrote ? 0 : 1;
 }

@@ -1,0 +1,140 @@
+// Throughput of the scheduling service on a repeated-request workload:
+// the same K = trees x algos x procs distinct requests cycled --repeat
+// times, answered once with the result cache disabled (every request
+// recomputes — the pre-service cost model) and once with it enabled.
+// Reports requests/sec for both paths and the speedup; the PR 2
+// acceptance bar is >= 10x on the cached path.
+//
+//   $ ./bench_service
+//   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
+//
+// --json writes the numbers machine-readably (merged into BENCH_PR2.json
+// by the perf pipeline alongside bench_perf's per-algorithm ns/op).
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "service/service.hpp"
+#include "campaign/dataset.hpp"
+#include "trees/generators.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace treesched;
+
+double run_requests(SchedulingService& service,
+                    const std::vector<ScheduleRequest>& reqs,
+                    std::size_t passes) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    const auto responses = service.schedule_batch(reqs);
+    for (const ScheduleResponse& resp : responses) {
+      if (!resp.ok()) {
+        throw std::runtime_error("bench_service request failed: " +
+                                 resp.error);
+      }
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(reqs.size() * passes) / elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treesched;
+  try {
+    CliArgs args(argc, argv);
+    const auto num_trees = static_cast<std::size_t>(args.get_int("trees", 6));
+    const auto n = static_cast<NodeId>(args.get_int("n", 2000));
+    const auto repeat = static_cast<std::size_t>(args.get_int("repeat", 20));
+    const std::string procs_csv = args.get("procs", "2,8,32");
+    const std::string algos_csv = args.get(
+        "algos", "ParSubtrees,ParInnerFirst,ParDeepestFirst,Liu,BestPostorder");
+    const std::string json_path = args.get("json", "");
+    args.reject_unknown();
+
+    std::vector<int> procs;
+    for (const std::string& tok : split_csv(procs_csv)) {
+      procs.push_back(std::stoi(tok));
+    }
+    const std::vector<std::string> algos = split_csv(algos_csv);
+
+    // The distinct request set. Both services intern the same trees.
+    SchedulingService uncached(ServiceConfig{.cache_bytes = 0});
+    SchedulingService cached;
+    std::vector<ScheduleRequest> uncached_reqs, cached_reqs;
+    Rng rng(0x5e41ce);
+    for (std::size_t t = 0; t < num_trees; ++t) {
+      const Tree tree = synthetic_assembly_tree(n, 2.0, rng);
+      const TreeHandle hu = uncached.intern(tree);
+      const TreeHandle hc = cached.intern(tree);
+      for (const std::string& algo : algos) {
+        for (int p : procs) {
+          ScheduleRequest req;
+          req.algo = algo;
+          req.p = p;
+          req.tree = hu;
+          uncached_reqs.push_back(req);
+          req.tree = hc;
+          cached_reqs.push_back(req);
+        }
+      }
+    }
+    const std::size_t distinct = cached_reqs.size();
+
+    std::cout << "== bench_service ==\n"
+              << "distinct requests: " << distinct << "  (" << num_trees
+              << " trees x " << algos.size() << " algos x " << procs.size()
+              << " procs, n = " << n << ")\n"
+              << "workload: " << distinct * repeat
+              << " requests (each distinct request repeated " << repeat
+              << "x)\n\n";
+
+    // Uncached: one pass is enough to price the compute path (every pass
+    // costs the same; repeating it `repeat` times only wastes time).
+    const double uncached_rps = run_requests(uncached, uncached_reqs, 1);
+    const double cached_rps = run_requests(cached, cached_reqs, repeat);
+    const double speedup = cached_rps / uncached_rps;
+
+    const CacheStats cs = cached.cache_stats();
+    std::cout << std::fixed << std::setprecision(0)
+              << "uncached: " << uncached_rps << " requests/sec\n"
+              << "cached:   " << cached_rps << " requests/sec\n"
+              << std::setprecision(1) << "speedup:  " << speedup << "x"
+              << (speedup >= 10.0 ? "  (meets the >= 10x bar)"
+                                  : "  (BELOW the >= 10x bar)")
+              << "\n"
+              << "cache: " << cs.hits << " hits / " << cs.misses
+              << " misses (" << std::setprecision(1)
+              << 100.0 * cs.hit_rate() << "% hit rate), " << cs.entries
+              << " entries, " << cs.bytes << " bytes\n";
+
+    if (!json_path.empty()) {
+      std::ofstream os(json_path);
+      if (!os) throw std::runtime_error("cannot open " + json_path);
+      os << std::setprecision(17)
+         << "{\n"
+         << "  \"schema\": \"treesched-bench-service-v1\",\n"
+         << "  \"distinct_requests\": " << distinct << ",\n"
+         << "  \"repeat\": " << repeat << ",\n"
+         << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
+         << "  \"cached_requests_per_sec\": " << cached_rps << ",\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"cache_hit_rate\": " << cs.hit_rate() << "\n"
+         << "}\n";
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,246 @@
+// Streaming front-end for the scheduling service: reads newline-delimited
+// requests from a file or stdin, answers them through a SchedulingService
+// (shared instance store + result cache + batch executor), and streams one
+// response line per request, in request order.
+//
+// Request line:     <tree-spec> <algo> <p> [<memory-cap>]
+// Tree specs:       file:<path>             a treesched-tree v1 file
+//                   random:<n>:<seed>       random weighted tree
+//                   grid:<nx>:<z>           2D-grid assembly tree
+//                   synthetic:<n>:<seed>    assembly-like synthetic tree
+// '#' starts a comment; blank lines are skipped (both still produce no
+// response line).
+//
+// Response line:    ok tree=<hash> n=<nodes> algo=<name> p=<p> \
+//                       makespan=<ms> peak_memory=<bytes> cache=hit|miss
+// or:               error <message>
+//
+//   $ printf 'random:500:1 ParSubtrees 8\nrandom:500:1 ParSubtrees 8\n' \
+//       | ./schedule_service --stats
+//
+// Requests are executed in batches of --batch lines, so identical and
+// concurrent work dedupes while responses still stream incrementally.
+// --cache-mb 0 disables the result cache (every request recomputes).
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "service/service.hpp"
+#include "campaign/dataset.hpp"
+#include "trees/generators.hpp"
+#include "trees/io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace treesched;
+
+Tree tree_from_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("tree spec \"" + spec +
+                                "\" (want kind:args, e.g. random:500:1)");
+  }
+  const std::string kind = spec.substr(0, colon);
+  // Specs use ':' separators; reuse split_csv by swapping them in. File
+  // paths with ':' are not supported (rename the file).
+  std::string rest = spec.substr(colon + 1);
+  for (char& c : rest) {
+    if (c == ':') c = ',';
+  }
+  const std::vector<std::string> args = split_csv(rest);
+  if (kind == "file") {
+    if (args.size() != 1) {
+      throw std::invalid_argument("tree spec file:<path>");
+    }
+    return read_tree_file(args[0]);
+  }
+  if (kind == "random") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec random:<n>:<seed>");
+    }
+    Rng rng(std::stoull(args[1]));
+    RandomTreeParams params;
+    params.n = static_cast<NodeId>(std::stol(args[0]));
+    params.max_output = 100;
+    params.max_exec = 20;
+    params.min_work = 1.0;
+    params.max_work = 50.0;
+    return random_tree(params, rng);
+  }
+  if (kind == "grid") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec grid:<nx>:<z>");
+    }
+    const int nx = std::stoi(args[0]);
+    return grid2d_assembly_tree(nx, nx, std::stol(args[1]));
+  }
+  if (kind == "synthetic") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec synthetic:<n>:<seed>");
+    }
+    Rng rng(std::stoull(args[1]));
+    return synthetic_assembly_tree(static_cast<NodeId>(std::stol(args[0])),
+                                   2.0, rng);
+  }
+  throw std::invalid_argument("unknown tree spec kind \"" + kind +
+                              "\" (file|random|grid|synthetic)");
+}
+
+/// One input line: either a parsed request or a pre-rendered parse error,
+/// so batch output stays in input order.
+struct PendingLine {
+  bool is_request = false;
+  std::size_t request_index = 0;  ///< into the batch's request vector
+  std::string parse_error;
+};
+
+class RequestStream {
+ public:
+  explicit RequestStream(SchedulingService& service) : service_(service) {}
+
+  /// Parses one nonempty line into `requests`, memoizing tree specs so a
+  /// hot spec is generated/loaded once per process.
+  PendingLine parse(const std::string& line,
+                    std::vector<ScheduleRequest>& requests) {
+    PendingLine out;
+    try {
+      std::istringstream is(line);
+      std::string spec, algo;
+      int p = 0;
+      if (!(is >> spec >> algo >> p)) {
+        throw std::invalid_argument(
+            "request line must be: <tree-spec> <algo> <p> [<memory-cap>]");
+      }
+      // The optional cap is parsed from its token, not extracted as an
+      // unsigned directly — istream extraction would wrap "-5" into a
+      // huge cap without setting failbit.
+      MemSize cap = 0;
+      std::string cap_tok;
+      if (is >> cap_tok) {
+        if (cap_tok.empty() ||
+            cap_tok.find_first_not_of("0123456789") != std::string::npos) {
+          throw std::invalid_argument("memory cap \"" + cap_tok +
+                                      "\" is not a non-negative integer");
+        }
+        cap = std::stoull(cap_tok);
+      }
+      std::string extra;
+      if (is >> extra) {
+        throw std::invalid_argument("trailing token \"" + extra + "\"");
+      }
+      ScheduleRequest req;
+      req.tree = handle_for(spec);
+      req.algo = algo;
+      req.p = p;
+      req.memory_cap = cap;
+      out.is_request = true;
+      out.request_index = requests.size();
+      requests.push_back(std::move(req));
+    } catch (const std::exception& e) {
+      out.parse_error = e.what();
+    }
+    return out;
+  }
+
+ private:
+  TreeHandle handle_for(const std::string& spec) {
+    const auto it = by_spec_.find(spec);
+    if (it != by_spec_.end()) return it->second;
+    const TreeHandle handle = service_.intern(tree_from_spec(spec));
+    by_spec_.emplace(spec, handle);
+    return handle;
+  }
+
+  SchedulingService& service_;
+  std::unordered_map<std::string, TreeHandle> by_spec_;
+};
+
+void flush_batch(SchedulingService& service,
+                 std::vector<PendingLine>& lines,
+                 std::vector<ScheduleRequest>& requests) {
+  const std::vector<ScheduleResponse> responses =
+      service.schedule_batch(requests);
+  for (const PendingLine& line : lines) {
+    if (!line.is_request) {
+      std::cout << "error " << line.parse_error << "\n";
+      continue;
+    }
+    const ScheduleRequest& req = requests[line.request_index];
+    const ScheduleResponse& resp = responses[line.request_index];
+    if (!resp.ok()) {
+      std::cout << "error " << resp.error << "\n";
+      continue;
+    }
+    std::cout << "ok tree=" << std::hex << req.tree.hash << std::dec
+              << " n=" << req.tree->size() << " algo=" << req.algo
+              << " p=" << req.p << " makespan=" << resp.makespan
+              << " peak_memory=" << resp.peak_memory
+              << " cache=" << (resp.cache_hit ? "hit" : "miss") << "\n";
+  }
+  std::cout.flush();
+  lines.clear();
+  requests.clear();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace treesched;
+  try {
+    CliArgs args(argc, argv);
+    const std::string input = args.get("input", "-");
+    ServiceConfig config;
+    config.cache_bytes =
+        static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+    config.threads = static_cast<unsigned>(args.get_int("threads", 0));
+    config.validate = args.get_bool("validate", false);
+    const auto batch =
+        static_cast<std::size_t>(args.get_int("batch", 32));
+    const bool stats = args.get_bool("stats", false);
+    args.reject_unknown();
+    if (batch == 0) throw std::invalid_argument("--batch must be >= 1");
+
+    SchedulingService service(config);
+    RequestStream stream(service);
+
+    std::ifstream file;
+    if (input != "-") {
+      file.open(input);
+      if (!file) throw std::runtime_error("cannot open " + input);
+    }
+    std::istream& in = input == "-" ? std::cin : file;
+
+    std::vector<PendingLine> lines;
+    std::vector<ScheduleRequest> requests;
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash_pos = line.find('#');
+      if (hash_pos != std::string::npos) line.resize(hash_pos);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      lines.push_back(stream.parse(line, requests));
+      if (lines.size() >= batch) flush_batch(service, lines, requests);
+    }
+    if (!lines.empty()) flush_batch(service, lines, requests);
+
+    if (stats) {
+      const CacheStats cs = service.cache_stats();
+      const InstanceStore::Stats ss = service.store_stats();
+      std::cerr << "cache: " << cs.hits << " hits, " << cs.misses
+                << " misses (" << std::fixed << std::setprecision(1)
+                << 100.0 * cs.hit_rate() << "% hit rate), " << cs.entries
+                << " entries, " << cs.bytes << " bytes, " << cs.evictions
+                << " evictions\n"
+                << "store: " << ss.unique_trees << " unique trees, "
+                << ss.hits << " intern hits\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -151,11 +151,13 @@ int main(int argc, char** argv) {
 
     for (const std::string& name : algos) {
       const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
+      Resources eff = res;
       if (res.memory_cap != 0 && !sched->capabilities().memory_capped) {
         std::cout << "note: " << name
-                  << " is not memory-capped and ignores --cap-factor\n";
+                  << " is not memory-capped; running it without the cap\n";
+        eff.memory_cap = 0;
       }
-      const Schedule schedule = sched->schedule(tree, res);
+      const Schedule schedule = sched->schedule(tree, eff);
       const auto v = validate_schedule(tree, schedule, p);
       if (!v.ok) {
         std::cerr << "BUG: invalid schedule from " << name << ": " << v.error

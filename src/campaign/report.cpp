@@ -5,6 +5,7 @@
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace treesched {
 
@@ -31,6 +32,29 @@ std::string norm_reference(Normalization norm) {
   return norm == Normalization::kParSubtrees ? "ParSubtrees"
                                              : "ParInnerFirst";
 }
+
+/// Name -> roster position, built once per record batch so report code
+/// never rescans the roster per lookup (ScenarioRecord::index_of is a
+/// linear scan). Today only the normalization reference is looked up;
+/// new report paths doing per-record name lookups should go through this.
+class RosterIndex {
+ public:
+  explicit RosterIndex(const std::vector<std::string>& algos) {
+    for (std::size_t k = 0; k < algos.size(); ++k) index_.emplace(algos[k], k);
+  }
+
+  [[nodiscard]] std::size_t at(const std::string& algo) const {
+    const auto it = index_.find(algo);
+    if (it == index_.end()) {
+      throw std::invalid_argument("ScenarioRecord: algorithm \"" + algo +
+                                  "\" not in this campaign");
+    }
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::size_t> index_;
+};
 
 }  // namespace
 
@@ -109,10 +133,10 @@ std::vector<FigureSeries> figure_series(
     series[k].algorithm = algos[k];
   }
   if (records.empty()) return series;
-  const std::size_t ref_idx =
-      norm == Normalization::kLowerBound
-          ? 0  // unused
-          : records.front().index_of(norm_reference(norm));
+  const RosterIndex index(algos);
+  const std::size_t ref_idx = norm == Normalization::kLowerBound
+                                  ? 0  // unused
+                                  : index.at(norm_reference(norm));
   for (const ScenarioRecord& rec : records) {
     double ms_ref, mem_ref;
     if (norm == Normalization::kLowerBound) {
@@ -158,11 +182,10 @@ void write_scatter_csv(std::ostream& os,
                        Normalization norm) {
   os << "tree,n,p,algorithm,rel_makespan,rel_memory,makespan,memory\n";
   if (records.empty()) return;
-  (void)roster(records);  // reject mixed-roster record sets
-  const std::size_t ref_idx =
-      norm == Normalization::kLowerBound
-          ? 0  // unused
-          : records.front().index_of(norm_reference(norm));
+  const RosterIndex index(roster(records));  // rejects mixed rosters
+  const std::size_t ref_idx = norm == Normalization::kLowerBound
+                                  ? 0  // unused
+                                  : index.at(norm_reference(norm));
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const ScenarioRecord& rec : records) {
     double ms_ref, mem_ref;

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "core/lower_bounds.hpp"
-#include "core/simulator.hpp"
 #include "sequential/postorder.hpp"
 #include "util/parallel.hpp"
 
@@ -27,16 +26,35 @@ bool ScenarioRecord::has(const std::string& algo) const {
 
 std::vector<ScenarioRecord> run_campaign(
     const std::vector<DatasetEntry>& dataset, const CampaignParams& params) {
+  SchedulingService service;
+  return run_campaign(dataset, params, service);
+}
+
+std::vector<ScenarioRecord> run_campaign(
+    const std::vector<DatasetEntry>& dataset, const CampaignParams& params,
+    SchedulingService& service) {
   const std::vector<std::string> algos = params.algorithms.empty()
                                              ? default_campaign_algorithms()
                                              : params.algorithms;
-  // Resolve all names up front: unknown names fail before any work, and
-  // the (stateless, thread-safe) instances are shared across workers.
-  std::vector<SchedulerPtr> schedulers;
-  schedulers.reserve(algos.size());
+  // Resolve all names up front: unknown names fail before any work.
   for (const std::string& name : algos) {
-    schedulers.push_back(SchedulerRegistry::instance().create(name));
+    (void)SchedulerRegistry::instance().create(name);
   }
+  // Intern every tree once; scenarios share the immutable instances.
+  std::vector<TreeHandle> handles;
+  handles.reserve(dataset.size());
+  for (const DatasetEntry& entry : dataset) {
+    handles.push_back(service.intern(entry.tree));
+  }
+  // The memory lower bound is p-invariant: compute it once per tree
+  // instead of once per (tree, p) scenario.
+  std::vector<MemSize> lb_memory(dataset.size());
+  parallel_for(
+      dataset.size(),
+      [&](std::size_t ti) {
+        lb_memory[ti] = best_postorder_memory(dataset[ti].tree);
+      },
+      params.threads);
 
   std::vector<ScenarioRecord> records(dataset.size() *
                                       params.processor_counts.size());
@@ -52,22 +70,30 @@ std::vector<ScenarioRecord> run_campaign(
         rec.tree_size = entry.tree.size();
         rec.p = p;
         rec.lb_makespan = makespan_lower_bound(entry.tree, p);
-        rec.lb_memory = best_postorder_memory(entry.tree);
+        rec.lb_memory = lb_memory[ti];
         rec.algos = algos;
-        for (std::size_t k = 0; k < schedulers.size(); ++k) {
-          const Schedule s =
-              schedulers[k]->schedule(entry.tree, Resources{p, 0});
+        for (const std::string& algo : algos) {
+          ScheduleRequest req;
+          req.tree = handles[ti];
+          req.algo = algo;
+          req.p = p;
+          req.want_schedule = params.validate;
+          // schedule() throws the scheduler's own exception (an oracle on
+          // an oversized tree, a cap below the floor, ...), which
+          // parallel_for rethrows on the campaign caller — the
+          // pre-service behavior.
+          const ScheduleResponse resp = service.schedule(req);
           if (params.validate) {
-            const ValidationResult v = validate_schedule(entry.tree, s, p);
+            const ValidationResult v =
+                validate_schedule(entry.tree, *resp.schedule, p);
             if (!v.ok) {
               throw std::logic_error("campaign: invalid schedule from " +
-                                     algos[k] + " on " + entry.name + ": " +
+                                     algo + " on " + entry.name + ": " +
                                      v.error);
             }
           }
-          const SimulationResult sim = simulate(entry.tree, s);
-          rec.makespan.push_back(sim.makespan);
-          rec.memory.push_back(sim.peak_memory);
+          rec.makespan.push_back(resp.makespan);
+          rec.memory.push_back(resp.peak_memory);
         }
         records[idx] = std::move(rec);
       },

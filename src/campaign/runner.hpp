@@ -16,6 +16,7 @@
 #include "core/schedule.hpp"
 #include "core/tree.hpp"
 #include "sched/registry.hpp"
+#include "service/service.hpp"
 
 namespace treesched {
 
@@ -48,9 +49,19 @@ struct CampaignParams {
 };
 
 /// Runs every selected algorithm on every dataset entry and processor
-/// count. Scenario order is deterministic and independent of thread count.
+/// count through a private SchedulingService. Scenario order is
+/// deterministic and independent of thread count, and the records are
+/// bit-identical to direct SchedulerRegistry calls — the service only
+/// amortizes: sequential-only algorithms are computed once per tree and
+/// answered from cache across the whole processor sweep.
 /// Throws std::invalid_argument up front on unknown algorithm names.
 std::vector<ScenarioRecord> run_campaign(
     const std::vector<DatasetEntry>& dataset, const CampaignParams& params);
+
+/// Same, but through a caller-owned service: repeated campaigns (ablation
+/// sweeps, report reruns) share its instance store and result cache.
+std::vector<ScenarioRecord> run_campaign(
+    const std::vector<DatasetEntry>& dataset, const CampaignParams& params,
+    SchedulingService& service);
 
 }  // namespace treesched

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/simulator.hpp"
 #include "parallel/capped_subtrees.hpp"
 #include "parallel/memory_bounded.hpp"
 #include "parallel/par_deepest_first.hpp"
@@ -30,10 +31,6 @@ void link_builtin_schedulers() {}
 
 namespace {
 
-void require_processors(const Resources& res, const std::string& who) {
-  if (res.p < 1) throw std::invalid_argument(who + ": p < 1");
-}
-
 // ---------------------------------------------------------------------------
 // Parallel heuristics (paper §5, Table 1 order).
 // ---------------------------------------------------------------------------
@@ -43,7 +40,7 @@ class ParSubtreesSched final : public Scheduler {
   std::string name() const override { return "ParSubtrees"; }
   SchedulerCapabilities capabilities() const override { return {}; }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     return par_subtrees(tree, res.p);
   }
 };
@@ -53,7 +50,7 @@ class ParSubtreesOptimSched final : public Scheduler {
   std::string name() const override { return "ParSubtreesOptim"; }
   SchedulerCapabilities capabilities() const override { return {}; }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     return par_subtrees_optim(tree, res.p);
   }
 };
@@ -63,7 +60,7 @@ class ParInnerFirstSched final : public Scheduler {
   std::string name() const override { return "ParInnerFirst"; }
   SchedulerCapabilities capabilities() const override { return {}; }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     return par_inner_first(tree, res.p);
   }
 };
@@ -73,7 +70,7 @@ class ParDeepestFirstSched final : public Scheduler {
   std::string name() const override { return "ParDeepestFirst"; }
   SchedulerCapabilities capabilities() const override { return {}; }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     return par_deepest_first(tree, res.p);
   }
 };
@@ -101,7 +98,7 @@ class MemoryBoundedSched final : public Scheduler {
     return caps;
   }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     const MemSize cap = res.memory_cap != 0 ? res.memory_cap
                                             : default_cap(tree);
     auto r = memory_bounded_schedule(tree, res.p, cap);
@@ -123,7 +120,7 @@ class CappedSubtreesSched final : public Scheduler {
     return caps;
   }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
+    validate_resources(res, capabilities(), name());
     // The scheme's own floor can exceed kDefaultCapFactor x the postorder
     // peak, so the derived cap takes the max; the (expensive) floor is
     // only computed when a cap is actually derived or reported.
@@ -156,8 +153,20 @@ class SequentialSched : public Scheduler {
     return caps;
   }
   Schedule schedule(const Tree& tree, const Resources& res) const override {
-    require_processors(res, name());
-    return sequential_schedule(tree, order(tree));
+    validate_resources(res, capabilities(), name());
+    std::vector<NodeId> ord = order(tree);
+    // The traversal's peak IS this scheduler's derived cap; an explicit
+    // cap below it is infeasible (same contract as the other
+    // memory-capped schedulers), not silently exceeded.
+    if (res.memory_cap != 0) {
+      const MemSize peak = sequential_peak_memory(tree, ord);
+      if (peak > res.memory_cap) {
+        throw std::invalid_argument(
+            name() + ": cap " + std::to_string(res.memory_cap) +
+            " below the feasibility floor " + std::to_string(peak));
+      }
+    }
+    return sequential_schedule(tree, ord);
   }
 
  protected:

@@ -22,8 +22,10 @@ namespace treesched {
 struct Resources {
   int p = 1;  ///< available processors (>= 1)
   /// Peak-memory cap for memory-capped schedulers; 0 = none requested
-  /// (such schedulers derive a default cap from the tree). Schedulers
-  /// without the memory_capped capability ignore this field.
+  /// (such schedulers derive a default cap from the tree). Passing a
+  /// nonzero cap to a scheduler without the memory_capped capability is
+  /// rejected by validate_resources() (std::invalid_argument), not
+  /// silently ignored.
   MemSize memory_cap = 0;
 };
 
@@ -61,5 +63,18 @@ class Scheduler {
 };
 
 using SchedulerPtr = std::unique_ptr<Scheduler>;
+
+/// Shared Resources validation used by every registered scheduler (and by
+/// the scheduling service before it consults its cache). Throws
+/// std::invalid_argument with a uniform message, prefixed by `who`:
+///  * p must be >= 1;
+///  * a nonzero memory cap is only meaningful for schedulers with the
+///    memory_capped capability — passing one to any other scheduler is a
+///    caller error, not a silently ignored field.
+/// Cap-vs-feasibility-floor checks stay with the individual schedulers
+/// (the floor depends on the tree).
+void validate_resources(const Resources& res,
+                        const SchedulerCapabilities& caps,
+                        const std::string& who);
 
 }  // namespace treesched

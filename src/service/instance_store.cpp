@@ -1,0 +1,80 @@
+#include "service/instance_store.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace treesched {
+
+namespace {
+
+struct HashAcc {
+  std::uint64_t state = 0x5eed5eed5eed5eedULL;
+  void feed(std::uint64_t v) { state = mix64(state ^ v); }
+};
+
+}  // namespace
+
+TreeHash tree_fingerprint(const Tree& tree) {
+  HashAcc acc;
+  const NodeId n = tree.size();
+  acc.feed(static_cast<std::uint64_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    acc.feed(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(tree.parent(i))));
+    acc.feed(tree.output_size(i));
+    acc.feed(tree.exec_size(i));
+    acc.feed(std::bit_cast<std::uint64_t>(tree.work(i)));
+  }
+  return acc.state;
+}
+
+bool trees_identical(const Tree& a, const Tree& b) {
+  if (a.size() != b.size()) return false;
+  for (NodeId i = 0; i < a.size(); ++i) {
+    // Work compares bitwise, matching tree_fingerprint: floating == would
+    // make a NaN-weighted tree unequal to itself and defeat interning.
+    if (a.parent(i) != b.parent(i) || a.output_size(i) != b.output_size(i) ||
+        a.exec_size(i) != b.exec_size(i) ||
+        std::bit_cast<std::uint64_t>(a.work(i)) !=
+            std::bit_cast<std::uint64_t>(b.work(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TreeHandle InstanceStore::intern(Tree tree) {
+  const TreeHash hash = tree_fingerprint(tree);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, end] = by_hash_.equal_range(hash);
+  for (; it != end; ++it) {
+    if (trees_identical(*it->second.tree, tree)) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  const TreeHandle handle{std::make_shared<const Tree>(std::move(tree)),
+                          hash, ++next_uid_};
+  by_hash_.emplace(hash, handle);
+  return handle;
+}
+
+InstanceStore::Stats InstanceStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {by_hash_.size(), hits_, misses_};
+}
+
+std::size_t InstanceStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_hash_.size();
+}
+
+void InstanceStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  by_hash_.clear();
+}
+
+}  // namespace treesched

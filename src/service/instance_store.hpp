@@ -1,0 +1,79 @@
+#pragma once
+// Tree interning for the scheduling service (layer 1 of src/service/).
+//
+// Trees are identified by a 64-bit content fingerprint over structure and
+// weights; interning a tree whose fingerprint (and, on the rare collision,
+// full content) matches an already-stored instance returns a handle to the
+// shared immutable copy instead of storing a duplicate. Every downstream
+// layer — the result cache key, in-flight deduplication, request logs —
+// speaks fingerprints, never tree copies.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/tree.hpp"
+
+namespace treesched {
+
+using TreeHash = std::uint64_t;
+
+/// Content fingerprint of `tree`: parents, output/exec sizes, and the bit
+/// patterns of the work values, mixed with splitmix64. Structural and
+/// weight changes both change the hash; node order matters (two
+/// relabelings of the same tree are distinct instances).
+[[nodiscard]] TreeHash tree_fingerprint(const Tree& tree);
+
+/// Exact content equality (used to disambiguate fingerprint collisions).
+[[nodiscard]] bool trees_identical(const Tree& a, const Tree& b);
+
+/// A shared, immutable, interned tree plus its fingerprint and its
+/// store-assigned identity.
+struct TreeHandle {
+  std::shared_ptr<const Tree> tree;
+  TreeHash hash = 0;
+  /// Unique per distinct tree within its InstanceStore (1, 2, ...;
+  /// 0 = null handle). Downstream keys (result cache, in-flight dedup)
+  /// use this, not the raw fingerprint, so a fingerprint collision can
+  /// never alias two different trees onto one cache entry — the store
+  /// disambiguates collisions by full content comparison at intern time.
+  std::uint64_t uid = 0;
+
+  explicit operator bool() const { return tree != nullptr; }
+  const Tree& operator*() const { return *tree; }
+  const Tree* operator->() const { return tree.get(); }
+};
+
+/// Thread-safe interning store. Handles stay valid after clear(): the
+/// store drops its reference, existing handles keep theirs.
+///
+/// The store itself is unbudgeted — distinct trees accumulate until
+/// clear() (trees are small next to cached schedules, and live handles
+/// pin them regardless). A byte-budgeted eviction policy is a ROADMAP
+/// follow-up alongside cache persistence.
+class InstanceStore {
+ public:
+  struct Stats {
+    std::size_t unique_trees = 0;  ///< distinct instances currently stored
+    std::uint64_t hits = 0;        ///< interns resolved to an existing tree
+    std::uint64_t misses = 0;      ///< interns that stored a new tree
+  };
+
+  /// Interns `tree` (copied in when passed an lvalue, moved from an
+  /// rvalue) and returns the shared handle.
+  TreeHandle intern(Tree tree);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_multimap<TreeHash, TreeHandle> by_hash_;
+  std::uint64_t next_uid_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace treesched

@@ -1,0 +1,173 @@
+#include "service/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/simulator.hpp"
+#include "util/parallel.hpp"
+
+namespace treesched {
+
+SchedulingService::SchedulingService(ServiceConfig config)
+    : config_(config), cache_(config.cache_bytes, config.cache_shards) {}
+
+TreeHandle SchedulingService::intern(Tree tree) {
+  return store_.intern(std::move(tree));
+}
+
+std::shared_ptr<const Scheduler> SchedulingService::resolve(
+    const std::string& algo) {
+  {
+    const std::shared_lock<std::shared_mutex> lock(schedulers_mutex_);
+    const auto it = schedulers_.find(algo);
+    if (it != schedulers_.end()) return it->second;
+  }
+  const std::unique_lock<std::shared_mutex> lock(schedulers_mutex_);
+  const auto it = schedulers_.find(algo);  // re-check: we raced a writer
+  if (it != schedulers_.end()) return it->second;
+  // Throws std::invalid_argument listing the known names on a typo.
+  std::shared_ptr<const Scheduler> sched =
+      SchedulerRegistry::instance().create(algo);
+  schedulers_.emplace(algo, sched);
+  return sched;
+}
+
+ResultKey SchedulingService::key_for(const ScheduleRequest& req,
+                                     const Scheduler& sched) const {
+  ResultKey key;
+  key.tree_uid = req.tree.uid;
+  key.algo = req.algo;
+  // Sequential-only algorithms ignore p, so every p maps to one cache
+  // entry — a campaign's cross-p sweep of Liu/BestPostorder/... computes
+  // each tree once and hits thereafter.
+  key.p = sched.capabilities().sequential_only ? 1 : req.p;
+  key.memory_cap = req.memory_cap;
+  return key;
+}
+
+ScheduleResponse SchedulingService::schedule(const ScheduleRequest& req) {
+  if (!req.tree) {
+    throw std::invalid_argument(
+        "service: request carries no tree (intern one first)");
+  }
+  const std::shared_ptr<const Scheduler> sched = resolve(req.algo);
+  // Fail invalid resources before they reach the cache or in-flight
+  // table; same uniform message the scheduler itself would produce.
+  validate_resources(Resources{req.p, req.memory_cap}, sched->capabilities(),
+                     req.algo);
+
+  bool hit = false;
+  CachedResultPtr result;
+  if (cache_.enabled()) {
+    const ResultKey key = key_for(req, *sched);
+    result = cache_.get(key);
+    if (result) {
+      hit = true;
+    } else {
+      result = compute_deduplicated(key, req, *sched, hit);
+    }
+  } else {
+    // Cache disabled: the honest uncached path. No in-flight sharing
+    // either — every request pays its own compute, which is exactly
+    // what bench_service's baseline must measure.
+    result = compute(req, *sched);
+  }
+
+  ScheduleResponse resp;
+  resp.makespan = result->makespan;
+  resp.peak_memory = result->peak_memory;
+  resp.cache_hit = hit;
+  if (req.want_schedule) {
+    resp.schedule =
+        std::shared_ptr<const Schedule>(result, &result->schedule);
+  }
+  return resp;
+}
+
+CachedResultPtr SchedulingService::compute_deduplicated(
+    const ResultKey& key, const ScheduleRequest& req, const Scheduler& sched,
+    bool& shared_from_twin) {
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto& slot = inflight_[key];
+    if (!slot) {
+      slot = std::make_shared<InFlight>();
+      leader = true;
+    }
+    flight = slot;
+  }
+
+  if (!leader) {
+    // A twin request is already computing this key: wait for its result
+    // instead of duplicating the work. (If the leader published to the
+    // cache and retired before we reached the in-flight table, we become
+    // a leader ourselves and recompute — a rare, benign duplication.)
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    shared_from_twin = true;  // answered without computing: a cache_hit
+    return flight->result;
+  }
+
+  CachedResultPtr result;
+  std::exception_ptr error;
+  try {
+    result = compute(req, sched);
+    cache_.put(key, result);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->result = result;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+CachedResultPtr SchedulingService::compute(const ScheduleRequest& req,
+                                           const Scheduler& sched) {
+  Schedule s =
+      sched.schedule(*req.tree, Resources{req.p, req.memory_cap});
+  if (config_.validate) {
+    const ValidationResult v = validate_schedule(*req.tree, s, req.p);
+    if (!v.ok) {
+      throw std::logic_error("service: invalid schedule from " + req.algo +
+                             ": " + v.error);
+    }
+  }
+  const SimulationResult sim = simulate(*req.tree, s);
+  auto result = std::make_shared<CachedResult>();
+  result->makespan = sim.makespan;
+  result->peak_memory = sim.peak_memory;
+  result->schedule = std::move(s);
+  return result;
+}
+
+std::vector<ScheduleResponse> SchedulingService::schedule_batch(
+    const std::vector<ScheduleRequest>& reqs) {
+  std::vector<ScheduleResponse> responses(reqs.size());
+  parallel_for(
+      reqs.size(),
+      [&](std::size_t i) {
+        try {
+          responses[i] = schedule(reqs[i]);
+        } catch (const std::exception& e) {
+          responses[i] = ScheduleResponse{};
+          responses[i].error = e.what();
+        }
+      },
+      config_.threads);
+  return responses;
+}
+
+}  // namespace treesched

@@ -1,0 +1,146 @@
+#pragma once
+// The scheduling service (layer 3 of src/service/): a high-throughput
+// request engine over the SchedulerRegistry.
+//
+//   request --> intern tree --> cache lookup --> hit? answer
+//                                  |
+//                                miss --> in-flight table: someone already
+//                                         computing this key? wait for them
+//                                  |
+//                                first --> registry scheduler + simulator,
+//                                          insert into cache, wake waiters
+//
+// Guarantees:
+//  * Determinism: a response carries exactly the (makespan, peak memory,
+//    schedule) a direct SchedulerRegistry call would produce — schedulers
+//    are deterministic, results are computed once and shared.
+//  * Deduplication: identical (tree, algo, p, cap) work in flight at the
+//    same time is computed once; concurrent duplicates block until the
+//    computing thread publishes. Sequential-only algorithms normalize
+//    p to 1 in the key, so a cross-p sweep hits one entry. With the
+//    cache disabled (cache_bytes = 0) there is no sharing of any kind:
+//    every request pays its own compute — the honest uncached baseline.
+//  * Failure isolation: schedule() throws what the scheduler threw;
+//    schedule_batch() captures per-request errors into the response so one
+//    bad request cannot poison a batch. Failed computations are never
+//    cached, and waiters on a failed in-flight computation receive the
+//    same exception.
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "service/instance_store.hpp"
+#include "service/result_cache.hpp"
+
+namespace treesched {
+
+struct ServiceConfig {
+  /// Result-cache budget; 0 disables caching (every request recomputes).
+  std::size_t cache_bytes = ResultCache::kDefaultByteBudget;
+  unsigned cache_shards = 16;
+  /// Parallelism for schedule_batch (0 = the shared thread pool's size).
+  unsigned threads = 0;
+  /// Validate every computed schedule before caching it (defense in depth
+  /// at ~2x compute cost; off by default, the simulator already rejects
+  /// precedence violations).
+  bool validate = false;
+};
+
+struct ScheduleRequest {
+  TreeHandle tree;        ///< interned via SchedulingService::intern()
+  std::string algo;       ///< SchedulerRegistry name
+  int p = 1;              ///< processors (Resources::p)
+  MemSize memory_cap = 0; ///< Resources::memory_cap
+  /// Fill ScheduleResponse::schedule (the full start/proc vectors) rather
+  /// than just the scores.
+  bool want_schedule = false;
+};
+
+struct ScheduleResponse {
+  double makespan = 0.0;
+  MemSize peak_memory = 0;
+  bool cache_hit = false;  ///< answered from cache (or a concurrent twin)
+  /// Shares the cached result's schedule; only set when want_schedule.
+  std::shared_ptr<const Schedule> schedule;
+  /// schedule_batch only: empty on success, the error text otherwise (the
+  /// scores are meaningless when set). schedule() throws instead.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+class SchedulingService {
+ public:
+  explicit SchedulingService(ServiceConfig config = {});
+
+  /// Interns a tree into the instance store; the handle is what requests
+  /// carry. Repeated interns of identical trees share one instance.
+  TreeHandle intern(Tree tree);
+
+  /// Answers one request. Throws std::invalid_argument on an unknown
+  /// algorithm, invalid resources, an un-interned (null) tree handle, or
+  /// whatever the scheduler itself throws.
+  ScheduleResponse schedule(const ScheduleRequest& req);
+
+  /// Answers a batch, in request order, fanning out over the shared
+  /// thread pool. Per-request failures land in ScheduleResponse::error.
+  std::vector<ScheduleResponse> schedule_batch(
+      const std::vector<ScheduleRequest>& reqs);
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] InstanceStore::Stats store_stats() const {
+    return store_.stats();
+  }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// Drops all cached results (counters survive; interned trees stay).
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  struct InFlight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    CachedResultPtr result;
+    std::exception_ptr error;
+  };
+
+  /// The (stateless, shared) scheduler for `algo`, created through the
+  /// registry on first use.
+  std::shared_ptr<const Scheduler> resolve(const std::string& algo);
+
+  /// Cache identity of `req` (normalizes p for sequential-only algos).
+  ResultKey key_for(const ScheduleRequest& req, const Scheduler& sched) const;
+
+  /// Computes (or waits for a concurrent twin computing) `key`.
+  /// `shared_from_twin` is set when the result came from a concurrent
+  /// twin's computation rather than our own.
+  CachedResultPtr compute_deduplicated(const ResultKey& key,
+                                       const ScheduleRequest& req,
+                                       const Scheduler& sched,
+                                       bool& shared_from_twin);
+  CachedResultPtr compute(const ScheduleRequest& req, const Scheduler& sched);
+
+  ServiceConfig config_;
+  InstanceStore store_;
+  ResultCache cache_;
+
+  /// Read-mostly after warm-up: every request resolves its scheduler, so
+  /// the found path takes only a shared lock.
+  mutable std::shared_mutex schedulers_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Scheduler>>
+      schedulers_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<ResultKey, std::shared_ptr<InFlight>, ResultKeyHash>
+      inflight_;
+};
+
+}  // namespace treesched

@@ -1,0 +1,19 @@
+#pragma once
+// Shared integer hashing primitives. The service subsystem keys
+// everything off these: tree fingerprints (service/instance_store.cpp)
+// and result-cache key/shard hashing (service/result_cache.cpp) must mix
+// with the same finalizer, so it lives here rather than per-file.
+
+#include <cstdint>
+
+namespace treesched {
+
+/// splitmix64 finalizer: the standard cheap 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace treesched

@@ -1,59 +1,99 @@
 #pragma once
-// Minimal deterministic parallel-for used by the campaign runner: results
-// are written to pre-sized slots indexed by the loop variable, so the
-// output is identical regardless of thread count.
+// Minimal deterministic parallel-for used by the campaign runner and the
+// scheduling service: results are written to pre-sized slots indexed by
+// the loop variable, so the output is identical regardless of thread
+// count.
+//
+// Work runs on the shared persistent ThreadPool (util/thread_pool.hpp)
+// instead of threads spawned per call: the calling thread always
+// participates, and up to `threads - 1` helper jobs are enqueued on the
+// pool. A parallel_for issued from inside a pool worker (nested
+// parallelism) runs serially on that worker instead — queueing helpers
+// there and blocking on them could deadlock a saturated pool, since the
+// queued helpers might only ever be runnable on the blocked worker
+// itself. Pool workers therefore never wait on their own pool.
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace treesched {
 
-/// Runs fn(i) for i in [0, n) on up to `threads` worker threads
-/// (0 = hardware concurrency). fn must be safe to call concurrently for
-/// distinct i. If any fn(i) throws, the first exception (by completion
-/// time) is captured, the remaining iterations are abandoned as workers
-/// notice the failure, and the exception is rethrown on the calling thread
-/// after all workers joined.
-inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+/// Runs fn(i) for i in [0, n) on the calling thread plus up to
+/// `threads - 1` shared-pool workers (threads == 0 means the pool size).
+/// fn must be safe to call concurrently for distinct i. If any fn(i)
+/// throws, the first exception (by completion time) is captured, the
+/// remaining iterations are abandoned as workers notice the failure, and
+/// the exception is rethrown on the calling thread after every helper
+/// drained.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
                          unsigned threads = 0) {
   if (n == 0) return;
-  unsigned hw = threads == 0 ? std::thread::hardware_concurrency() : threads;
-  if (hw == 0) hw = 1;
-  hw = static_cast<unsigned>(std::min<std::size_t>(hw, n));
-  if (hw == 1) {
+  unsigned width = threads == 0 ? ThreadPool::shared().size() : threads;
+  if (width == 0) width = 1;
+  width = static_cast<unsigned>(std::min<std::size_t>(width, n));
+  if (ThreadPool::shared().on_worker_thread()) width = 1;
+  if (width == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  pool.reserve(hw);
-  for (unsigned t = 0; t < hw; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
+
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    unsigned pending = 0;  ///< helper jobs not yet finished
+  } state;
+
+  const auto drain = [&state, &fn, n] {
+    for (;;) {
+      if (state.failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.first_error) state.first_error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+        return;
       }
+    }
+  };
+
+  const unsigned helpers = width - 1;
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.pending = helpers;
+  }
+  for (unsigned t = 0; t < helpers; ++t) {
+    // `state` outlives the helpers: the caller blocks below until every
+    // helper reported completion.
+    ThreadPool::shared().submit([&state, &drain] {
+      drain();
+      // Notify while holding the mutex: once this helper unlocks, the
+      // caller may observe pending == 0 and destroy `state`, so the CV
+      // must not be touched after the unlock.
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      --state.pending;
+      state.done_cv.notify_one();
     });
   }
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+    if (state.first_error) std::rethrow_exception(state.first_error);
+  }
 }
 
 }  // namespace treesched

@@ -1,0 +1,60 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace treesched {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  num_threads_ = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (num_threads_ == 0) num_threads_ = 1;
+  workers_.reserve(num_threads_);
+  for (unsigned t = 0; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  for (const std::thread& w : workers_) {
+    if (w.get_id() == self) return true;
+  }
+  return false;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace treesched

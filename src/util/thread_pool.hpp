@@ -1,0 +1,64 @@
+#pragma once
+// Persistent worker-thread pool shared by everything that fans work out:
+// parallel_for (campaign scenarios), the scheduling service's batch
+// executor, and any future async surface. Replaces the old
+// spawn-threads-per-call pattern: workers are started once and reused, so
+// a service handling many small batches does not pay thread creation per
+// request.
+//
+// The pool is deliberately minimal: fire-and-forget `submit()` plus a
+// blocking helper (`parallel_for` in util/parallel.hpp) built on top. The
+// caller of a blocking helper always participates in the work itself, so
+// submitting from inside a pool worker (nested parallelism) degrades to
+// serial execution instead of deadlocking on a saturated pool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treesched {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains nothing: pending jobs are abandoned unexecuted; running jobs
+  /// are joined. Blocking helpers never leave pending jobs behind (they
+  /// wait for their own jobs), so this only matters at process exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job for execution on some worker. Jobs must not throw;
+  /// wrap user code that can throw (parallel_for captures exceptions into
+  /// its own shared state).
+  void submit(std::function<void()> job);
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const { return num_threads_; }
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
+
+  /// The process-wide pool (hardware-concurrency workers, started on
+  /// first use).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  unsigned num_threads_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace treesched
