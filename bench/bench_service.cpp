@@ -1,16 +1,31 @@
-// Throughput of the scheduling service on a repeated-request workload:
-// the same K = trees x algos x procs distinct requests cycled --repeat
-// times, answered once with the result cache disabled (every request
-// recomputes — the pre-service cost model) and once with it enabled.
-// Reports requests/sec for both paths and the speedup; the PR 2
-// acceptance bar is >= 10x on the cached path.
+// Throughput and latency of the scheduling service.
+//
+// Experiment 1 (throughput): the same K = trees x algos x procs distinct
+// requests cycled --repeat times, answered once with the result cache
+// disabled (every request recomputes — the pre-service cost model) and
+// once with it enabled. Reports requests/sec for both paths and the
+// speedup; the PR 2 acceptance bar is >= 10x on the cached path.
+//
+// Experiment 2 (mixed-priority latency): a stream of interactive probes
+// submitted against a service saturated with heavy Bulk work, twice —
+// once with the probes at priority=interactive (the admission queue lets
+// them overtake the backlog) and once at priority=bulk (plain FIFO
+// within the class: each probe waits out the whole backlog ahead of it).
+// Reports probe p50/p99 latency for both; the PR 3 acceptance bar is a
+// measurably lower interactive p99. A third wave of deadline-tagged
+// requests is submitted behind the backlog with sub-millisecond budgets:
+// all of them must expire with the typed error and none may ever reach a
+// scheduler (cache-miss accounting proves it).
 //
 //   $ ./bench_service
 //   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
+//   $ ./bench_service --probes 50 --bulk-per-probe 4 --bulk-n 4000
 //
-// --json writes the numbers machine-readably (merged into BENCH_PR2.json
-// by the perf pipeline alongside bench_perf's per-algorithm ns/op).
+// --probes 0 skips experiment 2. --json writes the numbers
+// machine-readably (merged into BENCH_PR2.json by the perf pipeline
+// alongside bench_perf's per-algorithm ns/op).
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
@@ -23,6 +38,8 @@
 #include "trees/generators.hpp"
 #include "util/cli.hpp"
 #include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -46,6 +63,110 @@ double run_requests(SchedulingService& service,
   return static_cast<double>(reqs.size() * passes) / elapsed.count();
 }
 
+struct MixedResult {
+  double probe_p50_ms = 0.0;
+  double probe_p99_ms = 0.0;
+};
+
+/// One mixed run: before each probe, top up the Bulk backlog with
+/// `bulk_per_probe` heavy requests, then submit the probe at
+/// `probe_priority` and block on its future — the interactive client's
+/// view. The cache is disabled so every Bulk request costs real compute
+/// and the backlog never collapses into hits.
+MixedResult run_mixed(Priority probe_priority, std::size_t probes,
+                      std::size_t bulk_per_probe, NodeId bulk_n,
+                      NodeId probe_n) {
+  ServiceConfig config;
+  config.cache_bytes = 0;
+  SchedulingService service(config);
+  Rng rng(0x3713ed);
+  const TreeHandle bulk_tree =
+      service.intern(synthetic_assembly_tree(bulk_n, 2.0, rng));
+  const TreeHandle probe_tree =
+      service.intern(synthetic_assembly_tree(probe_n, 2.0, rng));
+
+  std::vector<std::future<ScheduleResponse>> bulk_futures;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(probes);
+  int bulk_p = 2;
+  for (std::size_t i = 0; i < probes; ++i) {
+    for (std::size_t b = 0; b < bulk_per_probe; ++b) {
+      ScheduleRequest req;
+      req.tree = bulk_tree;
+      req.algo = "ParDeepestFirst";
+      req.p = 2 + (bulk_p++ % 31);
+      req.priority = Priority::kBulk;
+      bulk_futures.push_back(service.schedule_async(std::move(req)));
+    }
+    ScheduleRequest probe;
+    probe.tree = probe_tree;
+    probe.algo = "ParInnerFirst";
+    probe.p = 4;
+    probe.priority = probe_priority;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScheduleResponse resp = service.schedule_async(probe).get();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    if (!resp.ok()) {
+      throw std::runtime_error("mixed probe failed: " + resp.error);
+    }
+    latencies_ms.push_back(elapsed.count());
+  }
+  for (auto& f : bulk_futures) (void)f.get();
+
+  MixedResult result;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.probe_p50_ms = quantile_sorted(latencies_ms, 0.50);
+  result.probe_p99_ms = quantile_sorted(latencies_ms, 0.99);
+  return result;
+}
+
+/// Expiry wave: a Bulk backlog, then deadline-tagged Bulk requests with a
+/// sub-millisecond budget behind it. Returns (expired, computed-for-them).
+std::pair<std::uint64_t, std::uint64_t> run_expiry(std::size_t doomed,
+                                                   NodeId bulk_n) {
+  SchedulingService service;  // cache ON: distinct keys, misses == computes
+  Rng rng(0xdead11e);
+  const TreeHandle tree =
+      service.intern(synthetic_assembly_tree(bulk_n, 2.0, rng));
+  // Pin every pool worker with queued work to spare, or an idle worker on
+  // a many-core machine would answer a doomed request inside its budget.
+  const std::size_t backlog = 2 * ThreadPool::shared().size() + 6;
+  std::vector<std::future<ScheduleResponse>> futures;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    ScheduleRequest req;
+    req.tree = tree;
+    req.algo = "ParDeepestFirst";
+    req.p = 2 + static_cast<int>(i);
+    req.priority = Priority::kInteractive;  // always ahead of the doomed
+    futures.push_back(service.schedule_async(std::move(req)));
+  }
+  std::uint64_t expired = 0;
+  std::vector<std::future<ScheduleResponse>> doomed_futures;
+  for (std::size_t i = 0; i < doomed; ++i) {
+    ScheduleRequest req;
+    req.tree = tree;
+    // Distinct p per doomed request => distinct cache keys, so the miss
+    // counter counts every doomed compute, not just the first.
+    req.algo = "ParInnerFirst";
+    req.p = 2 + static_cast<int>(backlog + i);
+    req.priority = Priority::kBulk;
+    req.deadline_ms = 0.05;
+    doomed_futures.push_back(service.schedule_async(std::move(req)));
+  }
+  for (auto& f : futures) (void)f.get();
+  for (auto& f : doomed_futures) {
+    try {
+      (void)f.get();
+    } catch (const DeadlineExpired&) {
+      ++expired;
+    }
+  }
+  const std::uint64_t computed_for_doomed =
+      service.cache_stats().misses - backlog;
+  return {expired, computed_for_doomed};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +180,11 @@ int main(int argc, char** argv) {
     const std::string algos_csv = args.get(
         "algos", "ParSubtrees,ParInnerFirst,ParDeepestFirst,Liu,BestPostorder");
     const std::string json_path = args.get("json", "");
+    const auto probes = static_cast<std::size_t>(args.get_int("probes", 30));
+    const auto bulk_per_probe =
+        static_cast<std::size_t>(args.get_int("bulk-per-probe", 3));
+    const auto bulk_n = static_cast<NodeId>(args.get_int("bulk-n", 3000));
+    const auto probe_n = static_cast<NodeId>(args.get_int("probe-n", 300));
     args.reject_unknown();
 
     std::vector<int> procs;
@@ -117,18 +243,61 @@ int main(int argc, char** argv) {
               << 100.0 * cs.hit_rate() << "% hit rate), " << cs.entries
               << " entries, " << cs.bytes << " bytes\n";
 
+    MixedResult with_queue, fifo;
+    std::uint64_t expired = 0, computed_for_doomed = 0;
+    std::size_t doomed = 0;
+    if (probes > 0) {
+      std::cout << "\n== mixed-priority latency ==\n"
+                << probes << " interactive probes (n = " << probe_n
+                << ") against " << probes * bulk_per_probe
+                << " Bulk requests (n = " << bulk_n << "), uncached\n";
+      with_queue = run_mixed(Priority::kInteractive, probes, bulk_per_probe,
+                             bulk_n, probe_n);
+      fifo = run_mixed(Priority::kBulk, probes, bulk_per_probe, bulk_n,
+                       probe_n);
+      std::cout << std::setprecision(2)
+                << "probe latency, priority=interactive: p50 = "
+                << with_queue.probe_p50_ms
+                << " ms, p99 = " << with_queue.probe_p99_ms << " ms\n"
+                << "probe latency, priority=bulk (FIFO): p50 = "
+                << fifo.probe_p50_ms << " ms, p99 = " << fifo.probe_p99_ms
+                << " ms\n"
+                << "interactive p99 is " << std::setprecision(1)
+                << fifo.probe_p99_ms /
+                       std::max(with_queue.probe_p99_ms, 1e-9)
+                << "x lower than FIFO\n";
+
+      doomed = probes;
+      const auto [exp, computed] = run_expiry(doomed, bulk_n);
+      expired = exp;
+      computed_for_doomed = computed;
+      std::cout << "deadline wave: " << expired << "/" << doomed
+                << " expired with the typed error, " << computed_for_doomed
+                << " of them ever reached a scheduler\n";
+    }
+
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       if (!os) throw std::runtime_error("cannot open " + json_path);
       os << std::setprecision(17)
          << "{\n"
-         << "  \"schema\": \"treesched-bench-service-v1\",\n"
+         << "  \"schema\": \"treesched-bench-service-v2\",\n"
          << "  \"distinct_requests\": " << distinct << ",\n"
          << "  \"repeat\": " << repeat << ",\n"
          << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
          << "  \"cached_requests_per_sec\": " << cached_rps << ",\n"
          << "  \"speedup\": " << speedup << ",\n"
-         << "  \"cache_hit_rate\": " << cs.hit_rate() << "\n"
+         << "  \"cache_hit_rate\": " << cs.hit_rate() << ",\n"
+         << "  \"mixed_probes\": " << probes << ",\n"
+         << "  \"interactive_probe_p50_ms\": " << with_queue.probe_p50_ms
+         << ",\n"
+         << "  \"interactive_probe_p99_ms\": " << with_queue.probe_p99_ms
+         << ",\n"
+         << "  \"fifo_probe_p50_ms\": " << fifo.probe_p50_ms << ",\n"
+         << "  \"fifo_probe_p99_ms\": " << fifo.probe_p99_ms << ",\n"
+         << "  \"deadline_wave_expired\": " << expired << ",\n"
+         << "  \"deadline_wave_submitted\": " << doomed << ",\n"
+         << "  \"deadline_wave_computed\": " << computed_for_doomed << "\n"
          << "}\n";
       std::cout << "wrote " << json_path << "\n";
     }

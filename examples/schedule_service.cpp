@@ -4,6 +4,10 @@
 // response line per request, in request order.
 //
 // Request line:     <tree-spec> <algo> <p> [<memory-cap>]
+//                       [priority=interactive|batch|bulk]
+//                       [deadline_ms=<positive float>]
+// (service/request_line.hpp is the grammar's single home; unknown
+// key=value fields are rejected with an error naming the field.)
 // Tree specs:       file:<path>             a treesched-tree v1 file
 //                   random:<n>:<seed>       random weighted tree
 //                   grid:<nx>:<z>           2D-grid assembly tree
@@ -12,23 +16,30 @@
 // response line).
 //
 // Response line:    ok tree=<hash> n=<nodes> algo=<name> p=<p> \
-//                       makespan=<ms> peak_memory=<bytes> cache=hit|miss
+//                       makespan=<ms> peak_memory=<bytes> cache=hit|miss \
+//                       priority=<class>
 // or:               error <message>
 //
 //   $ printf 'random:500:1 ParSubtrees 8\nrandom:500:1 ParSubtrees 8\n' \
 //       | ./schedule_service --stats
 //
-// Requests are executed in batches of --batch lines, so identical and
-// concurrent work dedupes while responses still stream incrementally.
+// Requests are executed in batches of --batch lines through the
+// service's deadline-aware admission queue: within a batch, interactive
+// requests are answered before batch ones, batch before bulk, earliest
+// deadline first within a class, and a request whose deadline lapses
+// while queued is answered "error deadline expired ..." without costing
+// any compute. Identical and concurrent work dedupes while responses
+// still stream incrementally, in input order.
 // --cache-mb 0 disables the result cache (every request recomputes).
 
+#include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <sstream>
 #include <unordered_map>
 #include <vector>
 
+#include "service/request_line.hpp"
 #include "service/service.hpp"
 #include "campaign/dataset.hpp"
 #include "trees/generators.hpp"
@@ -109,35 +120,14 @@ class RequestStream {
                     std::vector<ScheduleRequest>& requests) {
     PendingLine out;
     try {
-      std::istringstream is(line);
-      std::string spec, algo;
-      int p = 0;
-      if (!(is >> spec >> algo >> p)) {
-        throw std::invalid_argument(
-            "request line must be: <tree-spec> <algo> <p> [<memory-cap>]");
-      }
-      // The optional cap is parsed from its token, not extracted as an
-      // unsigned directly — istream extraction would wrap "-5" into a
-      // huge cap without setting failbit.
-      MemSize cap = 0;
-      std::string cap_tok;
-      if (is >> cap_tok) {
-        if (cap_tok.empty() ||
-            cap_tok.find_first_not_of("0123456789") != std::string::npos) {
-          throw std::invalid_argument("memory cap \"" + cap_tok +
-                                      "\" is not a non-negative integer");
-        }
-        cap = std::stoull(cap_tok);
-      }
-      std::string extra;
-      if (is >> extra) {
-        throw std::invalid_argument("trailing token \"" + extra + "\"");
-      }
+      const RequestLine parsed = parse_request_line(line);
       ScheduleRequest req;
-      req.tree = handle_for(spec);
-      req.algo = algo;
-      req.p = p;
-      req.memory_cap = cap;
+      req.tree = handle_for(parsed.tree_spec);
+      req.algo = parsed.algo;
+      req.p = parsed.p;
+      req.memory_cap = parsed.memory_cap;
+      req.priority = parsed.priority;
+      req.deadline_ms = parsed.deadline_ms;
       out.is_request = true;
       out.request_index = requests.size();
       requests.push_back(std::move(req));
@@ -164,7 +154,7 @@ void flush_batch(SchedulingService& service,
                  std::vector<PendingLine>& lines,
                  std::vector<ScheduleRequest>& requests) {
   const std::vector<ScheduleResponse> responses =
-      service.schedule_batch(requests);
+      service.schedule_prioritized(requests);
   for (const PendingLine& line : lines) {
     if (!line.is_request) {
       std::cout << "error " << line.parse_error << "\n";
@@ -180,7 +170,8 @@ void flush_batch(SchedulingService& service,
               << " n=" << req.tree->size() << " algo=" << req.algo
               << " p=" << req.p << " makespan=" << resp.makespan
               << " peak_memory=" << resp.peak_memory
-              << " cache=" << (resp.cache_hit ? "hit" : "miss") << "\n";
+              << " cache=" << (resp.cache_hit ? "hit" : "miss")
+              << " priority=" << to_string(req.priority) << "\n";
   }
   std::cout.flush();
   lines.clear();
@@ -199,6 +190,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
     config.threads = static_cast<unsigned>(args.get_int("threads", 0));
     config.validate = args.get_bool("validate", false);
+    config.queue.age_after =
+        std::chrono::milliseconds(args.get_int("age-ms", 250));
     const auto batch =
         static_cast<std::size_t>(args.get_int("batch", 32));
     const bool stats = args.get_bool("stats", false);
@@ -237,6 +230,19 @@ int main(int argc, char** argv) {
                 << " evictions\n"
                 << "store: " << ss.unique_trees << " unique trees, "
                 << ss.hits << " intern hits\n";
+      const QueueStats qs = service.queue_stats();
+      for (int cls = 0; cls < kPriorityClasses; ++cls) {
+        const ClassQueueStats& c =
+            qs.by_class[static_cast<std::size_t>(cls)];
+        if (c.admitted == 0) continue;
+        std::cerr << "queue[" << to_string(static_cast<Priority>(cls))
+                  << "]: " << c.admitted << " admitted, " << c.completed
+                  << " completed, " << c.expired << " expired, "
+                  << c.rejected << " rejected, " << c.aged
+                  << " aged; wait ms p50/p90/p99 = " << std::setprecision(2)
+                  << c.wait_ms_p50 << "/" << c.wait_ms_p90 << "/"
+                  << c.wait_ms_p99 << "\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -14,7 +14,10 @@
 // --algo takes one or more comma-separated SchedulerRegistry names
 // (--list prints them). --cap-factor F sets a memory cap of F times the
 // best-postorder peak for the memory-capped algorithms; with no --algo it
-// implies --algo MemoryBounded.
+// implies --algo MemoryBounded. --validate runs the standalone checker
+// (sched/validate.hpp) on every schedule — precedence, <= p concurrent
+// tasks, and the memory cap when one is in force — and prints the
+// verdict (non-zero exit on any violation).
 
 #include <fstream>
 #include <functional>
@@ -27,6 +30,7 @@
 #include "core/trace.hpp"
 #include "parallel/memory_bounded.hpp"
 #include "sched/registry.hpp"
+#include "sched/validate.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "trees/generators.hpp"
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
     const std::string schedule_csv = args.get("schedule-csv", "");
     const std::string profile_csv = args.get("profile-csv", "");
     const bool gantt = args.get_bool("gantt", false);
+    const bool validate = args.get_bool("validate", false);
     const bool list = args.get_bool("list", false);
     const std::string save_tree = args.get("save-tree", "");
     if (list) {
@@ -173,6 +178,24 @@ int main(int argc, char** argv) {
                 << "x sequential postorder)\n"
                 << "  processors used: " << st.processors_used << "/" << p
                 << ", avg utilization " << fmt_pct(st.avg_utilization) << "\n";
+      if (validate) {
+        // The standalone checker: feasibility again (independently), the
+        // concurrency sweep, and the cap this run actually enforced.
+        const ScheduleCheck check =
+            check_schedule(tree, schedule, p, eff.memory_cap);
+        if (!check.ok) {
+          std::cerr << "BUG: " << name << " failed validation: "
+                    << check.error << "\n";
+          return 1;
+        }
+        std::cout << "  validator: OK (" << check.max_concurrency << "/" << p
+                  << " processors busy at peak";
+        if (eff.memory_cap != 0) {
+          std::cout << ", peak memory " << check.peak_memory
+                    << " <= cap " << eff.memory_cap;
+        }
+        std::cout << ")\n";
+      }
 
       if (gantt) {
         std::cout << "\n";

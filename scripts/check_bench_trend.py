@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare this run's BENCH_PR2.json against the
+previous CI run's uploaded artifact and fail on regressions.
+
+Usage:
+    check_bench_trend.py <current.json> <previous.json> [--threshold 0.15]
+
+Both files use the treesched-bench-pr2 schema written by bench_perf
+({"benchmarks": [{"name", "ns_per_op", "items_per_second"}, ...]}).
+Only "BM_Sched/<algorithm>" entries gate the build: they are single-thread
+end-to-end runs of each registered algorithm on a fixed tree, the most
+noise-resistant numbers in the file. A benchmark regresses when its
+ns_per_op exceeds the previous run's by more than the threshold (default
++15%). Benchmarks present on only one side are reported but never fail
+the build (new algorithms appear, old ones are retired).
+
+Exit status: 0 = no regression (or nothing comparable), 1 = regression,
+2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_trend: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        ns = bench.get("ns_per_op")
+        if name.startswith("BM_Sched/") and isinstance(ns, (int, float)) and ns > 0:
+            entries[name] = float(ns)
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("previous")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional ns/op increase (default 0.15)")
+    args = parser.parse_args()
+
+    current = load_entries(args.current)
+    previous = load_entries(args.previous)
+    if not previous:
+        print("check_bench_trend: previous run has no BM_Sched entries; "
+              "nothing to gate")
+        return 0
+
+    regressions = []
+    print(f"{'benchmark':<40} {'prev ns/op':>14} {'cur ns/op':>14} {'delta':>8}")
+    for name in sorted(set(current) | set(previous)):
+        if name not in current:
+            print(f"{name:<40} {previous[name]:>14.0f} {'(gone)':>14} {'':>8}")
+            continue
+        if name not in previous:
+            print(f"{name:<40} {'(new)':>14} {current[name]:>14.0f} {'':>8}")
+            continue
+        ratio = current[name] / previous[name] - 1.0
+        marker = "  << REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<40} {previous[name]:>14.0f} {current[name]:>14.0f} "
+              f"{ratio:>+7.1%}{marker}")
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    if regressions:
+        print(f"\ncheck_bench_trend: {len(regressions)} benchmark(s) "
+              f"regressed more than {args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench_trend: OK ({len(current)} benchmarks within "
+          f"{args.threshold:.0%} of the previous run)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
 #include "campaign/runner.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <future>
 #include <stdexcept>
 #include <utility>
 
 #include "core/lower_bounds.hpp"
+#include "sched/validate.hpp"
 #include "sequential/postorder.hpp"
 #include "util/parallel.hpp"
 
@@ -58,9 +62,14 @@ std::vector<ScenarioRecord> run_campaign(
 
   std::vector<ScenarioRecord> records(dataset.size() *
                                       params.processor_counts.size());
-  parallel_for(
-      records.size(),
-      [&](std::size_t idx) {
+
+  // Builds records[idx] from per-algorithm responses delivered by `get`
+  // (throwing responses rethrow the scheduler's own exception — an
+  // oracle on an oversized tree, a cap below the floor, ... — which
+  // lands on the campaign caller, the pre-service behavior).
+  const auto build_record =
+      [&](std::size_t idx,
+          const std::function<ScheduleResponse(std::size_t)>& get) {
         const std::size_t ti = idx / params.processor_counts.size();
         const std::size_t pi = idx % params.processor_counts.size();
         const DatasetEntry& entry = dataset[ti];
@@ -72,23 +81,14 @@ std::vector<ScenarioRecord> run_campaign(
         rec.lb_makespan = makespan_lower_bound(entry.tree, p);
         rec.lb_memory = lb_memory[ti];
         rec.algos = algos;
-        for (const std::string& algo : algos) {
-          ScheduleRequest req;
-          req.tree = handles[ti];
-          req.algo = algo;
-          req.p = p;
-          req.want_schedule = params.validate;
-          // schedule() throws the scheduler's own exception (an oracle on
-          // an oversized tree, a cap below the floor, ...), which
-          // parallel_for rethrows on the campaign caller — the
-          // pre-service behavior.
-          const ScheduleResponse resp = service.schedule(req);
+        for (std::size_t k = 0; k < algos.size(); ++k) {
+          const ScheduleResponse resp = get(k);
           if (params.validate) {
-            const ValidationResult v =
-                validate_schedule(entry.tree, *resp.schedule, p);
+            const ScheduleCheck v =
+                check_schedule(entry.tree, *resp.schedule, p);
             if (!v.ok) {
               throw std::logic_error("campaign: invalid schedule from " +
-                                     algo + " on " + entry.name + ": " +
+                                     algos[k] + " on " + entry.name + ": " +
                                      v.error);
             }
           }
@@ -96,8 +96,58 @@ std::vector<ScenarioRecord> run_campaign(
           rec.memory.push_back(resp.peak_memory);
         }
         records[idx] = std::move(rec);
-      },
-      params.threads);
+      };
+
+  const auto request_for = [&](std::size_t idx, std::size_t k) {
+    ScheduleRequest req;
+    req.tree = handles[idx / params.processor_counts.size()];
+    req.algo = algos[k];
+    req.p = params.processor_counts[idx % params.processor_counts.size()];
+    req.want_schedule = params.validate;
+    req.priority = params.priority;
+    return req;
+  };
+
+  if (params.threads != 0) {
+    // An explicit thread bound is a compute-parallelism promise the
+    // shared-pool admission queue cannot keep (drain jobs fan out over
+    // the whole pool), so honor it with the synchronous path: exactly
+    // `threads`-wide, same results.
+    parallel_for(
+        records.size(),
+        [&](std::size_t idx) {
+          build_record(idx, [&](std::size_t k) {
+            return service.schedule(request_for(idx, k));
+          });
+        },
+        params.threads);
+    return records;
+  }
+
+  // Default: submit through the admission queue at params.priority in
+  // bounded windows of scenarios — the queue keeps a real backlog (so an
+  // interactive probe arriving at a shared service mid-campaign is the
+  // next request any worker answers) while the schedules pinned live by
+  // unconsumed responses stay bounded by the window, not the campaign
+  // (with validate on, every response carries its full schedule).
+  constexpr std::size_t kWindowScenarios = 32;
+  for (std::size_t window = 0; window < records.size();
+       window += kWindowScenarios) {
+    const std::size_t end =
+        std::min(records.size(), window + kWindowScenarios);
+    std::vector<std::future<ScheduleResponse>> futures;
+    futures.reserve((end - window) * algos.size());
+    for (std::size_t idx = window; idx < end; ++idx) {
+      for (std::size_t k = 0; k < algos.size(); ++k) {
+        futures.push_back(service.schedule_async(request_for(idx, k)));
+      }
+    }
+    parallel_for(end - window, [&](std::size_t off) {
+      build_record(window + off, [&](std::size_t k) {
+        return futures[off * algos.size() + k].get();
+      });
+    });
+  }
   return records;
 }
 

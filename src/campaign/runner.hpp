@@ -45,15 +45,27 @@ struct CampaignParams {
   /// Validate every schedule (adds ~2x cost; on by default — the campaign
   /// doubles as an integration test).
   bool validate = true;
-  unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// 0 (default) = the shared pool's width, with requests routed through
+  /// the service's admission queue at `priority`. A nonzero bound is a
+  /// compute-parallelism promise the shared-pool queue cannot keep, so
+  /// those campaigns run the synchronous path at exactly this width
+  /// (identical results either way — the schedulers are deterministic).
+  unsigned threads = 0;
+  /// Admission class for the campaign's requests. Campaigns are sweeps,
+  /// not probes: they default to kBulk so a service shared with
+  /// interactive clients keeps answering those first.
+  Priority priority = Priority::kBulk;
 };
 
 /// Runs every selected algorithm on every dataset entry and processor
-/// count through a private SchedulingService. Scenario order is
-/// deterministic and independent of thread count, and the records are
-/// bit-identical to direct SchedulerRegistry calls — the service only
-/// amortizes: sequential-only algorithms are computed once per tree and
-/// answered from cache across the whole processor sweep.
+/// count through a private SchedulingService — by default submitting
+/// through the service's admission queue at params.priority (kBulk, so
+/// interactive probes against a shared service overtake the sweep; see
+/// CampaignParams::threads for the explicit-bound exception). Scenario
+/// order is deterministic and independent of thread count, and the
+/// records are bit-identical to direct SchedulerRegistry calls — the
+/// service only amortizes: sequential-only algorithms are computed once
+/// per tree and answered from cache across the whole processor sweep.
 /// Throws std::invalid_argument up front on unknown algorithm names.
 std::vector<ScenarioRecord> run_campaign(
     const std::vector<DatasetEntry>& dataset, const CampaignParams& params);

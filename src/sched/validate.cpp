@@ -1,0 +1,63 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace treesched {
+
+ScheduleCheck check_schedule(const Tree& tree, const Schedule& s, int p,
+                             MemSize memory_cap) {
+  ScheduleCheck check;
+  auto fail = [&](const std::string& msg) {
+    check.ok = false;
+    check.error = msg;
+    return check;
+  };
+
+  const ValidationResult feasible = validate_schedule(tree, s, p);
+  if (!feasible.ok) return fail(feasible.error);
+
+  // Concurrency sweep: +1 at each start, -1 at each finish, processed in
+  // time order with finishes before starts at equal times (a task may
+  // start the instant another ends on the same processor).
+  const NodeId n = tree.size();
+  std::vector<std::pair<double, int>> events;
+  events.reserve(2 * static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    events.emplace_back(s.start[i], +1);
+    events.emplace_back(s.finish(tree, i), -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;  // -1 (finish) before +1 (start)
+  });
+  int running = 0;
+  for (const auto& [time, delta] : events) {
+    running += delta;
+    check.max_concurrency = std::max(check.max_concurrency, running);
+  }
+  if (check.max_concurrency > p) {
+    std::ostringstream os;
+    os << check.max_concurrency << " tasks running simultaneously on " << p
+       << " processors";
+    return fail(os.str());
+  }
+
+  // The feasibility check above guarantees the simulator replays without
+  // throwing; its peak is the exact §3.1 accounting.
+  const SimulationResult sim = simulate(tree, s);
+  check.makespan = sim.makespan;
+  check.peak_memory = sim.peak_memory;
+  if (memory_cap != 0 && sim.peak_memory > memory_cap) {
+    std::ostringstream os;
+    os << "peak memory " << sim.peak_memory << " exceeds the cap "
+       << memory_cap;
+    return fail(os.str());
+  }
+  return check;
+}
+
+}  // namespace treesched

@@ -1,0 +1,107 @@
+#pragma once
+// Request/response vocabulary shared by the scheduling service and its
+// admission queue (service/request_queue.hpp). Split out of service.hpp so
+// the queue can speak requests without a circular include.
+//
+// Priority classes order requests at dequeue time, not at compute time:
+// a running computation is never preempted, but whenever a worker frees
+// up it takes the most urgent admitted request — Interactive before
+// Batch before Bulk, earliest deadline first within a class.
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/schedule.hpp"
+#include "service/instance_store.hpp"
+
+namespace treesched {
+
+/// Admission class of a request. Lower value = more urgent. kInteractive
+/// is meant for latency-sensitive probes (a CLI user waiting on the
+/// answer), kBatch for ordinary programmatic batches, kBulk for campaign
+/// sweeps that value throughput only. Aging promotes starved lower-class
+/// requests one class at a time (RequestQueueConfig::age_after).
+enum class Priority : int {
+  kInteractive = 0,
+  kBatch = 1,
+  kBulk = 2,
+};
+
+inline constexpr int kPriorityClasses = 3;
+
+inline const char* to_string(Priority cls) {
+  switch (cls) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+/// Parses the wire spelling ("interactive" | "batch" | "bulk");
+/// std::nullopt on anything else.
+inline std::optional<Priority> parse_priority(std::string_view text) {
+  if (text == "interactive") return Priority::kInteractive;
+  if (text == "batch") return Priority::kBatch;
+  if (text == "bulk") return Priority::kBulk;
+  return std::nullopt;
+}
+
+struct ScheduleRequest {
+  TreeHandle tree;        ///< interned via SchedulingService::intern()
+  std::string algo;       ///< SchedulerRegistry name
+  int p = 1;              ///< processors (Resources::p)
+  MemSize memory_cap = 0; ///< Resources::memory_cap
+  /// Fill ScheduleResponse::schedule (the full start/proc vectors) rather
+  /// than just the scores.
+  bool want_schedule = false;
+  /// Admission class; only consulted by the queued paths (schedule_async
+  /// and schedule_prioritized) — the synchronous schedule()/schedule_batch
+  /// paths answer immediately regardless. Never part of the cache key.
+  Priority priority = Priority::kBatch;
+  /// Deadline relative to submission; <= 0 means none. A request whose
+  /// deadline passes while it is still queued is answered with
+  /// DeadlineExpired instead of ever reaching a compute worker.
+  double deadline_ms = 0.0;
+};
+
+struct ScheduleResponse {
+  double makespan = 0.0;
+  MemSize peak_memory = 0;
+  bool cache_hit = false;  ///< answered from cache (or a concurrent twin)
+  /// Shares the cached result's schedule; only set when want_schedule.
+  std::shared_ptr<const Schedule> schedule;
+  /// batch paths only: empty on success, the error text otherwise (the
+  /// scores are meaningless when set). schedule() and futures throw
+  /// instead.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Typed admission-queue rejection, delivered through schedule_async's
+/// future (or as ScheduleResponse::error on the batch path).
+class QueueError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The request's deadline passed while it was queued, before any worker
+/// picked it up. The scheduler was never run. Detected at dequeue time:
+/// the error arrives when a worker next services the queue.
+class DeadlineExpired : public QueueError {
+  using QueueError::QueueError;
+};
+
+/// The queue's max_pending bound was hit; the request was turned away at
+/// admission.
+class QueueFull : public QueueError {
+  using QueueError::QueueError;
+};
+
+}  // namespace treesched

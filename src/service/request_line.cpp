@@ -1,0 +1,88 @@
+#include "service/request_line.hpp"
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace treesched {
+
+namespace {
+
+MemSize parse_memory_cap(const std::string& token) {
+  // Parsed from the token, not extracted as an unsigned directly —
+  // istream extraction would wrap "-5" into a huge cap without setting
+  // failbit.
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("memory cap \"" + token +
+                                "\" is not a non-negative integer");
+  }
+  return std::stoull(token);
+}
+
+void apply_field(RequestLine& out, const std::string& key,
+                 const std::string& value) {
+  if (key == "priority") {
+    const auto cls = parse_priority(value);
+    if (!cls) {
+      throw std::invalid_argument(
+          "priority \"" + value + "\" (want interactive|batch|bulk)");
+    }
+    out.priority = *cls;
+    return;
+  }
+  if (key == "deadline_ms") {
+    std::size_t used = 0;
+    double ms = 0.0;
+    try {
+      ms = std::stod(value, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;  // flag as unparsable below
+    }
+    if (used != value.size() || !(ms > 0.0)) {
+      throw std::invalid_argument("deadline_ms \"" + value +
+                                  "\" is not a positive number");
+    }
+    out.deadline_ms = ms;
+    return;
+  }
+  throw std::invalid_argument(
+      "unknown request field \"" + key +
+      "\" (known fields: priority, deadline_ms)");
+}
+
+}  // namespace
+
+RequestLine parse_request_line(const std::string& line) {
+  std::istringstream is(line);
+  RequestLine out;
+  if (!(is >> out.tree_spec >> out.algo >> out.p)) {
+    throw std::invalid_argument(
+        "request line must be: <tree-spec> <algo> <p> [<memory-cap>] "
+        "[priority=...] [deadline_ms=...]");
+  }
+  bool saw_cap = false;
+  bool saw_named = false;
+  std::set<std::string> seen_keys;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (saw_named || saw_cap) {
+        throw std::invalid_argument("trailing token \"" + token + "\"");
+      }
+      out.memory_cap = parse_memory_cap(token);
+      saw_cap = true;
+      continue;
+    }
+    saw_named = true;
+    const std::string key = token.substr(0, eq);
+    if (!seen_keys.insert(key).second) {
+      throw std::invalid_argument("duplicate request field \"" + key + "\"");
+    }
+    apply_field(out, key, token.substr(eq + 1));
+  }
+  return out;
+}
+
+}  // namespace treesched

@@ -1,0 +1,39 @@
+#pragma once
+// The schedule_service line protocol, parsed here (instead of inside the
+// example binary) so tests can pin the grammar — in particular that
+// unknown fields are rejected by name, never silently accepted.
+//
+// Grammar (one request per line):
+//   <tree-spec> <algo> <p> [<memory-cap>] [<key>=<value> ...]
+// with the named fields
+//   priority=interactive|batch|bulk   admission class (default batch)
+//   deadline_ms=<positive float>      give up if still queued after this
+// Positional fields keep the PR 2 wire format; named fields are
+// order-insensitive and must come after the positional ones. An unknown
+// or repeated <key>= raises a parse error naming the field; a bare
+// trailing token raises the classic trailing-token error.
+
+#include <string>
+
+#include "core/tree.hpp"
+#include "service/request.hpp"
+
+namespace treesched {
+
+/// One parsed request line. The tree is still a spec string — resolving
+/// it (file IO, generators, interning) is the caller's business.
+struct RequestLine {
+  std::string tree_spec;
+  std::string algo;
+  int p = 1;
+  MemSize memory_cap = 0;
+  Priority priority = Priority::kBatch;
+  double deadline_ms = 0.0;  ///< <= 0 = none
+};
+
+/// Parses a nonempty, comment-stripped request line. Throws
+/// std::invalid_argument with a message naming the offending token or
+/// field on any violation of the grammar above.
+RequestLine parse_request_line(const std::string& line);
+
+}  // namespace treesched

@@ -1,0 +1,152 @@
+#include "service/request_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace treesched {
+
+RequestQueue::RequestQueue(RequestQueueConfig config) : config_(config) {}
+
+bool RequestQueue::push(ScheduleRequest req,
+                        std::promise<ScheduleResponse> promise) {
+  const Clock::time_point now = Clock::now();
+  const Priority cls = req.priority;
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++counters(cls).admitted;
+  if (config_.max_pending != 0 && pending_ >= config_.max_pending) {
+    ++counters(cls).rejected;
+    lock.unlock();
+    promise.set_exception(std::make_exception_ptr(QueueFull(
+        "queue full: " + std::to_string(config_.max_pending) +
+        " requests already pending")));
+    return false;
+  }
+
+  Stored stored;
+  stored.entry.request = std::move(req);
+  stored.entry.promise = std::move(promise);
+  stored.entry.submitted = cls;
+  stored.entry.admitted = now;
+  // Budgets beyond ~30 years (inf included) mean "no deadline": converting
+  // a double past the clock-rep range would be UB, not a far-future point.
+  constexpr double kMaxDeadlineMs = 1e12;
+  const double deadline_ms = stored.entry.request.deadline_ms;
+  if (deadline_ms > 0.0 && deadline_ms < kMaxDeadlineMs) {
+    stored.entry.deadline =
+        now + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+  stored.last_aged = now;
+
+  const EdfKey key{stored.entry.deadline, next_seq_++};
+  Bucket& b = bucket(static_cast<int>(cls));
+  b.by_age.emplace(stored.last_aged, key);
+  b.items.emplace(key, std::move(stored));
+  ++pending_;
+  ++pending_by_class_[static_cast<std::size_t>(cls)];
+  return true;
+}
+
+void RequestQueue::age_pending(Clock::time_point now) {
+  if (config_.age_after.count() <= 0) return;
+  // Top-down: an entry promoted into class c this round was stamped
+  // last_aged = now, so it cannot climb two levels in one sweep.
+  for (int cls = 1; cls < kPriorityClasses; ++cls) {
+    Bucket& from = bucket(cls);
+    while (!from.by_age.empty() &&
+           from.by_age.begin()->first + config_.age_after <= now) {
+      const EdfKey key = from.by_age.begin()->second;
+      from.by_age.erase(from.by_age.begin());
+      auto it = from.items.find(key);
+      Stored stored = std::move(it->second);
+      from.items.erase(it);
+      stored.last_aged = now;
+      ++counters(stored.entry.submitted).aged;
+      Bucket& to = bucket(cls - 1);
+      to.by_age.emplace(stored.last_aged, key);
+      to.items.emplace(key, std::move(stored));
+    }
+  }
+}
+
+void RequestQueue::record_wait(Priority cls, Clock::time_point admitted,
+                               Clock::time_point now) {
+  const double ms =
+      std::chrono::duration<double, std::milli>(now - admitted).count();
+  auto& samples = wait_samples_[static_cast<std::size_t>(cls)];
+  auto& next = wait_next_[static_cast<std::size_t>(cls)];
+  if (samples.size() < kWaitSampleCap) {
+    samples.push_back(ms);
+  } else {
+    samples[next] = ms;
+    next = (next + 1) % kWaitSampleCap;
+  }
+}
+
+RequestQueue::PopResult RequestQueue::pop() {
+  PopResult result;
+  const Clock::time_point now = Clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  age_pending(now);
+  for (int cls = 0; cls < kPriorityClasses; ++cls) {
+    Bucket& b = bucket(cls);
+    while (!b.items.empty()) {
+      auto it = b.items.begin();  // earliest deadline, then FIFO
+      Stored stored = std::move(it->second);
+      // The aging index holds exactly one entry per item; find it among
+      // the few sharing last_aged by the item's unique sequence number.
+      auto range = b.by_age.equal_range(stored.last_aged);
+      for (auto a = range.first; a != range.second; ++a) {
+        if (a->second.seq == it->first.seq) {
+          b.by_age.erase(a);
+          break;
+        }
+      }
+      b.items.erase(it);
+      --pending_;
+      --pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)];
+      record_wait(stored.entry.submitted, stored.entry.admitted, now);
+      if (stored.entry.deadline <= now) {
+        ++counters(stored.entry.submitted).expired;
+        result.expired.push_back(std::move(stored.entry));
+        continue;  // expired entries are an EDF prefix; keep scanning
+      }
+      ++counters(stored.entry.submitted).completed;
+      result.entry = std::move(stored.entry);
+      return result;
+    }
+  }
+  return result;
+}
+
+QueueStats RequestQueue::stats() const {
+  QueueStats stats;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (int cls = 0; cls < kPriorityClasses; ++cls) {
+    const auto i = static_cast<std::size_t>(cls);
+    ClassQueueStats& out = stats.by_class[i];
+    out.admitted = counters_[i].admitted;
+    out.rejected = counters_[i].rejected;
+    out.expired = counters_[i].expired;
+    out.completed = counters_[i].completed;
+    out.aged = counters_[i].aged;
+    out.pending = pending_by_class_[i];
+    if (!wait_samples_[i].empty()) {
+      std::vector<double> sorted = wait_samples_[i];
+      std::sort(sorted.begin(), sorted.end());
+      out.wait_ms_p50 = quantile_sorted(sorted, 0.50);
+      out.wait_ms_p90 = quantile_sorted(sorted, 0.90);
+      out.wait_ms_p99 = quantile_sorted(sorted, 0.99);
+    }
+  }
+  return stats;
+}
+
+std::size_t RequestQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+}  // namespace treesched

@@ -1,15 +1,32 @@
 #include "service/service.hpp"
 
+#include <chrono>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/simulator.hpp"
+#include "sched/validate.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace treesched {
 
 SchedulingService::SchedulingService(ServiceConfig config)
-    : config_(config), cache_(config.cache_bytes, config.cache_shards) {}
+    : config_(config),
+      cache_(config.cache_bytes, config.cache_shards),
+      queue_(config.queue) {}
+
+SchedulingService::~SchedulingService() {
+  // One registered pool job covers every queued entry from before it is
+  // admitted until it is answered (nested worker submissions never touch
+  // the queue — they compute synchronously), so once the count reaches
+  // zero the queue is empty, every promise has been completed, and
+  // nothing still references this service — tearing down cannot strand a
+  // future or leave a drain touching freed state.
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  async_cv_.wait(lock, [&] { return async_outstanding_ == 0; });
+}
 
 TreeHandle SchedulingService::intern(Tree tree) {
   return store_.intern(std::move(tree));
@@ -139,7 +156,8 @@ CachedResultPtr SchedulingService::compute(const ScheduleRequest& req,
   Schedule s =
       sched.schedule(*req.tree, Resources{req.p, req.memory_cap});
   if (config_.validate) {
-    const ValidationResult v = validate_schedule(*req.tree, s, req.p);
+    const ScheduleCheck v =
+        check_schedule(*req.tree, s, req.p, req.memory_cap);
     if (!v.ok) {
       throw std::logic_error("service: invalid schedule from " + req.algo +
                              ": " + v.error);
@@ -167,6 +185,96 @@ std::vector<ScheduleResponse> SchedulingService::schedule_batch(
         }
       },
       config_.threads);
+  return responses;
+}
+
+void SchedulingService::drain_one() {
+  RequestQueue::PopResult popped = queue_.pop();
+  for (RequestQueue::Entry& e : popped.expired) {
+    std::ostringstream os;
+    os << "deadline expired: " << to_string(e.submitted) << " request ("
+       << e.request.algo << ", deadline " << e.request.deadline_ms
+       << " ms) spent "
+       << std::chrono::duration<double, std::milli>(
+              RequestQueue::Clock::now() - e.admitted)
+              .count()
+       << " ms queued";
+    e.promise.set_exception(std::make_exception_ptr(DeadlineExpired(os.str())));
+  }
+  if (popped.entry) {
+    try {
+      popped.entry->promise.set_value(schedule(popped.entry->request));
+    } catch (...) {
+      popped.entry->promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::future<ScheduleResponse> SchedulingService::schedule_async(
+    ScheduleRequest req) {
+  std::promise<ScheduleResponse> promise;
+  std::future<ScheduleResponse> future = promise.get_future();
+
+  if (ThreadPool::shared().on_worker_thread()) {
+    // A nested submission (a batch item or campaign fanning out from a
+    // pool worker) already holds a worker: routing it through the queue
+    // could deadlock — its drain job may only ever be runnable on this
+    // very thread — and any inline-draining scheme must then re-balance
+    // pops against entries (an entry taken by someone else's job leaves
+    // that job's entry short a servicer). Compute synchronously instead,
+    // like a parallel_for caller participating in its own work: the
+    // request never waits, so its class and deadline are trivially
+    // honored, and it is invisible to queue_stats() (never queued).
+    try {
+      promise.set_value(schedule(req));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+    return future;
+  }
+
+  // The servicer is registered in async_outstanding_ BEFORE the entry is
+  // admitted: at no instant does the queue hold an entry whose answerer
+  // the destructor cannot see.
+  {
+    const std::lock_guard<std::mutex> lock(async_mutex_);
+    ++async_outstanding_;
+  }
+  auto release = [this] {
+    // Notify under the mutex: the moment it unlocks, the destructor may
+    // observe zero and free `this`, so the cv must not be touched after.
+    const std::lock_guard<std::mutex> lock(async_mutex_);
+    --async_outstanding_;
+    async_cv_.notify_all();
+  };
+  if (!queue_.push(std::move(req), std::move(promise))) {
+    release();
+    return future;  // rejected at admission; the promise already carries
+                    // the typed error
+  }
+  ThreadPool::shared().submit([this, release] {
+    drain_one();
+    release();
+  });
+  return future;
+}
+
+std::vector<ScheduleResponse> SchedulingService::schedule_prioritized(
+    const std::vector<ScheduleRequest>& reqs) {
+  std::vector<std::future<ScheduleResponse>> futures;
+  futures.reserve(reqs.size());
+  for (const ScheduleRequest& req : reqs) {
+    futures.push_back(schedule_async(req));
+  }
+  std::vector<ScheduleResponse> responses(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    try {
+      responses[i] = futures[i].get();
+    } catch (const std::exception& e) {
+      responses[i] = ScheduleResponse{};
+      responses[i].error = e.what();
+    }
+  }
   return responses;
 }
 

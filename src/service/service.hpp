@@ -10,10 +10,24 @@
 //                                first --> registry scheduler + simulator,
 //                                          insert into cache, wake waiters
 //
+// Two submission surfaces share that engine:
+//  * synchronous — schedule() / schedule_batch() answer immediately on the
+//    calling thread (plus the shared pool for batches), ignoring priority;
+//  * queued — schedule_async() / schedule_prioritized() admit the request
+//    into a deadline-aware priority queue (service/request_queue.hpp) and
+//    answer through a future. Whenever a pool worker frees up it takes the
+//    most urgent admitted request (Interactive before Batch before Bulk,
+//    EDF within a class, aging against starvation), so interactive probes
+//    overtake a backlog of bulk work, and requests whose deadline lapsed
+//    in the queue are answered with the typed DeadlineExpired error
+//    without ever running a scheduler.
+//
 // Guarantees:
 //  * Determinism: a response carries exactly the (makespan, peak memory,
 //    schedule) a direct SchedulerRegistry call would produce — schedulers
-//    are deterministic, results are computed once and shared.
+//    are deterministic, results are computed once and shared. Priority
+//    and deadline fields are never part of the cache key: they change
+//    when a request is answered, not what the answer is.
 //  * Deduplication: identical (tree, algo, p, cap) work in flight at the
 //    same time is computed once; concurrent duplicates block until the
 //    computing thread publishes. Sequential-only algorithms normalize
@@ -22,12 +36,14 @@
 //    every request pays its own compute — the honest uncached baseline.
 //  * Failure isolation: schedule() throws what the scheduler threw;
 //    schedule_batch() captures per-request errors into the response so one
-//    bad request cannot poison a batch. Failed computations are never
-//    cached, and waiters on a failed in-flight computation receive the
-//    same exception.
+//    bad request cannot poison a batch; schedule_async() delivers the
+//    exception through the future. Failed computations are never cached,
+//    and waiters on a failed in-flight computation receive the same
+//    exception.
 
 #include <condition_variable>
 #include <cstddef>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -37,6 +53,8 @@
 
 #include "sched/registry.hpp"
 #include "service/instance_store.hpp"
+#include "service/request.hpp"
+#include "service/request_queue.hpp"
 #include "service/result_cache.hpp"
 
 namespace treesched {
@@ -47,54 +65,59 @@ struct ServiceConfig {
   unsigned cache_shards = 16;
   /// Parallelism for schedule_batch (0 = the shared thread pool's size).
   unsigned threads = 0;
-  /// Validate every computed schedule before caching it (defense in depth
-  /// at ~2x compute cost; off by default, the simulator already rejects
-  /// precedence violations).
+  /// Validate every computed schedule (sched/validate.hpp, including the
+  /// request's memory cap) before caching it — defense in depth at ~2x
+  /// compute cost; off by default, the simulator already rejects
+  /// precedence violations.
   bool validate = false;
-};
-
-struct ScheduleRequest {
-  TreeHandle tree;        ///< interned via SchedulingService::intern()
-  std::string algo;       ///< SchedulerRegistry name
-  int p = 1;              ///< processors (Resources::p)
-  MemSize memory_cap = 0; ///< Resources::memory_cap
-  /// Fill ScheduleResponse::schedule (the full start/proc vectors) rather
-  /// than just the scores.
-  bool want_schedule = false;
-};
-
-struct ScheduleResponse {
-  double makespan = 0.0;
-  MemSize peak_memory = 0;
-  bool cache_hit = false;  ///< answered from cache (or a concurrent twin)
-  /// Shares the cached result's schedule; only set when want_schedule.
-  std::shared_ptr<const Schedule> schedule;
-  /// schedule_batch only: empty on success, the error text otherwise (the
-  /// scores are meaningless when set). schedule() throws instead.
-  std::string error;
-
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  /// Admission-queue tuning for the schedule_async path.
+  RequestQueueConfig queue;
 };
 
 class SchedulingService {
  public:
   explicit SchedulingService(ServiceConfig config = {});
 
+  /// Waits for every admitted async request to be answered (their futures
+  /// all become ready) before tearing down.
+  ~SchedulingService();
+
   /// Interns a tree into the instance store; the handle is what requests
   /// carry. Repeated interns of identical trees share one instance.
   TreeHandle intern(Tree tree);
 
-  /// Answers one request. Throws std::invalid_argument on an unknown
-  /// algorithm, invalid resources, an un-interned (null) tree handle, or
-  /// whatever the scheduler itself throws.
+  /// Answers one request synchronously, bypassing the admission queue.
+  /// Throws std::invalid_argument on an unknown algorithm, invalid
+  /// resources, an un-interned (null) tree handle, or whatever the
+  /// scheduler itself throws.
   ScheduleResponse schedule(const ScheduleRequest& req);
 
   /// Answers a batch, in request order, fanning out over the shared
   /// thread pool. Per-request failures land in ScheduleResponse::error.
+  /// FIFO: priority/deadline fields are ignored on this path.
   std::vector<ScheduleResponse> schedule_batch(
       const std::vector<ScheduleRequest>& reqs);
 
+  /// Admits `req` into the priority queue under its priority/deadline_ms
+  /// fields and returns the future of its response. The future throws
+  /// what schedule() would throw, DeadlineExpired when the deadline
+  /// lapsed before a worker picked the request up, or QueueFull when the
+  /// queue bound turned it away at admission. Called from a pool worker
+  /// (a nested fan-out), the request is computed synchronously instead of
+  /// queued — the worker participates like a parallel_for caller, which
+  /// rules out self-deadlock; such requests never wait and never appear
+  /// in queue_stats().
+  std::future<ScheduleResponse> schedule_async(ScheduleRequest req);
+
+  /// Priority-aware batch: admits every request through the queue, waits
+  /// for all of them, and returns responses in request order with
+  /// failures (including DeadlineExpired) captured per-request in
+  /// ScheduleResponse::error.
+  std::vector<ScheduleResponse> schedule_prioritized(
+      const std::vector<ScheduleRequest>& reqs);
+
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] QueueStats queue_stats() const { return queue_.stats(); }
   [[nodiscard]] InstanceStore::Stats store_stats() const {
     return store_.stats();
   }
@@ -128,9 +151,17 @@ class SchedulingService {
                                        bool& shared_from_twin);
   CachedResultPtr compute(const ScheduleRequest& req, const Scheduler& sched);
 
+  /// Services one admission-queue pop: answers every expired entry with
+  /// DeadlineExpired and computes the live one, if any. One call per
+  /// admitted entry is enqueued on the shared pool; any call may answer a
+  /// request other than the one whose admission enqueued it — that is
+  /// what makes class preemption work on a FIFO pool.
+  void drain_one();
+
   ServiceConfig config_;
   InstanceStore store_;
   ResultCache cache_;
+  RequestQueue queue_;
 
   /// Read-mostly after warm-up: every request resolves its scheduler, so
   /// the found path takes only a shared lock.
@@ -141,6 +172,13 @@ class SchedulingService {
   std::mutex inflight_mutex_;
   std::unordered_map<ResultKey, std::shared_ptr<InFlight>, ResultKeyHash>
       inflight_;
+
+  /// Active servicers — pool-submitted drain jobs plus in-progress inline
+  /// worker drains, each registered before its entry is admitted; the
+  /// destructor waits for zero so nothing outlives the service.
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::size_t async_outstanding_ = 0;
 };
 
 }  // namespace treesched

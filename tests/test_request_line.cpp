@@ -1,0 +1,92 @@
+// The schedule_service wire grammar (service/request_line.hpp):
+// positional fields as in PR 2, the new named priority=/deadline_ms=
+// fields, and — the regression this file pins — unknown fields rejected
+// with an error naming the field, never silently accepted.
+
+#include "service/request_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace treesched {
+namespace {
+
+TEST(RequestLine, PositionalFieldsParse) {
+  const RequestLine r = parse_request_line("random:500:1 ParSubtrees 8");
+  EXPECT_EQ(r.tree_spec, "random:500:1");
+  EXPECT_EQ(r.algo, "ParSubtrees");
+  EXPECT_EQ(r.p, 8);
+  EXPECT_EQ(r.memory_cap, 0u);
+  EXPECT_EQ(r.priority, Priority::kBatch) << "wire default is batch";
+  EXPECT_EQ(r.deadline_ms, 0.0);
+}
+
+TEST(RequestLine, OptionalMemoryCapParses) {
+  const RequestLine r =
+      parse_request_line("grid:8:2 MemoryBounded 4 123456");
+  EXPECT_EQ(r.memory_cap, 123456u);
+}
+
+TEST(RequestLine, NamedFieldsParse) {
+  const RequestLine r = parse_request_line(
+      "file:a.tree Liu 1 77 priority=interactive deadline_ms=12.5");
+  EXPECT_EQ(r.memory_cap, 77u);
+  EXPECT_EQ(r.priority, Priority::kInteractive);
+  EXPECT_DOUBLE_EQ(r.deadline_ms, 12.5);
+}
+
+TEST(RequestLine, NamedFieldsAreOrderInsensitive) {
+  const RequestLine r = parse_request_line(
+      "random:10:1 ParInnerFirst 2 deadline_ms=5 priority=bulk");
+  EXPECT_EQ(r.priority, Priority::kBulk);
+  EXPECT_DOUBLE_EQ(r.deadline_ms, 5.0);
+}
+
+TEST(RequestLine, UnknownFieldIsRejectedByName) {
+  try {
+    (void)parse_request_line("random:10:1 ParSubtrees 2 frobnicate=7");
+    FAIL() << "unknown field accepted silently";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown request field \"frobnicate\""),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("priority"), std::string::npos)
+        << "the error should list the known fields";
+  }
+}
+
+TEST(RequestLine, MalformedLinesAreRejected) {
+  // Too few positional fields.
+  EXPECT_THROW((void)parse_request_line("random:10:1 ParSubtrees"),
+               std::invalid_argument);
+  // Negative / non-numeric caps (istream would happily wrap "-5").
+  EXPECT_THROW((void)parse_request_line("random:10:1 ParSubtrees 2 -5"),
+               std::invalid_argument);
+  // A stray positional token after the cap.
+  EXPECT_THROW((void)parse_request_line("random:10:1 ParSubtrees 2 7 9"),
+               std::invalid_argument);
+  // A positional token after a named field.
+  EXPECT_THROW(
+      (void)parse_request_line("random:10:1 ParSubtrees 2 priority=bulk 9"),
+      std::invalid_argument);
+  // A repeated named field (last-one-wins would hide a typo'd intent).
+  EXPECT_THROW((void)parse_request_line(
+                   "random:10:1 Liu 1 deadline_ms=5000 deadline_ms=50"),
+               std::invalid_argument);
+  // Bad values for the named fields.
+  EXPECT_THROW(
+      (void)parse_request_line("random:10:1 ParSubtrees 2 priority=vip"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_request_line("random:10:1 ParSubtrees 2 deadline_ms=-3"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_request_line("random:10:1 ParSubtrees 2 deadline_ms=soon"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treesched
