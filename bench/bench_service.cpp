@@ -17,13 +17,19 @@
 // all of them must expire with the typed error and none may ever reach a
 // scheduler (cache-miss accounting proves it).
 //
+// Experiment 3 (ticket overhead): the same cache-hot request answered
+// --ticket-ops times through submit()+Ticket::wait() and through the
+// legacy schedule_async().get() future bridge, so the cost of the v2
+// wrapper layer (queue admission + ticket settle vs. + promise/future)
+// is on the perf record.
+//
 //   $ ./bench_service
 //   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
 //   $ ./bench_service --probes 50 --bulk-per-probe 4 --bulk-n 4000
 //
-// --probes 0 skips experiment 2. --json writes the numbers
-// machine-readably (merged into BENCH_PR2.json by the perf pipeline
-// alongside bench_perf's per-algorithm ns/op).
+// --probes 0 skips experiment 2; --ticket-ops 0 skips experiment 3.
+// --json writes the numbers machine-readably (merged into BENCH_PR2.json
+// by the perf pipeline alongside bench_perf's per-algorithm ns/op).
 
 #include <algorithm>
 #include <chrono>
@@ -54,7 +60,7 @@ double run_requests(SchedulingService& service,
     for (const ScheduleResponse& resp : responses) {
       if (!resp.ok()) {
         throw std::runtime_error("bench_service request failed: " +
-                                 resp.error);
+                                 resp.error->message);
       }
     }
   }
@@ -85,7 +91,7 @@ MixedResult run_mixed(Priority probe_priority, std::size_t probes,
   const TreeHandle probe_tree =
       service.intern(synthetic_assembly_tree(probe_n, 2.0, rng));
 
-  std::vector<std::future<ScheduleResponse>> bulk_futures;
+  std::vector<Ticket> bulk_tickets;
   std::vector<double> latencies_ms;
   latencies_ms.reserve(probes);
   int bulk_p = 2;
@@ -96,7 +102,7 @@ MixedResult run_mixed(Priority probe_priority, std::size_t probes,
       req.algo = "ParDeepestFirst";
       req.p = 2 + (bulk_p++ % 31);
       req.priority = Priority::kBulk;
-      bulk_futures.push_back(service.schedule_async(std::move(req)));
+      bulk_tickets.push_back(service.submit(std::move(req)));
     }
     ScheduleRequest probe;
     probe.tree = probe_tree;
@@ -104,15 +110,16 @@ MixedResult run_mixed(Priority probe_priority, std::size_t probes,
     probe.p = 4;
     probe.priority = probe_priority;
     const auto t0 = std::chrono::steady_clock::now();
-    const ScheduleResponse resp = service.schedule_async(probe).get();
+    const ServiceResult result = service.submit(std::move(probe)).wait();
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - t0;
-    if (!resp.ok()) {
-      throw std::runtime_error("mixed probe failed: " + resp.error);
+    if (!result.ok()) {
+      throw std::runtime_error("mixed probe failed: " +
+                               result.error().message);
     }
     latencies_ms.push_back(elapsed.count());
   }
-  for (auto& f : bulk_futures) (void)f.get();
+  for (Ticket& t : bulk_tickets) (void)t.wait();
 
   MixedResult result;
   std::sort(latencies_ms.begin(), latencies_ms.end());
@@ -132,17 +139,17 @@ std::pair<std::uint64_t, std::uint64_t> run_expiry(std::size_t doomed,
   // Pin every pool worker with queued work to spare, or an idle worker on
   // a many-core machine would answer a doomed request inside its budget.
   const std::size_t backlog = 2 * ThreadPool::shared().size() + 6;
-  std::vector<std::future<ScheduleResponse>> futures;
+  std::vector<Ticket> tickets;
   for (std::size_t i = 0; i < backlog; ++i) {
     ScheduleRequest req;
     req.tree = tree;
     req.algo = "ParDeepestFirst";
     req.p = 2 + static_cast<int>(i);
     req.priority = Priority::kInteractive;  // always ahead of the doomed
-    futures.push_back(service.schedule_async(std::move(req)));
+    tickets.push_back(service.submit(std::move(req)));
   }
   std::uint64_t expired = 0;
-  std::vector<std::future<ScheduleResponse>> doomed_futures;
+  std::vector<Ticket> doomed_tickets;
   for (std::size_t i = 0; i < doomed; ++i) {
     ScheduleRequest req;
     req.tree = tree;
@@ -152,19 +159,56 @@ std::pair<std::uint64_t, std::uint64_t> run_expiry(std::size_t doomed,
     req.p = 2 + static_cast<int>(backlog + i);
     req.priority = Priority::kBulk;
     req.deadline_ms = 0.05;
-    doomed_futures.push_back(service.schedule_async(std::move(req)));
+    doomed_tickets.push_back(service.submit(std::move(req)));
   }
-  for (auto& f : futures) (void)f.get();
-  for (auto& f : doomed_futures) {
-    try {
-      (void)f.get();
-    } catch (const DeadlineExpired&) {
-      ++expired;
-    }
+  for (Ticket& t : tickets) (void)t.wait();
+  for (Ticket& t : doomed_tickets) {
+    const ServiceResult r = t.wait();
+    if (!r.ok() && r.error().code == ErrorCode::kDeadlineExpired) ++expired;
   }
   const std::uint64_t computed_for_doomed =
       service.cache_stats().misses - backlog;
   return {expired, computed_for_doomed};
+}
+
+/// Experiment 3: the cost of the submission surface itself. One cache-hot
+/// request, answered `ops` times through each path — all compute is a
+/// cache hit, so the measured time is queue admission + completion
+/// plumbing. Returns requests/sec per path.
+struct TicketOverhead {
+  double submit_wait_rps = 0.0;    ///< submit() + Ticket::wait()
+  double legacy_async_rps = 0.0;   ///< schedule_async() + future.get()
+};
+
+TicketOverhead run_ticket_overhead(std::size_t ops) {
+  SchedulingService service;
+  Rng rng(0x71c4e7);
+  ScheduleRequest req;
+  req.tree = service.intern(synthetic_assembly_tree(200, 2.0, rng));
+  req.algo = "ParInnerFirst";
+  req.p = 4;
+  (void)unwrap(service.submit(req).wait());  // warm the cache entry
+
+  TicketOverhead result;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      (void)unwrap(service.submit(req).wait());
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    result.submit_wait_rps = static_cast<double>(ops) / elapsed.count();
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      (void)service.schedule_async(req).get();
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    result.legacy_async_rps = static_cast<double>(ops) / elapsed.count();
+  }
+  return result;
 }
 
 }  // namespace
@@ -185,6 +229,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("bulk-per-probe", 3));
     const auto bulk_n = static_cast<NodeId>(args.get_int("bulk-n", 3000));
     const auto probe_n = static_cast<NodeId>(args.get_int("probe-n", 300));
+    const auto ticket_ops =
+        static_cast<std::size_t>(args.get_int("ticket-ops", 20000));
     args.reject_unknown();
 
     std::vector<int> procs;
@@ -276,12 +322,28 @@ int main(int argc, char** argv) {
                 << " of them ever reached a scheduler\n";
     }
 
+    TicketOverhead overhead;
+    if (ticket_ops > 0) {
+      overhead = run_ticket_overhead(ticket_ops);
+      std::cout << "\n== ticket overhead ==\n"
+                << ticket_ops << " cache-hot requests per path\n"
+                << std::setprecision(0)
+                << "submit+wait:            " << overhead.submit_wait_rps
+                << " requests/sec\n"
+                << "legacy async future:    " << overhead.legacy_async_rps
+                << " requests/sec\n"
+                << std::setprecision(2) << "legacy/ticket ratio:    "
+                << overhead.legacy_async_rps /
+                       std::max(overhead.submit_wait_rps, 1e-9)
+                << "x\n";
+    }
+
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       if (!os) throw std::runtime_error("cannot open " + json_path);
       os << std::setprecision(17)
          << "{\n"
-         << "  \"schema\": \"treesched-bench-service-v2\",\n"
+         << "  \"schema\": \"treesched-bench-service-v3\",\n"
          << "  \"distinct_requests\": " << distinct << ",\n"
          << "  \"repeat\": " << repeat << ",\n"
          << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
@@ -297,7 +359,11 @@ int main(int argc, char** argv) {
          << "  \"fifo_probe_p99_ms\": " << fifo.probe_p99_ms << ",\n"
          << "  \"deadline_wave_expired\": " << expired << ",\n"
          << "  \"deadline_wave_submitted\": " << doomed << ",\n"
-         << "  \"deadline_wave_computed\": " << computed_for_doomed << "\n"
+         << "  \"deadline_wave_computed\": " << computed_for_doomed << ",\n"
+         << "  \"ticket_ops\": " << ticket_ops << ",\n"
+         << "  \"ticket_submit_wait_rps\": " << overhead.submit_wait_rps
+         << ",\n"
+         << "  \"legacy_async_rps\": " << overhead.legacy_async_rps << "\n"
          << "}\n";
       std::cout << "wrote " << json_path << "\n";
     }

@@ -1,11 +1,12 @@
-// Streaming front-end for the scheduling service: reads newline-delimited
-// requests from a file or stdin, answers them through a SchedulingService
-// (shared instance store + result cache + batch executor), and streams one
-// response line per request, in request order.
+// Streaming front-end for the scheduling service, speaking protocol v2:
+// reads newline-delimited requests from a file or stdin, submits each one
+// as a Ticket through SchedulingService::submit(), and streams response
+// lines as results become available.
 //
 // Request line:     <tree-spec> <algo> <p> [<memory-cap>]
 //                       [priority=interactive|batch|bulk]
-//                       [deadline_ms=<positive float>]
+//                       [deadline_ms=<positive float>] [id=<n>]
+//                   cancel id=<n>
 // (service/request_line.hpp is the grammar's single home; unknown
 // key=value fields are rejected with an error naming the field.)
 // Tree specs:       file:<path>             a treesched-tree v1 file
@@ -15,28 +16,35 @@
 // '#' starts a comment; blank lines are skipped (both still produce no
 // response line).
 //
-// Response line:    ok tree=<hash> n=<nodes> algo=<name> p=<p> \
-//                       makespan=<ms> peak_memory=<bytes> cache=hit|miss \
-//                       priority=<class>
-// or:               error <message>
+// Response lines (format_response_line):
+//   ok [id=<n>] tree=<hash> n=<nodes> algo=<name> p=<p> makespan=<f>
+//      peak_memory=<bytes> cache=hit|miss priority=<class>
+//   error [id=<n>] code=<error-code> <message>
 //
-//   $ printf 'random:500:1 ParSubtrees 8\nrandom:500:1 ParSubtrees 8\n' \
+// Ordering: untagged requests are answered in submission order. An
+// id=-tagged request may be answered the moment it completes — out of
+// order — because the tag makes the line attributable; the same tag is
+// what `cancel id=<n>` uses to cancel it while still queued (a
+// successful cancel answers the request with code=cancelled; a cancel
+// naming an unknown/already-answered/running request answers
+// code=bad_request). Protocol violations answer code=bad_request without
+// aborting the stream.
+//
+//   $ printf 'random:500:1 ParSubtrees 8 id=1\nrandom:500:1 ParSubtrees 8\n' \
 //       | ./schedule_service --stats
 //
-// Requests are executed in batches of --batch lines through the
-// service's deadline-aware admission queue: within a batch, interactive
-// requests are answered before batch ones, batch before bulk, earliest
-// deadline first within a class, and a request whose deadline lapses
-// while queued is answered "error deadline expired ..." without costing
-// any compute. Identical and concurrent work dedupes while responses
-// still stream incrementally, in input order.
 // --cache-mb 0 disables the result cache (every request recomputes).
+// --max-pending bounds the in-flight window: past it the reader blocks
+// on the oldest pending answer before accepting more lines, so a huge
+// input file cannot flood the queue (backpressure, v1's --batch role).
 
 #include <chrono>
+#include <deque>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "service/request_line.hpp"
@@ -102,42 +110,220 @@ Tree tree_from_spec(const std::string& spec) {
                               "\" (file|random|grid|synthetic)");
 }
 
-/// One input line: either a parsed request or a pre-rendered parse error,
-/// so batch output stays in input order.
-struct PendingLine {
-  bool is_request = false;
-  std::size_t request_index = 0;  ///< into the batch's request vector
-  std::string parse_error;
+/// One in-flight request: its ticket plus the echo fields of the eventual
+/// ok line — or a pre-settled error (parse/spec failure of an untagged
+/// line) held in the stream so it still answers in submission order.
+struct Pending {
+  Ticket ticket;
+  std::optional<std::uint64_t> id;
+  TreeHash tree_hash = 0;
+  NodeId n = 0;
+  std::string algo;
+  int p = 1;
+  Priority priority = Priority::kBatch;
+  /// Set for lines that failed before reaching submit(): the canned
+  /// error answer, emitted at this line's position.
+  std::optional<ServiceError> settled_error;
 };
 
-class RequestStream {
+class Stream {
  public:
-  explicit RequestStream(SchedulingService& service) : service_(service) {}
+  Stream(SchedulingService& service, std::size_t max_pending)
+      : service_(service), max_pending_(max_pending) {}
 
-  /// Parses one nonempty line into `requests`, memoizing tree specs so a
-  /// hot spec is generated/loaded once per process.
-  PendingLine parse(const std::string& line,
-                    std::vector<ScheduleRequest>& requests) {
-    PendingLine out;
+  /// Handles one nonempty, comment-stripped input line; prints any
+  /// response lines that become available.
+  void consume(const std::string& line) {
+    RequestLine parsed;
+    bool parse_ok = true;
     try {
-      const RequestLine parsed = parse_request_line(line);
-      ScheduleRequest req;
-      req.tree = handle_for(parsed.tree_spec);
-      req.algo = parsed.algo;
-      req.p = parsed.p;
-      req.memory_cap = parsed.memory_cap;
-      req.priority = parsed.priority;
-      req.deadline_ms = parsed.deadline_ms;
-      out.is_request = true;
-      out.request_index = requests.size();
-      requests.push_back(std::move(req));
+      parsed = parse_request_line(line);
     } catch (const std::exception& e) {
-      out.parse_error = e.what();
+      // Untagged: a positional client correlates responses by line, so
+      // the error must keep its place in the stream, not jump the queue.
+      push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
+      parse_ok = false;
     }
-    return out;
+    if (parse_ok) {
+      if (parsed.kind == RequestLine::Kind::kCancel) {
+        handle_cancel(*parsed.id);
+      } else {
+        handle_schedule(parsed);
+      }
+    }
+    drain(false);
+    // Backpressure — on every path, settled-error lines included: never
+    // hold more than max_pending_ unanswered lines; block on the oldest
+    // until the window shrinks (its answer streams out in order).
+    while (pending_.size() > max_pending_) emit_front(/*block=*/true);
   }
 
+  /// EOF: answer everything still pending, in submission order.
+  void finish() { drain(true); }
+
  private:
+  void handle_schedule(const RequestLine& parsed) {
+    if (parsed.id && by_id_.count(*parsed.id)) {
+      // Untagged on purpose (tagging it id=N would collide with the
+      // still-pending request N's eventual answer) and held in stream
+      // order like every untagged answer. The message names the id.
+      push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                         "duplicate id=" + std::to_string(*parsed.id) +
+                             " (a request with this tag is still pending)");
+      return;
+    }
+    Pending pending;
+    pending.id = parsed.id;
+    pending.algo = parsed.algo;
+    pending.p = parsed.p;
+    pending.priority = parsed.priority;
+    ScheduleRequest req;
+    try {
+      req.tree = handle_for(parsed.tree_spec);
+    } catch (const std::exception& e) {
+      // Spec resolution (file IO, generator args) is a protocol-level
+      // failure; store rejection surfaces its own kStoreFull code.
+      // Answer in place for tagged lines, in order for untagged ones.
+      const StoreFull* full = dynamic_cast<const StoreFull*>(&e);
+      const ErrorCode code =
+          full ? ErrorCode::kStoreFull : ErrorCode::kBadRequest;
+      if (parsed.id) {
+        emit_error(parsed.id, code, e.what());
+      } else {
+        push_settled_error(parsed.id, code, e.what());
+      }
+      return;
+    }
+    pending.tree_hash = req.tree.hash;
+    pending.n = req.tree->size();
+    req.algo = parsed.algo;
+    req.p = parsed.p;
+    req.memory_cap = parsed.memory_cap;
+    req.priority = parsed.priority;
+    req.deadline_ms = parsed.deadline_ms;
+    pending.ticket = service_.submit(std::move(req));
+    if (pending.id) by_id_.insert(*pending.id);
+    pending_.push_back(std::move(pending));
+  }
+
+  void handle_cancel(std::uint64_t id) {
+    Pending* target = nullptr;
+    for (Pending& p : pending_) {
+      if (p.id && *p.id == id) {
+        target = &p;
+        break;
+      }
+    }
+    if (!target) {
+      // Untagged (a late cancel racing the answer must not put a second
+      // id=N line on the wire) and held in stream order like every
+      // untagged answer.
+      push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                         "cancel id=" + std::to_string(id) +
+                             ": no pending request with this id");
+      return;
+    }
+    if (!target->ticket.cancel()) {
+      // Already running or already answered: the documented no-op. The
+      // request's own answer line stands and keeps the id=N tag to
+      // itself — this untagged, stream-ordered ack names the id in the
+      // message.
+      push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                         "cancel id=" + std::to_string(id) +
+                             ": request already running or answered");
+    }
+    // On success the ticket settled with code=cancelled; the next drain
+    // emits that line as the request's answer.
+  }
+
+  /// Answers the oldest pending entry and removes it; with block=false
+  /// returns false (and leaves the stream untouched) while that entry is
+  /// still pending. The single home of the front-emission bookkeeping.
+  bool emit_front(bool block) {
+    Pending& front = pending_.front();
+    const std::optional<ServiceResult> result =
+        front.settled_error
+            ? std::optional<ServiceResult>(*front.settled_error)
+            : (block ? std::optional<ServiceResult>(front.ticket.wait())
+                     : front.ticket.try_get());
+    if (!result) return false;
+    emit(front, *result);
+    if (front.id) by_id_.erase(*front.id);
+    pending_.pop_front();
+    return true;
+  }
+
+  void push_settled_error(std::optional<std::uint64_t> id, ErrorCode code,
+                          std::string message) {
+    Pending pending;
+    pending.id = id;
+    pending.settled_error =
+        ServiceError{code, std::move(message), nullptr};
+    pending_.push_back(std::move(pending));
+  }
+
+  /// Prints every answerable response: the in-order prefix always, plus
+  /// any completed id-tagged entry anywhere in the window (the tag makes
+  /// an out-of-order line attributable). `block` waits everything out.
+  void drain(bool block) {
+    while (!pending_.empty()) {
+      if (!emit_front(block)) break;
+    }
+    if (by_id_.empty()) {
+      // No tagged entries pending: the out-of-order scan below could
+      // only ever skip, so don't walk (and lock) the whole window.
+      std::cout.flush();
+      return;
+    }
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (!it->id) {
+        ++it;
+        continue;  // untagged: must keep submission order
+      }
+      std::optional<ServiceResult> result = it->ticket.try_get();
+      if (!result) {
+        ++it;
+        continue;
+      }
+      emit(*it, *result);
+      by_id_.erase(*it->id);
+      it = pending_.erase(it);
+    }
+    std::cout.flush();
+  }
+
+  void emit(const Pending& pending, const ServiceResult& result) {
+    ResponseLine line;
+    line.id = pending.id;
+    if (result.ok()) {
+      const ScheduleResponse& resp = result.value();
+      line.ok = true;
+      line.tree_hash = pending.tree_hash;
+      line.n = pending.n;
+      line.algo = pending.algo;
+      line.p = pending.p;
+      line.makespan = resp.makespan;
+      line.peak_memory = resp.peak_memory;
+      line.cache_hit = resp.cache_hit;
+      line.priority = pending.priority;
+    } else {
+      line.ok = false;
+      line.code = result.error().code;
+      line.message = result.error().message;
+    }
+    std::cout << format_response_line(line) << "\n";
+  }
+
+  void emit_error(std::optional<std::uint64_t> id, ErrorCode code,
+                  const std::string& message) {
+    ResponseLine line;
+    line.ok = false;
+    line.id = id;
+    line.code = code;
+    line.message = message;
+    std::cout << format_response_line(line) << "\n";
+  }
+
   TreeHandle handle_for(const std::string& spec) {
     const auto it = by_spec_.find(spec);
     if (it != by_spec_.end()) return it->second;
@@ -147,36 +333,13 @@ class RequestStream {
   }
 
   SchedulingService& service_;
+  const std::size_t max_pending_;
   std::unordered_map<std::string, TreeHandle> by_spec_;
+  std::deque<Pending> pending_;
+  /// Tags of pending requests, for duplicate-id detection (cancel scans
+  /// the deque itself — the pending window is small).
+  std::unordered_set<std::uint64_t> by_id_;
 };
-
-void flush_batch(SchedulingService& service,
-                 std::vector<PendingLine>& lines,
-                 std::vector<ScheduleRequest>& requests) {
-  const std::vector<ScheduleResponse> responses =
-      service.schedule_prioritized(requests);
-  for (const PendingLine& line : lines) {
-    if (!line.is_request) {
-      std::cout << "error " << line.parse_error << "\n";
-      continue;
-    }
-    const ScheduleRequest& req = requests[line.request_index];
-    const ScheduleResponse& resp = responses[line.request_index];
-    if (!resp.ok()) {
-      std::cout << "error " << resp.error << "\n";
-      continue;
-    }
-    std::cout << "ok tree=" << std::hex << req.tree.hash << std::dec
-              << " n=" << req.tree->size() << " algo=" << req.algo
-              << " p=" << req.p << " makespan=" << resp.makespan
-              << " peak_memory=" << resp.peak_memory
-              << " cache=" << (resp.cache_hit ? "hit" : "miss")
-              << " priority=" << to_string(req.priority) << "\n";
-  }
-  std::cout.flush();
-  lines.clear();
-  requests.clear();
-}
 
 }  // namespace
 
@@ -192,14 +355,18 @@ int main(int argc, char** argv) {
     config.validate = args.get_bool("validate", false);
     config.queue.age_after =
         std::chrono::milliseconds(args.get_int("age-ms", 250));
-    const auto batch =
-        static_cast<std::size_t>(args.get_int("batch", 32));
+    config.store.max_bytes =
+        static_cast<std::size_t>(args.get_int("store-mb", 0)) << 20;
+    const auto max_pending =
+        static_cast<std::size_t>(args.get_int("max-pending", 256));
     const bool stats = args.get_bool("stats", false);
     args.reject_unknown();
-    if (batch == 0) throw std::invalid_argument("--batch must be >= 1");
+    if (max_pending == 0) {
+      throw std::invalid_argument("--max-pending must be >= 1");
+    }
 
     SchedulingService service(config);
-    RequestStream stream(service);
+    Stream stream(service, max_pending);
 
     std::ifstream file;
     if (input != "-") {
@@ -208,17 +375,14 @@ int main(int argc, char** argv) {
     }
     std::istream& in = input == "-" ? std::cin : file;
 
-    std::vector<PendingLine> lines;
-    std::vector<ScheduleRequest> requests;
     std::string line;
     while (std::getline(in, line)) {
       const auto hash_pos = line.find('#');
       if (hash_pos != std::string::npos) line.resize(hash_pos);
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      lines.push_back(stream.parse(line, requests));
-      if (lines.size() >= batch) flush_batch(service, lines, requests);
+      stream.consume(line);
     }
-    if (!lines.empty()) flush_batch(service, lines, requests);
+    stream.finish();
 
     if (stats) {
       const CacheStats cs = service.cache_stats();
@@ -229,7 +393,8 @@ int main(int argc, char** argv) {
                 << " entries, " << cs.bytes << " bytes, " << cs.evictions
                 << " evictions\n"
                 << "store: " << ss.unique_trees << " unique trees, "
-                << ss.hits << " intern hits\n";
+                << ss.hits << " intern hits, " << ss.bytes << " bytes held, "
+                << ss.rejected << " rejected by budget\n";
       const QueueStats qs = service.queue_stats();
       for (int cls = 0; cls < kPriorityClasses; ++cls) {
         const ClassQueueStats& c =
@@ -238,7 +403,8 @@ int main(int argc, char** argv) {
         std::cerr << "queue[" << to_string(static_cast<Priority>(cls))
                   << "]: " << c.admitted << " admitted, " << c.completed
                   << " completed, " << c.expired << " expired, "
-                  << c.rejected << " rejected, " << c.aged
+                  << c.cancelled << " cancelled, " << c.rejected
+                  << " rejected, " << c.aged
                   << " aged; wait ms p50/p90/p99 = " << std::setprecision(2)
                   << c.wait_ms_p50 << "/" << c.wait_ms_p90 << "/"
                   << c.wait_ms_p99 << "\n";

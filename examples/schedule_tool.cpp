@@ -18,6 +18,11 @@
 // (sched/validate.hpp) on every schedule — precedence, <= p concurrent
 // tasks, and the memory cap when one is in force — and prints the
 // verdict (non-zero exit on any violation).
+//
+// Scheduling runs through a SchedulingService ticket (submit + wait), so
+// the tool shares the service's interning/caching engine and failures
+// arrive as typed ServiceErrors — printed as "error [<code>]: <message>"
+// with a non-zero exit.
 
 #include <fstream>
 #include <functional>
@@ -31,6 +36,7 @@
 #include "parallel/memory_bounded.hpp"
 #include "sched/registry.hpp"
 #include "sched/validate.hpp"
+#include "service/service.hpp"
 #include "sequential/liu.hpp"
 #include "sequential/postorder.hpp"
 #include "trees/generators.hpp"
@@ -154,6 +160,8 @@ int main(int argc, char** argv) {
                 << "x the best-postorder peak)\n";
     }
 
+    SchedulingService service;
+    const TreeHandle handle = service.intern(tree);
     for (const std::string& name : algos) {
       const SchedulerPtr sched = SchedulerRegistry::instance().create(name);
       Resources eff = res;
@@ -162,7 +170,21 @@ int main(int argc, char** argv) {
                   << " is not memory-capped; running it without the cap\n";
         eff.memory_cap = 0;
       }
-      const Schedule schedule = sched->schedule(tree, eff);
+      ScheduleRequest req;
+      req.tree = handle;
+      req.algo = name;
+      req.p = eff.p;
+      req.memory_cap = eff.memory_cap;
+      req.want_schedule = true;
+      req.priority = Priority::kInteractive;  // a human is waiting
+      const ServiceResult result = service.submit(std::move(req)).wait();
+      if (!result.ok()) {
+        const ServiceError& err = result.error();
+        std::cerr << "error [" << to_string(err.code) << "]: " << err.message
+                  << "\n";
+        return 1;
+      }
+      const Schedule& schedule = *result.value().schedule;
       const auto v = validate_schedule(tree, schedule, p);
       if (!v.ok) {
         std::cerr << "BUG: invalid schedule from " << name << ": " << v.error

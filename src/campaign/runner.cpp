@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <future>
 #include <stdexcept>
 #include <utility>
 
@@ -64,9 +63,9 @@ std::vector<ScenarioRecord> run_campaign(
                                       params.processor_counts.size());
 
   // Builds records[idx] from per-algorithm responses delivered by `get`
-  // (throwing responses rethrow the scheduler's own exception — an
-  // oracle on an oversized tree, a cap below the floor, ... — which
-  // lands on the campaign caller, the pre-service behavior).
+  // (failed tickets rethrow the scheduler's own exception through
+  // unwrap() — an oracle on an oversized tree, a cap below the floor,
+  // ... — which lands on the campaign caller, the pre-service behavior).
   const auto build_record =
       [&](std::size_t idx,
           const std::function<ScheduleResponse(std::size_t)>& get) {
@@ -111,13 +110,13 @@ std::vector<ScenarioRecord> run_campaign(
   if (params.threads != 0) {
     // An explicit thread bound is a compute-parallelism promise the
     // shared-pool admission queue cannot keep (drain jobs fan out over
-    // the whole pool), so honor it with the synchronous path: exactly
-    // `threads`-wide, same results.
+    // the whole pool), so honor it with worker-inline submissions:
+    // exactly `threads`-wide, same results, still through submit().
     parallel_for(
         records.size(),
         [&](std::size_t idx) {
           build_record(idx, [&](std::size_t k) {
-            return service.schedule(request_for(idx, k));
+            return unwrap(service.submit(request_for(idx, k)).wait());
           });
         },
         params.threads);
@@ -135,16 +134,16 @@ std::vector<ScenarioRecord> run_campaign(
        window += kWindowScenarios) {
     const std::size_t end =
         std::min(records.size(), window + kWindowScenarios);
-    std::vector<std::future<ScheduleResponse>> futures;
-    futures.reserve((end - window) * algos.size());
+    std::vector<Ticket> tickets;
+    tickets.reserve((end - window) * algos.size());
     for (std::size_t idx = window; idx < end; ++idx) {
       for (std::size_t k = 0; k < algos.size(); ++k) {
-        futures.push_back(service.schedule_async(request_for(idx, k)));
+        tickets.push_back(service.submit(request_for(idx, k)));
       }
     }
     parallel_for(end - window, [&](std::size_t off) {
       build_record(window + off, [&](std::size_t k) {
-        return futures[off * algos.size() + k].get();
+        return unwrap(tickets[off * algos.size() + k].wait());
       });
     });
   }

@@ -1,0 +1,62 @@
+#include "service/errors.hpp"
+
+namespace treesched {
+
+namespace {
+
+struct CodeName {
+  ErrorCode code;
+  std::string_view name;
+};
+
+// The protocol-v2 wire spellings. Order mirrors the enum; both lookup
+// directions walk this one table so the spellings cannot drift apart.
+constexpr CodeName kCodeNames[] = {
+    {ErrorCode::kUnknownAlgorithm, "unknown_algorithm"},
+    {ErrorCode::kInvalidResources, "invalid_resources"},
+    {ErrorCode::kDeadlineExpired, "deadline_expired"},
+    {ErrorCode::kQueueFull, "queue_full"},
+    {ErrorCode::kCancelled, "cancelled"},
+    {ErrorCode::kSchedulerFailure, "scheduler_failure"},
+    {ErrorCode::kStoreFull, "store_full"},
+    {ErrorCode::kBadRequest, "bad_request"},
+};
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.code == code) return entry.name;
+  }
+  return "?";
+}
+
+std::optional<ErrorCode> parse_error_code(std::string_view text) {
+  for (const CodeName& entry : kCodeNames) {
+    if (entry.name == text) return entry.code;
+  }
+  return std::nullopt;
+}
+
+std::exception_ptr to_exception(const ServiceError& error) {
+  if (error.cause) return error.cause;
+  switch (error.code) {
+    case ErrorCode::kDeadlineExpired:
+      return std::make_exception_ptr(DeadlineExpired(error.message));
+    case ErrorCode::kQueueFull:
+      return std::make_exception_ptr(QueueFull(error.message));
+    case ErrorCode::kCancelled:
+      return std::make_exception_ptr(Cancelled(error.message));
+    case ErrorCode::kStoreFull:
+      return std::make_exception_ptr(StoreFull(error.message));
+    case ErrorCode::kUnknownAlgorithm:
+    case ErrorCode::kInvalidResources:
+    case ErrorCode::kBadRequest:
+      return std::make_exception_ptr(std::invalid_argument(error.message));
+    case ErrorCode::kSchedulerFailure:
+      break;
+  }
+  return std::make_exception_ptr(std::runtime_error(error.message));
+}
+
+}  // namespace treesched

@@ -1,6 +1,7 @@
 #include "service/instance_store.hpp"
 
 #include <bit>
+#include <string>
 #include <utility>
 
 #include "util/hash.hpp"
@@ -45,8 +46,22 @@ bool trees_identical(const Tree& a, const Tree& b) {
   return true;
 }
 
-TreeHandle InstanceStore::intern(Tree tree) {
+std::size_t tree_bytes(const Tree& tree) {
+  // Per node: parent id, output/exec sizes, work, one CSR child slot and
+  // one child_begin offset. Sizes, not capacities — close enough for a
+  // budget that guards against unbounded growth, and independent of
+  // allocator rounding.
+  const auto n = static_cast<std::size_t>(tree.size());
+  return sizeof(Tree) +
+         n * (2 * sizeof(NodeId) + 2 * sizeof(MemSize) + sizeof(double) +
+              sizeof(NodeId));
+}
+
+InstanceStore::InstanceStore(InstanceStoreConfig config) : config_(config) {}
+
+Result<TreeHandle, ServiceError> InstanceStore::try_intern(Tree tree) {
   const TreeHash hash = tree_fingerprint(tree);
+  const std::size_t cost = tree_bytes(tree);
   const std::lock_guard<std::mutex> lock(mutex_);
   auto [it, end] = by_hash_.equal_range(hash);
   for (; it != end; ++it) {
@@ -55,16 +70,32 @@ TreeHandle InstanceStore::intern(Tree tree) {
       return it->second;
     }
   }
+  if (config_.max_bytes != 0 && bytes_ + cost > config_.max_bytes) {
+    ++rejected_;
+    return ServiceError{
+        ErrorCode::kStoreFull,
+        "instance store full: " + std::to_string(bytes_) + " bytes held + " +
+            std::to_string(cost) + " for this tree exceeds the " +
+            std::to_string(config_.max_bytes) + "-byte budget",
+        nullptr};
+  }
   ++misses_;
+  bytes_ += cost;
   const TreeHandle handle{std::make_shared<const Tree>(std::move(tree)),
                           hash, ++next_uid_};
   by_hash_.emplace(hash, handle);
   return handle;
 }
 
+TreeHandle InstanceStore::intern(Tree tree) {
+  Result<TreeHandle, ServiceError> result = try_intern(std::move(tree));
+  if (!result.ok()) throw_error(result.error());
+  return std::move(result).value();
+}
+
 InstanceStore::Stats InstanceStore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return {by_hash_.size(), hits_, misses_};
+  return {by_hash_.size(), hits_, misses_, rejected_, bytes_};
 }
 
 std::size_t InstanceStore::size() const {
@@ -75,6 +106,7 @@ std::size_t InstanceStore::size() const {
 void InstanceStore::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   by_hash_.clear();
+  bytes_ = 0;
 }
 
 }  // namespace treesched

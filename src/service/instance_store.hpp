@@ -7,6 +7,12 @@
 // shared immutable copy instead of storing a duplicate. Every downstream
 // layer — the result cache key, in-flight deduplication, request logs —
 // speaks fingerprints, never tree copies.
+//
+// The store can be byte-budgeted (InstanceStoreConfig::max_bytes): an
+// intern that would push the held bytes past the budget is rejected with
+// the typed StoreFull error through the Result path instead of growing
+// without bound — a service fed unboundedly many distinct trees stays
+// bounded. Already-interned trees always resolve (a hit stores nothing).
 
 #include <cstdint>
 #include <memory>
@@ -14,6 +20,8 @@
 #include <unordered_map>
 
 #include "core/tree.hpp"
+#include "service/errors.hpp"
+#include "util/result.hpp"
 
 namespace treesched {
 
@@ -27,6 +35,10 @@ using TreeHash = std::uint64_t;
 
 /// Exact content equality (used to disambiguate fingerprint collisions).
 [[nodiscard]] bool trees_identical(const Tree& a, const Tree& b);
+
+/// Approximate in-memory footprint of `tree` (node arrays + CSR children),
+/// the unit the store budget is accounted in.
+[[nodiscard]] std::size_t tree_bytes(const Tree& tree);
 
 /// A shared, immutable, interned tree plus its fingerprint and its
 /// store-assigned identity.
@@ -45,35 +57,50 @@ struct TreeHandle {
   const Tree* operator->() const { return tree.get(); }
 };
 
+struct InstanceStoreConfig {
+  /// Byte budget for stored trees; 0 = unbudgeted. An intern of a new
+  /// (not yet stored) tree that would exceed the budget returns the
+  /// typed kStoreFull error; live handles keep already-stored trees
+  /// valid regardless.
+  std::size_t max_bytes = 0;
+};
+
 /// Thread-safe interning store. Handles stay valid after clear(): the
 /// store drops its reference, existing handles keep theirs.
-///
-/// The store itself is unbudgeted — distinct trees accumulate until
-/// clear() (trees are small next to cached schedules, and live handles
-/// pin them regardless). A byte-budgeted eviction policy is a ROADMAP
-/// follow-up alongside cache persistence.
 class InstanceStore {
  public:
   struct Stats {
     std::size_t unique_trees = 0;  ///< distinct instances currently stored
     std::uint64_t hits = 0;        ///< interns resolved to an existing tree
     std::uint64_t misses = 0;      ///< interns that stored a new tree
+    std::uint64_t rejected = 0;    ///< interns refused by the byte budget
+    std::size_t bytes = 0;         ///< approximate bytes currently held
   };
 
+  explicit InstanceStore(InstanceStoreConfig config = {});
+
   /// Interns `tree` (copied in when passed an lvalue, moved from an
-  /// rvalue) and returns the shared handle.
+  /// rvalue) and returns the shared handle, or the typed kStoreFull
+  /// error when storing it would exceed the byte budget.
+  [[nodiscard]] Result<TreeHandle, ServiceError> try_intern(Tree tree);
+
+  /// Legacy surface: try_intern that throws StoreFull on rejection.
   TreeHandle intern(Tree tree);
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const InstanceStoreConfig& config() const { return config_; }
   void clear();
 
  private:
+  InstanceStoreConfig config_;
   mutable std::mutex mutex_;
   std::unordered_multimap<TreeHash, TreeHandle> by_hash_;
   std::uint64_t next_uid_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace treesched

@@ -1,21 +1,28 @@
 #pragma once
-// Request/response vocabulary shared by the scheduling service and its
-// admission queue (service/request_queue.hpp). Split out of service.hpp so
-// the queue can speak requests without a circular include.
+// Request/response vocabulary shared by the scheduling service, its
+// admission queue (service/request_queue.hpp) and the ticket surface
+// (service/ticket.hpp). Split out of service.hpp so those layers can
+// speak requests without a circular include.
 //
 // Priority classes order requests at dequeue time, not at compute time:
 // a running computation is never preempted, but whenever a worker frees
 // up it takes the most urgent admitted request — Interactive before
 // Batch before Bulk, earliest deadline first within a class.
+//
+// Failures are values: ScheduleResponse carries an optional ServiceError
+// (service/errors.hpp) with a machine-readable code, and the ticket
+// surface returns ServiceResult = Result<ScheduleResponse, ServiceError>.
+// Callers branch on the code, never on message text.
 
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "core/schedule.hpp"
+#include "service/errors.hpp"
 #include "service/instance_store.hpp"
+#include "util/result.hpp"
 
 namespace treesched {
 
@@ -61,13 +68,14 @@ struct ScheduleRequest {
   /// Fill ScheduleResponse::schedule (the full start/proc vectors) rather
   /// than just the scores.
   bool want_schedule = false;
-  /// Admission class; only consulted by the queued paths (schedule_async
-  /// and schedule_prioritized) — the synchronous schedule()/schedule_batch
-  /// paths answer immediately regardless. Never part of the cache key.
+  /// Admission class. Every submission goes through the queue (except
+  /// nested submissions from pool workers, which compute inline), so the
+  /// class is honored uniformly across submit() and all legacy wrappers.
+  /// Never part of the cache key.
   Priority priority = Priority::kBatch;
   /// Deadline relative to submission; <= 0 means none. A request whose
-  /// deadline passes while it is still queued is answered with
-  /// DeadlineExpired instead of ever reaching a compute worker.
+  /// deadline passes while it is still queued is answered with the
+  /// kDeadlineExpired error instead of ever reaching a compute worker.
   double deadline_ms = 0.0;
 };
 
@@ -77,31 +85,33 @@ struct ScheduleResponse {
   bool cache_hit = false;  ///< answered from cache (or a concurrent twin)
   /// Shares the cached result's schedule; only set when want_schedule.
   std::shared_ptr<const Schedule> schedule;
-  /// batch paths only: empty on success, the error text otherwise (the
-  /// scores are meaningless when set). schedule() and futures throw
-  /// instead.
-  std::string error;
+  /// Engaged iff the request failed (the scores are meaningless then).
+  /// Set on the batch collection paths; Ticket::wait() returns the same
+  /// error through ServiceResult instead, and the legacy schedule() /
+  /// future surfaces convert it into the corresponding exception.
+  std::optional<ServiceError> error;
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
 };
 
-/// Typed admission-queue rejection, delivered through schedule_async's
-/// future (or as ScheduleResponse::error on the batch path).
-class QueueError : public std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
+/// What a Ticket resolves to: the response, or the typed failure.
+using ServiceResult = Result<ScheduleResponse, ServiceError>;
 
-/// The request's deadline passed while it was queued, before any worker
-/// picked it up. The scheduler was never run. Detected at dequeue time:
-/// the error arrives when a worker next services the queue.
-class DeadlineExpired : public QueueError {
-  using QueueError::QueueError;
-};
+/// Legacy bridge: the response, or throw what the pre-v2 API would have
+/// thrown (the original scheduler exception when one caused the error,
+/// the mapped typed exception otherwise).
+inline ScheduleResponse unwrap(ServiceResult result) {
+  if (!result.ok()) throw_error(result.error());
+  return std::move(result).value();
+}
 
-/// The queue's max_pending bound was hit; the request was turned away at
-/// admission.
-class QueueFull : public QueueError {
-  using QueueError::QueueError;
-};
+/// Folds a ServiceResult into the batch-path response shape: failures
+/// land in ScheduleResponse::error instead of throwing.
+inline ScheduleResponse to_response(ServiceResult result) {
+  if (result.ok()) return std::move(result).value();
+  ScheduleResponse resp;
+  resp.error = std::move(result.error());
+  return resp;
+}
 
 }  // namespace treesched

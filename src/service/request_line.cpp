@@ -1,5 +1,7 @@
 #include "service/request_line.hpp"
 
+#include <iomanip>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -8,16 +10,41 @@ namespace treesched {
 
 namespace {
 
-MemSize parse_memory_cap(const std::string& token) {
+std::uint64_t parse_uint_field(const std::string& key,
+                               const std::string& value) {
   // Parsed from the token, not extracted as an unsigned directly —
-  // istream extraction would wrap "-5" into a huge cap without setting
-  // failbit.
-  if (token.empty() ||
-      token.find_first_not_of("0123456789") != std::string::npos) {
-    throw std::invalid_argument("memory cap \"" + token +
+  // istream extraction would wrap "-5" into a huge value without
+  // setting failbit.
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(key + " \"" + value +
                                 "\" is not a non-negative integer");
   }
-  return std::stoull(token);
+  try {
+    return std::stoull(value);
+  } catch (const std::out_of_range&) {
+    // The documented contract is std::invalid_argument for every parse
+    // failure; overflow must not leak std::out_of_range past it.
+    throw std::invalid_argument(key + " \"" + value +
+                                "\" does not fit 64 bits");
+  }
+}
+
+MemSize parse_memory_cap(const std::string& token) {
+  return parse_uint_field("memory cap", token);
+}
+
+/// parse_uint_field plus an upper bound — int-typed response fields must
+/// reject out-of-range values, not truncate them through a cast.
+std::uint64_t parse_bounded_field(const std::string& key,
+                                  const std::string& value,
+                                  std::uint64_t max) {
+  const std::uint64_t parsed = parse_uint_field(key, value);
+  if (parsed > max) {
+    throw std::invalid_argument(key + " \"" + value + "\" exceeds " +
+                                std::to_string(max));
+  }
+  return parsed;
 }
 
 void apply_field(RequestLine& out, const std::string& key,
@@ -46,9 +73,34 @@ void apply_field(RequestLine& out, const std::string& key,
     out.deadline_ms = ms;
     return;
   }
+  if (key == "id") {
+    out.id = parse_uint_field(key, value);
+    return;
+  }
   throw std::invalid_argument(
       "unknown request field \"" + key +
-      "\" (known fields: priority, deadline_ms)");
+      "\" (known fields: priority, deadline_ms, id)");
+}
+
+RequestLine parse_cancel_line(std::istringstream& is) {
+  RequestLine out;
+  out.kind = RequestLine::Kind::kCancel;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || token.substr(0, eq) != "id") {
+      throw std::invalid_argument("cancel line must be: cancel id=<n> (got \"" +
+                                  token + "\")");
+    }
+    if (out.id) {
+      throw std::invalid_argument("duplicate request field \"id\"");
+    }
+    out.id = parse_uint_field("id", token.substr(eq + 1));
+  }
+  if (!out.id) {
+    throw std::invalid_argument("cancel line must name a request: cancel id=<n>");
+  }
+  return out;
 }
 
 }  // namespace
@@ -56,10 +108,14 @@ void apply_field(RequestLine& out, const std::string& key,
 RequestLine parse_request_line(const std::string& line) {
   std::istringstream is(line);
   RequestLine out;
-  if (!(is >> out.tree_spec >> out.algo >> out.p)) {
+  if (!(is >> out.tree_spec)) {
+    throw std::invalid_argument("empty request line");
+  }
+  if (out.tree_spec == "cancel") return parse_cancel_line(is);
+  if (!(is >> out.algo >> out.p)) {
     throw std::invalid_argument(
         "request line must be: <tree-spec> <algo> <p> [<memory-cap>] "
-        "[priority=...] [deadline_ms=...]");
+        "[priority=...] [deadline_ms=...] [id=...] | cancel id=<n>");
   }
   bool saw_cap = false;
   bool saw_named = false;
@@ -83,6 +139,174 @@ RequestLine parse_request_line(const std::string& line) {
     apply_field(out, key, token.substr(eq + 1));
   }
   return out;
+}
+
+std::string format_response_line(const ResponseLine& resp) {
+  std::ostringstream os;
+  // Full double fidelity: the line is machine-read; shortest-exact would
+  // be nicer but setprecision(17) round-trips and needs no helper.
+  os << std::setprecision(17);
+  if (resp.ok) {
+    os << "ok";
+    if (resp.id) os << " id=" << *resp.id;
+    os << " tree=" << std::hex << resp.tree_hash << std::dec
+       << " n=" << resp.n << " algo=" << resp.algo << " p=" << resp.p
+       << " makespan=" << resp.makespan
+       << " peak_memory=" << resp.peak_memory
+       << " cache=" << (resp.cache_hit ? "hit" : "miss")
+       << " priority=" << to_string(resp.priority);
+    return os.str();
+  }
+  os << "error";
+  if (resp.id) os << " id=" << *resp.id;
+  os << " code=" << to_string(resp.code);
+  if (!resp.message.empty()) {
+    // One response = one physical line: a message carrying a newline
+    // (a multi-line what() from some scheduler) must not split the
+    // framing.
+    std::string flat = resp.message;
+    for (char& c : flat) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    os << " " << flat;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Splits a "key=value" token; throws naming the token otherwise.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("response field \"" + token +
+                                "\" is not key=value");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+ResponseLine parse_ok_line(std::istringstream& is) {
+  ResponseLine out;
+  out.ok = true;
+  std::set<std::string> seen;
+  std::string token;
+  while (is >> token) {
+    const auto [key, value] = split_kv(token);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("duplicate response field \"" + key + "\"");
+    }
+    if (key == "id") {
+      out.id = parse_uint_field(key, value);
+    } else if (key == "tree") {
+      // Strict bare hex: no sign, no 0x prefix (stoull would accept
+      // both and wrap negatives), at most 16 digits.
+      if (value.empty() || value.size() > 16 ||
+          value.find_first_not_of("0123456789abcdefABCDEF") !=
+              std::string::npos) {
+        throw std::invalid_argument("tree \"" + value +
+                                    "\" is not a 64-bit hex hash");
+      }
+      out.tree_hash = std::stoull(value, nullptr, 16);
+    } else if (key == "n") {
+      out.n = static_cast<NodeId>(parse_bounded_field(
+          key, value, std::numeric_limits<NodeId>::max()));
+    } else if (key == "algo") {
+      out.algo = value;
+    } else if (key == "p") {
+      out.p = static_cast<int>(
+          parse_bounded_field(key, value, std::numeric_limits<int>::max()));
+    } else if (key == "makespan") {
+      try {
+        std::size_t used = 0;
+        out.makespan = std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("makespan \"" + value +
+                                    "\" is not a number");
+      }
+    } else if (key == "peak_memory") {
+      out.peak_memory = parse_uint_field(key, value);
+    } else if (key == "cache") {
+      if (value != "hit" && value != "miss") {
+        throw std::invalid_argument("cache \"" + value +
+                                    "\" (want hit|miss)");
+      }
+      out.cache_hit = value == "hit";
+    } else if (key == "priority") {
+      const auto cls = parse_priority(value);
+      if (!cls) {
+        throw std::invalid_argument("priority \"" + value +
+                                    "\" (want interactive|batch|bulk)");
+      }
+      out.priority = *cls;
+    } else {
+      throw std::invalid_argument("unknown response field \"" + key + "\"");
+    }
+  }
+  // A truncated line (partial write, crashed server) must not parse into
+  // default-zero measurements; only id= is optional.
+  for (const char* required :
+       {"tree", "n", "algo", "p", "makespan", "peak_memory", "cache",
+        "priority"}) {
+    if (!seen.count(required)) {
+      throw std::invalid_argument(std::string("ok line missing required \"") +
+                                  required + "\" field");
+    }
+  }
+  return out;
+}
+
+ResponseLine parse_error_line(std::istringstream& is) {
+  ResponseLine out;
+  out.ok = false;
+  bool saw_code = false;
+  std::string token;
+  // id= and code= lead; everything after code= is free-form message.
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    const std::string key =
+        eq == std::string::npos ? std::string() : token.substr(0, eq);
+    if (!saw_code && key == "id") {
+      if (out.id) {
+        throw std::invalid_argument("duplicate response field \"id\"");
+      }
+      out.id = parse_uint_field(key, token.substr(eq + 1));
+      continue;
+    }
+    if (!saw_code && key == "code") {
+      const std::string value = token.substr(eq + 1);
+      const auto code = parse_error_code(value);
+      if (!code) {
+        throw std::invalid_argument("unknown error code \"" + value + "\"");
+      }
+      out.code = *code;
+      saw_code = true;
+      continue;
+    }
+    if (!saw_code) {
+      throw std::invalid_argument(
+          "error line must carry code=<error-code> before the message (got \"" +
+          token + "\")");
+    }
+    if (!out.message.empty()) out.message += ' ';
+    out.message += token;
+  }
+  if (!saw_code) {
+    throw std::invalid_argument("error line without a code= field");
+  }
+  return out;
+}
+
+}  // namespace
+
+ResponseLine parse_response_line(const std::string& line) {
+  std::istringstream is(line);
+  std::string verb;
+  if (!(is >> verb)) throw std::invalid_argument("empty response line");
+  if (verb == "ok") return parse_ok_line(is);
+  if (verb == "error") return parse_error_line(is);
+  throw std::invalid_argument("response line must start with ok|error (got \"" +
+                              verb + "\")");
 }
 
 }  // namespace treesched

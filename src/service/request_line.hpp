@@ -1,21 +1,41 @@
 #pragma once
-// The schedule_service line protocol, parsed here (instead of inside the
-// example binary) so tests can pin the grammar — in particular that
-// unknown fields are rejected by name, never silently accepted.
+// The schedule_service wire grammar, protocol v2 — parsed and formatted
+// here (instead of inside the example binary) so tests can pin it, in
+// particular that unknown fields and unknown error codes are rejected by
+// name, never silently accepted.
 //
-// Grammar (one request per line):
+// Request lines (one per line):
 //   <tree-spec> <algo> <p> [<memory-cap>] [<key>=<value> ...]
+//   cancel id=<n>
 // with the named fields
 //   priority=interactive|batch|bulk   admission class (default batch)
 //   deadline_ms=<positive float>      give up if still queued after this
+//   id=<n>                            client-chosen request tag (v2)
 // Positional fields keep the PR 2 wire format; named fields are
 // order-insensitive and must come after the positional ones. An unknown
 // or repeated <key>= raises a parse error naming the field; a bare
 // trailing token raises the classic trailing-token error.
+//
+// The id= tag is what makes out-of-order answering possible: a tagged
+// request's response carries the same id, so the server may stream it
+// the moment it completes instead of holding the line order, and a
+// later `cancel id=<n>` line can name it. Untagged requests are still
+// answered in submission order.
+//
+// Response lines (v2):
+//   ok [id=<n>] tree=<hex> n=<nodes> algo=<name> p=<p> makespan=<f>
+//      peak_memory=<bytes> cache=hit|miss priority=<class>   (one line)
+//   error [id=<n>] code=<error-code> <message...>
+// where <error-code> is an ErrorCode wire spelling (service/errors.hpp).
+// parse_response_line rejects unknown codes by name — a client never has
+// to guess what a new server means.
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/tree.hpp"
+#include "service/errors.hpp"
 #include "service/request.hpp"
 
 namespace treesched {
@@ -23,6 +43,13 @@ namespace treesched {
 /// One parsed request line. The tree is still a spec string — resolving
 /// it (file IO, generators, interning) is the caller's business.
 struct RequestLine {
+  enum class Kind { kSchedule, kCancel };
+  Kind kind = Kind::kSchedule;
+
+  /// Client-chosen tag (id=); required for kCancel, optional otherwise.
+  std::optional<std::uint64_t> id;
+
+  // kSchedule fields.
   std::string tree_spec;
   std::string algo;
   int p = 1;
@@ -35,5 +62,33 @@ struct RequestLine {
 /// std::invalid_argument with a message naming the offending token or
 /// field on any violation of the grammar above.
 RequestLine parse_request_line(const std::string& line);
+
+/// One response, either direction of the wire.
+struct ResponseLine {
+  bool ok = false;
+  std::optional<std::uint64_t> id;
+
+  // ok payload.
+  TreeHash tree_hash = 0;
+  NodeId n = 0;
+  std::string algo;
+  int p = 1;
+  double makespan = 0.0;
+  MemSize peak_memory = 0;
+  bool cache_hit = false;
+  Priority priority = Priority::kBatch;
+
+  // error payload.
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+/// Renders `resp` as one v2 response line (no trailing newline).
+std::string format_response_line(const ResponseLine& resp);
+
+/// Parses a v2 response line. Throws std::invalid_argument on a
+/// malformed line or — the contract worth pinning — an error code whose
+/// spelling the taxonomy does not know.
+ResponseLine parse_response_line(const std::string& line);
 
 }  // namespace treesched

@@ -1,6 +1,8 @@
 #include "service/request_queue.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "util/stats.hpp"
@@ -9,8 +11,8 @@ namespace treesched {
 
 RequestQueue::RequestQueue(RequestQueueConfig config) : config_(config) {}
 
-bool RequestQueue::push(ScheduleRequest req,
-                        std::promise<ScheduleResponse> promise) {
+std::optional<std::uint64_t> RequestQueue::push(
+    ScheduleRequest req, std::shared_ptr<detail::TicketState> ticket) {
   const Clock::time_point now = Clock::now();
   const Priority cls = req.priority;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -18,15 +20,18 @@ bool RequestQueue::push(ScheduleRequest req,
   if (config_.max_pending != 0 && pending_ >= config_.max_pending) {
     ++counters(cls).rejected;
     lock.unlock();
-    promise.set_exception(std::make_exception_ptr(QueueFull(
-        "queue full: " + std::to_string(config_.max_pending) +
-        " requests already pending")));
-    return false;
+    detail::complete_ticket(
+        ticket,
+        ServiceError{ErrorCode::kQueueFull,
+                     "queue full: " + std::to_string(config_.max_pending) +
+                         " requests already pending",
+                     nullptr});
+    return std::nullopt;
   }
 
   Stored stored;
   stored.entry.request = std::move(req);
-  stored.entry.promise = std::move(promise);
+  stored.entry.ticket = std::move(ticket);
   stored.entry.submitted = cls;
   stored.entry.admitted = now;
   // Budgets beyond ~30 years (inf included) mean "no deadline": converting
@@ -40,13 +45,15 @@ bool RequestQueue::push(ScheduleRequest req,
   }
   stored.last_aged = now;
 
-  const EdfKey key{stored.entry.deadline, next_seq_++};
+  const std::uint64_t seq = next_seq_++;
+  const EdfKey key{stored.entry.deadline, seq};
   Bucket& b = bucket(static_cast<int>(cls));
   b.by_age.emplace(stored.last_aged, key);
   b.items.emplace(key, std::move(stored));
+  by_seq_.emplace(seq, std::make_pair(static_cast<int>(cls), key.deadline));
   ++pending_;
   ++pending_by_class_[static_cast<std::size_t>(cls)];
-  return true;
+  return seq;
 }
 
 void RequestQueue::age_pending(Clock::time_point now) {
@@ -64,11 +71,32 @@ void RequestQueue::age_pending(Clock::time_point now) {
       from.items.erase(it);
       stored.last_aged = now;
       ++counters(stored.entry.submitted).aged;
+      by_seq_[key.seq].first = cls - 1;
       Bucket& to = bucket(cls - 1);
       to.by_age.emplace(stored.last_aged, key);
       to.items.emplace(key, std::move(stored));
     }
   }
+}
+
+RequestQueue::Stored RequestQueue::remove_stored(int cls, const EdfKey& key) {
+  Bucket& b = bucket(cls);
+  auto it = b.items.find(key);
+  Stored stored = std::move(it->second);
+  // The aging index holds exactly one entry per item; find it among the
+  // few sharing last_aged by the item's unique sequence number.
+  auto range = b.by_age.equal_range(stored.last_aged);
+  for (auto a = range.first; a != range.second; ++a) {
+    if (a->second.seq == key.seq) {
+      b.by_age.erase(a);
+      break;
+    }
+  }
+  b.items.erase(it);
+  by_seq_.erase(key.seq);
+  --pending_;
+  --pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)];
+  return stored;
 }
 
 void RequestQueue::record_wait(Priority cls, Clock::time_point admitted,
@@ -93,20 +121,8 @@ RequestQueue::PopResult RequestQueue::pop() {
   for (int cls = 0; cls < kPriorityClasses; ++cls) {
     Bucket& b = bucket(cls);
     while (!b.items.empty()) {
-      auto it = b.items.begin();  // earliest deadline, then FIFO
-      Stored stored = std::move(it->second);
-      // The aging index holds exactly one entry per item; find it among
-      // the few sharing last_aged by the item's unique sequence number.
-      auto range = b.by_age.equal_range(stored.last_aged);
-      for (auto a = range.first; a != range.second; ++a) {
-        if (a->second.seq == it->first.seq) {
-          b.by_age.erase(a);
-          break;
-        }
-      }
-      b.items.erase(it);
-      --pending_;
-      --pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)];
+      const EdfKey key = b.items.begin()->first;  // EDF, then FIFO
+      Stored stored = remove_stored(cls, key);
       record_wait(stored.entry.submitted, stored.entry.admitted, now);
       if (stored.entry.deadline <= now) {
         ++counters(stored.entry.submitted).expired;
@@ -121,6 +137,32 @@ RequestQueue::PopResult RequestQueue::pop() {
   return result;
 }
 
+bool RequestQueue::cancel(std::uint64_t seq) {
+  Entry entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_seq_.find(seq);
+    if (it == by_seq_.end()) return false;  // popped, cancelled, or unknown
+    const auto [cls, deadline] = it->second;
+    Stored stored = remove_stored(cls, EdfKey{deadline, seq});
+    ++counters(stored.entry.submitted).cancelled;
+    entry = std::move(stored.entry);
+  }
+  // Settle outside the queue mutex: completion wakes ticket waiters and
+  // must not nest their lock under ours.
+  std::ostringstream os;
+  os << "cancelled while queued: " << to_string(entry.submitted)
+     << " request (" << entry.request.algo << ") spent "
+     << std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  entry.admitted)
+            .count()
+     << " ms queued, never reached a worker";
+  detail::complete_ticket(
+      entry.ticket,
+      ServiceError{ErrorCode::kCancelled, os.str(), nullptr});
+  return true;
+}
+
 QueueStats RequestQueue::stats() const {
   QueueStats stats;
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -131,6 +173,7 @@ QueueStats RequestQueue::stats() const {
     out.rejected = counters_[i].rejected;
     out.expired = counters_[i].expired;
     out.completed = counters_[i].completed;
+    out.cancelled = counters_[i].cancelled;
     out.aged = counters_[i].aged;
     out.pending = pending_by_class_[i];
     if (!wait_samples_[i].empty()) {

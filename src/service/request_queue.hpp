@@ -1,6 +1,6 @@
 #pragma once
 // Deadline-aware priority admission queue for the scheduling service: the
-// stage between request submission and the shared thread pool.
+// stage between submit() and the shared thread pool.
 //
 // Ordering at dequeue time:
 //   1. class preemption — any pending Interactive request is taken before
@@ -15,30 +15,41 @@
 //
 // Expiry: a request whose deadline has passed when a worker pops is never
 // handed out as work; pop() returns it in `expired` so the caller can
-// answer it with the typed DeadlineExpired error — expired requests cost
-// no scheduler compute. Per-class counters satisfy, once the queue has
-// drained,
-//     admitted == completed + expired + rejected
+// answer it with the typed kDeadlineExpired error — expired requests cost
+// no scheduler compute.
+//
+// Cancellation: cancel(seq) removes a still-queued entry, settles its
+// ticket with the kCancelled error, and counts it per class — the queue
+// mutex arbitrates the race against worker pickup, so exactly one of
+// {cancel, pop} ever owns an entry. Per-class counters satisfy, once the
+// queue has drained,
+//     admitted == completed + expired + rejected + cancelled
 // where `admitted` counts every push (accepted or not), `rejected` the
 // pushes turned away at admission (queue full), `expired` the
-// deadline-lapsed entries and `completed` the entries handed to workers.
+// deadline-lapsed entries, `cancelled` the entries removed by cancel()
+// and `completed` the entries handed to workers.
 //
 // The queue is a passive, fully locked data structure: it owns no threads
-// and never runs scheduler code. SchedulingService pairs each admitted
-// entry with one thread-pool job; because any job pops the *currently*
-// most urgent entry (not the one whose admission created the job), class
-// preemption works even though the pool itself is FIFO.
+// and never runs scheduler code. It settles tickets only for the
+// failures it detects itself (kQueueFull at push, kCancelled at cancel);
+// the service settles everything else (results and expiry).
+// SchedulingService pairs each admitted entry with one thread-pool job;
+// because any job pops the *currently* most urgent entry (not the one
+// whose admission created the job), class preemption works even though
+// the pool itself is FIFO — and a job whose entry was cancelled simply
+// finds less work.
 
 #include <array>
 #include <chrono>
 #include <cstdint>
-#include <future>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "service/request.hpp"
+#include "service/ticket.hpp"
 
 namespace treesched {
 
@@ -48,7 +59,7 @@ struct RequestQueueConfig {
   /// Interactive). <= 0 disables aging.
   std::chrono::milliseconds age_after{250};
   /// Upper bound on pending entries; pushes beyond it are rejected with
-  /// QueueFull. 0 = unbounded.
+  /// kQueueFull. 0 = unbounded.
   std::size_t max_pending = 0;
 };
 
@@ -60,12 +71,14 @@ struct ClassQueueStats {
   std::uint64_t rejected = 0;   ///< turned away at admission (queue full)
   std::uint64_t expired = 0;    ///< deadline passed while queued
   std::uint64_t completed = 0;  ///< popped live and handed to a worker
+  std::uint64_t cancelled = 0;  ///< removed while queued by Ticket::cancel
   std::uint64_t aged = 0;       ///< class promotions granted
   /// Currently queued (point-in-time), by submitted class — an aged Bulk
   /// entry still counts as Bulk here.
   std::size_t pending = 0;
   /// Admission-to-pop wait percentiles in milliseconds over the most
-  /// recent dequeues (completed and expired alike); 0 with no samples.
+  /// recent dequeues (completed and expired alike; cancelled entries
+  /// never reached a worker and are not sampled); 0 with no samples.
   double wait_ms_p50 = 0.0;
   double wait_ms_p90 = 0.0;
   double wait_ms_p99 = 0.0;
@@ -88,12 +101,12 @@ class RequestQueue {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// One admitted request: the work item plus the promise its submitter
-  /// holds the future of. The queue moves entries around; the service
-  /// completes the promises.
+  /// One admitted request: the work item plus the ticket state its
+  /// submitter holds. The queue moves entries around; the service
+  /// settles the tickets (except kQueueFull/kCancelled, above).
   struct Entry {
     ScheduleRequest request;
-    std::promise<ScheduleResponse> promise;
+    std::shared_ptr<detail::TicketState> ticket;
     Priority submitted = Priority::kBatch;  ///< class at admission
     Clock::time_point admitted{};
     /// Absolute deadline; time_point::max() = none.
@@ -104,21 +117,29 @@ class RequestQueue {
     /// The most urgent live entry, if any.
     std::optional<Entry> entry;
     /// Entries whose deadline lapsed while queued; the caller must answer
-    /// each with DeadlineExpired. Already counted as `expired`.
+    /// each with kDeadlineExpired. Already counted as `expired`.
     std::vector<Entry> expired;
   };
 
   explicit RequestQueue(RequestQueueConfig config = {});
 
   /// Admits `req` under its own priority/deadline_ms fields and returns
-  /// true. On rejection (queue full) completes `promise` with the typed
-  /// error itself and returns false — the caller must not enqueue a
-  /// worker for a rejected push.
-  bool push(ScheduleRequest req, std::promise<ScheduleResponse> promise);
+  /// its cancellation sequence. On rejection (queue full) settles the
+  /// ticket with the typed kQueueFull error itself and returns
+  /// std::nullopt — the caller must not enqueue a worker for a rejected
+  /// push.
+  std::optional<std::uint64_t> push(
+      ScheduleRequest req, std::shared_ptr<detail::TicketState> ticket);
 
   /// Ages, expires, and takes the most urgent live entry (none when the
   /// queue is empty or everything pending just expired). Never blocks.
   PopResult pop();
+
+  /// Removes the entry admitted as `seq` iff it is still queued, counts
+  /// it as cancelled, and settles its ticket with kCancelled. Returns
+  /// false when no such entry is pending (already popped, already
+  /// cancelled, or never admitted).
+  bool cancel(std::uint64_t seq);
 
   [[nodiscard]] QueueStats stats() const;
   [[nodiscard]] std::size_t pending() const;
@@ -151,6 +172,7 @@ class RequestQueue {
     std::uint64_t rejected = 0;
     std::uint64_t expired = 0;
     std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
     std::uint64_t aged = 0;
   };
 
@@ -161,6 +183,10 @@ class RequestQueue {
   /// Promotes every due entry one class (config_.age_after elapsed since
   /// its last promotion or admission). Called under mutex_.
   void age_pending(Clock::time_point now);
+  /// Removes `key` from bucket `cls` (items + aging index + cancel
+  /// index + pending counters) and returns the stored entry. Called
+  /// under mutex_.
+  Stored remove_stored(int cls, const EdfKey& key);
   /// Records an admission-to-pop wait sample for percentile reporting.
   void record_wait(Priority cls, Clock::time_point admitted,
                    Clock::time_point now);
@@ -169,6 +195,10 @@ class RequestQueue {
   mutable std::mutex mutex_;
   std::array<Bucket, kPriorityClasses> buckets_;
   std::array<Counters, kPriorityClasses> counters_;
+  /// Cancellation index: seq -> (current class, EDF deadline), enough to
+  /// rebuild the EdfKey and find the entry wherever aging moved it.
+  std::unordered_map<std::uint64_t, std::pair<int, Clock::time_point>>
+      by_seq_;
   /// Ring buffers of recent wait samples (ms), one per class.
   std::array<std::vector<double>, kPriorityClasses> wait_samples_;
   std::array<std::size_t, kPriorityClasses> wait_next_{};

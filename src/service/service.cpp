@@ -14,18 +14,26 @@ namespace treesched {
 
 SchedulingService::SchedulingService(ServiceConfig config)
     : config_(config),
+      store_(config.store),
       cache_(config.cache_bytes, config.cache_shards),
-      queue_(config.queue) {}
+      queue_(std::make_shared<RequestQueue>(config.queue)) {}
 
 SchedulingService::~SchedulingService() {
-  // One registered pool job covers every queued entry from before it is
+  // One registered servicer covers every queued entry from before it is
   // admitted until it is answered (nested worker submissions never touch
   // the queue — they compute synchronously), so once the count reaches
-  // zero the queue is empty, every promise has been completed, and
-  // nothing still references this service — tearing down cannot strand a
-  // future or leave a drain touching freed state.
+  // zero the queue is empty, every ticket has settled, and nothing still
+  // references this service — tearing down cannot strand a ticket or
+  // leave a drain touching freed state. Cancelled entries leave their
+  // servicer job with less work, never with a dangling reference, and
+  // abandoned tickets are irrelevant here: the drain counts servicers,
+  // not waiters.
   std::unique_lock<std::mutex> lock(async_mutex_);
   async_cv_.wait(lock, [&] { return async_outstanding_ == 0; });
+}
+
+Result<TreeHandle, ServiceError> SchedulingService::try_intern(Tree tree) {
+  return store_.try_intern(std::move(tree));
 }
 
 TreeHandle SchedulingService::intern(Tree tree) {
@@ -62,43 +70,77 @@ ResultKey SchedulingService::key_for(const ScheduleRequest& req,
   return key;
 }
 
-ScheduleResponse SchedulingService::schedule(const ScheduleRequest& req) {
+ServiceResult SchedulingService::evaluate(const ScheduleRequest& req) {
   if (!req.tree) {
-    throw std::invalid_argument(
-        "service: request carries no tree (intern one first)");
+    return ServiceError{
+        ErrorCode::kInvalidResources,
+        "service: request carries no tree (intern one first)", nullptr};
   }
-  const std::shared_ptr<const Scheduler> sched = resolve(req.algo);
-  // Fail invalid resources before they reach the cache or in-flight
-  // table; same uniform message the scheduler itself would produce.
-  validate_resources(Resources{req.p, req.memory_cap}, sched->capabilities(),
-                     req.algo);
+  std::shared_ptr<const Scheduler> sched;
+  try {
+    sched = resolve(req.algo);
+  } catch (const std::exception& e) {
+    return ServiceError{ErrorCode::kUnknownAlgorithm, e.what(),
+                        std::current_exception()};
+  } catch (...) {
+    return ServiceError{ErrorCode::kUnknownAlgorithm,
+                        "non-standard exception resolving " + req.algo,
+                        std::current_exception()};
+  }
+  try {
+    // Fail invalid resources before they reach the cache or in-flight
+    // table; same uniform message the scheduler itself would produce.
+    validate_resources(Resources{req.p, req.memory_cap},
+                       sched->capabilities(), req.algo);
+  } catch (const std::exception& e) {
+    return ServiceError{ErrorCode::kInvalidResources, e.what(),
+                        std::current_exception()};
+  } catch (...) {
+    return ServiceError{ErrorCode::kInvalidResources,
+                        "non-standard exception validating resources for " +
+                            req.algo,
+                        std::current_exception()};
+  }
 
-  bool hit = false;
-  CachedResultPtr result;
-  if (cache_.enabled()) {
-    const ResultKey key = key_for(req, *sched);
-    result = cache_.get(key);
-    if (result) {
-      hit = true;
+  try {
+    bool hit = false;
+    CachedResultPtr result;
+    if (cache_.enabled()) {
+      const ResultKey key = key_for(req, *sched);
+      result = cache_.get(key);
+      if (result) {
+        hit = true;
+      } else {
+        result = compute_deduplicated(key, req, *sched, hit);
+      }
     } else {
-      result = compute_deduplicated(key, req, *sched, hit);
+      // Cache disabled: the honest uncached path. No in-flight sharing
+      // either — every request pays its own compute, which is exactly
+      // what bench_service's baseline must measure.
+      result = compute(req, *sched);
     }
-  } else {
-    // Cache disabled: the honest uncached path. No in-flight sharing
-    // either — every request pays its own compute, which is exactly
-    // what bench_service's baseline must measure.
-    result = compute(req, *sched);
-  }
 
-  ScheduleResponse resp;
-  resp.makespan = result->makespan;
-  resp.peak_memory = result->peak_memory;
-  resp.cache_hit = hit;
-  if (req.want_schedule) {
-    resp.schedule =
-        std::shared_ptr<const Schedule>(result, &result->schedule);
+    ScheduleResponse resp;
+    resp.makespan = result->makespan;
+    resp.peak_memory = result->peak_memory;
+    resp.cache_hit = hit;
+    if (req.want_schedule) {
+      resp.schedule =
+          std::shared_ptr<const Schedule>(result, &result->schedule);
+    }
+    return resp;
+  } catch (const std::exception& e) {
+    return ServiceError{ErrorCode::kSchedulerFailure, e.what(),
+                        std::current_exception()};
+  } catch (...) {
+    // The Scheduler interface does not forbid non-std exceptions. They
+    // must still become values here: escaping would skip the servicer's
+    // release() (deadlocking the destructor's drain) and terminate the
+    // pool worker.
+    return ServiceError{ErrorCode::kSchedulerFailure,
+                        "non-standard exception from " + req.algo,
+                        std::current_exception()};
   }
-  return resp;
 }
 
 CachedResultPtr SchedulingService::compute_deduplicated(
@@ -171,25 +213,8 @@ CachedResultPtr SchedulingService::compute(const ScheduleRequest& req,
   return result;
 }
 
-std::vector<ScheduleResponse> SchedulingService::schedule_batch(
-    const std::vector<ScheduleRequest>& reqs) {
-  std::vector<ScheduleResponse> responses(reqs.size());
-  parallel_for(
-      reqs.size(),
-      [&](std::size_t i) {
-        try {
-          responses[i] = schedule(reqs[i]);
-        } catch (const std::exception& e) {
-          responses[i] = ScheduleResponse{};
-          responses[i].error = e.what();
-        }
-      },
-      config_.threads);
-  return responses;
-}
-
 void SchedulingService::drain_one() {
-  RequestQueue::PopResult popped = queue_.pop();
+  RequestQueue::PopResult popped = queue_->pop();
   for (RequestQueue::Entry& e : popped.expired) {
     std::ostringstream os;
     os << "deadline expired: " << to_string(e.submitted) << " request ("
@@ -199,21 +224,18 @@ void SchedulingService::drain_one() {
               RequestQueue::Clock::now() - e.admitted)
               .count()
        << " ms queued";
-    e.promise.set_exception(std::make_exception_ptr(DeadlineExpired(os.str())));
+    detail::complete_ticket(
+        e.ticket,
+        ServiceError{ErrorCode::kDeadlineExpired, os.str(), nullptr});
   }
   if (popped.entry) {
-    try {
-      popped.entry->promise.set_value(schedule(popped.entry->request));
-    } catch (...) {
-      popped.entry->promise.set_exception(std::current_exception());
-    }
+    detail::complete_ticket(popped.entry->ticket,
+                            evaluate(popped.entry->request));
   }
 }
 
-std::future<ScheduleResponse> SchedulingService::schedule_async(
-    ScheduleRequest req) {
-  std::promise<ScheduleResponse> promise;
-  std::future<ScheduleResponse> future = promise.get_future();
+Ticket SchedulingService::submit(ScheduleRequest req) {
+  auto state = std::make_shared<detail::TicketState>();
 
   if (ThreadPool::shared().on_worker_thread()) {
     // A nested submission (a batch item or campaign fanning out from a
@@ -224,13 +246,10 @@ std::future<ScheduleResponse> SchedulingService::schedule_async(
     // that job's entry short a servicer). Compute synchronously instead,
     // like a parallel_for caller participating in its own work: the
     // request never waits, so its class and deadline are trivially
-    // honored, and it is invisible to queue_stats() (never queued).
-    try {
-      promise.set_value(schedule(req));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-    }
-    return future;
+    // honored, and it is invisible to queue_stats() (never queued, so
+    // never cancellable either).
+    detail::complete_ticket(state, evaluate(req));
+    return Ticket(std::move(state), nullptr, 0);
   }
 
   // The servicer is registered in async_outstanding_ BEFORE the entry is
@@ -247,33 +266,78 @@ std::future<ScheduleResponse> SchedulingService::schedule_async(
     --async_outstanding_;
     async_cv_.notify_all();
   };
-  if (!queue_.push(std::move(req), std::move(promise))) {
+  const std::optional<std::uint64_t> seq = queue_->push(std::move(req), state);
+  if (!seq) {
     release();
-    return future;  // rejected at admission; the promise already carries
-                    // the typed error
+    // Rejected at admission; the ticket already carries kQueueFull.
+    return Ticket(std::move(state), nullptr, 0);
   }
   ThreadPool::shared().submit([this, release] {
     drain_one();
     release();
   });
-  return future;
+  return Ticket(std::move(state), queue_, *seq);
+}
+
+ScheduleResponse SchedulingService::schedule(const ScheduleRequest& req) {
+  return unwrap(submit(req).wait());
+}
+
+std::vector<ScheduleResponse> SchedulingService::schedule_batch(
+    const std::vector<ScheduleRequest>& reqs) {
+  std::vector<ScheduleResponse> responses(reqs.size());
+  if (config_.threads != 0) {
+    // An explicit thread bound is a compute-parallelism promise the
+    // shared-pool admission queue cannot keep (drain jobs fan out over
+    // the whole pool), so honor it with `threads`-wide submissions —
+    // worker-claimed items compute inline; items claimed by the
+    // participating caller flow through the queue (they may finish
+    // after the workers' share, but the compute width stays bounded).
+    // Deadlines are ignored on the whole of schedule_batch, as on the
+    // v1 synchronous batch: on this width-bound path whether an item
+    // lands on a worker (inline, deadline moot) or the caller (queued)
+    // is a scheduling accident that must not pick which items expire.
+    parallel_for(
+        reqs.size(),
+        [&](std::size_t i) {
+          ScheduleRequest req = reqs[i];
+          req.deadline_ms = 0.0;
+          responses[i] = to_response(submit(std::move(req)).wait());
+        },
+        config_.threads);
+    return responses;
+  }
+  // Same tickets + ordered collect as schedule_prioritized, minus the
+  // deadlines (stripped above for the width-bound path too): the v1
+  // batch contract. schedule_prioritized is the deadline-honoring batch.
+  std::vector<Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (const ScheduleRequest& r : reqs) {
+    ScheduleRequest req = r;
+    req.deadline_ms = 0.0;
+    tickets.push_back(submit(std::move(req)));
+  }
+  return collect_ordered(std::move(tickets));
+}
+
+std::future<ScheduleResponse> SchedulingService::schedule_async(
+    ScheduleRequest req) {
+  return submit(std::move(req)).legacy_future();
 }
 
 std::vector<ScheduleResponse> SchedulingService::schedule_prioritized(
     const std::vector<ScheduleRequest>& reqs) {
-  std::vector<std::future<ScheduleResponse>> futures;
-  futures.reserve(reqs.size());
-  for (const ScheduleRequest& req : reqs) {
-    futures.push_back(schedule_async(req));
-  }
-  std::vector<ScheduleResponse> responses(reqs.size());
-  for (std::size_t i = 0; i < reqs.size(); ++i) {
-    try {
-      responses[i] = futures[i].get();
-    } catch (const std::exception& e) {
-      responses[i] = ScheduleResponse{};
-      responses[i].error = e.what();
-    }
+  std::vector<Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (const ScheduleRequest& req : reqs) tickets.push_back(submit(req));
+  return collect_ordered(std::move(tickets));
+}
+
+std::vector<ScheduleResponse> SchedulingService::collect_ordered(
+    std::vector<Ticket> tickets) {
+  std::vector<ScheduleResponse> responses(tickets.size());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    responses[i] = to_response(tickets[i].wait());
   }
   return responses;
 }

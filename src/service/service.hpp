@@ -1,6 +1,16 @@
 #pragma once
 // The scheduling service (layer 3 of src/service/): a high-throughput
-// request engine over the SchedulerRegistry.
+// request engine over the SchedulerRegistry, with ONE submission path:
+//
+//   Ticket t = service.submit(req);   // every request goes through here
+//   ServiceResult r = t.wait();       // response, or typed ServiceError
+//
+// submit() admits the request into the deadline-aware priority queue
+// (service/request_queue.hpp) under its priority/deadline_ms fields and
+// pairs it with one thread-pool job; whenever a pool worker frees up it
+// takes the most urgent admitted request (Interactive before Batch
+// before Bulk, EDF within a class, aging against starvation). The
+// compute engine behind it is unchanged:
 //
 //   request --> intern tree --> cache lookup --> hit? answer
 //                                  |
@@ -10,17 +20,20 @@
 //                                first --> registry scheduler + simulator,
 //                                          insert into cache, wake waiters
 //
-// Two submission surfaces share that engine:
-//  * synchronous — schedule() / schedule_batch() answer immediately on the
-//    calling thread (plus the shared pool for batches), ignoring priority;
-//  * queued — schedule_async() / schedule_prioritized() admit the request
-//    into a deadline-aware priority queue (service/request_queue.hpp) and
-//    answer through a future. Whenever a pool worker frees up it takes the
-//    most urgent admitted request (Interactive before Batch before Bulk,
-//    EDF within a class, aging against starvation), so interactive probes
-//    overtake a backlog of bulk work, and requests whose deadline lapsed
-//    in the queue are answered with the typed DeadlineExpired error
-//    without ever running a scheduler.
+// Failures are values: a ticket resolves to Result<ScheduleResponse,
+// ServiceError> with a machine-readable code (service/errors.hpp) —
+// kUnknownAlgorithm, kInvalidResources, kDeadlineExpired, kQueueFull,
+// kCancelled, kSchedulerFailure, kStoreFull. Cancelling a still-queued
+// ticket removes it from the queue (counted in QueueStats) and resolves
+// it with kCancelled; cancelling anything else is a no-op returning
+// false.
+//
+// The four pre-v2 entry points — schedule(), schedule_batch(),
+// schedule_async(), schedule_prioritized() — are thin wrappers over
+// submit() (batch = N tickets + ordered collect), so determinism, dedup,
+// priority ordering and the destructor's drain guarantee are enforced in
+// exactly one place. The wrappers translate errors back into the legacy
+// conventions (thrown exceptions / ScheduleResponse::error).
 //
 // Guarantees:
 //  * Determinism: a response carries exactly the (makespan, peak memory,
@@ -34,12 +47,14 @@
 //    p to 1 in the key, so a cross-p sweep hits one entry. With the
 //    cache disabled (cache_bytes = 0) there is no sharing of any kind:
 //    every request pays its own compute — the honest uncached baseline.
-//  * Failure isolation: schedule() throws what the scheduler threw;
-//    schedule_batch() captures per-request errors into the response so one
-//    bad request cannot poison a batch; schedule_async() delivers the
-//    exception through the future. Failed computations are never cached,
-//    and waiters on a failed in-flight computation receive the same
-//    exception.
+//  * Failure isolation: errors are per-ticket values; one bad request
+//    cannot poison a batch. Failed computations are never cached, and
+//    concurrent twins of a failed in-flight computation receive the same
+//    error.
+//  * Drain: the destructor waits until every admitted request has been
+//    answered — it counts servicers, not tickets, so tickets abandoned
+//    without wait() (and cancelled tickets) neither leak an in-flight
+//    entry nor deadlock the drain.
 
 #include <condition_variable>
 #include <cstddef>
@@ -56,6 +71,8 @@
 #include "service/request.hpp"
 #include "service/request_queue.hpp"
 #include "service/result_cache.hpp"
+#include "service/ticket.hpp"
+#include "util/result.hpp"
 
 namespace treesched {
 
@@ -63,61 +80,83 @@ struct ServiceConfig {
   /// Result-cache budget; 0 disables caching (every request recomputes).
   std::size_t cache_bytes = ResultCache::kDefaultByteBudget;
   unsigned cache_shards = 16;
-  /// Parallelism for schedule_batch (0 = the shared thread pool's size).
+  /// Parallelism bound for schedule_batch (0 = the shared thread pool's
+  /// size via the admission queue; nonzero runs the batch exactly this
+  /// wide).
   unsigned threads = 0;
   /// Validate every computed schedule (sched/validate.hpp, including the
   /// request's memory cap) before caching it — defense in depth at ~2x
   /// compute cost; off by default, the simulator already rejects
   /// precedence violations.
   bool validate = false;
-  /// Admission-queue tuning for the schedule_async path.
+  /// Admission-queue tuning (all submissions flow through the queue).
   RequestQueueConfig queue;
+  /// Instance-store byte budget (0 = unbudgeted); when set, intern()
+  /// throws StoreFull and try_intern() returns kStoreFull past it.
+  InstanceStoreConfig store;
 };
 
 class SchedulingService {
  public:
   explicit SchedulingService(ServiceConfig config = {});
 
-  /// Waits for every admitted async request to be answered (their futures
-  /// all become ready) before tearing down.
+  /// Waits for every admitted request to be answered (all tickets
+  /// settle) before tearing down. Tickets nobody waits on and cancelled
+  /// tickets are covered: the drain counts servicer jobs, one per
+  /// admission, each of which runs to completion.
   ~SchedulingService();
 
   /// Interns a tree into the instance store; the handle is what requests
-  /// carry. Repeated interns of identical trees share one instance.
+  /// carry. Repeated interns of identical trees share one instance. A
+  /// new tree past ServiceConfig::store.max_bytes is rejected with the
+  /// typed kStoreFull error.
+  [[nodiscard]] Result<TreeHandle, ServiceError> try_intern(Tree tree);
+
+  /// Legacy surface of try_intern: throws StoreFull on rejection.
   TreeHandle intern(Tree tree);
 
-  /// Answers one request synchronously, bypassing the admission queue.
-  /// Throws std::invalid_argument on an unknown algorithm, invalid
-  /// resources, an un-interned (null) tree handle, or whatever the
-  /// scheduler itself throws.
+  /// THE submission path: admits `req` under its priority/deadline_ms
+  /// fields and returns the ticket that will resolve to its
+  /// ServiceResult. Called from a pool worker (a nested fan-out), the
+  /// request is computed synchronously instead of queued — the worker
+  /// participates like a parallel_for caller, which rules out
+  /// self-deadlock; such requests resolve immediately, are invisible to
+  /// queue_stats(), and cannot be cancelled.
+  [[nodiscard]] Ticket submit(ScheduleRequest req);
+
+  // --- legacy wrappers, all delegating to submit() ---------------------
+
+  /// submit(req).wait(), rethrowing the legacy exception on error (the
+  /// scheduler's own exception when one caused it). Unlike v1's
+  /// queue-bypassing synchronous path, this flows through the admission
+  /// queue: with a bounded queue (RequestQueueConfig::max_pending) it
+  /// can throw QueueFull under load.
   ScheduleResponse schedule(const ScheduleRequest& req);
 
-  /// Answers a batch, in request order, fanning out over the shared
-  /// thread pool. Per-request failures land in ScheduleResponse::error.
-  /// FIFO: priority/deadline fields are ignored on this path.
+  /// N tickets + ordered collect; failures land per-request in
+  /// ScheduleResponse::error. Deadlines are ignored on this path (the
+  /// v1 batch contract — use schedule_prioritized or submit() for
+  /// deadline-aware batches). With ServiceConfig::threads nonzero the
+  /// batch runs that wide (worker-inline submissions); otherwise
+  /// requests flow through the admission queue under their own
+  /// priorities — and, unlike the v1 queue-bypassing batch, a bounded
+  /// queue (max_pending) can reject items with kQueueFull.
   std::vector<ScheduleResponse> schedule_batch(
       const std::vector<ScheduleRequest>& reqs);
 
-  /// Admits `req` into the priority queue under its priority/deadline_ms
-  /// fields and returns the future of its response. The future throws
-  /// what schedule() would throw, DeadlineExpired when the deadline
-  /// lapsed before a worker picked the request up, or QueueFull when the
-  /// queue bound turned it away at admission. Called from a pool worker
-  /// (a nested fan-out), the request is computed synchronously instead of
-  /// queued — the worker participates like a parallel_for caller, which
-  /// rules out self-deadlock; such requests never wait and never appear
-  /// in queue_stats().
+  /// submit(req) bridged to a std::future that throws the legacy
+  /// exception on error (DeadlineExpired, QueueFull, the scheduler's
+  /// own, ...).
   std::future<ScheduleResponse> schedule_async(ScheduleRequest req);
 
-  /// Priority-aware batch: admits every request through the queue, waits
-  /// for all of them, and returns responses in request order with
-  /// failures (including DeadlineExpired) captured per-request in
+  /// N tickets through the queue + ordered collect with failures
+  /// (including kDeadlineExpired) captured per-request in
   /// ScheduleResponse::error.
   std::vector<ScheduleResponse> schedule_prioritized(
       const std::vector<ScheduleRequest>& reqs);
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] QueueStats queue_stats() const { return queue_.stats(); }
+  [[nodiscard]] QueueStats queue_stats() const { return queue_->stats(); }
   [[nodiscard]] InstanceStore::Stats store_stats() const {
     return store_.stats();
   }
@@ -135,6 +174,11 @@ class SchedulingService {
     std::exception_ptr error;
   };
 
+  /// The single enforcement point: resolves, validates, computes (via
+  /// cache + in-flight dedup) and classifies every failure into a
+  /// ServiceError. Never throws.
+  ServiceResult evaluate(const ScheduleRequest& req);
+
   /// The (stateless, shared) scheduler for `algo`, created through the
   /// registry on first use.
   std::shared_ptr<const Scheduler> resolve(const std::string& algo);
@@ -151,17 +195,26 @@ class SchedulingService {
                                        bool& shared_from_twin);
   CachedResultPtr compute(const ScheduleRequest& req, const Scheduler& sched);
 
+  /// Waits out `tickets` and folds each result into the batch response
+  /// shape, in ticket order.
+  static std::vector<ScheduleResponse> collect_ordered(
+      std::vector<Ticket> tickets);
+
   /// Services one admission-queue pop: answers every expired entry with
-  /// DeadlineExpired and computes the live one, if any. One call per
+  /// kDeadlineExpired and computes the live one, if any. One call per
   /// admitted entry is enqueued on the shared pool; any call may answer a
   /// request other than the one whose admission enqueued it — that is
-  /// what makes class preemption work on a FIFO pool.
+  /// what makes class preemption work on a FIFO pool — and a call whose
+  /// entry was cancelled finds correspondingly less work.
   void drain_one();
 
   ServiceConfig config_;
   InstanceStore store_;
   ResultCache cache_;
-  RequestQueue queue_;
+  /// Shared with every queued Ticket so cancel() stays safe even after
+  /// the service is destroyed (the queue is drained by then, so such a
+  /// cancel finds nothing and returns false).
+  std::shared_ptr<RequestQueue> queue_;
 
   /// Read-mostly after warm-up: every request resolves its scheduler, so
   /// the found path takes only a shared lock.
@@ -174,8 +227,8 @@ class SchedulingService {
       inflight_;
 
   /// Active servicers — pool-submitted drain jobs plus in-progress inline
-  /// worker drains, each registered before its entry is admitted; the
-  /// destructor waits for zero so nothing outlives the service.
+  /// worker computations, each registered before its entry is admitted;
+  /// the destructor waits for zero so nothing outlives the service.
   std::mutex async_mutex_;
   std::condition_variable async_cv_;
   std::size_t async_outstanding_ = 0;

@@ -1,0 +1,99 @@
+#include "service/ticket.hpp"
+
+#include <utility>
+
+#include "service/request_queue.hpp"
+
+namespace treesched {
+
+namespace detail {
+
+namespace {
+
+/// Fulfills the legacy promise from a settled result. Caller holds the
+/// state mutex.
+void fulfill_legacy(TicketState& state) {
+  if (!state.legacy_promise.has_value() || state.legacy_fulfilled) return;
+  state.legacy_fulfilled = true;
+  const ServiceResult& result = *state.result;
+  if (result.ok()) {
+    state.legacy_promise->set_value(result.value());
+  } else {
+    state.legacy_promise->set_exception(to_exception(result.error()));
+  }
+}
+
+ServiceError empty_ticket_error() {
+  return ServiceError{ErrorCode::kBadRequest,
+                      "wait on an empty ticket (not obtained from submit())",
+                      nullptr};
+}
+
+}  // namespace
+
+void complete_ticket(const std::shared_ptr<TicketState>& state,
+                     ServiceResult result) {
+  {
+    const std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->result.has_value()) return;  // already settled
+    state->result.emplace(std::move(result));
+    fulfill_legacy(*state);
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace detail
+
+ServiceResult Ticket::wait() {
+  if (!state_) return detail::empty_ticket_error();
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+std::optional<ServiceResult> Ticket::wait_for(
+    std::chrono::milliseconds timeout) {
+  if (!state_) return detail::empty_ticket_error();
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  if (!state_->cv.wait_for(lock, timeout,
+                           [&] { return state_->result.has_value(); })) {
+    return std::nullopt;
+  }
+  return *state_->result;
+}
+
+std::optional<ServiceResult> Ticket::try_get() {
+  if (!state_) return detail::empty_ticket_error();
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (!state_->result.has_value()) return std::nullopt;
+  return *state_->result;
+}
+
+bool Ticket::cancel() {
+  if (!state_ || !queue_) return false;
+  // The queue arbitrates the race against worker pickup under its own
+  // mutex: either the entry is still queued (we remove and settle it) or
+  // a pop already claimed it (false, and the worker's answer stands).
+  return queue_->cancel(seq_);
+}
+
+std::future<ScheduleResponse> Ticket::legacy_future() {
+  if (!state_) {
+    std::promise<ScheduleResponse> promise;
+    promise.set_exception(to_exception(detail::empty_ticket_error()));
+    return promise.get_future();
+  }
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->legacy_promise.has_value()) {
+    // The shared promise is single-shot; fail with a clear message
+    // instead of leaking std::future_error from deep inside.
+    throw std::logic_error(
+        "Ticket::legacy_future() may only be called once per ticket");
+  }
+  std::future<ScheduleResponse> future =
+      state_->legacy_promise.emplace().get_future();
+  if (state_->result.has_value()) detail::fulfill_legacy(*state_);
+  return future;
+}
+
+}  // namespace treesched

@@ -1,0 +1,121 @@
+#pragma once
+// Ticket: the move-only handle SchedulingService::submit() returns for
+// every request — the one submission surface of the v2 API.
+//
+//   Ticket t = service.submit(req);
+//   ServiceResult r = t.wait();          // block until answered
+//   if (auto r = t.try_get()) ...        // poll without blocking
+//   if (auto r = t.wait_for(50ms)) ...   // bounded wait
+//   bool was_queued = t.cancel();        // cancel while still queued
+//
+// A ticket resolves exactly once, to a ServiceResult: the response, or a
+// ServiceError with a machine-readable code. wait()/try_get() may be
+// called repeatedly; each returns a copy of the same settled result
+// (responses share the cached schedule, so copies are cheap).
+//
+// cancel() succeeds only while the request is still in the admission
+// queue: the entry is removed, counted as `cancelled` in QueueStats, and
+// the ticket resolves immediately with the kCancelled error. Cancelling
+// a request a worker already picked up, one already answered, or one
+// computed inline (a submission from a pool worker) is a documented
+// no-op that returns false — a running computation is never preempted.
+//
+// Abandoning a ticket without waiting is safe: the service still answers
+// the underlying request (the destructor's drain guarantee counts
+// servicers, not tickets), and the shared state dies with its last
+// owner. Tickets outlive their service safely too — cancel() goes
+// through a shared queue reference, and a destroyed service has already
+// drained the queue, so such a cancel simply returns false.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "service/request.hpp"
+
+namespace treesched {
+
+class RequestQueue;
+
+namespace detail {
+
+/// Completion state shared by a Ticket, the queue entry that answers it,
+/// and any legacy future bridged from it.
+struct TicketState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<ServiceResult> result;
+  /// Legacy future bridge (Ticket::legacy_future). Constructed lazily —
+  /// only the schedule_async bridge pays the promise's shared-state
+  /// allocation, never the plain submit()+wait() hot path. Fulfilled on
+  /// completion iff attached; attaching after completion fulfills
+  /// immediately.
+  std::optional<std::promise<ScheduleResponse>> legacy_promise;
+  bool legacy_fulfilled = false;
+};
+
+/// Settles `state` (idempotent: a second call is ignored — by
+/// construction each ticket has exactly one answerer, the guard is
+/// defense in depth) and wakes every waiter and the legacy future.
+void complete_ticket(const std::shared_ptr<TicketState>& state,
+                     ServiceResult result);
+
+}  // namespace detail
+
+class Ticket {
+ public:
+  /// An empty ticket (not obtained from submit()); wait()/try_get()
+  /// resolve to a kBadRequest error, cancel() to false.
+  Ticket() = default;
+
+  Ticket(Ticket&&) noexcept = default;
+  Ticket& operator=(Ticket&&) noexcept = default;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the request is answered; returns the settled result.
+  [[nodiscard]] ServiceResult wait();
+
+  /// Bounded wait: the settled result, or std::nullopt on timeout.
+  [[nodiscard]] std::optional<ServiceResult> wait_for(
+      std::chrono::milliseconds timeout);
+
+  /// Non-blocking poll: the settled result, or std::nullopt while the
+  /// request is still pending.
+  [[nodiscard]] std::optional<ServiceResult> try_get();
+
+  /// Cancels the request iff it is still in the admission queue: removes
+  /// the entry (counted per class in QueueStats::cancelled) and settles
+  /// this ticket with the kCancelled error. Returns false — and changes
+  /// nothing — when the request is already running, already answered,
+  /// was computed inline, or was cancelled before.
+  bool cancel();
+
+  /// Legacy bridge: a std::future carrying the response, throwing the
+  /// legacy exception on error (see to_exception). The future is bound
+  /// to this ticket's completion; the Ticket itself may be discarded.
+  /// Single-shot: a second call throws std::logic_error (the underlying
+  /// promise has one future).
+  [[nodiscard]] std::future<ScheduleResponse> legacy_future();
+
+ private:
+  friend class SchedulingService;
+
+  Ticket(std::shared_ptr<detail::TicketState> state,
+         std::shared_ptr<RequestQueue> queue, std::uint64_t seq)
+      : state_(std::move(state)), queue_(std::move(queue)), seq_(seq) {}
+
+  std::shared_ptr<detail::TicketState> state_;
+  /// Shared so cancel() stays safe after the owning service is gone.
+  /// Null for inline-computed (never queued) tickets.
+  std::shared_ptr<RequestQueue> queue_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace treesched

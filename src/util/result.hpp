@@ -1,0 +1,91 @@
+#pragma once
+// Result<T, E>: a C++20-compatible expected-style sum type — either a
+// value or a typed error, never both, never neither. The service layer
+// returns these instead of throwing: failures travel as values through
+// tickets, batch collections and the wire protocol, and only the legacy
+// wrapper surfaces convert them back into exceptions.
+//
+// Contract (pinned by tests/test_tickets.cpp):
+//   * implicitly constructible from T (ok) and from E (error);
+//   * ok() / operator bool report which side is held;
+//   * value() on an error and error() on a value throw std::logic_error —
+//     misusing the accessor is a programming bug, not a recoverable state;
+//   * value_or(fallback) never throws;
+//   * map(f) transforms the value and forwards the error unchanged;
+//     and_then(f) chains a Result-returning continuation.
+
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace treesched {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+  static_assert(!std::is_same_v<std::remove_cvref_t<T>,
+                                std::remove_cvref_t<E>>,
+                "Result<T, E> needs distinguishable value and error types");
+
+ public:
+  using value_type = T;
+  using error_type = E;
+
+  Result(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return state_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    require(ok(), "Result::value() called on an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require(ok(), "Result::value() called on an error");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    require(ok(), "Result::value() called on an error");
+    return std::get<0>(std::move(state_));
+  }
+
+  [[nodiscard]] E& error() & {
+    require(!ok(), "Result::error() called on a value");
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] const E& error() const& {
+    require(!ok(), "Result::error() called on a value");
+    return std::get<1>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+  /// Applies `f` to the value; an error passes through untouched.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const& -> Result<decltype(f(std::declval<const T&>())), E> {
+    if (ok()) return std::forward<F>(f)(std::get<0>(state_));
+    return std::get<1>(state_);
+  }
+
+  /// Chains a continuation that itself returns Result<U, E>.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> decltype(f(std::declval<const T&>())) {
+    using Next = decltype(f(std::declval<const T&>()));
+    static_assert(std::is_same_v<typename Next::error_type, E>,
+                  "and_then must keep the error type");
+    if (ok()) return std::forward<F>(f)(std::get<0>(state_));
+    return Next(std::get<1>(state_));
+  }
+
+ private:
+  static void require(bool cond, const char* what) {
+    if (!cond) throw std::logic_error(what);
+  }
+
+  std::variant<T, E> state_;
+};
+
+}  // namespace treesched

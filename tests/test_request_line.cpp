@@ -1,7 +1,9 @@
-// The schedule_service wire grammar (service/request_line.hpp):
-// positional fields as in PR 2, the new named priority=/deadline_ms=
-// fields, and — the regression this file pins — unknown fields rejected
-// with an error naming the field, never silently accepted.
+// The schedule_service wire grammar (service/request_line.hpp), protocol
+// v2: positional fields as in PR 2, the named priority=/deadline_ms=/id=
+// fields, cancel lines, response formatting/parsing round-trips, and —
+// the regressions this file pins — unknown request fields and unknown
+// error codes rejected with an error naming them, never silently
+// accepted.
 
 #include "service/request_line.hpp"
 
@@ -21,6 +23,8 @@ TEST(RequestLine, PositionalFieldsParse) {
   EXPECT_EQ(r.memory_cap, 0u);
   EXPECT_EQ(r.priority, Priority::kBatch) << "wire default is batch";
   EXPECT_EQ(r.deadline_ms, 0.0);
+  EXPECT_EQ(r.kind, RequestLine::Kind::kSchedule);
+  EXPECT_FALSE(r.id.has_value()) << "untagged by default";
 }
 
 TEST(RequestLine, OptionalMemoryCapParses) {
@@ -42,6 +46,66 @@ TEST(RequestLine, NamedFieldsAreOrderInsensitive) {
       "random:10:1 ParInnerFirst 2 deadline_ms=5 priority=bulk");
   EXPECT_EQ(r.priority, Priority::kBulk);
   EXPECT_DOUBLE_EQ(r.deadline_ms, 5.0);
+}
+
+TEST(RequestLine, IdTagParses) {
+  const RequestLine r =
+      parse_request_line("random:10:1 ParSubtrees 2 id=42 priority=bulk");
+  ASSERT_TRUE(r.id.has_value());
+  EXPECT_EQ(*r.id, 42u);
+  EXPECT_EQ(r.priority, Priority::kBulk);
+  // Bad ids are rejected by name.
+  EXPECT_THROW((void)parse_request_line("random:10:1 ParSubtrees 2 id=-3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("random:10:1 ParSubtrees 2 id=abc"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_request_line("random:10:1 ParSubtrees 2 id=1 id=2"),
+      std::invalid_argument);
+  // Overflow is a parse error too (std::invalid_argument, never a leaked
+  // std::out_of_range — the documented contract).
+  EXPECT_THROW((void)parse_request_line(
+                   "random:10:1 ParSubtrees 2 id=18446744073709551616"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line(
+                   "random:10:1 Liu 1 99999999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line(
+                   "ok peak_memory=18446744073709551616"),
+               std::invalid_argument);
+  // Int-typed response fields reject (never truncate) out-of-range
+  // values: p=2^32+1 must not come back as p=1.
+  EXPECT_THROW((void)parse_response_line("ok p=4294967297"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok n=4294967296"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok tree=nothex"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok tree=-1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok tree=0x12"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line(
+                   "error id=1 id=2 code=queue_full boom"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok makespan=fast"),
+               std::invalid_argument);
+}
+
+TEST(RequestLine, CancelLinesParse) {
+  const RequestLine r = parse_request_line("cancel id=7");
+  EXPECT_EQ(r.kind, RequestLine::Kind::kCancel);
+  ASSERT_TRUE(r.id.has_value());
+  EXPECT_EQ(*r.id, 7u);
+  // A cancel must name exactly one id and nothing else.
+  EXPECT_THROW((void)parse_request_line("cancel"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("cancel 7"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("cancel id=7 id=8"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("cancel id=7 priority=bulk"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("cancel id=nope"),
+               std::invalid_argument);
 }
 
 TEST(RequestLine, UnknownFieldIsRejectedByName) {
@@ -86,6 +150,100 @@ TEST(RequestLine, MalformedLinesAreRejected) {
   EXPECT_THROW(
       (void)parse_request_line("random:10:1 ParSubtrees 2 deadline_ms=soon"),
       std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-v2 response lines.
+// ---------------------------------------------------------------------------
+
+TEST(ResponseLine, OkLineRoundTrips) {
+  ResponseLine resp;
+  resp.ok = true;
+  resp.id = 42;
+  resp.tree_hash = 0x8c621571e53e1323ULL;
+  resp.n = 200;
+  resp.algo = "ParSubtrees";
+  resp.p = 8;
+  resp.makespan = 1624.2518808123923;
+  resp.peak_memory = 1636;
+  resp.cache_hit = true;
+  resp.priority = Priority::kInteractive;
+
+  const std::string line = format_response_line(resp);
+  const ResponseLine back = parse_response_line(line);
+  EXPECT_TRUE(back.ok);
+  ASSERT_TRUE(back.id.has_value());
+  EXPECT_EQ(*back.id, 42u);
+  EXPECT_EQ(back.tree_hash, resp.tree_hash);
+  EXPECT_EQ(back.n, 200);
+  EXPECT_EQ(back.algo, "ParSubtrees");
+  EXPECT_EQ(back.p, 8);
+  EXPECT_DOUBLE_EQ(back.makespan, resp.makespan)
+      << "setprecision(17) round-trips the double exactly";
+  EXPECT_EQ(back.peak_memory, 1636u);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_EQ(back.priority, Priority::kInteractive);
+}
+
+TEST(ResponseLine, ErrorLineRoundTripsEveryCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kUnknownAlgorithm, ErrorCode::kInvalidResources,
+        ErrorCode::kDeadlineExpired, ErrorCode::kQueueFull,
+        ErrorCode::kCancelled, ErrorCode::kSchedulerFailure,
+        ErrorCode::kStoreFull, ErrorCode::kBadRequest}) {
+    ResponseLine resp;
+    resp.ok = false;
+    resp.id = 9;
+    resp.code = code;
+    resp.message = "something went wrong here";
+    const ResponseLine back = parse_response_line(format_response_line(resp));
+    EXPECT_FALSE(back.ok);
+    EXPECT_EQ(back.code, code) << to_string(code);
+    ASSERT_TRUE(back.id.has_value());
+    EXPECT_EQ(*back.id, 9u);
+    EXPECT_EQ(back.message, "something went wrong here");
+    // And the code spelling itself round-trips through the taxonomy.
+    EXPECT_EQ(parse_error_code(to_string(code)), code);
+  }
+  // Untagged error lines stay untagged.
+  const ResponseLine untagged =
+      parse_response_line("error code=queue_full queue full: 8 pending");
+  EXPECT_FALSE(untagged.id.has_value());
+  EXPECT_EQ(untagged.code, ErrorCode::kQueueFull);
+}
+
+TEST(ResponseLine, UnknownCodeIsRejectedByName) {
+  try {
+    (void)parse_response_line("error id=3 code=frobnicated boom");
+    FAIL() << "unknown error code accepted silently";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown error code \"frobnicated\""),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(parse_error_code("frobnicated").has_value());
+}
+
+TEST(ResponseLine, MalformedResponsesAreRejected) {
+  // No verb / unknown verb.
+  EXPECT_THROW((void)parse_response_line(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("maybe tree=1"),
+               std::invalid_argument);
+  // Error line without a code.
+  EXPECT_THROW((void)parse_response_line("error something broke"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("error id=3 something broke"),
+               std::invalid_argument);
+  // Unknown / duplicate ok fields.
+  EXPECT_THROW((void)parse_response_line("ok frob=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok p=2 p=3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok cache=warm"),
+               std::invalid_argument);
+  // Truncated ok lines must not parse into default-zero measurements.
+  EXPECT_THROW((void)parse_response_line("ok"), std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("ok id=3 tree=ff n=2"),
+               std::invalid_argument);
 }
 
 }  // namespace

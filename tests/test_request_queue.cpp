@@ -1,7 +1,9 @@
-// The deadline-aware admission queue and the service's queued submission
-// paths: class preemption, EDF within a class, aging against starvation,
-// typed expiry/rejection errors, counter balance under producer
-// contention, and bit-identical results vs. direct registry calls.
+// The deadline-aware admission queue and the service's submission paths:
+// class preemption, EDF within a class, aging against starvation, typed
+// expiry/rejection/cancellation errors, counter balance under producer
+// contention, and bit-identical results vs. direct registry calls. The
+// legacy schedule_async/schedule_prioritized wrappers are exercised here;
+// the Ticket surface itself is pinned by tests/test_tickets.cpp.
 
 #include "service/request_queue.hpp"
 
@@ -40,13 +42,21 @@ Tree weighted_tree(std::uint64_t seed, NodeId n = 60) {
 
 /// A queue entry tagged through the algo field (the queue never
 /// interprets it).
-std::pair<ScheduleRequest, std::promise<ScheduleResponse>> tagged(
+std::pair<ScheduleRequest, std::shared_ptr<detail::TicketState>> tagged(
     const std::string& tag, Priority cls, double deadline_ms = 0.0) {
   ScheduleRequest req;
   req.algo = tag;
   req.priority = cls;
   req.deadline_ms = deadline_ms;
-  return {std::move(req), std::promise<ScheduleResponse>{}};
+  return {std::move(req), std::make_shared<detail::TicketState>()};
+}
+
+/// The settled error code of a ticket state, if any.
+std::optional<ErrorCode> settled_code(
+    const std::shared_ptr<detail::TicketState>& state) {
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  if (!state->result.has_value() || state->result->ok()) return std::nullopt;
+  return state->result->error().code;
 }
 
 std::string pop_tag(RequestQueue& q) {
@@ -65,8 +75,8 @@ TEST(RequestQueue, HigherClassesPreemptLowerAtDequeue) {
            {"bulk", Priority::kBulk},
            {"batch", Priority::kBatch},
            {"interactive", Priority::kInteractive}}) {
-    auto [req, prom] = tagged(tag, cls);
-    EXPECT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged(tag, cls);
+    EXPECT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   EXPECT_EQ(q.pending(), 3u);
   EXPECT_EQ(pop_tag(q), "interactive");
@@ -85,8 +95,8 @@ TEST(RequestQueue, EarliestDeadlineFirstWithinAClass) {
                                                    {"none-1", 0.0},
                                                    {"early", 10000.0},
                                                    {"none-2", 0.0}}) {
-    auto [req, prom] = tagged(tag, Priority::kBatch, deadline);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged(tag, Priority::kBatch, deadline);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   EXPECT_EQ(pop_tag(q), "early");
   EXPECT_EQ(pop_tag(q), "late");
@@ -97,12 +107,12 @@ TEST(RequestQueue, EarliestDeadlineFirstWithinAClass) {
 TEST(RequestQueue, ExpiredEntriesAreReturnedSeparatelyNotAsWork) {
   RequestQueue q;
   {
-    auto [req, prom] = tagged("doomed", Priority::kInteractive, 0.01);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged("doomed", Priority::kInteractive, 0.01);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   {
-    auto [req, prom] = tagged("live", Priority::kInteractive);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged("live", Priority::kInteractive);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   std::this_thread::sleep_for(5ms);  // let the 0.01 ms deadline lapse
   RequestQueue::PopResult r = q.pop();
@@ -125,22 +135,22 @@ TEST(RequestQueue, AgingPromotesStarvedBulkAheadOfFreshInteractive) {
   config.age_after = 10ms;
   RequestQueue q(config);
   {
-    auto [req, prom] = tagged("starved-bulk", Priority::kBulk);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged("starved-bulk", Priority::kBulk);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   // One interval per level: after the first pop-triggered sweep the bulk
   // entry sits in kBatch, after the second in kInteractive — where FIFO
   // puts it ahead of any younger interactive arrival.
   std::this_thread::sleep_for(15ms);
   {
-    auto [req, prom] = tagged("fresh-1", Priority::kInteractive);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged("fresh-1", Priority::kInteractive);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   EXPECT_EQ(pop_tag(q), "fresh-1") << "one interval climbs one level only";
   std::this_thread::sleep_for(15ms);
   {
-    auto [req, prom] = tagged("fresh-2", Priority::kInteractive);
-    ASSERT_TRUE(q.push(std::move(req), std::move(prom)));
+    auto [req, state] = tagged("fresh-2", Priority::kInteractive);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
   }
   EXPECT_EQ(pop_tag(q), "starved-bulk")
       << "twice-aged bulk reached the top class with seniority";
@@ -153,20 +163,70 @@ TEST(RequestQueue, MaxPendingRejectsWithTypedErrorAndCountsRejected) {
   RequestQueueConfig config;
   config.max_pending = 2;
   RequestQueue q(config);
-  std::future<ScheduleResponse> rejected_future;
+  std::shared_ptr<detail::TicketState> rejected_state;
   for (int i = 0; i < 3; ++i) {
-    auto [req, prom] = tagged("r" + std::to_string(i), Priority::kBatch);
-    std::future<ScheduleResponse> fut = prom.get_future();
-    const bool admitted = q.push(std::move(req), std::move(prom));
-    EXPECT_EQ(admitted, i < 2);
-    if (i == 2) rejected_future = std::move(fut);
+    auto [req, state] = tagged("r" + std::to_string(i), Priority::kBatch);
+    if (i == 2) rejected_state = state;
+    const auto seq = q.push(std::move(req), std::move(state));
+    EXPECT_EQ(seq.has_value(), i < 2);
   }
-  EXPECT_THROW((void)rejected_future.get(), QueueFull);
+  // The queue settled the rejected ticket itself, with the typed code.
+  ASSERT_TRUE(settled_code(rejected_state).has_value());
+  EXPECT_EQ(*settled_code(rejected_state), ErrorCode::kQueueFull);
   const QueueStats stats = q.stats();
   const ClassQueueStats& c = stats.of(Priority::kBatch);
   EXPECT_EQ(c.admitted, 3u) << "admitted counts every push";
   EXPECT_EQ(c.rejected, 1u);
   EXPECT_EQ(c.pending, 2u);
+}
+
+TEST(RequestQueue, CancelRemovesQueuedEntryAndSettlesWithCancelled) {
+  RequestQueue q;
+  auto [req_a, state_a] = tagged("a", Priority::kBatch);
+  auto [req_b, state_b] = tagged("b", Priority::kBatch);
+  const auto seq_a = q.push(std::move(req_a), state_a);
+  const auto seq_b = q.push(std::move(req_b), state_b);
+  ASSERT_TRUE(seq_a && seq_b);
+
+  EXPECT_TRUE(q.cancel(*seq_a));
+  ASSERT_TRUE(settled_code(state_a).has_value());
+  EXPECT_EQ(*settled_code(state_a), ErrorCode::kCancelled);
+  EXPECT_FALSE(q.cancel(*seq_a)) << "double-cancel is a no-op";
+  EXPECT_EQ(q.pending(), 1u);
+
+  // The cancelled entry is never handed out as work.
+  EXPECT_EQ(pop_tag(q), "b");
+  EXPECT_FALSE(q.cancel(*seq_b)) << "cancel after pop is a no-op";
+  EXPECT_FALSE(settled_code(state_b).has_value());
+
+  const QueueStats stats = q.stats();
+  const ClassQueueStats& c = stats.of(Priority::kBatch);
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.admitted, c.completed + c.expired + c.rejected + c.cancelled)
+      << "counter balance includes cancellations";
+}
+
+TEST(RequestQueue, CancelFindsEntriesAgedIntoAnotherClass) {
+  RequestQueueConfig config;
+  config.age_after = 5ms;
+  RequestQueue q(config);
+  auto [req, state] = tagged("bulk", Priority::kBulk);
+  const auto seq = q.push(std::move(req), state);
+  ASSERT_TRUE(seq.has_value());
+  std::this_thread::sleep_for(8ms);
+  // Age via a pop that takes a different (fresh interactive) entry; the
+  // sweep promotes the bulk entry out of its admission bucket first.
+  auto [other, other_state] = tagged("fresh", Priority::kInteractive);
+  ASSERT_TRUE(q.push(std::move(other), std::move(other_state)).has_value());
+  EXPECT_EQ(pop_tag(q), "fresh");  // ages bulk -> batch as a side effect
+  EXPECT_EQ(q.stats().of(Priority::kBulk).aged, 1u);
+  EXPECT_TRUE(q.cancel(*seq)) << "the cancel index followed the promotion";
+  ASSERT_TRUE(settled_code(state).has_value());
+  EXPECT_EQ(*settled_code(state), ErrorCode::kCancelled);
+  EXPECT_EQ(q.stats().of(Priority::kBulk).cancelled, 1u)
+      << "attributed to the submitted class";
 }
 
 // ---------------------------------------------------------------------------
@@ -249,13 +309,8 @@ TEST(ScheduleAsync, ExpiredRequestsNeverReachTheSchedulers) {
   }
   for (auto& f : backlog) EXPECT_TRUE(f.get().ok());
   for (auto& f : doomed) {
-    try {
-      (void)f.get();
-      FAIL() << "expired request was answered with a result";
-    } catch (const DeadlineExpired& e) {
-      EXPECT_NE(std::string(e.what()).find("deadline expired"),
-                std::string::npos);
-    }
+    EXPECT_THROW((void)f.get(), DeadlineExpired)
+        << "the legacy future delivers the typed expiry exception";
   }
   const CacheStats cs = service.cache_stats();
   EXPECT_EQ(cs.misses, kBacklog)
@@ -287,7 +342,7 @@ TEST(ScheduleAsync, PrioritizedBatchCapturesPerRequestFailuresInOrder) {
   ASSERT_EQ(responses.size(), 3u);
   EXPECT_TRUE(responses[0].ok());
   EXPECT_FALSE(responses[1].ok());
-  EXPECT_NE(responses[1].error.find("NoSuchAlgo"), std::string::npos);
+  EXPECT_EQ(responses[1].error->code, ErrorCode::kUnknownAlgorithm);
   EXPECT_TRUE(responses[2].ok());
   EXPECT_EQ(responses[0].makespan, service.schedule(reqs[0]).makespan);
 }

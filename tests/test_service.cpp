@@ -47,17 +47,22 @@ Tree oracle_sized_tree(std::uint64_t seed) { return weighted_tree(seed, 16); }
 TEST(ThreadPool, RunsSubmittedJobs) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
-  std::atomic<int> ran{0};
+  // Counter and notify both under the mutex: the waiter can only observe
+  // 64 after the last job released the lock, which is after its
+  // notify_one returned — so no job ever touches the cv once the waiter
+  // may have destroyed it (the TSan job runs this test).
+  int ran = 0;
   std::mutex m;
   std::condition_variable cv;
   for (int i = 0; i < 64; ++i) {
     pool.submit([&] {
-      if (ran.fetch_add(1) + 1 == 64) cv.notify_one();
+      const std::lock_guard<std::mutex> lk(m);
+      if (++ran == 64) cv.notify_one();
     });
   }
   std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return ran.load() == 64; });
-  EXPECT_EQ(ran.load(), 64);
+  cv.wait(lock, [&] { return ran == 64; });
+  EXPECT_EQ(ran, 64);
 }
 
 TEST(ThreadPool, SharedPoolHasAtLeastOneWorker) {
@@ -130,6 +135,39 @@ TEST(InstanceStore, InternDeduplicatesIdenticalTrees) {
   store.clear();
   EXPECT_EQ(store.size(), 0u);
   EXPECT_EQ(h1->size(), weighted_tree(1).size());
+}
+
+TEST(InstanceStore, ByteBudgetRejectsNewTreesWithStoreFull) {
+  const Tree first = weighted_tree(1);
+  InstanceStoreConfig config;
+  config.max_bytes = tree_bytes(first) + tree_bytes(first) / 2;  // fits one
+  InstanceStore store(config);
+
+  const Result<TreeHandle, ServiceError> ok = store.try_intern(first);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_GT(store.stats().bytes, 0u);
+  EXPECT_LE(store.stats().bytes, config.max_bytes);
+
+  // A second distinct tree would exceed the budget: typed value error.
+  const Result<TreeHandle, ServiceError> full =
+      store.try_intern(weighted_tree(2));
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.error().code, ErrorCode::kStoreFull);
+  EXPECT_EQ(store.stats().rejected, 1u);
+  EXPECT_EQ(store.size(), 1u) << "the rejected tree was not stored";
+
+  // Re-interning the stored tree is a hit and always succeeds.
+  const Result<TreeHandle, ServiceError> again = store.try_intern(first);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().uid, ok.value().uid);
+
+  // The legacy surface throws the typed exception instead.
+  EXPECT_THROW((void)store.intern(weighted_tree(3)), StoreFull);
+
+  // clear() releases the budget.
+  store.clear();
+  EXPECT_EQ(store.stats().bytes, 0u);
+  EXPECT_TRUE(store.try_intern(weighted_tree(2)).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -399,7 +437,7 @@ TEST(SchedulingService, BatchIsolatesPerRequestFailures) {
   ASSERT_EQ(responses.size(), 3u);
   EXPECT_TRUE(responses[0].ok());
   EXPECT_FALSE(responses[1].ok());
-  EXPECT_NE(responses[1].error.find("NoSuchAlgo"), std::string::npos);
+  EXPECT_EQ(responses[1].error->code, ErrorCode::kUnknownAlgorithm);
   EXPECT_TRUE(responses[2].ok());
   EXPECT_GT(responses[0].makespan, 0.0);
   EXPECT_GT(responses[2].makespan, 0.0);
