@@ -23,11 +23,23 @@
 // wrapper layer (queue admission + ticket settle vs. + promise/future)
 // is on the perf record.
 //
+// Experiment 4 (loopback server): a real schedule_server (src/net/, an
+// epoll TCP front-end on 127.0.0.1, port 0) driven by N concurrent
+// client threads, each running a closed loop of synchronous protocol-v2
+// requests through net::Client. Reports requests/sec and p50/p99
+// round-trip latency, cached (every request after the first pass hits
+// the result cache — the transport-dominated number) and uncached
+// (every request recomputes — the compute-dominated number). These are
+// the whole-stack numbers: framing, epoll, ticket completion hand-off,
+// and kernel loopback included.
+//
 //   $ ./bench_service
 //   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
 //   $ ./bench_service --probes 50 --bulk-per-probe 4 --bulk-n 4000
+//   $ ./bench_service --server-clients 8 --server-requests 500
 //
-// --probes 0 skips experiment 2; --ticket-ops 0 skips experiment 3.
+// --probes 0 skips experiment 2; --ticket-ops 0 skips experiment 3;
+// --server-clients 0 skips experiment 4.
 // --json writes the numbers machine-readably (merged into BENCH_PR2.json
 // by the perf pipeline alongside bench_perf's per-algorithm ns/op).
 
@@ -36,8 +48,12 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "sched/registry.hpp"
 #include "service/service.hpp"
 #include "campaign/dataset.hpp"
@@ -211,6 +227,83 @@ TicketOverhead run_ticket_overhead(std::size_t ops) {
   return result;
 }
 
+/// Experiment 4: the whole networked stack over loopback. N client
+/// threads, each a closed synchronous loop of `per_client` protocol-v2
+/// requests against an in-process schedule_server on an ephemeral port.
+struct LoopbackResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LoopbackResult run_loopback(bool cached, std::size_t clients,
+                            std::size_t per_client, NodeId tree_n) {
+  ServiceConfig service_config;
+  if (!cached) service_config.cache_bytes = 0;
+  SchedulingService service(service_config);
+  net::ServerConfig server_config;  // port 0 = ephemeral
+  net::Server server(service, server_config);
+  std::thread io([&server] { server.run(); });
+
+  // A small spec pool: 4 distinct trees x 8 p values = 32 keys, so the
+  // cached run settles into hits after the first pass while the
+  // uncached one pays full compute per request.
+  std::vector<std::vector<double>> latencies(clients);
+  // Failures are carried back to the main thread: an exception escaping
+  // a std::thread body would terminate the whole bench with no message.
+  std::vector<std::exception_ptr> failures(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        net::Client client("127.0.0.1", server.port());
+        std::vector<double>& lat = latencies[c];
+        lat.reserve(per_client);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::string line =
+              "synthetic:" + std::to_string(tree_n) + ":" +
+              std::to_string((c + i) % 4) + " ParInnerFirst " +
+              std::to_string(2 + static_cast<int>(i % 8)) +
+              " id=" + std::to_string(i);
+          const auto r0 = std::chrono::steady_clock::now();
+          const ResponseLine resp = client.request(line);
+          const std::chrono::duration<double, std::milli> rtt =
+              std::chrono::steady_clock::now() - r0;
+          if (!resp.ok) {
+            throw std::runtime_error("loopback request failed: " +
+                                     resp.message);
+          }
+          lat.push_back(rtt.count());
+        }
+      } catch (...) {
+        failures[c] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  server.stop();
+  io.join();
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  std::vector<double> all;
+  for (const std::vector<double>& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  LoopbackResult result;
+  result.rps =
+      static_cast<double>(clients * per_client) / elapsed.count();
+  result.p50_ms = quantile_sorted(all, 0.50);
+  result.p99_ms = quantile_sorted(all, 0.99);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +324,12 @@ int main(int argc, char** argv) {
     const auto probe_n = static_cast<NodeId>(args.get_int("probe-n", 300));
     const auto ticket_ops =
         static_cast<std::size_t>(args.get_int("ticket-ops", 20000));
+    const auto server_clients =
+        static_cast<std::size_t>(args.get_int("server-clients", 4));
+    const auto server_requests =
+        static_cast<std::size_t>(args.get_int("server-requests", 200));
+    const auto server_n =
+        static_cast<NodeId>(args.get_int("server-n", 500));
     args.reject_unknown();
 
     std::vector<int> procs;
@@ -338,12 +437,34 @@ int main(int argc, char** argv) {
                 << "x\n";
     }
 
+    LoopbackResult server_cached, server_uncached;
+    if (server_clients > 0) {
+      std::cout << "\n== loopback server (experiment 4) ==\n"
+                << server_clients << " concurrent clients x "
+                << server_requests << " synchronous requests (n = "
+                << server_n << ") over 127.0.0.1\n";
+      server_cached =
+          run_loopback(true, server_clients, server_requests, server_n);
+      server_uncached =
+          run_loopback(false, server_clients, server_requests, server_n);
+      std::cout << std::setprecision(0)
+                << "cached:   " << server_cached.rps
+                << " requests/sec, p50/p99 = " << std::setprecision(3)
+                << server_cached.p50_ms << "/" << server_cached.p99_ms
+                << " ms\n"
+                << std::setprecision(0)
+                << "uncached: " << server_uncached.rps
+                << " requests/sec, p50/p99 = " << std::setprecision(3)
+                << server_uncached.p50_ms << "/" << server_uncached.p99_ms
+                << " ms\n";
+    }
+
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       if (!os) throw std::runtime_error("cannot open " + json_path);
       os << std::setprecision(17)
          << "{\n"
-         << "  \"schema\": \"treesched-bench-service-v3\",\n"
+         << "  \"schema\": \"treesched-bench-service-v4\",\n"
          << "  \"distinct_requests\": " << distinct << ",\n"
          << "  \"repeat\": " << repeat << ",\n"
          << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
@@ -363,7 +484,17 @@ int main(int argc, char** argv) {
          << "  \"ticket_ops\": " << ticket_ops << ",\n"
          << "  \"ticket_submit_wait_rps\": " << overhead.submit_wait_rps
          << ",\n"
-         << "  \"legacy_async_rps\": " << overhead.legacy_async_rps << "\n"
+         << "  \"legacy_async_rps\": " << overhead.legacy_async_rps << ",\n"
+         << "  \"server_clients\": " << server_clients << ",\n"
+         << "  \"server_requests_per_client\": " << server_requests << ",\n"
+         << "  \"server_cached_rps\": " << server_cached.rps << ",\n"
+         << "  \"server_cached_p50_ms\": " << server_cached.p50_ms << ",\n"
+         << "  \"server_cached_p99_ms\": " << server_cached.p99_ms << ",\n"
+         << "  \"server_uncached_rps\": " << server_uncached.rps << ",\n"
+         << "  \"server_uncached_p50_ms\": " << server_uncached.p50_ms
+         << ",\n"
+         << "  \"server_uncached_p99_ms\": " << server_uncached.p99_ms
+         << "\n"
          << "}\n";
       std::cout << "wrote " << json_path << "\n";
     }

@@ -1,0 +1,75 @@
+// Networked front-end for the scheduling service: an epoll-driven TCP
+// server (src/net/) speaking protocol v2 — the same request/response
+// line grammar as the stdin front-end (examples/schedule_service), over
+// a socket, to many concurrent clients.
+//
+//   $ ./schedule_server --port 3713 &
+//   listening on 127.0.0.1:3713
+//   $ printf 'random:500:1 ParSubtrees 8 id=1\nping\n' | nc 127.0.0.1 3713
+//   ok id=1 tree=... makespan=... priority=batch
+//   pong
+//
+// --port 0 picks an ephemeral port (printed on stdout, for scripts).
+// --max-conns bounds accepted sockets; --max-pending bounds unsettled
+// requests per connection (excess answers the typed queue_full error);
+// --store-mb / --cache-mb budget the instance store and result cache.
+// SIGTERM/SIGINT drain gracefully: the listener closes, every accepted
+// request is answered or cancelled, buffers flush, then the process
+// exits 0 — kill -TERM is the production stop.
+
+#include <signal.h>
+
+#include <iostream>
+
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace treesched;
+  try {
+    CliArgs args(argc, argv);
+    net::ServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    server_config.max_conns =
+        static_cast<std::size_t>(args.get_int("max-conns", 256));
+    server_config.max_pending =
+        static_cast<std::size_t>(args.get_int("max-pending", 64));
+    server_config.max_wbuf =
+        static_cast<std::size_t>(args.get_int("max-wbuf-kb", 256)) << 10;
+    server_config.handle_signals = true;
+    ServiceConfig service_config;
+    service_config.cache_bytes =
+        static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+    service_config.validate = args.get_bool("validate", false);
+    service_config.store.max_bytes =
+        static_cast<std::size_t>(args.get_int("store-mb", 0)) << 20;
+    args.reject_unknown();
+    if (server_config.max_pending == 0) {
+      throw std::invalid_argument("--max-pending must be >= 1");
+    }
+
+    // Block SIGTERM/SIGINT before ANY thread exists (the service's
+    // first submit spawns the shared pool, which inherits the mask), so
+    // only the server's signalfd ever sees them.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGTERM);
+    sigaddset(&mask, SIGINT);
+    if (pthread_sigmask(SIG_BLOCK, &mask, nullptr) != 0) {
+      throw std::runtime_error("pthread_sigmask failed");
+    }
+
+    SchedulingService service(service_config);
+    net::Server server(service, server_config);
+    // Machine-read by scripts (the e2e test binds port 0): keep the
+    // format stable and flushed before serving starts.
+    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    server.run();
+    std::cerr << "drained: all accepted requests answered or cancelled\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

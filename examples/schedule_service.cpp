@@ -7,6 +7,8 @@
 //                       [priority=interactive|batch|bulk]
 //                       [deadline_ms=<positive float>] [id=<n>]
 //                   cancel id=<n>
+//                   ping [id=<n>]        answered `pong [id=<n>]` at once
+//                   stats [id=<n>]       queue/cache/store counters at once
 // (service/request_line.hpp is the grammar's single home; unknown
 // key=value fields are rejected with an error naming the field.)
 // Tree specs:       file:<path>             a treesched-tree v1 file
@@ -50,65 +52,11 @@
 #include "service/request_line.hpp"
 #include "service/service.hpp"
 #include "campaign/dataset.hpp"
-#include "trees/generators.hpp"
-#include "trees/io.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 using namespace treesched;
-
-Tree tree_from_spec(const std::string& spec) {
-  const auto colon = spec.find(':');
-  if (colon == std::string::npos) {
-    throw std::invalid_argument("tree spec \"" + spec +
-                                "\" (want kind:args, e.g. random:500:1)");
-  }
-  const std::string kind = spec.substr(0, colon);
-  // Specs use ':' separators; reuse split_csv by swapping them in. File
-  // paths with ':' are not supported (rename the file).
-  std::string rest = spec.substr(colon + 1);
-  for (char& c : rest) {
-    if (c == ':') c = ',';
-  }
-  const std::vector<std::string> args = split_csv(rest);
-  if (kind == "file") {
-    if (args.size() != 1) {
-      throw std::invalid_argument("tree spec file:<path>");
-    }
-    return read_tree_file(args[0]);
-  }
-  if (kind == "random") {
-    if (args.size() != 2) {
-      throw std::invalid_argument("tree spec random:<n>:<seed>");
-    }
-    Rng rng(std::stoull(args[1]));
-    RandomTreeParams params;
-    params.n = static_cast<NodeId>(std::stol(args[0]));
-    params.max_output = 100;
-    params.max_exec = 20;
-    params.min_work = 1.0;
-    params.max_work = 50.0;
-    return random_tree(params, rng);
-  }
-  if (kind == "grid") {
-    if (args.size() != 2) {
-      throw std::invalid_argument("tree spec grid:<nx>:<z>");
-    }
-    const int nx = std::stoi(args[0]);
-    return grid2d_assembly_tree(nx, nx, std::stol(args[1]));
-  }
-  if (kind == "synthetic") {
-    if (args.size() != 2) {
-      throw std::invalid_argument("tree spec synthetic:<n>:<seed>");
-    }
-    Rng rng(std::stoull(args[1]));
-    return synthetic_assembly_tree(static_cast<NodeId>(std::stol(args[0])),
-                                   2.0, rng);
-  }
-  throw std::invalid_argument("unknown tree spec kind \"" + kind +
-                              "\" (file|random|grid|synthetic)");
-}
 
 /// One in-flight request: its ticket plus the echo fields of the eventual
 /// ok line — or a pre-settled error (parse/spec failure of an untagged
@@ -145,10 +93,19 @@ class Stream {
       parse_ok = false;
     }
     if (parse_ok) {
-      if (parsed.kind == RequestLine::Kind::kCancel) {
-        handle_cancel(*parsed.id);
-      } else {
-        handle_schedule(parsed);
+      switch (parsed.kind) {
+        case RequestLine::Kind::kCancel:
+          handle_cancel(*parsed.id);
+          break;
+        case RequestLine::Kind::kPing:
+          handle_ping(parsed);
+          break;
+        case RequestLine::Kind::kStats:
+          handle_stats(parsed);
+          break;
+        case RequestLine::Kind::kSchedule:
+          handle_schedule(parsed);
+          break;
       }
     }
     drain(false);
@@ -234,6 +191,31 @@ class Stream {
     }
     // On success the ticket settled with code=cancelled; the next drain
     // emits that line as the request's answer.
+  }
+
+  /// Control lines answer immediately, out of band of the pending
+  /// window — same contract as the TCP front-end: a stream drowning in
+  /// queued work still gets its health check through.
+  void handle_ping(const RequestLine& parsed) {
+    ResponseLine line;
+    line.kind = ResponseLine::Kind::kPong;
+    line.ok = true;
+    line.id = parsed.id;
+    std::cout << format_response_line(line) << "\n";
+  }
+
+  void handle_stats(const RequestLine& parsed) {
+    ResponseLine line;
+    line.kind = ResponseLine::Kind::kStats;
+    line.ok = true;
+    line.id = parsed.id;
+    // The stream's window depth, then the shared service vocabulary
+    // (service_stats_pairs keeps both front-ends aligned).
+    line.stats = {{"pending", pending_.size()}};
+    for (auto& pair : service_stats_pairs(service_)) {
+      line.stats.push_back(std::move(pair));
+    }
+    std::cout << format_response_line(line) << "\n";
   }
 
   /// Answers the oldest pending entry and removes it; with block=false

@@ -1,18 +1,34 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate: compare this run's BENCH_PR2.json against the
+"""Perf-trajectory gate: compare this run's bench output against the
 previous CI run's uploaded artifact and fail on regressions.
 
 Usage:
-    check_bench_trend.py <current.json> <previous.json> [--threshold 0.15]
+    check_bench_trend.py <current.json> <previous.json>
+        [--threshold 0.15]
+        [--service-current bench_service.json]
+        [--service-previous bench_service.json]
+        [--service-threshold 0.30]
 
-Both files use the treesched-bench-pr2 schema written by bench_perf
-({"benchmarks": [{"name", "ns_per_op", "items_per_second"}, ...]}).
-Only "BM_Sched/<algorithm>" entries gate the build: they are single-thread
-end-to-end runs of each registered algorithm on a fixed tree, the most
-noise-resistant numbers in the file. A benchmark regresses when its
-ns_per_op exceeds the previous run's by more than the threshold (default
-+15%). Benchmarks present on only one side are reported but never fail
-the build (new algorithms appear, old ones are retired).
+The positional files use the treesched-bench-pr2 schema written by
+bench_perf ({"benchmarks": [{"name", "ns_per_op", "items_per_second"},
+...]}). Two families gate the build:
+
+  * "BM_Sched/<algorithm>": single-thread end-to-end runs of each
+    registered algorithm on a fixed tree — the most noise-resistant
+    numbers in the file. Regression = ns_per_op up by more than
+    --threshold (default +15%).
+  * "BM_Service/...": service-layer throughput benchmarks. Regression =
+    items_per_second down by more than --threshold.
+
+With --service-current/--service-previous, the loopback-server numbers
+from bench_service's JSON (server_cached_rps / server_uncached_rps —
+whole-stack requests/sec through the epoll TCP front-end) gate too, at
+the separate, looser --service-threshold (default 30%): they cross the
+kernel's loopback stack and a real scheduler pool, so run-to-run noise
+is inherently higher than the in-process numbers.
+
+Benchmarks/keys present on only one side are reported but never fail
+the build (new benchmarks appear, old ones are retired).
 
 Exit status: 0 = no regression (or nothing comparable), 1 = regression,
 2 = usage/parse error.
@@ -23,20 +39,75 @@ import json
 import sys
 
 
-def load_entries(path):
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"check_bench_trend: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    entries = {}
+
+
+def load_entries(path):
+    """(ns_per_op by BM_Sched name, items_per_second by BM_Service name)."""
+    doc = load_json(path)
+    sched, service = {}, {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name", "")
         ns = bench.get("ns_per_op")
-        if name.startswith("BM_Sched/") and isinstance(ns, (int, float)) and ns > 0:
-            entries[name] = float(ns)
+        ips = bench.get("items_per_second")
+        if name.startswith("BM_Sched/") and isinstance(ns, (int, float)) \
+                and ns > 0:
+            sched[name] = float(ns)
+        if name.startswith("BM_Service") and isinstance(ips, (int, float)) \
+                and ips > 0:
+            service[name] = float(ips)
+    return sched, service
+
+
+LOOPBACK_KEYS = ("server_cached_rps", "server_uncached_rps")
+
+
+def load_loopback(path):
+    doc = load_json(path)
+    entries = {}
+    for key in LOOPBACK_KEYS:
+        value = doc.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            entries[key] = float(value)
     return entries
+
+
+def compare(label, current, previous, threshold, lower_is_better):
+    """Prints the table for one metric family; returns its regressions."""
+    if not previous:
+        print(f"check_bench_trend: previous run has no {label} entries; "
+              "nothing to gate")
+        return []
+    unit = "ns/op" if lower_is_better else "items/s"
+    regressions = []
+    print(f"{label:<40} {f'prev {unit}':>14} {f'cur {unit}':>14} "
+          f"{'delta':>8}")
+    for name in sorted(set(current) | set(previous)):
+        if name not in current:
+            print(f"{name:<40} {previous[name]:>14.0f} {'(gone)':>14} "
+                  f"{'':>8}")
+            continue
+        if name not in previous:
+            print(f"{name:<40} {'(new)':>14} {current[name]:>14.0f} "
+                  f"{'':>8}")
+            continue
+        ratio = current[name] / previous[name] - 1.0
+        # For throughput, a *decrease* is the regression.
+        regressed = ratio > threshold if lower_is_better \
+            else ratio < -threshold
+        marker = "  << REGRESSION" if regressed else ""
+        print(f"{name:<40} {previous[name]:>14.0f} {current[name]:>14.0f} "
+              f"{ratio:>+7.1%}{marker}")
+        if regressed:
+            regressions.append((name, ratio))
+    print()
+    return regressions
 
 
 def main():
@@ -44,40 +115,42 @@ def main():
     parser.add_argument("current")
     parser.add_argument("previous")
     parser.add_argument("--threshold", type=float, default=0.15,
-                        help="allowed fractional ns/op increase (default 0.15)")
+                        help="allowed fractional change for BM_Sched ns/op "
+                             "and BM_Service items/sec (default 0.15)")
+    parser.add_argument("--service-current", default=None,
+                        help="this run's bench_service.json (loopback rps)")
+    parser.add_argument("--service-previous", default=None,
+                        help="previous run's bench_service.json")
+    parser.add_argument("--service-threshold", type=float, default=0.30,
+                        help="allowed fractional rps decrease for the "
+                             "loopback-server numbers, looser because they "
+                             "include kernel noise (default 0.30)")
     args = parser.parse_args()
 
-    current = load_entries(args.current)
-    previous = load_entries(args.previous)
-    if not previous:
-        print("check_bench_trend: previous run has no BM_Sched entries; "
-              "nothing to gate")
-        return 0
+    cur_sched, cur_service = load_entries(args.current)
+    prev_sched, prev_service = load_entries(args.previous)
 
     regressions = []
-    print(f"{'benchmark':<40} {'prev ns/op':>14} {'cur ns/op':>14} {'delta':>8}")
-    for name in sorted(set(current) | set(previous)):
-        if name not in current:
-            print(f"{name:<40} {previous[name]:>14.0f} {'(gone)':>14} {'':>8}")
-            continue
-        if name not in previous:
-            print(f"{name:<40} {'(new)':>14} {current[name]:>14.0f} {'':>8}")
-            continue
-        ratio = current[name] / previous[name] - 1.0
-        marker = "  << REGRESSION" if ratio > args.threshold else ""
-        print(f"{name:<40} {previous[name]:>14.0f} {current[name]:>14.0f} "
-              f"{ratio:>+7.1%}{marker}")
-        if ratio > args.threshold:
-            regressions.append((name, ratio))
+    regressions += compare("BM_Sched (ns/op)", cur_sched, prev_sched,
+                           args.threshold, lower_is_better=True)
+    regressions += compare("BM_Service (items/s)", cur_service,
+                           prev_service, args.threshold,
+                           lower_is_better=False)
+    if args.service_current and args.service_previous:
+        regressions += compare(
+            "loopback server (rps)", load_loopback(args.service_current),
+            load_loopback(args.service_previous), args.service_threshold,
+            lower_is_better=False)
 
     if regressions:
-        print(f"\ncheck_bench_trend: {len(regressions)} benchmark(s) "
-              f"regressed more than {args.threshold:.0%}:", file=sys.stderr)
+        print(f"check_bench_trend: {len(regressions)} benchmark(s) "
+              "regressed beyond their threshold:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:+.1%}", file=sys.stderr)
         return 1
-    print(f"\ncheck_bench_trend: OK ({len(current)} benchmarks within "
-          f"{args.threshold:.0%} of the previous run)")
+    compared = len(cur_sched) + len(cur_service)
+    print(f"check_bench_trend: OK ({compared} benchmarks within their "
+          "thresholds of the previous run)")
     return 0
 
 

@@ -1,0 +1,141 @@
+#!/bin/sh
+# End-to-end check of the networked scheduling server: starts
+# schedule_server on an ephemeral port, drives two concurrent clients
+# (tagged out-of-order answers, one cancel id=N, one abrupt disconnect
+# mid-batch), probes liveness with ping/stats, then SIGTERMs and asserts
+# a clean graceful drain (exit 0). Run by CTest as schedule_server_e2e
+# with the binary path as $1 — and by the ASan/TSan CI jobs, where the
+# abrupt-disconnect ticket cleanup is leak- and race-checked for real.
+set -eu
+
+bin="$1"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Enough heavy interactive work to pin every pool worker with queue to
+# spare (the pool sizes itself to the core count), so the bulk request
+# behind it is still queued when its cancel arrives. The server's
+# per-connection window must clear it, whatever the core count.
+backlog=$((2 * $(nproc) + 6))
+
+"$bin" --port 0 --max-pending $((backlog + 16)) --store-mb 64 \
+    > "$workdir/stdout" 2> "$workdir/stderr" &
+server_pid=$!
+
+fail() {
+    echo "FAIL: $1" >&2
+    kill "$server_pid" 2>/dev/null || true
+    exit 1
+}
+
+# Wait for the (machine-readable) listening line.
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^listening on 127.0.0.1://p' "$workdir/stdout")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server died on startup: \
+$(cat "$workdir/stderr")"
+    sleep 0.1
+done
+[ -n "$port" ] || fail "server never printed its port"
+
+python3 - "$port" "$backlog" <<'EOF' || fail "client driver reported a failure"
+import socket, sys, threading
+
+port = int(sys.argv[1])
+backlog = int(sys.argv[2])
+errors = []
+
+def connect():
+    return socket.create_connection(("127.0.0.1", port), timeout=30)
+
+def recv_lines(sock):
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    return [l for l in data.decode().split("\n") if l]
+
+def orderly_client():
+    """Tagged requests answered out of order + a cancel on a queued one."""
+    try:
+        s = connect()
+        lines = []
+        for i in range(backlog):
+            lines.append(f"synthetic:20000:1 ParDeepestFirst {2+i} "
+                         f"priority=interactive id={100+i}")
+        lines.append("random:200:1 Liu 1 priority=bulk id=7")
+        lines.append("cancel id=7")
+        s.sendall(("\n".join(lines) + "\n").encode())
+        s.shutdown(socket.SHUT_WR)
+        replies = recv_lines(s)
+        s.close()
+        if len(replies) != backlog + 1:
+            raise AssertionError(
+                f"expected {backlog + 1} answers ({backlog} ok + 1 "
+                f"cancelled), got {len(replies)}: {replies[:3]}...")
+        def fields(reply):
+            return dict(kv.split("=", 1) for kv in reply.split()
+                        if "=" in kv)
+        tags = {int(fields(r)["id"]) for r in replies if "id" in fields(r)}
+        if tags != set(range(100, 100 + backlog)) | {7}:
+            raise AssertionError(f"missing/duplicate tags: {sorted(tags)}")
+        id7 = [r for r in replies if fields(r).get("id") == "7"]
+        if len(id7) != 1 or fields(id7[0]).get("code") != "cancelled":
+            raise AssertionError(f"id=7 was not answered cancelled: {id7}")
+        oks = [r for r in replies if r.startswith("ok ")]
+        if len(oks) != backlog:
+            raise AssertionError(
+                f"expected {backlog} ok answers, got {len(oks)}")
+    except Exception as e:  # noqa: BLE001
+        errors.append(f"orderly client: {e}")
+
+def abrupt_client():
+    """Submits a batch and vanishes mid-flight; the server must cancel
+    its queued work and survive."""
+    try:
+        s = connect()
+        lines = [f"synthetic:20000:1 ParDeepestFirst {30+i} "
+                 f"priority=interactive id={i}" for i in range(16)]
+        s.sendall(("\n".join(lines) + "\n").encode())
+        s.close()  # nothing read: abrupt disconnect
+    except Exception as e:  # noqa: BLE001
+        errors.append(f"abrupt client: {e}")
+
+t1 = threading.Thread(target=orderly_client)
+t2 = threading.Thread(target=abrupt_client)
+t1.start(); t2.start()
+t1.join(); t2.join()
+
+# Liveness probe after the chaos: ping + stats must answer immediately.
+s = connect()
+s.sendall(b"ping id=1\nstats id=2\n")
+s.shutdown(socket.SHUT_WR)
+replies = recv_lines(s)
+s.close()
+if len(replies) != 2 or replies[0] != "pong id=1":
+    errors.append(f"ping/stats probe failed: {replies}")
+elif not replies[1].startswith("stats id=2 "):
+    errors.append(f"stats line malformed: {replies[1]}")
+else:
+    stats = dict(kv.split("=", 1) for kv in replies[1].split()[2:])
+    if int(stats.get("queue_cancelled", 0)) < 1:
+        errors.append(f"expected cancelled tickets in stats: {replies[1]}")
+
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+EOF
+
+# Graceful drain: SIGTERM must answer/cancel everything and exit 0.
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+[ "$server_status" -eq 0 ] || fail "server exited $server_status on SIGTERM"
+grep -q "drained: all accepted requests answered or cancelled" \
+    "$workdir/stderr" || fail "missing drain confirmation: \
+$(cat "$workdir/stderr")"
+
+echo "schedule_server e2e OK"

@@ -11,6 +11,8 @@
 #include "spmatrix/sparse.hpp"
 #include "spmatrix/symbolic.hpp"
 #include "trees/generators.hpp"
+#include "trees/io.hpp"
+#include "util/cli.hpp"
 
 namespace treesched {
 
@@ -143,6 +145,59 @@ std::vector<DatasetEntry> build_dataset(const DatasetParams& params) {
     }
   }
   return out;
+}
+
+
+Tree tree_from_spec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("tree spec \"" + spec +
+                                "\" (want kind:args, e.g. random:500:1)");
+  }
+  const std::string kind = spec.substr(0, colon);
+  // Specs use ':' separators; reuse split_csv by swapping them in. File
+  // paths with ':' are not supported (rename the file).
+  std::string rest = spec.substr(colon + 1);
+  for (char& c : rest) {
+    if (c == ':') c = ',';
+  }
+  const std::vector<std::string> args = split_csv(rest);
+  if (kind == "file") {
+    if (args.size() != 1) {
+      throw std::invalid_argument("tree spec file:<path>");
+    }
+    return read_tree_file(args[0]);
+  }
+  if (kind == "random") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec random:<n>:<seed>");
+    }
+    Rng rng(std::stoull(args[1]));
+    RandomTreeParams params;
+    params.n = static_cast<NodeId>(std::stol(args[0]));
+    params.max_output = 100;
+    params.max_exec = 20;
+    params.min_work = 1.0;
+    params.max_work = 50.0;
+    return random_tree(params, rng);
+  }
+  if (kind == "grid") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec grid:<nx>:<z>");
+    }
+    const int nx = std::stoi(args[0]);
+    return grid2d_assembly_tree(nx, nx, std::stol(args[1]));
+  }
+  if (kind == "synthetic") {
+    if (args.size() != 2) {
+      throw std::invalid_argument("tree spec synthetic:<n>:<seed>");
+    }
+    Rng rng(std::stoull(args[1]));
+    return synthetic_assembly_tree(static_cast<NodeId>(std::stol(args[0])),
+                                   2.0, rng);
+  }
+  throw std::invalid_argument("unknown tree spec kind \"" + kind +
+                              "\" (file|random|grid|synthetic)");
 }
 
 }  // namespace treesched

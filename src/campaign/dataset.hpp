@@ -52,4 +52,14 @@ Tree random_md_assembly_tree(int n, double avg_degree, std::int64_t z,
 /// sqrt-of-subtree scaling.
 Tree synthetic_assembly_tree(NodeId n, double depth_bias, Rng& rng);
 
+/// Resolves a protocol tree spec — the `<tree-spec>` token of a request
+/// line, shared by the stdin and TCP front-ends:
+///   file:<path>             a treesched-tree v1 file
+///   random:<n>:<seed>       random weighted tree
+///   grid:<nx>:<z>           2D-grid assembly tree
+///   synthetic:<n>:<seed>    assembly-like synthetic tree
+/// Throws std::invalid_argument naming the offending spec (file paths
+/// containing ':' are not supported — rename the file).
+Tree tree_from_spec(const std::string& spec);
+
 }  // namespace treesched

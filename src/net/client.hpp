@@ -1,0 +1,64 @@
+#pragma once
+// Minimal blocking protocol-v2 client (src/net/): connects to a
+// schedule_server, sends request lines, reads response lines. One
+// socket, one thread — callers wanting concurrency run N Clients on N
+// threads (exactly what bench_service's loopback experiment does).
+//
+//   Client c("127.0.0.1", port);
+//   ResponseLine r = c.request("random:500:1 ParSubtrees 8 id=1");
+//   c.send_line("ping");
+//   auto pong = c.recv_line();     // "pong"
+//
+// recv_line() buffers and splits on '\n' (stripping a trailing '\r'),
+// returning std::nullopt at orderly EOF. shutdown_write() half-closes
+// (the server answers what is pending, then closes); destroying the
+// Client without it is the abrupt-disconnect path the server must
+// survive.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/request_line.hpp"
+
+namespace treesched::net {
+
+class Client {
+ public:
+  /// Blocking connect; throws std::system_error on failure.
+  Client(const std::string& host, std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes `line` + '\n', looping over partial writes. Throws
+  /// std::system_error when the peer is gone.
+  void send_line(const std::string& line);
+
+  /// Next response line, or std::nullopt at EOF. Throws on socket
+  /// errors.
+  std::optional<std::string> recv_line();
+
+  /// send_line + recv_line + parse_response_line. Throws on EOF or a
+  /// malformed response. Only correct while no other request is in
+  /// flight on this connection (a strictly synchronous client).
+  ResponseLine request(const std::string& line);
+
+  /// Half-close: tells the server this client is done sending; pending
+  /// answers still arrive (read them with recv_line until nullopt).
+  void shutdown_write();
+
+  /// Abrupt close (also what the destructor does): the server cancels
+  /// whatever this client still had queued.
+  void close();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string rbuf_;
+  std::size_t rpos_ = 0;
+};
+
+}  // namespace treesched::net

@@ -1,0 +1,412 @@
+#include "net/connection.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+#include "net/server.hpp"
+#include "service/errors.hpp"
+#include "service/service.hpp"
+
+namespace treesched::net {
+
+Connection::Connection(Server& server, int fd, std::uint64_t id)
+    : server_(server),
+      fd_(fd),
+      id_(id),
+      framer_(server.config().max_line) {
+  interest_ = EPOLLIN;
+  server_.loop().add(fd_, interest_,
+                     [this](std::uint32_t events) { handle_events(events); });
+}
+
+Connection::~Connection() {
+  // A vanished client's queued work must not occupy a worker: cancel
+  // whatever is still cancellable. Tickets a worker already picked up
+  // run to completion; their settlements post to the loop, find this
+  // connection gone, and are dropped (the server's outstanding-ticket
+  // count is kept by Server::ticket_settled either way).
+  for (Pending& p : pending_) {
+    if (!p.result.has_value() && p.ticket.valid()) (void)p.ticket.cancel();
+  }
+  server_.loop().remove(fd_);
+  ::close(fd_);
+}
+
+void Connection::handle_events(std::uint32_t events) {
+  if (events & EPOLLERR) {
+    abort_connection();
+    return;
+  }
+  if (events & EPOLLOUT) {
+    send_buffered();
+    if (closing_) return;
+  }
+  if (events & EPOLLIN) {
+    on_readable();
+    if (closing_) return;
+  } else if (events & EPOLLHUP) {
+    // Peer fully closed and nothing left to read: any buffered answers
+    // are undeliverable.
+    abort_connection();
+    return;
+  }
+  update_interest();
+  finish_if_drained();
+}
+
+void Connection::on_readable() {
+  std::array<char, 16384> buf;
+  while (!read_closed_ && !closing_) {
+    const ssize_t n = ::read(fd_, buf.data(), buf.size());
+    if (n > 0) {
+      for (const LineFramer::Line& line :
+           framer_.feed(buf.data(), static_cast<std::size_t>(n))) {
+        handle_line(line);
+        if (closing_) return;
+      }
+      // Backpressure: a client that outpaces its own reading stops
+      // being read until it drains us below the low watermark.
+      if (wbuf_.size() - wbuf_head_ > server_.config().max_wbuf) break;
+      continue;
+    }
+    if (n == 0) {
+      // Orderly EOF (half-close): the client said "no more requests,
+      // now answer me". A final unterminated line still counts — the
+      // same grace std::getline gives the stdin front-end.
+      read_closed_ = true;
+      if (const auto last = framer_.finish()) handle_line(*last);
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    abort_connection();  // ECONNRESET and friends
+    return;
+  }
+  flush_ready();
+  send_buffered();
+}
+
+void Connection::handle_line(const LineFramer::Line& line) {
+  ++server_.counters().lines;
+  if (line.overflow) {
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                       "request line of " + std::to_string(line.wire_bytes) +
+                           " bytes exceeds the " +
+                           std::to_string(framer_.max_line()) +
+                           "-byte limit");
+    return;
+  }
+  std::string text = line.text;
+  const auto hash_pos = text.find('#');
+  if (hash_pos != std::string::npos) text.resize(hash_pos);
+  if (text.find_first_not_of(" \t\r") == std::string::npos) return;
+
+  RequestLine parsed;
+  try {
+    parsed = parse_request_line(text);
+  } catch (const std::exception& e) {
+    // Untagged: a positional client correlates responses by line, so
+    // the error must keep its place in the stream.
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+  switch (parsed.kind) {
+    case RequestLine::Kind::kCancel:
+      handle_cancel(*parsed.id);
+      break;
+    case RequestLine::Kind::kPing:
+      handle_ping(parsed);
+      break;
+    case RequestLine::Kind::kStats:
+      handle_stats(parsed);
+      break;
+    case RequestLine::Kind::kSchedule:
+      handle_schedule(parsed);
+      break;
+  }
+  flush_ready();
+}
+
+void Connection::handle_schedule(const RequestLine& parsed) {
+  if (parsed.id && has_pending_tag(*parsed.id)) {
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                       "duplicate id=" + std::to_string(*parsed.id) +
+                           " (a request with this tag is still pending)");
+    return;
+  }
+  if (inflight_ >= server_.config().max_pending) {
+    // The per-connection admission bound: typed, immediate, and cheap —
+    // the service never sees the request.
+    const std::string msg =
+        "connection window full (" +
+        std::to_string(server_.config().max_pending) +
+        " requests in flight); read some answers first";
+    if (parsed.id) {
+      emit_error(parsed.id, ErrorCode::kQueueFull, msg);
+    } else {
+      push_settled_error(std::nullopt, ErrorCode::kQueueFull, msg);
+    }
+    return;
+  }
+
+  Pending pending;
+  pending.key = next_key_++;
+  pending.id = parsed.id;
+  pending.algo = parsed.algo;
+  pending.p = parsed.p;
+  pending.priority = parsed.priority;
+  Result<TreeHandle, ServiceError> handle =
+      server_.intern_spec(parsed.tree_spec);
+  if (!handle.ok()) {
+    // Answer in place for tagged lines, in order for untagged ones.
+    const ServiceError& err = handle.error();
+    if (parsed.id) {
+      emit_error(parsed.id, err.code, err.message);
+    } else {
+      push_settled_error(parsed.id, err.code, err.message);
+    }
+    return;
+  }
+  ScheduleRequest req;
+  req.tree = handle.value();
+  pending.tree_hash = req.tree.hash;
+  pending.n = req.tree->size();
+  req.algo = parsed.algo;
+  req.p = parsed.p;
+  req.memory_cap = parsed.memory_cap;
+  req.priority = parsed.priority;
+  req.deadline_ms = parsed.deadline_ms;
+
+  server_.note_submitted();
+  Ticket ticket = server_.service().submit(std::move(req));
+  const std::uint64_t key = pending.key;
+  pending.ticket = std::move(ticket);
+  ++inflight_;
+  Ticket& stored = pending_.emplace_back(std::move(pending)).ticket;
+  // Attached after the entry is in the window: an already-settled
+  // ticket (service-level queue_full) fires inline, posts, and the
+  // posted deliver() finds its entry.
+  stored.on_complete(
+      [srv = &server_, cid = id_, key](const ServiceResult& result) {
+        srv->ticket_settled(cid, key, result);
+      });
+}
+
+void Connection::handle_cancel(std::uint64_t cancel_id) {
+  Pending* target = nullptr;
+  for (Pending& p : pending_) {
+    if (p.id && *p.id == cancel_id) {
+      target = &p;
+      break;
+    }
+  }
+  if (!target) {
+    // Untagged ack (a late cancel racing the answer must not put a
+    // second id=N line on the wire), held in stream order.
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                       "cancel id=" + std::to_string(cancel_id) +
+                           ": no pending request with this id");
+    return;
+  }
+  if (!target->ticket.valid() || target->result.has_value() ||
+      !target->ticket.cancel()) {
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                       "cancel id=" + std::to_string(cancel_id) +
+                           ": request already running or answered");
+  }
+  // On success the ticket settled with code=cancelled; its completion
+  // is already posted to the loop and deliver() emits the answer.
+}
+
+void Connection::handle_ping(const RequestLine& parsed) {
+  // Health checks bypass the pending window: a server drowning in Bulk
+  // work still answers its load balancer immediately.
+  ResponseLine line;
+  line.kind = ResponseLine::Kind::kPong;
+  line.ok = true;
+  line.id = parsed.id;
+  append_line(format_response_line(line));
+}
+
+void Connection::handle_stats(const RequestLine& parsed) {
+  const ServerCounters& sc = server_.counters();
+  ResponseLine line;
+  line.kind = ResponseLine::Kind::kStats;
+  line.ok = true;
+  line.id = parsed.id;
+  // Transport-specific counters first, then the shared service
+  // vocabulary (service_stats_pairs keeps both front-ends aligned).
+  line.stats = {
+      {"conns", server_.conns_.size()},
+      {"accepted", sc.accepted},
+      {"rejected_conns", sc.rejected_conns},
+      {"lines", sc.lines},
+      {"submitted", sc.submitted},
+      {"outstanding", server_.outstanding_},
+  };
+  for (auto& pair : service_stats_pairs(server_.service())) {
+    line.stats.push_back(std::move(pair));
+  }
+  append_line(format_response_line(line));
+}
+
+void Connection::deliver(std::uint64_t key, const ServiceResult& result) {
+  for (Pending& p : pending_) {
+    if (p.key != key) continue;
+    if (!p.result.has_value()) {
+      p.result = result;
+      --inflight_;
+    }
+    break;
+  }
+  flush_ready();
+  send_buffered();
+  update_interest();
+  finish_if_drained();
+}
+
+void Connection::flush_ready() {
+  // The settled in-order prefix answers first…
+  while (!pending_.empty() && pending_.front().result.has_value()) {
+    emit(pending_.front(), *pending_.front().result);
+    pending_.pop_front();
+  }
+  // …then any settled id=-tagged entry anywhere in the window (the tag
+  // makes an out-of-order line attributable).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->id && it->result.has_value()) {
+      emit(*it, *it->result);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Connection::emit(const Pending& pending, const ServiceResult& result) {
+  ResponseLine line;
+  line.id = pending.id;
+  if (result.ok()) {
+    const ScheduleResponse& resp = result.value();
+    line.ok = true;
+    line.tree_hash = pending.tree_hash;
+    line.n = pending.n;
+    line.algo = pending.algo;
+    line.p = pending.p;
+    line.makespan = resp.makespan;
+    line.peak_memory = resp.peak_memory;
+    line.cache_hit = resp.cache_hit;
+    line.priority = pending.priority;
+  } else {
+    line.ok = false;
+    line.code = result.error().code;
+    line.message = result.error().message;
+  }
+  append_line(format_response_line(line));
+}
+
+void Connection::emit_error(std::optional<std::uint64_t> id, ErrorCode code,
+                            const std::string& message) {
+  ResponseLine line;
+  line.ok = false;
+  line.id = id;
+  line.code = code;
+  line.message = message;
+  append_line(format_response_line(line));
+}
+
+void Connection::push_settled_error(std::optional<std::uint64_t> id,
+                                    ErrorCode code, std::string message) {
+  Pending pending;
+  pending.key = next_key_++;
+  pending.id = id;
+  pending.result = ServiceResult(ServiceError{code, std::move(message), nullptr});
+  pending_.push_back(std::move(pending));
+}
+
+bool Connection::has_pending_tag(std::uint64_t tag) const {
+  for (const Pending& p : pending_) {
+    if (p.id && *p.id == tag) return true;
+  }
+  return false;
+}
+
+void Connection::append_line(std::string line) {
+  line.push_back('\n');
+  wbuf_ += line;
+}
+
+void Connection::send_buffered() {
+  while (wbuf_head_ < wbuf_.size()) {
+    const ssize_t n =
+        ::send(fd_, wbuf_.data() + wbuf_head_, wbuf_.size() - wbuf_head_,
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      wbuf_head_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET: the client is gone; buffered answers are
+    // undeliverable and queued work is cancelled.
+    abort_connection();
+    return;
+  }
+  if (wbuf_head_ == wbuf_.size()) {
+    wbuf_.clear();
+    wbuf_head_ = 0;
+  } else if (wbuf_head_ > 65536 && wbuf_head_ * 2 > wbuf_.size()) {
+    wbuf_.erase(0, wbuf_head_);
+    wbuf_head_ = 0;
+  }
+}
+
+void Connection::update_interest() {
+  if (closing_) return;
+  // Hysteresis: stop reading past the high watermark, resume only once
+  // the client has drained us below half — no flapping per send cycle.
+  const std::size_t buffered = wbuf_.size() - wbuf_head_;
+  if (buffered > server_.config().max_wbuf) {
+    paused_reads_ = true;
+  } else if (buffered <= server_.config().max_wbuf / 2) {
+    paused_reads_ = false;
+  }
+  std::uint32_t want = 0;
+  if (!read_closed_ && !paused_reads_) want |= EPOLLIN;
+  if (wbuf_head_ < wbuf_.size()) want |= EPOLLOUT;
+  if (want != interest_) {
+    server_.loop().modify(fd_, want);
+    interest_ = want;
+  }
+}
+
+void Connection::begin_drain() {
+  // Stop reading — bytes already framed keep their answers, new ones
+  // are ignored — and close once the window answers and flushes.
+  read_closed_ = true;
+  flush_ready();
+  send_buffered();
+  update_interest();
+  finish_if_drained();
+}
+
+void Connection::abort_connection() {
+  if (closing_) return;
+  closing_ = true;
+  server_.defer_close(id_);
+}
+
+void Connection::finish_if_drained() {
+  if (closing_ || !read_closed_) return;
+  if (pending_.empty() && wbuf_head_ == wbuf_.size()) {
+    closing_ = true;
+    server_.defer_close(id_);
+  }
+}
+
+}  // namespace treesched::net

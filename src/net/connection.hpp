@@ -1,0 +1,128 @@
+#pragma once
+// One client connection of the scheduling server (src/net/): owns the
+// socket, the incremental LineFramer, the bounded write buffer, and the
+// window of in-flight requests. All methods run on the server's I/O
+// (event-loop) thread; completions computed on pool workers re-enter
+// through Server::ticket_settled -> EventLoop::post -> deliver().
+//
+// Protocol semantics match the stdin front-end (examples/
+// schedule_service): untagged requests are answered in submission
+// order, id=-tagged ones stream out the moment they settle, `cancel
+// id=<n>` cancels a still-queued request (late cancels answer an
+// untagged bad_request ack), and `ping`/`stats` are answered
+// immediately, out of band of the pending window.
+//
+// Production realities handled here:
+//  * Framing: requests arrive however the kernel fragments them; an
+//    oversized line answers a typed bad_request and the connection
+//    survives (LineFramer resynchronizes on the newline).
+//  * Admission: at most `max_pending` unsettled requests per
+//    connection; excess lines answer the typed queue_full error
+//    without touching the service.
+//  * Backpressure: when the write buffer passes its high watermark the
+//    connection stops reading (EPOLLIN off) until the client drains it
+//    below half — a slow reader stalls itself, never the server.
+//  * Half-close (EOF): remaining requests are answered and flushed,
+//    then the connection closes — like EOF on the stdin front-end.
+//  * Abrupt disconnect (reset/write failure): still-queued tickets are
+//    cancelled so a vanished client's work never occupies a worker;
+//    running computations finish and their completions are dropped.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/line_framer.hpp"
+#include "service/request_line.hpp"
+#include "service/ticket.hpp"
+
+namespace treesched::net {
+
+class Server;
+
+class Connection {
+ public:
+  /// Takes ownership of `fd` (non-blocking, already accepted) and
+  /// registers it with the server's event loop.
+  Connection(Server& server, int fd, std::uint64_t id);
+
+  /// Cancels still-queued tickets and closes the socket. Unsettled
+  /// completions are dropped when they later arrive (the server keeps
+  /// its outstanding-ticket accounting regardless).
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Epoll dispatch: reads and frames input on EPOLLIN, flushes on
+  /// EPOLLOUT, aborts on EPOLLHUP/EPOLLERR. May defer-close itself.
+  void handle_events(std::uint32_t events);
+
+  /// A ticket settled (posted from Server::ticket_settled): records the
+  /// result in the pending window and emits every answer that became
+  /// orderable.
+  void deliver(std::uint64_t key, const ServiceResult& result);
+
+  /// Server drain (SIGTERM/stop): stop reading, answer the pending
+  /// window, flush, then close.
+  void begin_drain();
+
+ private:
+  /// One line of the pending window. Entries that failed before
+  /// reaching submit() carry `result` from birth.
+  struct Pending {
+    std::uint64_t key = 0;
+    Ticket ticket;
+    std::optional<std::uint64_t> id;
+    TreeHash tree_hash = 0;
+    NodeId n = 0;
+    std::string algo;
+    int p = 1;
+    Priority priority = Priority::kBatch;
+    std::optional<ServiceResult> result;
+  };
+
+  void handle_line(const LineFramer::Line& line);
+  void handle_schedule(const RequestLine& parsed);
+  void handle_cancel(std::uint64_t cancel_id);
+  void handle_ping(const RequestLine& parsed);
+  void handle_stats(const RequestLine& parsed);
+
+  /// Emits every answerable response: the settled in-order prefix, plus
+  /// settled tagged entries anywhere in the window.
+  void flush_ready();
+  void emit(const Pending& pending, const ServiceResult& result);
+  void emit_error(std::optional<std::uint64_t> id, ErrorCode code,
+                  const std::string& message);
+  void push_settled_error(std::optional<std::uint64_t> id, ErrorCode code,
+                          std::string message);
+  [[nodiscard]] bool has_pending_tag(std::uint64_t tag) const;
+
+  void on_readable();
+  void send_buffered();           ///< write() as much of wbuf_ as possible
+  void append_line(std::string line);  ///< + '\n' into wbuf_
+  void update_interest();         ///< recompute EPOLLIN/EPOLLOUT mask
+  void abort_connection();        ///< reset path: cancel + defer close
+  /// Half-close/drain path: close once nothing is pending or buffered.
+  void finish_if_drained();
+
+  Server& server_;
+  const int fd_;
+  const std::uint64_t id_;
+  LineFramer framer_;
+  std::deque<Pending> pending_;
+  std::size_t inflight_ = 0;  ///< submitted tickets not yet settled
+  std::uint64_t next_key_ = 1;
+
+  std::string wbuf_;
+  std::size_t wbuf_head_ = 0;  ///< sent prefix (compacted lazily)
+  std::uint32_t interest_ = 0;
+  bool read_closed_ = false;   ///< EOF seen or drain begun
+  bool closing_ = false;       ///< defer_close already requested
+  bool paused_reads_ = false;  ///< backpressure: EPOLLIN off until drained
+};
+
+}  // namespace treesched::net

@@ -1,0 +1,144 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace treesched::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(wake_fd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdHandler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::make_shared<FdHandler>(std::move(handler));
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  // The fd may already be gone from the kernel set (peer closed); only
+  // the bookkeeping removal matters for correctness.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  // A full eventfd counter (never in practice: it saturates at 2^64-2)
+  // still leaves a pending EPOLLIN, so the wakeup is not lost.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::stop() {
+  post([this] { stop_ = true; });
+}
+
+void EventLoop::run() {
+  std::array<epoll_event, 64> events{};
+  while (!stop_) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    bool woken = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_fd_) {
+        woken = true;
+        continue;
+      }
+      // Looked up per event: a handler earlier in this batch may have
+      // removed this fd (e.g. closed the connection it belongs to).
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<FdHandler> handler = it->second;
+      (*handler)(events[static_cast<std::size_t>(i)].events);
+    }
+    if (woken) drain_wakeup();
+    // Posted functions run after fd events, in post order. Swap under
+    // the lock so a posted function may post again (the next batch).
+    std::vector<std::function<void()>> batch;
+    {
+      const std::lock_guard<std::mutex> lock(post_mutex_);
+      batch.swap(posted_);
+    }
+    for (std::function<void()>& fn : batch) fn();
+  }
+  // stop() ran as a posted function, so every function posted before it
+  // has already run; drain stragglers posted after (completions racing
+  // the drain decision) until the queue is empty — a drained function
+  // may itself post — so nothing is ever dropped.
+  for (;;) {
+    std::vector<std::function<void()>> batch;
+    {
+      const std::lock_guard<std::mutex> lock(post_mutex_);
+      batch.swap(posted_);
+    }
+    if (batch.empty()) break;
+    for (std::function<void()>& fn : batch) fn();
+  }
+  stop_ = false;  // run() may be called again
+}
+
+}  // namespace treesched::net

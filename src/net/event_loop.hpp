@@ -1,0 +1,83 @@
+#pragma once
+// Single-threaded epoll reactor (layer 2 of src/net/): every socket of
+// the scheduling server — the listener, all client connections, the
+// signal fd — is serviced by ONE I/O thread running EventLoop::run().
+// Compute never happens here: schedule requests ride the service's
+// thread pool, and their completions re-enter the loop through post().
+//
+//   loop.add(fd, EPOLLIN, [&](uint32_t ev) { ... });  // loop thread only
+//   loop.post([&] { ... });   // ANY thread: run fn on the loop thread
+//   loop.run();               // until stop()
+//
+// post() is the only cross-thread entry point: it enqueues the function
+// under a mutex and wakes the epoll wait through an eventfd, so a pool
+// worker finishing a ticket can hand the response to the I/O thread
+// without the I/O thread ever polling or blocking on a ticket. Posted
+// functions run in post order, after the fd events of the wakeup
+// iteration; every function posted before stop() is invoked before
+// run() returns (nothing is silently dropped during a drain).
+//
+// Handlers may add/modify/remove fds freely, including removing their
+// own fd: dispatch looks the handler up per event and skips fds removed
+// earlier in the same batch.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace treesched::net {
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  /// Throws std::system_error when epoll/eventfd creation fails.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). Loop thread
+  /// only. The handler receives the ready-event mask.
+  void add(int fd, std::uint32_t events, FdHandler handler);
+
+  /// Changes the interest mask of a registered fd. Loop thread only.
+  void modify(int fd, std::uint32_t events);
+
+  /// Unregisters `fd` (the caller still owns and closes it). Safe from
+  /// inside any handler, including the fd's own.
+  void remove(int fd);
+
+  /// Runs `fn` on the loop thread. Callable from ANY thread (and from
+  /// handlers: the function runs later in the same or next iteration).
+  /// Functions run in post order; everything posted before stop() runs
+  /// before run() returns.
+  void post(std::function<void()> fn);
+
+  /// Dispatches events until stop(). Must be called from exactly one
+  /// thread — that thread becomes the loop thread.
+  void run();
+
+  /// Makes run() return after finishing the current iteration and any
+  /// already-posted functions. Callable from any thread.
+  void stop();
+
+ private:
+  void drain_wakeup();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  bool stop_ = false;  ///< loop thread only (set via post)
+  /// shared_ptr so a handler that removes another fd mid-batch cannot
+  /// free a handler the dispatch loop is about to enter.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+
+  std::mutex post_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace treesched::net

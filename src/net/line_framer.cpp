@@ -1,0 +1,48 @@
+#include "net/line_framer.hpp"
+
+#include <utility>
+
+namespace treesched::net {
+
+LineFramer::Line LineFramer::take_line() {
+  Line line;
+  line.overflow = dropped_ > 0;
+  line.wire_bytes = partial_.size() + dropped_;
+  if (!partial_.empty() && partial_.back() == '\r' && dropped_ == 0) {
+    // CRLF: the '\r' belongs to the terminator, not the text. An
+    // overflowed line keeps whatever truncated prefix it has — it is
+    // answered bad_request regardless.
+    partial_.pop_back();
+  }
+  line.text = std::move(partial_);
+  partial_.clear();
+  dropped_ = 0;
+  return line;
+}
+
+std::vector<LineFramer::Line> LineFramer::feed(const char* data,
+                                               std::size_t len) {
+  std::vector<Line> lines;
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      lines.push_back(take_line());
+      continue;
+    }
+    if (partial_.size() < max_line_) {
+      partial_.push_back(c);
+    } else {
+      // Oversized line: stop buffering, keep counting until the
+      // newline resynchronizes the stream.
+      ++dropped_;
+    }
+  }
+  return lines;
+}
+
+std::optional<LineFramer::Line> LineFramer::finish() {
+  if (partial_.empty() && dropped_ == 0) return std::nullopt;
+  return take_line();
+}
+
+}  // namespace treesched::net

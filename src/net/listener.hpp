@@ -1,0 +1,39 @@
+#pragma once
+// Non-blocking TCP listening socket (src/net/): binds 127.0.0.1:<port>
+// (port 0 = kernel-assigned ephemeral, read back through port()),
+// listens, and hands accepted fds to the server — already
+// O_NONBLOCK'd, TCP_NODELAY'd and ready for the event loop.
+//
+// The bind happens in the constructor, so a caller that starts the
+// loop on a background thread (tests, bench_service's loopback
+// experiment) can read port() immediately — no listen/connect race.
+
+#include <cstdint>
+#include <functional>
+
+namespace treesched::net {
+
+class Listener {
+ public:
+  /// Binds and listens, throwing std::system_error on failure
+  /// (EADDRINUSE and friends).
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The bound port — the kernel's pick when constructed with 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts every pending connection (until EAGAIN), invoking `sink`
+  /// with each new non-blocking fd. Call from the EPOLLIN handler.
+  void accept_ready(const std::function<void(int fd)>& sink);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace treesched::net

@@ -1,0 +1,144 @@
+#include "net/server.hpp"
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <system_error>
+#include <utility>
+
+#include "campaign/dataset.hpp"
+
+namespace treesched::net {
+
+Server::Server(SchedulingService& service, ServerConfig config)
+    : service_(service), config_(config), listener_(config.port) {}
+
+Server::~Server() {
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+}
+
+void Server::run() {
+  loop_.add(listener_.fd(), EPOLLIN,
+            [this](std::uint32_t) { accept_ready(); });
+  listener_active_ = true;
+  if (config_.handle_signals) {
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGTERM);
+    sigaddset(&mask, SIGINT);
+    signal_fd_ = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+    if (signal_fd_ < 0) {
+      throw std::system_error(errno, std::generic_category(), "signalfd");
+    }
+    loop_.add(signal_fd_, EPOLLIN, [this](std::uint32_t) {
+      signalfd_siginfo info;
+      while (::read(signal_fd_, &info, sizeof(info)) > 0) {
+      }
+      begin_drain();
+    });
+  }
+  loop_.run();
+  // Drained: no connection and no outstanding ticket — every accepted
+  // request was answered or cancelled, and no Ticket::on_complete
+  // callback can reach this Server again.
+  if (signal_fd_ >= 0) {
+    loop_.remove(signal_fd_);
+    ::close(signal_fd_);
+    signal_fd_ = -1;
+  }
+}
+
+void Server::stop() {
+  loop_.post([this] { begin_drain(); });
+}
+
+void Server::accept_ready() {
+  listener_.accept_ready([this](int fd) {
+    if (draining_) {
+      ::close(fd);
+      return;
+    }
+    if (conns_.size() >= config_.max_conns) {
+      ++counters_.rejected_conns;
+      // Best-effort courtesy line: a one-shot blocking-ish write on a
+      // fresh socket virtually always fits the send buffer.
+      ResponseLine line;
+      line.ok = false;
+      line.code = ErrorCode::kQueueFull;
+      line.message = "server at max connections (" +
+                     std::to_string(config_.max_conns) + ")";
+      const std::string text = format_response_line(line) + "\n";
+      (void)::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      return;
+    }
+    ++counters_.accepted;
+    const std::uint64_t id = next_conn_id_++;
+    conns_.emplace(id, std::make_unique<Connection>(*this, fd, id));
+  });
+}
+
+Result<TreeHandle, ServiceError> Server::intern_spec(
+    const std::string& spec) {
+  const auto it = spec_memo_.find(spec);
+  if (it != spec_memo_.end()) return it->second;
+  try {
+    // try_intern keeps store rejection typed (kStoreFull); only spec
+    // resolution itself (file IO, generator args) still throws.
+    Result<TreeHandle, ServiceError> handle =
+        service_.try_intern(tree_from_spec(spec));
+    if (handle.ok()) spec_memo_.emplace(spec, handle.value());
+    return handle;
+  } catch (const std::exception& e) {
+    return ServiceError{ErrorCode::kBadRequest, e.what(),
+                        std::current_exception()};
+  }
+}
+
+void Server::note_submitted() {
+  ++counters_.submitted;
+  ++outstanding_;
+}
+
+void Server::ticket_settled(std::uint64_t conn_id, std::uint64_t key,
+                            const ServiceResult& result) {
+  // Runs on whichever thread settled the ticket (pool worker, or the
+  // I/O thread itself for cancellations and admission rejections); the
+  // copy hands the result to the loop thread. outstanding_ is
+  // decremented only there, so the drain cannot finish while a
+  // completion is still in flight toward the loop.
+  loop_.post([this, conn_id, key, result] {
+    --outstanding_;
+    const auto it = conns_.find(conn_id);
+    if (it != conns_.end()) it->second->deliver(key, result);
+    if (draining_) maybe_finish();
+  });
+}
+
+void Server::defer_close(std::uint64_t conn_id) {
+  loop_.post([this, conn_id] {
+    conns_.erase(conn_id);  // idempotent; destructor cancels + closes
+    if (draining_) maybe_finish();
+  });
+}
+
+void Server::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listener_active_) {
+    loop_.remove(listener_.fd());
+    listener_active_ = false;
+  }
+  for (auto& [id, conn] : conns_) conn->begin_drain();
+  maybe_finish();
+}
+
+void Server::maybe_finish() {
+  if (conns_.empty() && outstanding_ == 0) loop_.stop();
+}
+
+}  // namespace treesched::net

@@ -1,0 +1,138 @@
+#pragma once
+// The networked scheduling server (src/net/): an epoll-driven TCP
+// front-end speaking protocol v2 (service/request_line.hpp) to many
+// concurrent clients, multiplexed onto ONE I/O thread.
+//
+//   net -> service -> sched:
+//
+//   Client ──TCP──> Connection ──submit()──> SchedulingService ─> pool
+//      ^                |  ^                        │
+//      └── response ────┘  └── EventLoop::post <────┘ Ticket::on_complete
+//
+// The I/O thread never blocks and never computes: requests are
+// submitted as Tickets and their completions re-enter the loop through
+// Ticket::on_complete -> EventLoop::post, which wakes the epoll wait.
+// All scheduler compute rides the service's thread pool, exactly as for
+// in-process callers — the server is a transport, not a second engine.
+//
+// Lifecycle: the constructor binds (port 0 = ephemeral, read back via
+// port()); run() serves until stop() or — with handle_signals —
+// SIGTERM/SIGINT, then drains: the listener closes, connections stop
+// reading, every accepted request is answered or cancelled, write
+// buffers flush, and run() returns only when no ticket is outstanding,
+// so destroying the server (and then the service) is always safe.
+//
+// Scale limits are explicit and typed: at most max_conns sockets (the
+// excess is greeted with a queue_full error line and closed), at most
+// max_pending unsettled requests per connection (excess lines answer
+// queue_full), at most max_wbuf buffered response bytes per connection
+// (past it the connection stops reading until the client drains).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/listener.hpp"
+#include "service/service.hpp"
+
+namespace treesched::net {
+
+struct ServerConfig {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (see Server::port()).
+  std::uint16_t port = 0;
+  /// Accepted-connection bound; excess connections are answered with
+  /// one queue_full error line and closed.
+  std::size_t max_conns = 256;
+  /// Per-connection unsettled-request bound; excess request lines
+  /// answer the typed queue_full error without reaching the service.
+  std::size_t max_pending = 64;
+  /// Per-connection write-buffer high watermark in bytes; past it the
+  /// connection stops reading until the client drains below half.
+  std::size_t max_wbuf = 256 * 1024;
+  /// Longest accepted request line; longer lines answer bad_request.
+  std::size_t max_line = LineFramer::kDefaultMaxLine;
+  /// Install a signalfd for SIGTERM/SIGINT and drain gracefully on
+  /// either. The caller must block both signals in every thread BEFORE
+  /// spawning any (schedule_server does; in-process tests use stop()).
+  bool handle_signals = false;
+};
+
+/// Monotonic server counters (I/O-thread state, reported by `stats`).
+struct ServerCounters {
+  std::uint64_t accepted = 0;        ///< connections accepted
+  std::uint64_t rejected_conns = 0;  ///< turned away at max_conns
+  std::uint64_t lines = 0;           ///< request lines framed
+  std::uint64_t submitted = 0;       ///< tickets submitted to the service
+};
+
+class Server {
+ public:
+  /// Binds the listener (throws std::system_error on failure) but does
+  /// not serve yet.
+  Server(SchedulingService& service, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// Serves until stop()/SIGTERM, then drains (see file comment).
+  /// Blocks; the calling thread becomes the I/O thread.
+  void run();
+
+  /// Begins a graceful drain from any thread; run() returns once every
+  /// accepted request is answered or cancelled and buffers are flushed.
+  void stop();
+
+ private:
+  friend class Connection;
+
+  // --- Connection-facing surface (I/O thread only) --------------------
+  EventLoop& loop() { return loop_; }
+  SchedulingService& service() { return service_; }
+  ServerCounters& counters() { return counters_; }
+  /// Spec -> interned handle, memoized server-wide (all parsing happens
+  /// on the I/O thread, so the memo needs no lock). Failures are typed
+  /// values: kBadRequest for an unresolvable spec, kStoreFull (via
+  /// try_intern) past the store budget.
+  Result<TreeHandle, ServiceError> intern_spec(const std::string& spec);
+  /// Registers one submitted ticket for the drain accounting and
+  /// forwards its completion to the loop. Callable from any thread
+  /// (it is the Ticket::on_complete target).
+  void ticket_settled(std::uint64_t conn_id, std::uint64_t key,
+                      const ServiceResult& result);
+  /// ++outstanding_; paired with the ticket_settled posting.
+  void note_submitted();
+  /// Posts the removal of connection `id` (safe from inside any of the
+  /// connection's own methods; idempotent).
+  void defer_close(std::uint64_t conn_id);
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  void accept_ready();
+  void begin_drain();
+  void maybe_finish();
+
+  SchedulingService& service_;
+  ServerConfig config_;
+  EventLoop loop_;
+  Listener listener_;
+  int signal_fd_ = -1;
+  bool listener_active_ = false;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<std::string, TreeHandle> spec_memo_;
+  ServerCounters counters_;
+  std::uint64_t next_conn_id_ = 1;
+  /// Tickets submitted whose completion has not yet been processed on
+  /// the loop thread. The drain waits for zero, which guarantees no
+  /// Ticket::on_complete callback can touch a dead Server.
+  std::uint64_t outstanding_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace treesched::net

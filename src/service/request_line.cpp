@@ -103,6 +103,28 @@ RequestLine parse_cancel_line(std::istringstream& is) {
   return out;
 }
 
+/// `ping [id=<n>]` and `stats [id=<n>]` share one shape: the verb plus
+/// an optional tag, nothing else.
+RequestLine parse_control_line(const std::string& verb,
+                               RequestLine::Kind kind,
+                               std::istringstream& is) {
+  RequestLine out;
+  out.kind = kind;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || token.substr(0, eq) != "id") {
+      throw std::invalid_argument(verb + " line must be: " + verb +
+                                  " [id=<n>] (got \"" + token + "\")");
+    }
+    if (out.id) {
+      throw std::invalid_argument("duplicate request field \"id\"");
+    }
+    out.id = parse_uint_field("id", token.substr(eq + 1));
+  }
+  return out;
+}
+
 }  // namespace
 
 RequestLine parse_request_line(const std::string& line) {
@@ -112,6 +134,12 @@ RequestLine parse_request_line(const std::string& line) {
     throw std::invalid_argument("empty request line");
   }
   if (out.tree_spec == "cancel") return parse_cancel_line(is);
+  if (out.tree_spec == "ping") {
+    return parse_control_line("ping", RequestLine::Kind::kPing, is);
+  }
+  if (out.tree_spec == "stats") {
+    return parse_control_line("stats", RequestLine::Kind::kStats, is);
+  }
   if (!(is >> out.algo >> out.p)) {
     throw std::invalid_argument(
         "request line must be: <tree-spec> <algo> <p> [<memory-cap>] "
@@ -146,6 +174,19 @@ std::string format_response_line(const ResponseLine& resp) {
   // Full double fidelity: the line is machine-read; shortest-exact would
   // be nicer but setprecision(17) round-trips and needs no helper.
   os << std::setprecision(17);
+  if (resp.kind == ResponseLine::Kind::kPong) {
+    os << "pong";
+    if (resp.id) os << " id=" << *resp.id;
+    return os.str();
+  }
+  if (resp.kind == ResponseLine::Kind::kStats) {
+    os << "stats";
+    if (resp.id) os << " id=" << *resp.id;
+    for (const auto& [key, value] : resp.stats) {
+      os << " " << key << "=" << value;
+    }
+    return os.str();
+  }
   if (resp.ok) {
     os << "ok";
     if (resp.id) os << " id=" << *resp.id;
@@ -297,6 +338,44 @@ ResponseLine parse_error_line(std::istringstream& is) {
   return out;
 }
 
+ResponseLine parse_pong_line(std::istringstream& is) {
+  ResponseLine out;
+  out.kind = ResponseLine::Kind::kPong;
+  out.ok = true;
+  std::string token;
+  while (is >> token) {
+    const auto [key, value] = split_kv(token);
+    if (key != "id" || out.id) {
+      throw std::invalid_argument("pong line must be: pong [id=<n>] (got \"" +
+                                  token + "\")");
+    }
+    out.id = parse_uint_field(key, value);
+  }
+  return out;
+}
+
+ResponseLine parse_stats_line(std::istringstream& is) {
+  ResponseLine out;
+  out.kind = ResponseLine::Kind::kStats;
+  out.ok = true;
+  std::set<std::string> seen;
+  std::string token;
+  while (is >> token) {
+    const auto [key, value] = split_kv(token);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("duplicate response field \"" + key + "\"");
+    }
+    if (key == "id") {
+      out.id = parse_uint_field(key, value);
+      continue;
+    }
+    // Keys are free-form so servers can grow counters; values must still
+    // parse — a truncated line fails loudly instead of dropping digits.
+    out.stats.emplace_back(key, parse_uint_field(key, value));
+  }
+  return out;
+}
+
 }  // namespace
 
 ResponseLine parse_response_line(const std::string& line) {
@@ -305,8 +384,11 @@ ResponseLine parse_response_line(const std::string& line) {
   if (!(is >> verb)) throw std::invalid_argument("empty response line");
   if (verb == "ok") return parse_ok_line(is);
   if (verb == "error") return parse_error_line(is);
-  throw std::invalid_argument("response line must start with ok|error (got \"" +
-                              verb + "\")");
+  if (verb == "pong") return parse_pong_line(is);
+  if (verb == "stats") return parse_stats_line(is);
+  throw std::invalid_argument(
+      "response line must start with ok|error|pong|stats (got \"" + verb +
+      "\")");
 }
 
 }  // namespace treesched

@@ -7,6 +7,8 @@
 // Request lines (one per line):
 //   <tree-spec> <algo> <p> [<memory-cap>] [<key>=<value> ...]
 //   cancel id=<n>
+//   ping [id=<n>]
+//   stats [id=<n>]
 // with the named fields
 //   priority=interactive|batch|bulk   admission class (default batch)
 //   deadline_ms=<positive float>      give up if still queued after this
@@ -22,17 +24,28 @@
 // later `cancel id=<n>` line can name it. Untagged requests are still
 // answered in submission order.
 //
+// `ping` and `stats` are control lines for load balancers and health
+// probes: both are answered immediately by the front-end itself (no
+// scheduler compute, never queued), out of band of any pending window —
+// a server drowning in Bulk work still answers its health check.
+//
 // Response lines (v2):
 //   ok [id=<n>] tree=<hex> n=<nodes> algo=<name> p=<p> makespan=<f>
 //      peak_memory=<bytes> cache=hit|miss priority=<class>   (one line)
 //   error [id=<n>] code=<error-code> <message...>
+//   pong [id=<n>]
+//   stats [id=<n>] <key>=<non-negative integer> ...
 // where <error-code> is an ErrorCode wire spelling (service/errors.hpp).
 // parse_response_line rejects unknown codes by name — a client never has
-// to guess what a new server means.
+// to guess what a new server means. A stats line's keys are free-form
+// (servers grow counters without breaking old clients); its values must
+// all be non-negative integers.
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/tree.hpp"
 #include "service/errors.hpp"
@@ -43,7 +56,7 @@ namespace treesched {
 /// One parsed request line. The tree is still a spec string — resolving
 /// it (file IO, generators, interning) is the caller's business.
 struct RequestLine {
-  enum class Kind { kSchedule, kCancel };
+  enum class Kind { kSchedule, kCancel, kPing, kStats };
   Kind kind = Kind::kSchedule;
 
   /// Client-chosen tag (id=); required for kCancel, optional otherwise.
@@ -63,10 +76,18 @@ struct RequestLine {
 /// field on any violation of the grammar above.
 RequestLine parse_request_line(const std::string& line);
 
-/// One response, either direction of the wire.
+/// One response, either direction of the wire. kSchedule lines carry a
+/// schedule answer (`ok` discriminates ok/error); kPong answers ping;
+/// kStats answers stats with free-form integer counters.
 struct ResponseLine {
+  enum class Kind { kSchedule, kPong, kStats };
+  Kind kind = Kind::kSchedule;
   bool ok = false;
   std::optional<std::uint64_t> id;
+
+  /// kStats payload, emitted/parsed in the order given. Keys are
+  /// free-form identifiers; values non-negative integers.
+  std::vector<std::pair<std::string, std::uint64_t>> stats;
 
   // ok payload.
   TreeHash tree_hash = 0;

@@ -342,4 +342,36 @@ std::vector<ScheduleResponse> SchedulingService::collect_ordered(
   return responses;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> service_stats_pairs(
+    const SchedulingService& service) {
+  const CacheStats cs = service.cache_stats();
+  const QueueStats qs = service.queue_stats();
+  const InstanceStore::Stats ss = service.store_stats();
+  std::uint64_t admitted = 0, completed = 0, expired = 0, cancelled = 0,
+                rejected = 0;
+  for (const ClassQueueStats& c : qs.by_class) {
+    admitted += c.admitted;
+    completed += c.completed;
+    expired += c.expired;
+    cancelled += c.cancelled;
+    rejected += c.rejected;
+  }
+  return {
+      {"queue_pending", qs.pending()},
+      {"queue_admitted", admitted},
+      {"queue_completed", completed},
+      {"queue_expired", expired},
+      {"queue_cancelled", cancelled},
+      {"queue_rejected", rejected},
+      {"cache_hits", cs.hits},
+      {"cache_misses", cs.misses},
+      {"cache_entries", cs.entries},
+      {"cache_bytes", cs.bytes},
+      {"cache_evictions", cs.evictions},
+      {"store_trees", ss.unique_trees},
+      {"store_bytes", ss.bytes},
+      {"store_rejected", ss.rejected},
+  };
+}
+
 }  // namespace treesched

@@ -58,12 +58,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sched/registry.hpp"
@@ -233,5 +235,13 @@ class SchedulingService {
   std::condition_variable async_cv_;
   std::size_t async_outstanding_ = 0;
 };
+
+/// The queue/cache/store counters a `stats` protocol line reports, in a
+/// stable order — the single source both wire front-ends (stdin and
+/// TCP) share, so their stats vocabularies cannot silently diverge.
+/// Front-ends prepend their transport-specific keys (connection counts,
+/// window depth) before these.
+std::vector<std::pair<std::string, std::uint64_t>> service_stats_pairs(
+    const SchedulingService& service);
 
 }  // namespace treesched

@@ -33,13 +33,20 @@ ServiceError empty_ticket_error() {
 
 void complete_ticket(const std::shared_ptr<TicketState>& state,
                      ServiceResult result) {
+  std::function<void(const ServiceResult&)> hook;
   {
     const std::lock_guard<std::mutex> lock(state->mutex);
     if (state->result.has_value()) return;  // already settled
     state->result.emplace(std::move(result));
     fulfill_legacy(*state);
+    // Claim the completion hook under the mutex — exactly one of
+    // {settler, late subscriber} ever sees it non-empty — but run it
+    // after unlocking so it may touch the ticket or block.
+    hook = std::move(state->on_complete);
+    state->on_complete = nullptr;
   }
   state->cv.notify_all();
+  if (hook) hook(*state->result);
 }
 
 }  // namespace detail
@@ -75,6 +82,29 @@ bool Ticket::cancel() {
   // mutex: either the entry is still queued (we remove and settle it) or
   // a pop already claimed it (false, and the worker's answer stands).
   return queue_->cancel(seq_);
+}
+
+void Ticket::on_complete(std::function<void(const ServiceResult&)> fn) {
+  if (!state_) {
+    const ServiceResult result = detail::empty_ticket_error();
+    fn(result);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->on_complete_attached) {
+      throw std::logic_error(
+          "Ticket::on_complete() may only be called once per ticket");
+    }
+    state_->on_complete_attached = true;
+    if (!state_->result.has_value()) {
+      state_->on_complete = std::move(fn);
+      return;
+    }
+    // Already settled (the settle-before-subscribe race): fall through
+    // and invoke on this thread, outside the lock.
+  }
+  fn(*state_->result);
 }
 
 std::future<ScheduleResponse> Ticket::legacy_future() {

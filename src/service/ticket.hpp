@@ -30,6 +30,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,16 @@ struct TicketState {
   /// immediately.
   std::optional<std::promise<ScheduleResponse>> legacy_promise;
   bool legacy_fulfilled = false;
+  /// Completion hook (Ticket::on_complete). Stored under the mutex,
+  /// invoked exactly once OUTSIDE it (so the callback may touch the
+  /// ticket, cancel other tickets, or block without deadlocking):
+  /// by the settling thread when attached before settlement, by the
+  /// subscribing thread when attached after.
+  std::function<void(const ServiceResult&)> on_complete;
+  /// Single-shot guard for Ticket::on_complete — survives the settler
+  /// moving the callback out, so a second subscription is rejected even
+  /// after the first already ran.
+  bool on_complete_attached = false;
 };
 
 /// Settles `state` (idempotent: a second call is ignored — by
@@ -96,6 +107,21 @@ class Ticket {
   /// nothing — when the request is already running, already answered,
   /// was computed inline, or was cancelled before.
   bool cancel();
+
+  /// Subscribes `fn` to this ticket's completion: invoked exactly once
+  /// with the settled result, on whichever thread settles the ticket (a
+  /// pool worker for computed answers, the cancelling thread for
+  /// cancellations) — or immediately on THIS thread when the ticket has
+  /// already settled, which closes the settle-before-subscribe race: no
+  /// completion is ever missed. The callback runs outside the ticket's
+  /// internal lock, so it may wait, cancel, or submit freely; it must
+  /// not throw. The Ticket object itself may be discarded after
+  /// subscribing — the hook lives in the shared completion state. This
+  /// is what lets an event-driven caller (the net/ server's I/O thread)
+  /// be woken on completion instead of polling try_get().
+  /// Single-shot: a second subscription throws std::logic_error. An
+  /// empty ticket invokes `fn` immediately with the kBadRequest error.
+  void on_complete(std::function<void(const ServiceResult&)> fn);
 
   /// Legacy bridge: a std::future carrying the response, throwing the
   /// legacy exception on error (see to_exception). The future is bound

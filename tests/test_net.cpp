@@ -1,0 +1,418 @@
+// The networked front-end (src/net/): LineFramer robustness under
+// adversarial chunkings (the framing satellite), and in-process
+// end-to-end coverage of the epoll server over real loopback sockets —
+// tagged out-of-order answers, ping/stats control lines, per-connection
+// queue_full admission, oversized-line survival, cancel, half-close,
+// abrupt disconnect, write backpressure, and graceful drain.
+
+#include "net/line_framer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace treesched {
+namespace {
+
+using net::Client;
+using net::LineFramer;
+using net::Server;
+using net::ServerConfig;
+
+// ---------------------------------------------------------------------------
+// LineFramer: byte-by-byte and adversarial chunkings.
+// ---------------------------------------------------------------------------
+
+std::vector<LineFramer::Line> feed_str(LineFramer& framer,
+                                       const std::string& chunk) {
+  return framer.feed(chunk.data(), chunk.size());
+}
+
+TEST(LineFramer, ByteByByteProducesTheSameLines) {
+  const std::string input = "random:60:1 Liu 1 id=7\ncancel id=7\nping\n";
+  LineFramer framer;
+  std::vector<std::string> lines;
+  for (const char c : input) {
+    for (LineFramer::Line& line : framer.feed(&c, 1)) {
+      EXPECT_FALSE(line.overflow);
+      lines.push_back(std::move(line.text));
+    }
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "random:60:1 Liu 1 id=7");
+  EXPECT_EQ(lines[1], "cancel id=7");
+  EXPECT_EQ(lines[2], "ping");
+  EXPECT_EQ(framer.partial_bytes(), 0u);
+}
+
+TEST(LineFramer, ManyLinesInOneChunkAndSplitsMidToken) {
+  LineFramer framer;
+  // Three lines, the last unterminated and split mid-token.
+  auto lines = feed_str(framer, "a b\nc d\ne f");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "a b");
+  EXPECT_EQ(lines[1].text, "c d");
+  EXPECT_EQ(framer.partial_bytes(), 3u);
+  // The token "f" continues in the next chunk — "e f" + "g" = "e fg".
+  lines = feed_str(framer, "g h\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].text, "e fg h");
+}
+
+TEST(LineFramer, StripsCarriageReturns) {
+  LineFramer framer;
+  const auto lines = feed_str(framer, "ping\r\npong\r\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "ping");
+  EXPECT_EQ(lines[1].text, "pong");
+}
+
+TEST(LineFramer, OversizedLineOverflowsAndTheStreamRecovers) {
+  LineFramer framer(/*max_line=*/8);
+  // 20 payload bytes, then a clean line — fed in awkward chunks.
+  auto lines = feed_str(framer, "0123456789");
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(framer.partial_bytes(), 8u) << "buffering stops at the limit";
+  lines = feed_str(framer, "abcdefghij\nok line\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].overflow);
+  EXPECT_EQ(lines[0].text, "01234567") << "truncated to max_line";
+  EXPECT_EQ(lines[0].wire_bytes, 20u) << "counts the discarded bytes too";
+  EXPECT_FALSE(lines[1].overflow);
+  EXPECT_EQ(lines[1].text, "ok line");
+}
+
+TEST(LineFramer, FinishFlushesTheUnterminatedTail) {
+  LineFramer framer;
+  EXPECT_FALSE(framer.finish().has_value()) << "nothing buffered";
+  (void)feed_str(framer, "stats");
+  const auto last = framer.finish();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->text, "stats");
+  EXPECT_FALSE(framer.finish().has_value()) << "finish() consumes";
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a real Server on 127.0.0.1, in-process, driven by Client.
+// ---------------------------------------------------------------------------
+
+/// Service + server + I/O thread, torn down in the right order.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerConfig config = {},
+                         ServiceConfig service_config = {})
+      : service_(service_config), server_(service_, config) {
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerHarness() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      server_.stop();
+      thread_.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] SchedulingService& service() { return service_; }
+
+ private:
+  SchedulingService service_;
+  Server server_;
+  std::thread thread_;
+};
+
+Client connect(const ServerHarness& harness) {
+  return Client("127.0.0.1", harness.port());
+}
+
+/// Heavy-enough request lines to keep pool workers busy; distinct p per
+/// index keeps every cache key distinct.
+std::string heavy_line(int index, const std::string& extra = "") {
+  return "synthetic:20000:1 ParDeepestFirst " + std::to_string(2 + index) +
+         " priority=interactive" + extra;
+}
+
+TEST(ScheduleServer, AnswersAndCachesOverTheWire) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  const ResponseLine first = client.request("random:300:1 Liu 1 id=1");
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.id, 1u);
+  EXPECT_EQ(first.algo, "Liu");
+  EXPECT_EQ(first.n, 300);
+  EXPECT_GT(first.makespan, 0.0);
+  const ResponseLine second = client.request("random:300:1 Liu 1 id=2");
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.cache_hit) << "same key must hit the result cache";
+  EXPECT_EQ(second.makespan, first.makespan) << "bit-identical answers";
+}
+
+TEST(ScheduleServer, TaggedAnswersMayArriveOutOfOrder) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  // One write, two tagged requests: answers may stream in either order;
+  // the tags keep them attributable.
+  client.send_line("random:400:2 ParSubtrees 4 id=10");
+  client.send_line("random:200:3 Liu 1 id=11");
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 2; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value());
+    const ResponseLine resp = parse_response_line(*line);
+    EXPECT_TRUE(resp.ok);
+    ASSERT_TRUE(resp.id.has_value());
+    ids.push_back(*resp.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{10, 11}));
+}
+
+TEST(ScheduleServer, PingAndStatsAnswerImmediately) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  const ResponseLine pong = client.request("ping id=5");
+  EXPECT_EQ(pong.kind, ResponseLine::Kind::kPong);
+  EXPECT_EQ(pong.id, 5u);
+
+  (void)client.request("random:100:1 Liu 1 id=1");
+  const ResponseLine stats = client.request("stats id=6");
+  EXPECT_EQ(stats.kind, ResponseLine::Kind::kStats);
+  EXPECT_EQ(stats.id, 6u);
+  std::uint64_t conns = 0, admitted = 0;
+  bool saw_conns = false, saw_admitted = false;
+  for (const auto& [key, value] : stats.stats) {
+    if (key == "conns") {
+      conns = value;
+      saw_conns = true;
+    }
+    if (key == "queue_admitted") {
+      admitted = value;
+      saw_admitted = true;
+    }
+  }
+  ASSERT_TRUE(saw_conns);
+  ASSERT_TRUE(saw_admitted);
+  EXPECT_EQ(conns, 1u);
+  EXPECT_GE(admitted, 1u);
+}
+
+TEST(ScheduleServer, OversizedLineAnswersBadRequestAndTheConnectionSurvives) {
+  ServerConfig config;
+  config.max_line = 128;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  const ResponseLine err =
+      client.request(std::string(4096, 'x'));  // one huge bogus line
+  ASSERT_FALSE(err.ok);
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  // Same socket keeps working, correctly framed.
+  const ResponseLine ok = client.request("random:100:1 Liu 1 id=1");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.id, 1u);
+}
+
+TEST(ScheduleServer, PerConnectionWindowRejectsWithTypedQueueFull) {
+  ServerConfig config;
+  config.max_pending = 1;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  // Both lines in ONE write: they are framed and admitted within one
+  // read batch, and completions only ever re-enter the loop as posted
+  // events — so the second line deterministically sees a full window.
+  client.send_line("synthetic:20000:1 ParDeepestFirst 2 id=1");
+  client.send_line("random:100:9 Liu 1 id=2");
+  bool saw_ok = false, saw_queue_full = false;
+  for (int i = 0; i < 2; ++i) {
+    const auto line = client.recv_line();
+    ASSERT_TRUE(line.has_value());
+    const ResponseLine resp = parse_response_line(*line);
+    if (resp.ok) {
+      EXPECT_EQ(resp.id, 1u);
+      saw_ok = true;
+    } else {
+      EXPECT_EQ(resp.code, ErrorCode::kQueueFull);
+      EXPECT_EQ(resp.id, 2u);
+      saw_queue_full = true;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_queue_full);
+}
+
+TEST(ScheduleServer, CancelStillQueuedAnswersCancelled) {
+  ServerConfig config;
+  config.max_pending = 1024;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  // The saturate() pattern over the wire: every pool worker pinned by
+  // interactive work with queued entries to spare, so the Bulk request
+  // behind them is still queued when the cancel arrives.
+  const std::size_t backlog = 2 * ThreadPool::shared().size() + 6;
+  for (std::size_t i = 0; i < backlog; ++i) {
+    client.send_line(heavy_line(static_cast<int>(i),
+                                " id=" + std::to_string(100 + i)));
+  }
+  client.send_line("random:100:1 Liu 1 priority=bulk id=7");
+  client.send_line("cancel id=7");
+  client.shutdown_write();
+  std::size_t answers = 0;
+  bool id7_cancelled = false;
+  while (const auto line = client.recv_line()) {
+    const ResponseLine resp = parse_response_line(*line);
+    ++answers;
+    if (resp.id && *resp.id == 7) {
+      EXPECT_FALSE(resp.ok);
+      EXPECT_EQ(resp.code, ErrorCode::kCancelled);
+      id7_cancelled = resp.code == ErrorCode::kCancelled;
+    }
+  }
+  EXPECT_EQ(answers, backlog + 1) << "every request answered exactly once";
+  EXPECT_TRUE(id7_cancelled);
+}
+
+TEST(ScheduleServer, CancelOfUnknownIdAnswersBadRequestAck) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  const ResponseLine ack = client.request("cancel id=404");
+  ASSERT_FALSE(ack.ok);
+  EXPECT_EQ(ack.code, ErrorCode::kBadRequest);
+  EXPECT_FALSE(ack.id.has_value())
+      << "late-cancel acks must never duplicate an id on the wire";
+}
+
+TEST(ScheduleServer, HalfCloseAnswersEverythingThenEof) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  client.send_line("random:500:1 ParSubtrees 4 id=1");
+  client.send_line("random:500:1 ParSubtrees 8 id=2");
+  client.send_line("ping");  // unterminated tail exercised separately
+  client.shutdown_write();
+  std::size_t lines = 0;
+  while (client.recv_line()) ++lines;
+  EXPECT_EQ(lines, 3u) << "all pending answers flushed before close";
+}
+
+TEST(ScheduleServer, UnterminatedFinalLineStillAnswersAtEof) {
+  ServerHarness harness;
+  Client client = connect(harness);
+  // "ping" with no trailing newline, then half-close: the framer's
+  // finish() grants it the same grace getline gives the stdin service.
+  const std::string bare = "ping";
+  ASSERT_EQ(::send(client.fd(), bare.data(), bare.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bare.size()));
+  client.shutdown_write();
+  const auto line = client.recv_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "pong");
+  EXPECT_FALSE(client.recv_line().has_value());
+}
+
+TEST(ScheduleServer, AbruptDisconnectCancelsAndTheServerSurvives) {
+  ServerHarness harness;
+  {
+    Client doomed = connect(harness);
+    const std::size_t backlog = 2 * ThreadPool::shared().size() + 6;
+    for (std::size_t i = 0; i < backlog; ++i) {
+      doomed.send_line(heavy_line(static_cast<int>(i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      doomed.send_line("random:100:1 Liu 1 priority=bulk id=" +
+                       std::to_string(i));
+    }
+    doomed.close();  // mid-batch, nothing read: the abrupt path
+  }
+  // The server keeps serving other clients…
+  Client alive = connect(harness);
+  const ResponseLine pong = alive.request("ping");
+  EXPECT_EQ(pong.kind, ResponseLine::Kind::kPong);
+  const ResponseLine ok = alive.request("random:100:2 Liu 1 id=1");
+  EXPECT_TRUE(ok.ok);
+  // …and the harness destructor's stop() verifies the drain: run()
+  // returns only once the vanished client's tickets are all settled
+  // (cancelled or computed), so a leak would hang this test.
+}
+
+TEST(ScheduleServer, WriteBackpressureDeliversEverythingToASlowReader) {
+  ServerConfig config;
+  config.max_wbuf = 2048;  // tiny: force EPOLLOUT flushing + read pauses
+  config.max_pending = 4096;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  // A few hundred cache-hot requests written without reading a single
+  // answer: the server must stop reading when its write buffer fills,
+  // resume as we drain, and deliver every answer exactly once.
+  constexpr int kRequests = 400;
+  for (int i = 0; i < kRequests; ++i) {
+    client.send_line("random:200:1 Liu 1 id=" + std::to_string(i));
+  }
+  client.shutdown_write();
+  std::vector<bool> seen(kRequests, false);
+  std::size_t answers = 0;
+  while (const auto line = client.recv_line()) {
+    const ResponseLine resp = parse_response_line(*line);
+    ASSERT_TRUE(resp.id.has_value());
+    ASSERT_LT(*resp.id, static_cast<std::uint64_t>(kRequests));
+    EXPECT_FALSE(seen[static_cast<std::size_t>(*resp.id)]);
+    seen[static_cast<std::size_t>(*resp.id)] = true;
+    ++answers;
+  }
+  EXPECT_EQ(answers, static_cast<std::size_t>(kRequests));
+}
+
+TEST(ScheduleServer, StopDrainsPendingAnswersBeforeReturning) {
+  auto harness = std::make_unique<ServerHarness>();
+  Client client = connect(*harness);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    client.send_line(heavy_line(i, " id=" + std::to_string(i)));
+  }
+  // Give the server a beat to frame them, then drain while they
+  // compute: every framed request must still be answered.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  harness->stop();
+  std::size_t answers = 0;
+  while (const auto line = client.recv_line()) {
+    const ResponseLine resp = parse_response_line(*line);
+    EXPECT_TRUE(resp.ok);
+    ++answers;
+  }
+  EXPECT_EQ(answers, static_cast<std::size_t>(kRequests))
+      << "graceful drain answers what was accepted before closing";
+}
+
+TEST(ScheduleServer, MaxConnsGreetsTheExcessWithQueueFull) {
+  ServerConfig config;
+  config.max_conns = 2;
+  ServerHarness harness(config);
+  Client first = connect(harness);
+  Client second = connect(harness);
+  // Poke both so the server has surely accepted them before the third
+  // connection arrives (accept order is deterministic per listen
+  // backlog, but the ping round-trips make it explicit).
+  (void)first.request("ping");
+  (void)second.request("ping");
+  Client third = connect(harness);
+  const auto line = third.recv_line();
+  ASSERT_TRUE(line.has_value());
+  const ResponseLine resp = parse_response_line(*line);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kQueueFull);
+  EXPECT_FALSE(third.recv_line().has_value()) << "closed after the greeting";
+}
+
+}  // namespace
+}  // namespace treesched

@@ -246,5 +246,85 @@ TEST(ResponseLine, MalformedResponsesAreRejected) {
                std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// ping / stats control lines (the health-probe additions).
+// ---------------------------------------------------------------------------
+
+TEST(ControlLines, PingParsesWithAndWithoutTag) {
+  const RequestLine bare = parse_request_line("ping");
+  EXPECT_EQ(bare.kind, RequestLine::Kind::kPing);
+  EXPECT_FALSE(bare.id.has_value());
+
+  const RequestLine tagged = parse_request_line("ping id=42");
+  EXPECT_EQ(tagged.kind, RequestLine::Kind::kPing);
+  ASSERT_TRUE(tagged.id.has_value());
+  EXPECT_EQ(*tagged.id, 42u);
+
+  EXPECT_THROW((void)parse_request_line("ping hard"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("ping id=1 id=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("ping id=-3"), std::invalid_argument);
+}
+
+TEST(ControlLines, StatsParsesWithAndWithoutTag) {
+  const RequestLine bare = parse_request_line("stats");
+  EXPECT_EQ(bare.kind, RequestLine::Kind::kStats);
+  const RequestLine tagged = parse_request_line("stats id=9");
+  ASSERT_TRUE(tagged.id.has_value());
+  EXPECT_EQ(*tagged.id, 9u);
+  EXPECT_THROW((void)parse_request_line("stats now"), std::invalid_argument);
+}
+
+TEST(ControlLines, PongRoundTrips) {
+  ResponseLine pong;
+  pong.kind = ResponseLine::Kind::kPong;
+  pong.ok = true;
+  EXPECT_EQ(format_response_line(pong), "pong");
+  pong.id = 7;
+  const std::string line = format_response_line(pong);
+  EXPECT_EQ(line, "pong id=7");
+  const ResponseLine back = parse_response_line(line);
+  EXPECT_EQ(back.kind, ResponseLine::Kind::kPong);
+  ASSERT_TRUE(back.id.has_value());
+  EXPECT_EQ(*back.id, 7u);
+  EXPECT_THROW((void)parse_response_line("pong id=1 id=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("pong extra"),
+               std::invalid_argument);
+}
+
+TEST(ControlLines, StatsRoundTripsFreeFormCounters) {
+  ResponseLine stats;
+  stats.kind = ResponseLine::Kind::kStats;
+  stats.ok = true;
+  stats.id = 3;
+  stats.stats = {{"conns", 2}, {"cache_hits", 41}, {"brand_new_counter", 0}};
+  const std::string line = format_response_line(stats);
+  EXPECT_EQ(line, "stats id=3 conns=2 cache_hits=41 brand_new_counter=0");
+  const ResponseLine back = parse_response_line(line);
+  EXPECT_EQ(back.kind, ResponseLine::Kind::kStats);
+  ASSERT_TRUE(back.id.has_value());
+  EXPECT_EQ(*back.id, 3u);
+  ASSERT_EQ(back.stats.size(), 3u)
+      << "unknown keys must parse (servers grow counters)";
+  EXPECT_EQ(back.stats[0].first, "conns");
+  EXPECT_EQ(back.stats[0].second, 2u);
+  EXPECT_EQ(back.stats[2].first, "brand_new_counter");
+  // Values must still be integers; truncation fails loudly.
+  EXPECT_THROW((void)parse_response_line("stats conns=many"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("stats conns=1 conns=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_response_line("stats conns"),
+               std::invalid_argument);
+}
+
+TEST(ControlLines, ScheduleResponsesKeepKindSchedule) {
+  const ResponseLine err =
+      parse_response_line("error code=queue_full window full");
+  EXPECT_EQ(err.kind, ResponseLine::Kind::kSchedule);
+  EXPECT_FALSE(err.ok);
+}
+
 }  // namespace
 }  // namespace treesched

@@ -542,5 +542,128 @@ TEST(LegacyWrappers, BatchResponsesCarryTheTypedError) {
   EXPECT_EQ(responses[1].error->code, ErrorCode::kInvalidResources);
 }
 
+// ---------------------------------------------------------------------------
+// Ticket::on_complete — the completion hook the networked front-end
+// rides (the I/O thread must be woken on settlement, never poll).
+// ---------------------------------------------------------------------------
+
+/// Spin-waits for `flag` with a generous bound: the hook fires on the
+/// settling thread, which may run a beat after wait() returns.
+bool eventually(const std::atomic<int>& counter, int expected) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (counter.load() != expected) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(TicketOnComplete, FiresExactlyOnceWithTheSettledResult) {
+  SchedulingService service;
+  ScheduleRequest req;
+  req.tree = service.intern(weighted_tree(1));
+  req.algo = "Liu";
+  Ticket ticket = service.submit(req);
+  std::atomic<int> fired{0};
+  std::atomic<bool> was_ok{false};
+  ticket.on_complete([&](const ServiceResult& result) {
+    was_ok.store(result.ok());
+    fired.fetch_add(1);
+  });
+  const ServiceResult direct = ticket.wait();
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(eventually(fired, 1));
+  EXPECT_TRUE(was_ok.load());
+}
+
+TEST(TicketOnComplete, SettleBeforeSubscribeInvokesImmediately) {
+  SchedulingService service;
+  ScheduleRequest req;
+  req.tree = service.intern(weighted_tree(2));
+  req.algo = "Liu";
+  Ticket ticket = service.submit(req);
+  const ServiceResult settled = ticket.wait();  // settled before subscribing
+  ASSERT_TRUE(settled.ok());
+  int fired = 0;  // plain int: the callback must run synchronously, here
+  double makespan = 0.0;
+  ticket.on_complete([&](const ServiceResult& result) {
+    ++fired;
+    makespan = result.value().makespan;
+  });
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(makespan, settled.value().makespan);
+}
+
+TEST(TicketOnComplete, SecondSubscriptionThrows) {
+  SchedulingService service;
+  ScheduleRequest req;
+  req.tree = service.intern(weighted_tree(3));
+  req.algo = "Liu";
+  Ticket ticket = service.submit(req);
+  ticket.on_complete([](const ServiceResult&) {});
+  EXPECT_THROW(ticket.on_complete([](const ServiceResult&) {}),
+               std::logic_error);
+  (void)ticket.wait();
+}
+
+TEST(TicketOnComplete, EmptyTicketReportsBadRequestImmediately) {
+  Ticket empty;
+  int fired = 0;
+  empty.on_complete([&](const ServiceResult& result) {
+    ++fired;
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::kBadRequest);
+  });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TicketOnComplete, CancellationFiresTheHookWithKCancelled) {
+  std::atomic<int> fired{0};
+  std::atomic<bool> saw_cancelled{false};
+  {
+    SchedulingService service;
+    const TreeHandle heavy =
+        service.intern(weighted_tree(4, /*n=*/4000));
+    std::vector<Ticket> busy = saturate(service, heavy);
+    ScheduleRequest req;
+    req.tree = heavy;
+    req.algo = "Liu";
+    req.priority = Priority::kBulk;  // behind the interactive backlog
+    Ticket doomed = service.submit(req);
+    doomed.on_complete([&](const ServiceResult& result) {
+      saw_cancelled.store(!result.ok() &&
+                          result.error().code == ErrorCode::kCancelled);
+      fired.fetch_add(1);
+    });
+    ASSERT_TRUE(doomed.cancel());
+    for (Ticket& t : busy) (void)t.wait();
+  }
+  EXPECT_TRUE(eventually(fired, 1));
+  EXPECT_TRUE(saw_cancelled.load());
+}
+
+TEST(TicketOnComplete, SubscribeRacingSettlementNeverLosesACompletion) {
+  // The race the satellite names: subscription from one thread while a
+  // pool worker settles. Whatever interleaving happens, every hook must
+  // fire exactly once.
+  SchedulingService service;
+  const TreeHandle tree = service.intern(weighted_tree(5));
+  constexpr int kRounds = 200;
+  std::atomic<int> fired{0};
+  std::vector<Ticket> tickets;
+  tickets.reserve(kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    ScheduleRequest req;
+    req.tree = tree;
+    req.algo = "Liu";
+    tickets.push_back(service.submit(req));
+    // Attach right away: cache-hot requests often settle first.
+    tickets.back().on_complete(
+        [&](const ServiceResult&) { fired.fetch_add(1); });
+  }
+  for (Ticket& t : tickets) (void)t.wait();
+  EXPECT_TRUE(eventually(fired, kRounds));
+}
+
 }  // namespace
 }  // namespace treesched
