@@ -23,25 +23,30 @@
 // wrapper layer (queue admission + ticket settle vs. + promise/future)
 // is on the perf record.
 //
-// Experiment 4 (loopback server): a real schedule_server (src/net/, an
-// epoll TCP front-end on 127.0.0.1, port 0) driven by N concurrent
-// client threads, each running a closed loop of synchronous protocol-v2
-// requests through net::Client. Reports requests/sec and p50/p99
-// round-trip latency, cached (every request after the first pass hits
-// the result cache — the transport-dominated number) and uncached
-// (every request recomputes — the compute-dominated number). These are
-// the whole-stack numbers: framing, epoll, ticket completion hand-off,
-// and kernel loopback included.
+// Experiment 4 (loopback server, v2 vs v3): a real schedule_server
+// (src/net/, an epoll front-end on 127.0.0.1 port 0 — plus unix-domain
+// runs) driven by N concurrent client threads through net::Client, in
+// both protocols and several batch depths. batch=1 is the classic
+// closed loop of synchronous requests; batch=k pipelines k requests per
+// submission (one newline-joined write in text mode, ONE kBatch frame
+// in v3) and then drains the k tagged answers. Cached runs warm the
+// 32-key spec pool first, so the numbers price the transport — framing,
+// epoll, ticket hand-off, kernel loopback — not the schedulers; the
+// uncached batch=1 runs price the whole compute path. The headline
+// ratio, v3 batch=16 over text v2 batch=1 (both cache-hot, same run),
+// carries the PR 6 acceptance bar: >= 3x.
 //
 //   $ ./bench_service
 //   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
 //   $ ./bench_service --probes 50 --bulk-per-probe 4 --bulk-n 4000
-//   $ ./bench_service --server-clients 8 --server-requests 500
+//   $ ./bench_service --server-clients 8 --server-requests 512
 //
 // --probes 0 skips experiment 2; --ticket-ops 0 skips experiment 3;
 // --server-clients 0 skips experiment 4.
 // --json writes the numbers machine-readably (merged into BENCH_PR2.json
 // by the perf pipeline alongside bench_perf's per-algorithm ns/op).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -227,27 +232,77 @@ TicketOverhead run_ticket_overhead(std::size_t ops) {
   return result;
 }
 
-/// Experiment 4: the whole networked stack over loopback. N client
-/// threads, each a closed synchronous loop of `per_client` protocol-v2
-/// requests against an in-process schedule_server on an ephemeral port.
+/// Experiment 4: the whole networked stack over loopback, protocol v2
+/// against protocol v3 at several pipeline depths.
 struct LoopbackResult {
   double rps = 0.0;
-  double p50_ms = 0.0;
+  double p50_ms = 0.0;  ///< per-request RTT (batch=1) or per-batch RTT
   double p99_ms = 0.0;
 };
 
-LoopbackResult run_loopback(bool cached, std::size_t clients,
+struct LoopbackSpec {
+  net::Protocol protocol = net::Protocol::kText;
+  std::size_t batch = 1;  ///< 1 = synchronous; k = k requests per send
+  bool cached = true;
+  bool unix_socket = false;
+};
+
+/// The request line for slot (client, i): 4 distinct trees x 8 p values
+/// = a 32-key spec pool, so cached runs settle into pure hits while
+/// uncached ones pay full compute per request.
+std::string loopback_line(NodeId tree_n, std::size_t client, std::size_t i) {
+  return "synthetic:" + std::to_string(tree_n) + ":" +
+         std::to_string((client + i) % 4) + " ParInnerFirst " +
+         std::to_string(2 + static_cast<int>(i % 8)) +
+         " id=" + std::to_string(i);
+}
+
+LoopbackResult run_loopback(const LoopbackSpec& spec, std::size_t clients,
                             std::size_t per_client, NodeId tree_n) {
   ServiceConfig service_config;
-  if (!cached) service_config.cache_bytes = 0;
+  if (!spec.cached) service_config.cache_bytes = 0;
   SchedulingService service(service_config);
-  net::ServerConfig server_config;  // port 0 = ephemeral
+  net::ServerConfig server_config;  // TCP: port 0 = ephemeral
+  const std::string unix_path =
+      "/tmp/treesched_bench_" + std::to_string(::getpid()) + ".sock";
+  if (spec.unix_socket) server_config.unix_path = unix_path;
+  // Batched clients park up to `batch` requests per frame in the window.
+  server_config.max_pending = std::max<std::size_t>(64, spec.batch + 8);
   net::Server server(service, server_config);
   std::thread io([&server] { server.run(); });
+  const auto connect = [&] {
+    return spec.unix_socket
+               ? net::Client::connect_unix(unix_path, spec.protocol)
+               : net::Client("127.0.0.1", server.port(), spec.protocol);
+  };
 
-  // A small spec pool: 4 distinct trees x 8 p values = 32 keys, so the
-  // cached run settles into hits after the first pass while the
-  // uncached one pays full compute per request.
+  if (spec.cached) {
+    // Warm every key in the pool so the timed phase is all cache hits —
+    // the number should price the transport, not the first-pass misses.
+    net::Client warm = connect();
+    for (std::size_t i = 0; i < 4 * 8; ++i) {
+      const ResponseLine resp = warm.request(loopback_line(tree_n, i, i));
+      if (!resp.ok) {
+        throw std::runtime_error("loopback warm-up failed: " + resp.message);
+      }
+    }
+  }
+
+  // Request lines (and their batch groupings) are built OUTSIDE the
+  // timed loop: the bench prices the wire, not std::to_string.
+  const std::size_t rounds = std::max<std::size_t>(1, per_client / spec.batch);
+  const std::size_t actual_per_client = rounds * spec.batch;
+  std::vector<std::vector<std::vector<std::string>>> batches(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    batches[c].resize(rounds);
+    std::size_t i = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t b = 0; b < spec.batch; ++b, ++i) {
+        batches[c][r].push_back(loopback_line(tree_n, c, i));
+      }
+    }
+  }
+
   std::vector<std::vector<double>> latencies(clients);
   // Failures are carried back to the main thread: an exception escaping
   // a std::thread body would terminate the whole bench with no message.
@@ -258,23 +313,30 @@ LoopbackResult run_loopback(bool cached, std::size_t clients,
   for (std::size_t c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
       try {
-        net::Client client("127.0.0.1", server.port());
+        net::Client client = connect();
         std::vector<double>& lat = latencies[c];
-        lat.reserve(per_client);
-        for (std::size_t i = 0; i < per_client; ++i) {
-          const std::string line =
-              "synthetic:" + std::to_string(tree_n) + ":" +
-              std::to_string((c + i) % 4) + " ParInnerFirst " +
-              std::to_string(2 + static_cast<int>(i % 8)) +
-              " id=" + std::to_string(i);
+        lat.reserve(rounds);
+        for (const std::vector<std::string>& round : batches[c]) {
           const auto r0 = std::chrono::steady_clock::now();
-          const ResponseLine resp = client.request(line);
+          if (round.size() == 1) {
+            const ResponseLine resp = client.request(round.front());
+            if (!resp.ok) {
+              throw std::runtime_error("loopback request failed: " +
+                                       resp.message);
+            }
+          } else {
+            client.send_batch(round);
+            for (std::size_t i = 0; i < round.size(); ++i) {
+              const auto resp = client.recv_response();
+              if (!resp || !resp->ok) {
+                throw std::runtime_error(
+                    "loopback batch request failed: " +
+                    (resp ? resp->message : std::string("connection closed")));
+              }
+            }
+          }
           const std::chrono::duration<double, std::milli> rtt =
               std::chrono::steady_clock::now() - r0;
-          if (!resp.ok) {
-            throw std::runtime_error("loopback request failed: " +
-                                     resp.message);
-          }
           lat.push_back(rtt.count());
         }
       } catch (...) {
@@ -298,7 +360,7 @@ LoopbackResult run_loopback(bool cached, std::size_t clients,
   std::sort(all.begin(), all.end());
   LoopbackResult result;
   result.rps =
-      static_cast<double>(clients * per_client) / elapsed.count();
+      static_cast<double>(clients * actual_per_client) / elapsed.count();
   result.p50_ms = quantile_sorted(all, 0.50);
   result.p99_ms = quantile_sorted(all, 0.99);
   return result;
@@ -326,8 +388,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("ticket-ops", 20000));
     const auto server_clients =
         static_cast<std::size_t>(args.get_int("server-clients", 4));
+    // Long enough that each cached run reaches steady state even on a
+    // small CI box — at batch=256 this is still only 8 timed rounds per
+    // client, and short runs drown the v2-vs-v3 ratio in startup noise.
     const auto server_requests =
-        static_cast<std::size_t>(args.get_int("server-requests", 200));
+        static_cast<std::size_t>(args.get_int("server-requests", 2048));
     const auto server_n =
         static_cast<NodeId>(args.get_int("server-n", 500));
     args.reject_unknown();
@@ -437,26 +502,67 @@ int main(int argc, char** argv) {
                 << "x\n";
     }
 
-    LoopbackResult server_cached, server_uncached;
+    // Experiment 4 grid. Indexed [protocol][batch depth] for the cached
+    // runs; uncached and unix-domain runs are singletons.
+    const std::size_t kBatches[] = {1, 16, 256};
+    LoopbackResult grid[2][3];
+    LoopbackResult v2_uncached, v3_uncached, uds_v2, uds_v3;
+    double v3_over_v2 = 0.0;
     if (server_clients > 0) {
-      std::cout << "\n== loopback server (experiment 4) ==\n"
-                << server_clients << " concurrent clients x "
-                << server_requests << " synchronous requests (n = "
-                << server_n << ") over 127.0.0.1\n";
-      server_cached =
-          run_loopback(true, server_clients, server_requests, server_n);
-      server_uncached =
-          run_loopback(false, server_clients, server_requests, server_n);
-      std::cout << std::setprecision(0)
-                << "cached:   " << server_cached.rps
-                << " requests/sec, p50/p99 = " << std::setprecision(3)
-                << server_cached.p50_ms << "/" << server_cached.p99_ms
-                << " ms\n"
-                << std::setprecision(0)
-                << "uncached: " << server_uncached.rps
-                << " requests/sec, p50/p99 = " << std::setprecision(3)
-                << server_uncached.p50_ms << "/" << server_uncached.p99_ms
-                << " ms\n";
+      std::cout << "\n== loopback server, v2 vs v3 (experiment 4) ==\n"
+                << server_clients << " concurrent clients x ~"
+                << server_requests << " requests (n = " << server_n
+                << "), cache-hot unless marked\n";
+      for (int proto = 0; proto < 2; ++proto) {
+        for (int b = 0; b < 3; ++b) {
+          LoopbackSpec spec;
+          spec.protocol =
+              proto == 0 ? net::Protocol::kText : net::Protocol::kV3;
+          spec.batch = kBatches[b];
+          grid[proto][b] =
+              run_loopback(spec, server_clients, server_requests, server_n);
+          std::cout << (proto == 0 ? "v2 text" : "v3 bin ") << " batch="
+                    << std::setw(3) << kBatches[b] << ": "
+                    << std::setprecision(0) << std::setw(8)
+                    << grid[proto][b].rps << " requests/sec, "
+                    << (kBatches[b] == 1 ? "per-request" : "per-batch")
+                    << " p50/p99 = " << std::setprecision(3)
+                    << grid[proto][b].p50_ms << "/" << grid[proto][b].p99_ms
+                    << " ms\n";
+        }
+      }
+      v3_over_v2 = grid[1][1].rps / std::max(grid[0][0].rps, 1e-9);
+      std::cout << std::setprecision(1) << "v3 batch=16 over text v2: "
+                << v3_over_v2 << "x"
+                << (v3_over_v2 >= 3.0 ? "  (meets the >= 3x bar)"
+                                      : "  (BELOW the >= 3x bar)")
+                << "\n";
+      {
+        LoopbackSpec spec;
+        spec.cached = false;
+        v2_uncached =
+            run_loopback(spec, server_clients, server_requests, server_n);
+        spec.protocol = net::Protocol::kV3;
+        v3_uncached =
+            run_loopback(spec, server_clients, server_requests, server_n);
+      }
+      std::cout << std::setprecision(0) << "uncached, batch=1: v2 = "
+                << v2_uncached.rps << " requests/sec (p99 = "
+                << std::setprecision(3) << v2_uncached.p99_ms
+                << " ms), v3 = " << std::setprecision(0) << v3_uncached.rps
+                << " requests/sec (p99 = " << std::setprecision(3)
+                << v3_uncached.p99_ms << " ms)\n";
+      {
+        LoopbackSpec spec;
+        spec.unix_socket = true;
+        uds_v2 = run_loopback(spec, server_clients, server_requests, server_n);
+        spec.protocol = net::Protocol::kV3;
+        spec.batch = 16;
+        uds_v3 = run_loopback(spec, server_clients, server_requests, server_n);
+      }
+      std::cout << std::setprecision(0) << "unix socket: v2 batch=1 = "
+                << uds_v2.rps << " requests/sec, v3 batch=16 = " << uds_v3.rps
+                << " requests/sec\n";
     }
 
     if (!json_path.empty()) {
@@ -464,7 +570,7 @@ int main(int argc, char** argv) {
       if (!os) throw std::runtime_error("cannot open " + json_path);
       os << std::setprecision(17)
          << "{\n"
-         << "  \"schema\": \"treesched-bench-service-v4\",\n"
+         << "  \"schema\": \"treesched-bench-service-v5\",\n"
          << "  \"distinct_requests\": " << distinct << ",\n"
          << "  \"repeat\": " << repeat << ",\n"
          << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
@@ -487,14 +593,33 @@ int main(int argc, char** argv) {
          << "  \"legacy_async_rps\": " << overhead.legacy_async_rps << ",\n"
          << "  \"server_clients\": " << server_clients << ",\n"
          << "  \"server_requests_per_client\": " << server_requests << ",\n"
-         << "  \"server_cached_rps\": " << server_cached.rps << ",\n"
-         << "  \"server_cached_p50_ms\": " << server_cached.p50_ms << ",\n"
-         << "  \"server_cached_p99_ms\": " << server_cached.p99_ms << ",\n"
-         << "  \"server_uncached_rps\": " << server_uncached.rps << ",\n"
-         << "  \"server_uncached_p50_ms\": " << server_uncached.p50_ms
+         // Legacy v4 keys, aliased to the closest v5 runs (text v2,
+         // batch=1) so downstream trend tooling keeps a continuous
+         // series across the schema bump.
+         << "  \"server_cached_rps\": " << grid[0][0].rps << ",\n"
+         << "  \"server_cached_p50_ms\": " << grid[0][0].p50_ms << ",\n"
+         << "  \"server_cached_p99_ms\": " << grid[0][0].p99_ms << ",\n"
+         << "  \"server_uncached_rps\": " << v2_uncached.rps << ",\n"
+         << "  \"server_uncached_p50_ms\": " << v2_uncached.p50_ms << ",\n"
+         << "  \"server_uncached_p99_ms\": " << v2_uncached.p99_ms << ",\n"
+         << "  \"server_v2_batch1_rps\": " << grid[0][0].rps << ",\n"
+         << "  \"server_v2_batch1_p50_ms\": " << grid[0][0].p50_ms << ",\n"
+         << "  \"server_v2_batch1_p99_ms\": " << grid[0][0].p99_ms << ",\n"
+         << "  \"server_v2_batch16_rps\": " << grid[0][1].rps << ",\n"
+         << "  \"server_v2_batch256_rps\": " << grid[0][2].rps << ",\n"
+         << "  \"server_v3_batch1_rps\": " << grid[1][0].rps << ",\n"
+         << "  \"server_v3_batch1_p50_ms\": " << grid[1][0].p50_ms << ",\n"
+         << "  \"server_v3_batch1_p99_ms\": " << grid[1][0].p99_ms << ",\n"
+         << "  \"server_v3_batch16_rps\": " << grid[1][1].rps << ",\n"
+         << "  \"server_v3_batch16_p50_ms\": " << grid[1][1].p50_ms << ",\n"
+         << "  \"server_v3_batch16_p99_ms\": " << grid[1][1].p99_ms << ",\n"
+         << "  \"server_v3_batch256_rps\": " << grid[1][2].rps << ",\n"
+         << "  \"server_v3_over_v2_batch16\": " << v3_over_v2 << ",\n"
+         << "  \"server_v3_uncached_rps\": " << v3_uncached.rps << ",\n"
+         << "  \"server_v3_uncached_p99_ms\": " << v3_uncached.p99_ms
          << ",\n"
-         << "  \"server_uncached_p99_ms\": " << server_uncached.p99_ms
-         << "\n"
+         << "  \"server_uds_v2_batch1_rps\": " << uds_v2.rps << ",\n"
+         << "  \"server_uds_v3_batch16_rps\": " << uds_v3.rps << "\n"
          << "}\n";
       std::cout << "wrote " << json_path << "\n";
     }

@@ -1,7 +1,8 @@
-// Networked front-end for the scheduling service: an epoll-driven TCP
-// server (src/net/) speaking protocol v2 — the same request/response
-// line grammar as the stdin front-end (examples/schedule_service), over
-// a socket, to many concurrent clients.
+// Networked front-end for the scheduling service: an epoll-driven
+// server (src/net/) speaking text protocol v2 — the same
+// request/response line grammar as the stdin front-end (examples/
+// schedule_service) — and binary protocol v3 (net/frame.hpp),
+// negotiated per connection by its first bytes.
 //
 //   $ ./schedule_server --port 3713 &
 //   listening on 127.0.0.1:3713
@@ -9,10 +10,14 @@
 //   ok id=1 tree=... makespan=... priority=batch
 //   pong
 //
-// --port 0 picks an ephemeral port (printed on stdout, for scripts).
+// --port 0 picks an ephemeral port (printed on stdout, for scripts);
+// --bind sets the TCP address (default 127.0.0.1); --unix /path.sock
+// serves on a unix-domain socket instead of TCP (same protocols, no TCP
+// stack — what the bench's UDS experiment measures).
 // --max-conns bounds accepted sockets; --max-pending bounds unsettled
 // requests per connection (excess answers the typed queue_full error);
-// --store-mb / --cache-mb budget the instance store and result cache.
+// --max-frame-kb bounds one v3 frame; --store-mb / --cache-mb budget
+// the instance store and result cache.
 // SIGTERM/SIGINT drain gracefully: the listener closes, every accepted
 // request is answered or cancelled, buffers flush, then the process
 // exits 0 — kill -TERM is the production stop.
@@ -31,6 +36,10 @@ int main(int argc, char** argv) {
     CliArgs args(argc, argv);
     net::ServerConfig server_config;
     server_config.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    server_config.bind = args.get("bind", "127.0.0.1");
+    server_config.unix_path = args.get("unix", "");
+    server_config.max_frame =
+        static_cast<std::size_t>(args.get_int("max-frame-kb", 1024)) << 10;
     server_config.max_conns =
         static_cast<std::size_t>(args.get_int("max-conns", 256));
     server_config.max_pending =
@@ -64,7 +73,7 @@ int main(int argc, char** argv) {
     net::Server server(service, server_config);
     // Machine-read by scripts (the e2e test binds port 0): keep the
     // format stable and flushed before serving starts.
-    std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+    std::cout << "listening on " << server.address() << std::endl;
     server.run();
     std::cerr << "drained: all accepted requests answered or cancelled\n";
     return 0;

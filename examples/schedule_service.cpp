@@ -82,6 +82,7 @@ class Stream {
   /// Handles one nonempty, comment-stripped input line; prints any
   /// response lines that become available.
   void consume(const std::string& line) {
+    ++lines_;
     RequestLine parsed;
     bool parse_ok = true;
     try {
@@ -89,6 +90,7 @@ class Stream {
     } catch (const std::exception& e) {
       // Untagged: a positional client correlates responses by line, so
       // the error must keep its place in the stream, not jump the queue.
+      ++parse_errors_;
       push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
       parse_ok = false;
     }
@@ -209,9 +211,11 @@ class Stream {
     line.kind = ResponseLine::Kind::kStats;
     line.ok = true;
     line.id = parsed.id;
-    // The stream's window depth, then the shared service vocabulary
-    // (service_stats_pairs keeps both front-ends aligned).
-    line.stats = {{"pending", pending_.size()}};
+    // The stream's transport counters, then the shared service
+    // vocabulary (service_stats_pairs keeps both front-ends aligned).
+    line.stats = {{"pending", pending_.size()},
+                  {"lines", lines_},
+                  {"parse_errors", parse_errors_}};
     for (auto& pair : service_stats_pairs(service_)) {
       line.stats.push_back(std::move(pair));
     }
@@ -321,6 +325,8 @@ class Stream {
   /// Tags of pending requests, for duplicate-id detection (cancel scans
   /// the deque itself — the pending window is small).
   std::unordered_set<std::uint64_t> by_id_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t parse_errors_ = 0;
 };
 
 }  // namespace

@@ -1,31 +1,51 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate: compare this run's bench output against the
-previous CI run's uploaded artifact and fail on regressions.
+"""Perf gate: compare bench output against the committed baseline
+(bench/baseline.json) and fail on regressions.
 
 Usage:
-    check_bench_trend.py <current.json> <previous.json>
+    check_bench_trend.py [current.json previous.json]
         [--threshold 0.15]
         [--service-current bench_service.json]
-        [--service-previous bench_service.json]
+        [--baseline bench/baseline.json]
         [--service-threshold 0.30]
+        [--min-v3-ratio 3.0]
 
-The positional files use the treesched-bench-pr2 schema written by
-bench_perf ({"benchmarks": [{"name", "ns_per_op", "items_per_second"},
-...]}). Two families gate the build:
+Two independent comparisons, each optional:
 
-  * "BM_Sched/<algorithm>": single-thread end-to-end runs of each
-    registered algorithm on a fixed tree — the most noise-resistant
-    numbers in the file. Regression = ns_per_op up by more than
-    --threshold (default +15%).
-  * "BM_Service/...": service-layer throughput benchmarks. Regression =
-    items_per_second down by more than --threshold.
+  * The positional pair uses the treesched-bench-pr2 schema written by
+    bench_perf ({"benchmarks": [{"name", "ns_per_op",
+    "items_per_second"}, ...]}) — "BM_Sched/<algorithm>" gates on
+    ns_per_op (up > --threshold fails), "BM_Service/..." gates on
+    items_per_second (down > --threshold fails). These still compare
+    run-to-run (same CI hardware, artifact-chained); omit the pair to
+    skip them.
 
-With --service-current/--service-previous, the loopback-server numbers
-from bench_service's JSON (server_cached_rps / server_uncached_rps —
-whole-stack requests/sec through the epoll TCP front-end) gate too, at
-the separate, looser --service-threshold (default 30%): they cross the
-kernel's loopback stack and a real scheduler pool, so run-to-run noise
-is inherently higher than the in-process numbers.
+  * --service-current names this run's bench_service JSON (schema
+    treesched-bench-service-v5). Its loopback-server requests/sec are
+    gated against the COMMITTED baseline named by --baseline — no
+    artifact chaining, so sub-threshold drift cannot accumulate across
+    runs: every run answers to the same pinned numbers. Absolute rps
+    keys gate at --service-threshold (loose: they cross the kernel
+    loopback stack and a real scheduler pool). Hardware-relative ratios
+    gate regardless of the machine: the v3-batch-16-over-text-v2 ratio
+    must stay >= --min-v3-ratio (the protocol-v3 acceptance bar), and
+    the cached/uncached speedup gates like an rps key.
+
+Updating the baseline
+---------------------
+The baseline is a bench_service run committed to the repo. Regenerate
+it ONLY alongside the change that legitimately moved the numbers (an
+intentional perf change, a bench-shape change, or new reference
+hardware), and commit the refreshed file in the same PR so reviewers
+see old and new numbers in one diff:
+
+    ./build/bench_service --json bench/baseline.json
+    git add bench/baseline.json
+
+Absolute rps values are machine-dependent; if CI moves to different
+hardware, regenerate there (or widen --service-threshold in the
+workflow) — the ratio gates keep protecting the protocol contract
+either way.
 
 Benchmarks/keys present on only one side are reported but never fail
 the build (new benchmarks appear, old ones are retired).
@@ -36,6 +56,7 @@ Exit status: 0 = no regression (or nothing comparable), 1 = regression,
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -65,7 +86,20 @@ def load_entries(path):
     return sched, service
 
 
-LOOPBACK_KEYS = ("server_cached_rps", "server_uncached_rps")
+# Loopback/throughput keys gated against the committed baseline:
+# "current may not drop more than --service-threshold below baseline".
+LOOPBACK_KEYS = (
+    "server_cached_rps",
+    "server_uncached_rps",
+    "server_v2_batch1_rps",
+    "server_v3_batch1_rps",
+    "server_v3_batch16_rps",
+    "server_v3_batch256_rps",
+    "server_v3_uncached_rps",
+    "server_uds_v2_batch1_rps",
+    "server_uds_v3_batch16_rps",
+    "speedup",
+)
 
 
 def load_loopback(path):
@@ -110,37 +144,74 @@ def compare(label, current, previous, threshold, lower_is_better):
     return regressions
 
 
+def default_baseline():
+    """bench/baseline.json relative to the repo root (this script's
+    parent directory's parent), so the gate works from any CWD."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(here), "bench", "baseline.json")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current")
-    parser.add_argument("previous")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="this run's BENCH_PR2.json (bench_perf)")
+    parser.add_argument("previous", nargs="?", default=None,
+                        help="the previous run's BENCH_PR2.json")
     parser.add_argument("--threshold", type=float, default=0.15,
                         help="allowed fractional change for BM_Sched ns/op "
                              "and BM_Service items/sec (default 0.15)")
     parser.add_argument("--service-current", default=None,
                         help="this run's bench_service.json (loopback rps)")
-    parser.add_argument("--service-previous", default=None,
-                        help="previous run's bench_service.json")
+    parser.add_argument("--baseline", default=default_baseline(),
+                        help="committed baseline bench_service.json "
+                             "(default: bench/baseline.json in this repo)")
     parser.add_argument("--service-threshold", type=float, default=0.30,
-                        help="allowed fractional rps decrease for the "
-                             "loopback-server numbers, looser because they "
+                        help="allowed fractional rps decrease vs. the "
+                             "committed baseline, looser because the numbers "
                              "include kernel noise (default 0.30)")
+    parser.add_argument("--min-v3-ratio", type=float, default=3.0,
+                        help="required server_v3_over_v2_batch16 in the "
+                             "current run — hardware-relative, so it gates "
+                             "on any machine (default 3.0; 0 disables)")
     args = parser.parse_args()
-
-    cur_sched, cur_service = load_entries(args.current)
-    prev_sched, prev_service = load_entries(args.previous)
+    if (args.current is None) != (args.previous is None):
+        parser.error("current and previous must be given together")
 
     regressions = []
-    regressions += compare("BM_Sched (ns/op)", cur_sched, prev_sched,
-                           args.threshold, lower_is_better=True)
-    regressions += compare("BM_Service (items/s)", cur_service,
-                           prev_service, args.threshold,
-                           lower_is_better=False)
-    if args.service_current and args.service_previous:
-        regressions += compare(
-            "loopback server (rps)", load_loopback(args.service_current),
-            load_loopback(args.service_previous), args.service_threshold,
-            lower_is_better=False)
+    if args.current is not None:
+        cur_sched, cur_service = load_entries(args.current)
+        prev_sched, prev_service = load_entries(args.previous)
+        regressions += compare("BM_Sched (ns/op)", cur_sched, prev_sched,
+                               args.threshold, lower_is_better=True)
+        regressions += compare("BM_Service (items/s)", cur_service,
+                               prev_service, args.threshold,
+                               lower_is_better=False)
+
+    compared = 0
+    if args.service_current:
+        doc = load_json(args.service_current)
+        if os.path.exists(args.baseline):
+            regressions += compare(
+                "loopback server vs baseline (rps)",
+                load_loopback(args.service_current),
+                load_loopback(args.baseline), args.service_threshold,
+                lower_is_better=False)
+            compared += 1
+        else:
+            print(f"check_bench_trend: no baseline at {args.baseline}; "
+                  "skipping the loopback comparison")
+        ratio = doc.get("server_v3_over_v2_batch16")
+        if args.min_v3_ratio > 0 and isinstance(ratio, (int, float)) \
+                and ratio > 0:
+            ok = ratio >= args.min_v3_ratio
+            print(f"v3 batch=16 over text v2: {ratio:.1f}x "
+                  f"(required >= {args.min_v3_ratio:.1f}x)"
+                  f"{'' if ok else '  << REGRESSION'}")
+            if not ok:
+                regressions.append(
+                    ("server_v3_over_v2_batch16",
+                     ratio / args.min_v3_ratio - 1.0))
+            compared += 1
 
     if regressions:
         print(f"check_bench_trend: {len(regressions)} benchmark(s) "
@@ -148,9 +219,7 @@ def main():
         for name, ratio in regressions:
             print(f"  {name}: {ratio:+.1%}", file=sys.stderr)
         return 1
-    compared = len(cur_sched) + len(cur_service)
-    print(f"check_bench_trend: OK ({compared} benchmarks within their "
-          "thresholds of the previous run)")
+    print("check_bench_trend: OK (no gated benchmark regressed)")
     return 0
 
 

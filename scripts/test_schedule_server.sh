@@ -1,11 +1,16 @@
 #!/bin/sh
 # End-to-end check of the networked scheduling server: starts
-# schedule_server on an ephemeral port, drives two concurrent clients
-# (tagged out-of-order answers, one cancel id=N, one abrupt disconnect
-# mid-batch), probes liveness with ping/stats, then SIGTERMs and asserts
-# a clean graceful drain (exit 0). Run by CTest as schedule_server_e2e
-# with the binary path as $1 — and by the ASan/TSan CI jobs, where the
-# abrupt-disconnect ticket cleanup is leak- and race-checked for real.
+# schedule_server on an ephemeral port, drives concurrent clients in
+# BOTH protocols — text v2 (tagged out-of-order answers, one cancel
+# id=N, one abrupt disconnect mid-batch) and binary v3 (magic
+# negotiation, one pipelined batch frame, hostile frames: garbage
+# magic, oversized length, truncated length prefix) — probes liveness
+# with ping/stats (including the v3 protocol counters), checks a
+# unix-domain-socket instance, then SIGTERMs and asserts a clean
+# graceful drain (exit 0). Run by CTest as schedule_server_e2e with the
+# binary path as $1 — and by the ASan/TSan CI jobs, where the
+# abrupt-disconnect ticket cleanup and the v3 in-place parse path are
+# leak- and race-checked for real.
 set -eu
 
 bin="$1"
@@ -40,11 +45,46 @@ done
 [ -n "$port" ] || fail "server never printed its port"
 
 python3 - "$port" "$backlog" <<'EOF' || fail "client driver reported a failure"
-import socket, sys, threading
+import socket, struct, sys, threading
 
 port = int(sys.argv[1])
 backlog = int(sys.argv[2])
 errors = []
+
+# --- protocol v3 plumbing (mirrors src/net/frame.hpp) -------------------
+MAGIC = b"\xb3TS3"
+OP_BATCH, OP_RESPONSE = 0x02, 0x81
+FLAG_OK, FLAG_HAS_ID = 0x01, 0x02
+CODE_BAD_REQUEST = 7
+
+def frame(op, flags=0, payload=b""):
+    return struct.pack("<BBHI", op, flags, 0, len(payload)) + payload
+
+def batch_frame(lines):
+    payload = struct.pack("<I", len(lines))
+    for line in lines:
+        raw = line.encode()
+        payload += struct.pack("<I", len(raw)) + raw
+    return frame(OP_BATCH, 0, payload)
+
+def recv_frames(sock):
+    """Reads to EOF and splits into (opcode, flags, payload) frames."""
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    frames, off = [], 0
+    while off + 8 <= len(data):
+        op, flags, reserved, length = struct.unpack_from("<BBHI", data, off)
+        off += 8
+        frames.append((op, flags, data[off:off + length]))
+        off += length
+    if off != len(data):
+        raise AssertionError(f"server sent a partial frame ({len(data)-off} "
+                             "trailing bytes)")
+    return frames
 
 def connect():
     return socket.create_connection(("127.0.0.1", port), timeout=30)
@@ -104,12 +144,72 @@ def abrupt_client():
     except Exception as e:  # noqa: BLE001
         errors.append(f"abrupt client: {e}")
 
+def v3_client():
+    """Binary mode: magic + ONE batch frame of tagged requests, answers
+    decoded from response frames (out-of-order legal, ids make it
+    attributable)."""
+    try:
+        s = connect()
+        s.sendall(MAGIC + batch_frame(
+            [f"random:200:1 Liu {2 + i} id={i}" for i in range(8)]))
+        s.shutdown(socket.SHUT_WR)
+        frames = recv_frames(s)
+        s.close()
+        ids = set()
+        for op, flags, payload in frames:
+            if op != OP_RESPONSE or not (flags & FLAG_OK) \
+                    or not (flags & FLAG_HAS_ID):
+                raise AssertionError(
+                    f"unexpected frame op={op:#x} flags={flags:#x}")
+            ids.add(struct.unpack_from("<Q", payload, 0)[0])
+        if ids != set(range(8)):
+            raise AssertionError(f"missing/duplicate v3 ids: {sorted(ids)}")
+    except Exception as e:  # noqa: BLE001
+        errors.append(f"v3 client: {e}")
+
+def expect_one_bad_request(label, sock):
+    """The hostile-frame contract: exactly one typed bad_request
+    response frame, then a clean close — never an over-read or a hang."""
+    frames = recv_frames(sock)
+    sock.close()
+    if len(frames) != 1:
+        raise AssertionError(f"{label}: expected 1 error frame, "
+                             f"got {len(frames)}")
+    op, flags, payload = frames[0]
+    if op != OP_RESPONSE or (flags & FLAG_OK):
+        raise AssertionError(f"{label}: not an error response "
+                             f"(op={op:#x} flags={flags:#x})")
+    code = struct.unpack_from("<H", payload, 8)[0]
+    if code != CODE_BAD_REQUEST:
+        raise AssertionError(f"{label}: error code {code}, "
+                             f"wanted bad_request")
+
+def hostile_client():
+    try:
+        s = connect()          # 0xB3 greeting with a garbage magic tail
+        s.sendall(b"\xb3XYZ")
+        expect_one_bad_request("garbage magic", s)
+
+        s = connect()          # length field claiming a 1 GiB frame
+        s.sendall(MAGIC + struct.pack("<BBHI", 0x01, 0, 0, 1 << 30))
+        expect_one_bad_request("oversized length", s)
+
+        s = connect()          # half-close inside the length prefix
+        s.sendall(MAGIC + b"\x01\x00\x00")
+        s.shutdown(socket.SHUT_WR)
+        expect_one_bad_request("truncated length prefix", s)
+    except Exception as e:  # noqa: BLE001
+        errors.append(f"hostile client: {e}")
+
 t1 = threading.Thread(target=orderly_client)
 t2 = threading.Thread(target=abrupt_client)
-t1.start(); t2.start()
-t1.join(); t2.join()
+t3 = threading.Thread(target=v3_client)
+t1.start(); t2.start(); t3.start()
+t1.join(); t2.join(); t3.join()
+hostile_client()
 
-# Liveness probe after the chaos: ping + stats must answer immediately.
+# Liveness probe after the chaos: ping + stats must answer immediately,
+# and the stats vocabulary must carry the v3 protocol counters.
 s = connect()
 s.sendall(b"ping id=1\nstats id=2\n")
 s.shutdown(socket.SHUT_WR)
@@ -123,6 +223,12 @@ else:
     stats = dict(kv.split("=", 1) for kv in replies[1].split()[2:])
     if int(stats.get("queue_cancelled", 0)) < 1:
         errors.append(f"expected cancelled tickets in stats: {replies[1]}")
+    if int(stats.get("v3_conns", 0)) < 1:
+        errors.append(f"expected a v3 connection in stats: {replies[1]}")
+    if int(stats.get("batch_requests", 0)) < 8:
+        errors.append(f"expected batched requests in stats: {replies[1]}")
+    if int(stats.get("frames_bad", 0)) < 3:
+        errors.append(f"expected the hostile frames counted: {replies[1]}")
 
 if errors:
     print("\n".join(errors), file=sys.stderr)
@@ -137,5 +243,63 @@ wait "$server_pid" || server_status=$?
 grep -q "drained: all accepted requests answered or cancelled" \
     "$workdir/stderr" || fail "missing drain confirmation: \
 $(cat "$workdir/stderr")"
+
+# --- unix-domain socket instance (--unix), both protocols ---------------
+sock="$workdir/sched.sock"
+"$bin" --unix "$sock" > "$workdir/uds_stdout" 2> "$workdir/uds_stderr" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on unix:" "$workdir/uds_stdout" && break
+    kill -0 "$server_pid" 2>/dev/null || fail "unix server died on startup: \
+$(cat "$workdir/uds_stderr")"
+    sleep 0.1
+done
+[ -S "$sock" ] || fail "unix server never created $sock"
+
+python3 - "$sock" <<'EOF' || fail "unix-socket client reported a failure"
+import socket, struct, sys
+
+path = sys.argv[1]
+
+def recv_all(sock):
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    return data
+
+# Text v2 over the unix socket.
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+s.sendall(b"random:200:1 Liu 2 id=5\nping\n")
+s.shutdown(socket.SHUT_WR)
+lines = [l for l in recv_all(s).decode().split("\n") if l]
+s.close()
+# The pong may legally overtake the schedule answer: health checks
+# bypass the pending window while the cache miss computes.
+assert len(lines) == 2 and "pong" in lines, lines
+assert any(l.startswith("ok id=5 ") for l in lines), lines
+
+# Binary v3 over the unix socket: same request must hit the cache.
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(path)
+raw = b"random:200:1 Liu 2 id=6"
+s.sendall(b"\xb3TS3" + struct.pack("<BBHI", 0x01, 0, 0, len(raw)) + raw)
+s.shutdown(socket.SHUT_WR)
+data = recv_all(s)
+s.close()
+op, flags, reserved, length = struct.unpack_from("<BBHI", data, 0)
+assert op == 0x81 and (flags & 0x01) and (flags & 0x04), \
+    f"v3-over-unix answer not an ok cache hit: op={op:#x} flags={flags:#x}"
+assert struct.unpack_from("<Q", data, 8)[0] == 6
+EOF
+
+kill -TERM "$server_pid"
+server_status=0
+wait "$server_pid" || server_status=$?
+[ "$server_status" -eq 0 ] || fail "unix server exited $server_status"
+[ ! -e "$sock" ] || fail "socket file not unlinked on drain"
 
 echo "schedule_server e2e OK"

@@ -4,11 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <stdexcept>
 #include <system_error>
+#include <utility>
 
 namespace treesched::net {
 
@@ -20,7 +22,8 @@ namespace {
 
 }  // namespace
 
-Client::Client(const std::string& host, std::uint16_t port) {
+Client::Client(const std::string& host, std::uint16_t port, Protocol protocol)
+    : protocol_(protocol) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw_errno("socket");
   sockaddr_in addr{};
@@ -41,6 +44,55 @@ Client::Client(const std::string& host, std::uint16_t port) {
   }
   const int one = 1;
   (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  finish_connect();
+}
+
+Client Client::connect_unix(const std::string& path, Protocol protocol) {
+  Client client;
+  client.protocol_ = protocol;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("Client: unix socket path too long: " + path);
+  }
+  path.copy(addr.sun_path, path.size());
+  client.fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (client.fd_ < 0) throw_errno("socket(AF_UNIX)");
+  if (::connect(client.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(client.fd_);
+    client.fd_ = -1;
+    errno = saved;
+    throw_errno("connect(unix)");
+  }
+  client.finish_connect();
+  return client;
+}
+
+void Client::finish_connect() {
+  if (protocol_ == Protocol::kV3) {
+    send_all(kFrameMagic.data(), kFrameMagic.size(), "send(magic)");
+  }
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      protocol_(other.protocol_),
+      rbuf_(std::move(other.rbuf_)),
+      rpos_(std::exchange(other.rpos_, 0)),
+      reader_(std::move(other.reader_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    protocol_ = other.protocol_;
+    rbuf_ = std::move(other.rbuf_);
+    rpos_ = std::exchange(other.rpos_, 0);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
 }
 
 Client::~Client() { close(); }
@@ -56,19 +108,22 @@ void Client::shutdown_write() {
   if (fd_ >= 0) (void)::shutdown(fd_, SHUT_WR);
 }
 
-void Client::send_line(const std::string& line) {
-  std::string framed = line;
-  framed.push_back('\n');
+void Client::send_all(const char* data, std::size_t len, const char* what) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
-                             MSG_NOSIGNAL);
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("send");
+      throw_errno(what);
     }
     sent += static_cast<std::size_t>(n);
   }
+}
+
+void Client::send_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  send_all(framed.data(), framed.size(), "send");
 }
 
 std::optional<std::string> Client::recv_line() {
@@ -96,13 +151,77 @@ std::optional<std::string> Client::recv_line() {
   }
 }
 
+void Client::send_request(const std::string& line) {
+  if (protocol_ == Protocol::kText) {
+    send_line(line);
+    return;
+  }
+  std::string out;
+  FrameWriter writer(out);
+  writer.request(line);
+  send_all(out.data(), out.size(), "send(frame)");
+}
+
+void Client::send_batch(const std::vector<std::string>& lines) {
+  std::string out;
+  if (protocol_ == Protocol::kText) {
+    for (const std::string& line : lines) {
+      out += line;
+      out.push_back('\n');
+    }
+  } else {
+    FrameWriter writer(out);
+    writer.batch(lines);
+  }
+  send_all(out.data(), out.size(), "send(batch)");
+}
+
+std::optional<ResponseLine> Client::recv_response() {
+  if (protocol_ == Protocol::kText) {
+    std::optional<std::string> line = recv_line();
+    if (!line) return std::nullopt;
+    return parse_response_line(*line);
+  }
+  for (;;) {
+    Frame frame;
+    const FrameReader::Status status = reader_.next(frame);
+    if (status == FrameReader::Status::kFrame) {
+      ResponseLine resp;
+      std::string error;
+      if (!decode_response_frame(frame, resp, error)) {
+        throw std::runtime_error("Client::recv_response: " + error);
+      }
+      return resp;
+    }
+    if (status == FrameReader::Status::kBad) {
+      throw std::runtime_error("Client::recv_response: " +
+                               reader_.bad_reason());
+    }
+    char* dst = reader_.write_ptr();
+    const ssize_t n = ::recv(fd_, dst, reader_.write_capacity(), 0);
+    if (n > 0) {
+      reader_.commit(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (reader_.buffered() > 0) {
+        throw std::runtime_error(
+            "Client::recv_response: connection closed mid-frame");
+      }
+      return std::nullopt;  // orderly EOF on a frame boundary
+    }
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
 ResponseLine Client::request(const std::string& line) {
-  send_line(line);
-  const std::optional<std::string> reply = recv_line();
+  send_request(line);
+  std::optional<ResponseLine> reply = recv_response();
   if (!reply) {
     throw std::runtime_error("Client::request: server closed the connection");
   }
-  return parse_response_line(*reply);
+  return *std::move(reply);
 }
 
 }  // namespace treesched::net

@@ -1,16 +1,21 @@
 #pragma once
-// Minimal blocking protocol-v2 client (src/net/): connects to a
-// schedule_server, sends request lines, reads response lines. One
-// socket, one thread — callers wanting concurrency run N Clients on N
-// threads (exactly what bench_service's loopback experiment does).
+// Minimal blocking client (src/net/): connects to a schedule_server
+// over TCP or a unix-domain socket, speaking either protocol — text v2
+// (send request lines, read response lines) or binary v3 (the magic is
+// sent on connect; requests and responses ride length-prefixed frames,
+// net/frame.hpp). One socket, one thread — callers wanting concurrency
+// run N Clients on N threads (exactly what bench_service's loopback
+// experiment does).
 //
-//   Client c("127.0.0.1", port);
-//   ResponseLine r = c.request("random:500:1 ParSubtrees 8 id=1");
-//   c.send_line("ping");
-//   auto pong = c.recv_line();     // "pong"
+//   Client c("127.0.0.1", port);                      // text v2
+//   Client b("127.0.0.1", port, Protocol::kV3);      // binary v3
+//   ResponseLine r = b.request("random:500:1 ParSubtrees 8 id=1");
+//   b.send_batch({"t Liu 1 id=1", "t Liu 2 id=2"});  // one frame/write
+//   while (auto resp = b.recv_response()) ...        // tagged answers
 //
-// recv_line() buffers and splits on '\n' (stripping a trailing '\r'),
-// returning std::nullopt at orderly EOF. shutdown_write() half-closes
+// request()/send_request()/recv_response() work identically in both
+// modes (text framing vs binary frames under the hood), so protocol
+// comparisons drive the same call sites. shutdown_write() half-closes
 // (the server answers what is pending, then closes); destroying the
 // Client without it is the abrupt-disconnect path the server must
 // survive.
@@ -18,35 +23,62 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "net/frame.hpp"
 #include "service/request_line.hpp"
 
 namespace treesched::net {
 
+enum class Protocol { kText, kV3 };
+
 class Client {
  public:
-  /// Blocking connect; throws std::system_error on failure.
-  Client(const std::string& host, std::uint16_t port);
+  /// Blocking TCP connect; throws std::system_error on failure. In kV3
+  /// mode the magic is sent before the constructor returns.
+  Client(const std::string& host, std::uint16_t port,
+         Protocol protocol = Protocol::kText);
+
+  /// Blocking unix-domain-socket connect to a --unix server.
+  static Client connect_unix(const std::string& path,
+                             Protocol protocol = Protocol::kText);
+
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
 
-  /// Writes `line` + '\n', looping over partial writes. Throws
-  /// std::system_error when the peer is gone.
+  [[nodiscard]] Protocol protocol() const { return protocol_; }
+
+  /// Writes `line` + '\n', looping over partial writes. Text mode only.
+  /// Throws std::system_error when the peer is gone.
   void send_line(const std::string& line);
 
-  /// Next response line, or std::nullopt at EOF. Throws on socket
-  /// errors.
+  /// Next response line, or std::nullopt at EOF. Text mode only.
   std::optional<std::string> recv_line();
 
-  /// send_line + recv_line + parse_response_line. Throws on EOF or a
-  /// malformed response. Only correct while no other request is in
-  /// flight on this connection (a strictly synchronous client).
+  /// One request in the connection's protocol: a text line, or a
+  /// kRequest frame carrying the same grammar.
+  void send_request(const std::string& line);
+
+  /// Pipelines every request in ONE write: newline-joined lines (text)
+  /// or a single kBatch frame (v3). Answers arrive via recv_response().
+  void send_batch(const std::vector<std::string>& lines);
+
+  /// Next response in the connection's protocol, or std::nullopt at
+  /// orderly EOF. Throws on socket errors, a malformed response, or an
+  /// EOF that truncates a binary frame.
+  std::optional<ResponseLine> recv_response();
+
+  /// send_request + recv_response. Throws on EOF or a malformed
+  /// response. Only correct while no other request is in flight on this
+  /// connection (a strictly synchronous client).
   ResponseLine request(const std::string& line);
 
   /// Half-close: tells the server this client is done sending; pending
-  /// answers still arrive (read them with recv_line until nullopt).
+  /// answers still arrive (read them with recv_response until nullopt).
   void shutdown_write();
 
   /// Abrupt close (also what the destructor does): the server cancels
@@ -56,9 +88,15 @@ class Client {
   [[nodiscard]] int fd() const { return fd_; }
 
  private:
+  Client() = default;  ///< for connect_unix
+  void send_all(const char* data, std::size_t len, const char* what);
+  void finish_connect();  ///< v3: sends the magic
+
   int fd_ = -1;
+  Protocol protocol_ = Protocol::kText;
   std::string rbuf_;
   std::size_t rpos_ = 0;
+  FrameReader reader_;  ///< v3 response framing
 };
 
 }  // namespace treesched::net

@@ -7,6 +7,7 @@
 #include <array>
 #include <cerrno>
 #include <utility>
+#include <vector>
 
 #include "net/server.hpp"
 #include "service/errors.hpp"
@@ -18,7 +19,8 @@ Connection::Connection(Server& server, int fd, std::uint64_t id)
     : server_(server),
       fd_(fd),
       id_(id),
-      framer_(server.config().max_line) {
+      framer_(server.config().max_line),
+      reader_(server.config().max_frame) {
   interest_ = EPOLLIN;
   server_.loop().add(fd_, interest_,
                      [this](std::uint32_t events) { handle_events(events); });
@@ -60,15 +62,43 @@ void Connection::handle_events(std::uint32_t events) {
 }
 
 void Connection::on_readable() {
-  std::array<char, 16384> buf;
   while (!read_closed_ && !closing_) {
+    if (mode_ == Mode::kBinary) {
+      // Zero-copy read path: straight into the FrameReader's buffer —
+      // request payloads are parsed in place, never copied into an
+      // intermediate line buffer.
+      char* dst = reader_.write_ptr();
+      const ssize_t n = ::read(fd_, dst, reader_.write_capacity());
+      if (n > 0) {
+        reader_.commit(static_cast<std::size_t>(n));
+        drain_frames();
+        if (closing_) return;
+        if (wbuf_.size() - wbuf_head_ > server_.config().max_wbuf) break;
+        continue;
+      }
+      if (n == 0) {
+        read_closed_ = true;
+        if (reader_.buffered() > 0) {
+          // Half-close truncating a frame: the tail can never complete.
+          ++server_.counters().frames_bad;
+          emit_error(std::nullopt, ErrorCode::kBadRequest,
+                     "connection half-closed mid-frame (" +
+                         std::to_string(reader_.buffered()) +
+                         " unframed bytes)");
+        }
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      abort_connection();  // ECONNRESET and friends
+      return;
+    }
+
+    std::array<char, 16384> buf;
     const ssize_t n = ::read(fd_, buf.data(), buf.size());
     if (n > 0) {
-      for (const LineFramer::Line& line :
-           framer_.feed(buf.data(), static_cast<std::size_t>(n))) {
-        handle_line(line);
-        if (closing_) return;
-      }
+      handle_bytes(buf.data(), static_cast<std::size_t>(n));
+      if (closing_) return;
       // Backpressure: a client that outpaces its own reading stops
       // being read until it drains us below the low watermark.
       if (wbuf_.size() - wbuf_head_ > server_.config().max_wbuf) break;
@@ -79,16 +109,67 @@ void Connection::on_readable() {
       // now answer me". A final unterminated line still counts — the
       // same grace std::getline gives the stdin front-end.
       read_closed_ = true;
-      if (const auto last = framer_.finish()) handle_line(*last);
+      if (mode_ == Mode::kDetect && !prelude_.empty()) {
+        // The client greeted with 0xB3 (anything else resolves to text
+        // immediately) but hung up before completing the magic.
+        mode_ = Mode::kBinary;
+        ++server_.counters().frames_bad;
+        emit_error(std::nullopt, ErrorCode::kBadRequest,
+                   "connection closed inside the protocol magic");
+      } else if (mode_ != Mode::kBinary) {
+        if (const auto last = framer_.finish()) handle_line(*last);
+      }
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    abort_connection();  // ECONNRESET and friends
+    abort_connection();
     return;
   }
   flush_ready();
   send_buffered();
+}
+
+void Connection::handle_bytes(const char* data, std::size_t len) {
+  if (mode_ == Mode::kText) {
+    feed_text(data, len);
+    return;
+  }
+  // kDetect: buffer until the first byte (and, for 0xB3, the full
+  // 4-byte magic) resolves the protocol.
+  prelude_.append(data, len);
+  if (prelude_.front() != kFrameMagic.front()) {
+    // 0xB3 is not printable ASCII, so no v2 text line starts with it:
+    // this connection is text. Replay the prelude through the framer.
+    mode_ = Mode::kText;
+    const std::string prelude = std::move(prelude_);
+    prelude_ = {};
+    feed_text(prelude.data(), prelude.size());
+    return;
+  }
+  if (prelude_.size() < kFrameMagic.size()) return;  // magic still partial
+  if (std::string_view(prelude_).substr(0, kFrameMagic.size()) !=
+      kFrameMagic) {
+    mode_ = Mode::kBinary;  // they spoke 0xB3: answer in kind, then close
+    ++server_.counters().frames_bad;
+    protocol_violation("bad protocol magic");
+    return;
+  }
+  mode_ = Mode::kBinary;
+  ++server_.counters().v3_conns;
+  if (prelude_.size() > kFrameMagic.size()) {
+    reader_.feed(prelude_.data() + kFrameMagic.size(),
+                 prelude_.size() - kFrameMagic.size());
+  }
+  prelude_ = {};
+  drain_frames();
+}
+
+void Connection::feed_text(const char* data, std::size_t len) {
+  for (const LineFramer::Line& line : framer_.feed(data, len)) {
+    handle_line(line);
+    if (closing_ || read_closed_) return;
+  }
 }
 
 void Connection::handle_line(const LineFramer::Line& line) {
@@ -112,30 +193,121 @@ void Connection::handle_line(const LineFramer::Line& line) {
   } catch (const std::exception& e) {
     // Untagged: a positional client correlates responses by line, so
     // the error must keep its place in the stream.
+    ++server_.counters().parse_errors;
     push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
     return;
   }
-  switch (parsed.kind) {
-    case RequestLine::Kind::kCancel:
-      handle_cancel(*parsed.id);
-      break;
-    case RequestLine::Kind::kPing:
-      handle_ping(parsed);
-      break;
-    case RequestLine::Kind::kStats:
-      handle_stats(parsed);
-      break;
-    case RequestLine::Kind::kSchedule:
-      handle_schedule(parsed);
-      break;
-  }
+  dispatch_request(as_view(parsed));
   flush_ready();
 }
 
-void Connection::handle_schedule(const RequestLine& parsed) {
-  if (parsed.id && has_pending_tag(*parsed.id)) {
+void Connection::drain_frames() {
+  Frame frame;
+  while (!closing_ && !read_closed_) {
+    const FrameReader::Status status = reader_.next(frame);
+    if (status == FrameReader::Status::kNeedMore) return;
+    if (status == FrameReader::Status::kBad) {
+      ++server_.counters().frames_bad;
+      protocol_violation(reader_.bad_reason());
+      return;
+    }
+    ++server_.counters().frames_in;
+    handle_frame(frame);
+  }
+}
+
+void Connection::handle_frame(const Frame& frame) {
+  switch (frame.opcode) {
+    case Opcode::kRequest:
+      handle_request_payload(frame.payload);
+      return;
+    case Opcode::kBatch: {
+      std::vector<std::string_view> entries;
+      std::string error;
+      if (!decode_batch(frame.payload, entries, error)) {
+        ++server_.counters().frames_bad;
+        protocol_violation(std::move(error));
+        return;
+      }
+      server_.counters().batch_requests += entries.size();
+      // One frame, many pipelined requests: every answer lands in
+      // wbuf_ and the whole batch flushes in a coalesced write.
+      for (const std::string_view entry : entries) {
+        handle_request_payload(entry);
+        if (closing_ || read_closed_) return;
+      }
+      return;
+    }
+    case Opcode::kCancel: {
+      std::uint64_t cancel_id = 0;
+      if (!decode_cancel(frame, cancel_id)) {
+        ++server_.counters().frames_bad;
+        protocol_violation("cancel frame payload is not one u64 id");
+        return;
+      }
+      handle_cancel(cancel_id);
+      return;
+    }
+    case Opcode::kPing:
+    case Opcode::kStats: {
+      std::optional<std::uint64_t> id;
+      if (!decode_control_id(frame, id)) {
+        ++server_.counters().frames_bad;
+        protocol_violation("control frame payload contradicts its flags");
+        return;
+      }
+      if (frame.opcode == Opcode::kPing) {
+        handle_ping(id);
+      } else {
+        handle_stats(id);
+      }
+      return;
+    }
+    default:
+      ++server_.counters().frames_bad;
+      protocol_violation("unknown opcode " +
+                         std::to_string(static_cast<int>(frame.opcode)));
+      return;
+  }
+}
+
+void Connection::handle_request_payload(std::string_view payload) {
+  ++server_.counters().lines;
+  RequestView req;
+  std::string error;
+  if (!parse_request_view(payload, req, error)) {
+    // A grammar error is the client's problem, not a protocol
+    // violation: answer bad_request in stream order and keep going,
+    // exactly like a bad text line.
+    ++server_.counters().parse_errors;
     push_settled_error(std::nullopt, ErrorCode::kBadRequest,
-                       "duplicate id=" + std::to_string(*parsed.id) +
+                       std::move(error));
+    return;
+  }
+  dispatch_request(req);
+}
+
+void Connection::dispatch_request(const RequestView& req) {
+  switch (req.kind) {
+    case RequestLine::Kind::kCancel:
+      handle_cancel(*req.id);
+      break;
+    case RequestLine::Kind::kPing:
+      handle_ping(req.id);
+      break;
+    case RequestLine::Kind::kStats:
+      handle_stats(req.id);
+      break;
+    case RequestLine::Kind::kSchedule:
+      handle_schedule(req);
+      break;
+  }
+}
+
+void Connection::handle_schedule(const RequestView& req) {
+  if (req.id && has_pending_tag(*req.id)) {
+    push_settled_error(std::nullopt, ErrorCode::kBadRequest,
+                       "duplicate id=" + std::to_string(*req.id) +
                            " (a request with this tag is still pending)");
     return;
   }
@@ -146,8 +318,8 @@ void Connection::handle_schedule(const RequestLine& parsed) {
         "connection window full (" +
         std::to_string(server_.config().max_pending) +
         " requests in flight); read some answers first";
-    if (parsed.id) {
-      emit_error(parsed.id, ErrorCode::kQueueFull, msg);
+    if (req.id) {
+      emit_error(req.id, ErrorCode::kQueueFull, msg);
     } else {
       push_settled_error(std::nullopt, ErrorCode::kQueueFull, msg);
     }
@@ -156,34 +328,46 @@ void Connection::handle_schedule(const RequestLine& parsed) {
 
   Pending pending;
   pending.key = next_key_++;
-  pending.id = parsed.id;
-  pending.algo = parsed.algo;
-  pending.p = parsed.p;
-  pending.priority = parsed.priority;
-  Result<TreeHandle, ServiceError> handle =
-      server_.intern_spec(parsed.tree_spec);
+  pending.id = req.id;
+  // The single owned copy of the request's strings: everything upstream
+  // of this point was views into the read buffer.
+  pending.algo = std::string(req.algo);
+  pending.p = req.p;
+  pending.priority = req.priority;
+  Result<TreeHandle, ServiceError> handle = server_.intern_spec(req.tree_spec);
   if (!handle.ok()) {
-    // Answer in place for tagged lines, in order for untagged ones.
+    // Answer in place for tagged requests, in order for untagged ones.
     const ServiceError& err = handle.error();
-    if (parsed.id) {
-      emit_error(parsed.id, err.code, err.message);
+    if (req.id) {
+      emit_error(req.id, err.code, err.message);
     } else {
-      push_settled_error(parsed.id, err.code, err.message);
+      push_settled_error(req.id, err.code, err.message);
     }
     return;
   }
-  ScheduleRequest req;
-  req.tree = handle.value();
-  pending.tree_hash = req.tree.hash;
-  pending.n = req.tree->size();
-  req.algo = parsed.algo;
-  req.p = parsed.p;
-  req.memory_cap = parsed.memory_cap;
-  req.priority = parsed.priority;
-  req.deadline_ms = parsed.deadline_ms;
+  ScheduleRequest sreq;
+  sreq.tree = handle.value();
+  pending.tree_hash = sreq.tree.hash;
+  pending.n = sreq.tree->size();
+  sreq.algo = pending.algo;
+  sreq.p = req.p;
+  sreq.memory_cap = req.memory_cap;
+  sreq.priority = req.priority;
+  sreq.deadline_ms = req.deadline_ms;
+
+  // Cache-hit fast path, right here on the I/O thread: a hit settles
+  // the window entry immediately — no ticket, no queue, no pool job, no
+  // eventfd round trip — and flushes with the read burst, so a cache-hot
+  // batch frame answers in one coalesced write. Ordering is preserved
+  // because the answer still rides the pending window.
+  if (auto hit = server_.service().try_cached(sreq)) {
+    pending.result = ServiceResult(std::move(*hit));
+    pending_.push_back(std::move(pending));
+    return;
+  }
 
   server_.note_submitted();
-  Ticket ticket = server_.service().submit(std::move(req));
+  Ticket ticket = server_.service().submit(std::move(sreq));
   const std::uint64_t key = pending.key;
   pending.ticket = std::move(ticket);
   ++inflight_;
@@ -207,7 +391,7 @@ void Connection::handle_cancel(std::uint64_t cancel_id) {
   }
   if (!target) {
     // Untagged ack (a late cancel racing the answer must not put a
-    // second id=N line on the wire), held in stream order.
+    // second id=N response on the wire), held in stream order.
     push_settled_error(std::nullopt, ErrorCode::kBadRequest,
                        "cancel id=" + std::to_string(cancel_id) +
                            ": no pending request with this id");
@@ -223,22 +407,22 @@ void Connection::handle_cancel(std::uint64_t cancel_id) {
   // is already posted to the loop and deliver() emits the answer.
 }
 
-void Connection::handle_ping(const RequestLine& parsed) {
+void Connection::handle_ping(std::optional<std::uint64_t> id) {
   // Health checks bypass the pending window: a server drowning in Bulk
   // work still answers its load balancer immediately.
   ResponseLine line;
   line.kind = ResponseLine::Kind::kPong;
   line.ok = true;
-  line.id = parsed.id;
-  append_line(format_response_line(line));
+  line.id = id;
+  send_response(line);
 }
 
-void Connection::handle_stats(const RequestLine& parsed) {
+void Connection::handle_stats(std::optional<std::uint64_t> id) {
   const ServerCounters& sc = server_.counters();
   ResponseLine line;
   line.kind = ResponseLine::Kind::kStats;
   line.ok = true;
-  line.id = parsed.id;
+  line.id = id;
   // Transport-specific counters first, then the shared service
   // vocabulary (service_stats_pairs keeps both front-ends aligned).
   line.stats = {
@@ -248,11 +432,16 @@ void Connection::handle_stats(const RequestLine& parsed) {
       {"lines", sc.lines},
       {"submitted", sc.submitted},
       {"outstanding", server_.outstanding_},
+      {"v3_conns", sc.v3_conns},
+      {"frames_in", sc.frames_in},
+      {"frames_bad", sc.frames_bad},
+      {"batch_requests", sc.batch_requests},
+      {"parse_errors", sc.parse_errors},
   };
   for (auto& pair : service_stats_pairs(server_.service())) {
     line.stats.push_back(std::move(pair));
   }
-  append_line(format_response_line(line));
+  send_response(line);
 }
 
 void Connection::deliver(std::uint64_t key, const ServiceResult& result) {
@@ -277,7 +466,7 @@ void Connection::flush_ready() {
     pending_.pop_front();
   }
   // …then any settled id=-tagged entry anywhere in the window (the tag
-  // makes an out-of-order line attributable).
+  // makes an out-of-order answer attributable).
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->id && it->result.has_value()) {
       emit(*it, *it->result);
@@ -307,7 +496,7 @@ void Connection::emit(const Pending& pending, const ServiceResult& result) {
     line.code = result.error().code;
     line.message = result.error().message;
   }
-  append_line(format_response_line(line));
+  send_response(line);
 }
 
 void Connection::emit_error(std::optional<std::uint64_t> id, ErrorCode code,
@@ -317,7 +506,7 @@ void Connection::emit_error(std::optional<std::uint64_t> id, ErrorCode code,
   line.id = id;
   line.code = code;
   line.message = message;
-  append_line(format_response_line(line));
+  send_response(line);
 }
 
 void Connection::push_settled_error(std::optional<std::uint64_t> id,
@@ -325,8 +514,18 @@ void Connection::push_settled_error(std::optional<std::uint64_t> id,
   Pending pending;
   pending.key = next_key_++;
   pending.id = id;
-  pending.result = ServiceResult(ServiceError{code, std::move(message), nullptr});
+  pending.result =
+      ServiceResult(ServiceError{code, std::move(message), nullptr});
   pending_.push_back(std::move(pending));
+}
+
+void Connection::protocol_violation(std::string message) {
+  // Unlike a bad text line (where the next newline resynchronizes),
+  // framing is unrecoverable after a bad frame: answer once, stop
+  // reading, let the settled window flush, then close. The hostile
+  // bytes past the violation are never examined.
+  emit_error(std::nullopt, ErrorCode::kBadRequest, message);
+  read_closed_ = true;
 }
 
 bool Connection::has_pending_tag(std::uint64_t tag) const {
@@ -336,9 +535,14 @@ bool Connection::has_pending_tag(std::uint64_t tag) const {
   return false;
 }
 
-void Connection::append_line(std::string line) {
-  line.push_back('\n');
-  wbuf_ += line;
+void Connection::send_response(const ResponseLine& line) {
+  if (mode_ == Mode::kBinary) {
+    FrameWriter writer(wbuf_);
+    writer.response(line);
+  } else {
+    wbuf_ += format_response_line(line);
+    wbuf_.push_back('\n');
+  }
 }
 
 void Connection::send_buffered() {
@@ -386,8 +590,8 @@ void Connection::update_interest() {
 }
 
 void Connection::begin_drain() {
-  // Stop reading — bytes already framed keep their answers, new ones
-  // are ignored — and close once the window answers and flushes.
+  // Stop reading — requests already framed keep their answers, new
+  // bytes are ignored — and close once the window answers and flushes.
   read_closed_ = true;
   flush_ready();
   send_buffered();

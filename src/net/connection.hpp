@@ -1,29 +1,48 @@
 #pragma once
 // One client connection of the scheduling server (src/net/): owns the
-// socket, the incremental LineFramer, the bounded write buffer, and the
-// window of in-flight requests. All methods run on the server's I/O
-// (event-loop) thread; completions computed on pool workers re-enter
-// through Server::ticket_settled -> EventLoop::post -> deliver().
+// socket, the protocol state (negotiated text v2 or binary v3), the
+// bounded write buffer, and the window of in-flight requests. All
+// methods run on the server's I/O (event-loop) thread; completions
+// computed on pool workers re-enter through Server::ticket_settled ->
+// EventLoop::post -> deliver().
 //
-// Protocol semantics match the stdin front-end (examples/
-// schedule_service): untagged requests are answered in submission
-// order, id=-tagged ones stream out the moment they settle, `cancel
-// id=<n>` cancels a still-queued request (late cancels answer an
-// untagged bad_request ack), and `ping`/`stats` are answered
-// immediately, out of band of the pending window.
+// Protocol negotiation: the connection starts in kDetect and buffers a
+// prelude of at most 4 bytes. A first byte of 0xB3 commits the client
+// to the v3 magic (net/frame.hpp) — the full match switches to kBinary,
+// a mismatch answers one binary bad_request frame and closes. Any other
+// first byte is text v2: the prelude replays through the LineFramer and
+// `nc` clients never notice v3 exists.
+//
+// Both protocols share ONE dispatch path: text lines parse through
+// parse_request_line and binary payloads through the zero-copy
+// parse_request_view (service/request_view.hpp); each funnels into
+// dispatch_request(RequestView) and the same pending-window semantics —
+// untagged requests answer in submission order, id=-tagged ones stream
+// out the moment they settle, `cancel` hits still-queued requests, and
+// ping/stats answer immediately, out of band of the window. Responses
+// are emitted in the connection's own protocol by send_response().
+//
+// The v3 read path is zero-copy end to end: the socket reads straight
+// into the FrameReader's buffer, request fields are string_views into
+// the framed payload, and the single owned copy per request happens
+// where it must — building the ScheduleRequest that crosses into the
+// service layer. Batch frames pipeline many requests through one read;
+// their answers coalesce in the write buffer and flush together.
 //
 // Production realities handled here:
 //  * Framing: requests arrive however the kernel fragments them; an
-//    oversized line answers a typed bad_request and the connection
-//    survives (LineFramer resynchronizes on the newline).
+//    oversized line or frame answers a typed bad_request (the line
+//    path resynchronizes on the newline; a bad frame closes the
+//    connection after the answer — framing is unrecoverable).
 //  * Admission: at most `max_pending` unsettled requests per
-//    connection; excess lines answer the typed queue_full error
+//    connection; excess requests answer the typed queue_full error
 //    without touching the service.
 //  * Backpressure: when the write buffer passes its high watermark the
 //    connection stops reading (EPOLLIN off) until the client drains it
 //    below half — a slow reader stalls itself, never the server.
 //  * Half-close (EOF): remaining requests are answered and flushed,
-//    then the connection closes — like EOF on the stdin front-end.
+//    then the connection closes — like EOF on the stdin front-end. An
+//    EOF that truncates a binary frame answers bad_request first.
 //  * Abrupt disconnect (reset/write failure): still-queued tickets are
 //    cancelled so a vanished client's work never occupies a worker;
 //    running computations finish and their completions are dropped.
@@ -33,8 +52,10 @@
 #include <optional>
 #include <string>
 
+#include "net/frame.hpp"
 #include "net/line_framer.hpp"
 #include "service/request_line.hpp"
+#include "service/request_view.hpp"
 #include "service/ticket.hpp"
 
 namespace treesched::net {
@@ -71,7 +92,9 @@ class Connection {
   void begin_drain();
 
  private:
-  /// One line of the pending window. Entries that failed before
+  enum class Mode { kDetect, kText, kBinary };
+
+  /// One request of the pending window. Entries that failed before
   /// reaching submit() carry `result` from birth.
   struct Pending {
     std::uint64_t key = 0;
@@ -85,12 +108,30 @@ class Connection {
     std::optional<ServiceResult> result;
   };
 
+  // --- input path ----------------------------------------------------
+  void on_readable();
+  /// kDetect/kText bytes: resolves the protocol, then frames.
+  void handle_bytes(const char* data, std::size_t len);
+  void feed_text(const char* data, std::size_t len);
   void handle_line(const LineFramer::Line& line);
-  void handle_schedule(const RequestLine& parsed);
-  void handle_cancel(std::uint64_t cancel_id);
-  void handle_ping(const RequestLine& parsed);
-  void handle_stats(const RequestLine& parsed);
+  /// Drains every complete frame buffered in the FrameReader.
+  void drain_frames();
+  void handle_frame(const Frame& frame);
+  /// One v3 request payload (standalone or batch entry): zero-copy
+  /// parse, then the shared dispatch.
+  void handle_request_payload(std::string_view payload);
+  /// Marks the connection protocol-dead: answers bad_request, stops
+  /// reading, and lets the window settle and flush before closing.
+  void protocol_violation(std::string message);
 
+  // --- shared dispatch (both protocols) ------------------------------
+  void dispatch_request(const RequestView& req);
+  void handle_schedule(const RequestView& req);
+  void handle_cancel(std::uint64_t cancel_id);
+  void handle_ping(std::optional<std::uint64_t> id);
+  void handle_stats(std::optional<std::uint64_t> id);
+
+  // --- output path ---------------------------------------------------
   /// Emits every answerable response: the settled in-order prefix, plus
   /// settled tagged entries anywhere in the window.
   void flush_ready();
@@ -100,19 +141,23 @@ class Connection {
   void push_settled_error(std::optional<std::uint64_t> id, ErrorCode code,
                           std::string message);
   [[nodiscard]] bool has_pending_tag(std::uint64_t tag) const;
+  /// Appends one response to wbuf_ in the connection's protocol: a
+  /// formatted text line or a binary frame.
+  void send_response(const ResponseLine& line);
 
-  void on_readable();
-  void send_buffered();           ///< write() as much of wbuf_ as possible
-  void append_line(std::string line);  ///< + '\n' into wbuf_
-  void update_interest();         ///< recompute EPOLLIN/EPOLLOUT mask
-  void abort_connection();        ///< reset path: cancel + defer close
+  void send_buffered();     ///< write() as much of wbuf_ as possible
+  void update_interest();   ///< recompute EPOLLIN/EPOLLOUT mask
+  void abort_connection();  ///< reset path: cancel + defer close
   /// Half-close/drain path: close once nothing is pending or buffered.
   void finish_if_drained();
 
   Server& server_;
   const int fd_;
   const std::uint64_t id_;
+  Mode mode_ = Mode::kDetect;
+  std::string prelude_;  ///< undetermined first bytes (at most 4)
   LineFramer framer_;
+  FrameReader reader_;
   std::deque<Pending> pending_;
   std::size_t inflight_ = 0;  ///< submitted tickets not yet settled
   std::uint64_t next_key_ = 1;

@@ -1,0 +1,446 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace treesched::net {
+
+namespace {
+
+// Little-endian scalar append/read. Explicit byte shifts instead of
+// memcpy-of-host-integers so the wire format is endian-stable.
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t get_u16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+double get_f64(const char* p) { return std::bit_cast<double>(get_u64(p)); }
+
+/// A bounded cursor over a payload — every read checks remaining bytes,
+/// so a truncated or hostile payload can never over-read.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view payload) : data_(payload) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  bool u16(std::uint16_t& out) {
+    if (remaining() < 2) return false;
+    out = get_u16(data_.data() + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = get_u32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = get_u64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double& out) {
+    if (remaining() < 8) return false;
+    out = get_f64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = static_cast<std::uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+  bool bytes(std::size_t len, std::string_view& out) {
+    if (remaining() < len) return false;
+    out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+void append_header(std::string& out, std::uint8_t opcode, std::uint8_t flags,
+                   std::uint32_t length) {
+  out.push_back(static_cast<char>(opcode));
+  out.push_back(static_cast<char>(flags));
+  put_u16(out, 0);  // reserved
+  put_u32(out, length);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FrameReader
+// ---------------------------------------------------------------------------
+
+char* FrameReader::write_ptr(std::size_t hint) {
+  // Compact first (every previously returned payload view is dead by
+  // contract), then grow so at least `hint` bytes fit.
+  if (head_ > 0) {
+    std::memmove(buf_.data(), buf_.data() + head_, tail_ - head_);
+    tail_ -= head_;
+    head_ = 0;
+  }
+  if (buf_.size() - tail_ < hint) buf_.resize(tail_ + hint);
+  return buf_.data() + tail_;
+}
+
+void FrameReader::feed(const char* data, std::size_t len) {
+  std::memcpy(write_ptr(len), data, len);
+  commit(len);
+}
+
+FrameReader::Status FrameReader::next(Frame& out) {
+  if (bad_) return Status::kBad;
+  if (tail_ - head_ < kFrameHeaderLen) return Status::kNeedMore;
+  const char* hdr = buf_.data() + head_;
+  const auto opcode = static_cast<std::uint8_t>(hdr[0]);
+  const auto flags = static_cast<std::uint8_t>(hdr[1]);
+  const std::uint16_t reserved = get_u16(hdr + 2);
+  const std::uint32_t length = get_u32(hdr + 4);
+  if (reserved != 0) {
+    bad_ = true;
+    bad_reason_ = "frame header reserved bytes are nonzero";
+    return Status::kBad;
+  }
+  if (length > max_frame_) {
+    // A hostile length must never make us buffer (or skip) gigabytes:
+    // the connection answers bad_request and closes instead.
+    bad_ = true;
+    bad_reason_ = "frame of " + std::to_string(length) +
+                  " bytes exceeds the " + std::to_string(max_frame_) +
+                  "-byte limit";
+    return Status::kBad;
+  }
+  if (tail_ - head_ < kFrameHeaderLen + length) return Status::kNeedMore;
+  out.opcode = static_cast<Opcode>(opcode);
+  out.flags = flags;
+  out.payload =
+      std::string_view(buf_.data() + head_ + kFrameHeaderLen, length);
+  head_ += kFrameHeaderLen + length;
+  return Status::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// FrameWriter
+// ---------------------------------------------------------------------------
+
+void FrameWriter::raw_frame(std::uint8_t opcode, std::uint8_t flags,
+                            std::string_view payload) {
+  append_header(out_, opcode, flags,
+                static_cast<std::uint32_t>(payload.size()));
+  out_.append(payload);
+}
+
+void FrameWriter::request(std::string_view line) {
+  raw_frame(static_cast<std::uint8_t>(Opcode::kRequest), 0, line);
+}
+
+void FrameWriter::batch(const std::vector<std::string>& lines) {
+  std::size_t payload_len = 4;
+  for (const std::string& line : lines) payload_len += 4 + line.size();
+  append_header(out_, static_cast<std::uint8_t>(Opcode::kBatch), 0,
+                static_cast<std::uint32_t>(payload_len));
+  put_u32(out_, static_cast<std::uint32_t>(lines.size()));
+  for (const std::string& line : lines) {
+    put_u32(out_, static_cast<std::uint32_t>(line.size()));
+    out_.append(line);
+  }
+}
+
+void FrameWriter::cancel(std::uint64_t id) {
+  append_header(out_, static_cast<std::uint8_t>(Opcode::kCancel), 0, 8);
+  put_u64(out_, id);
+}
+
+namespace {
+
+void control_frame(std::string& out, Opcode op,
+                   std::optional<std::uint64_t> id) {
+  if (id) {
+    append_header(out, static_cast<std::uint8_t>(op), kFlagHasId, 8);
+    put_u64(out, *id);
+  } else {
+    append_header(out, static_cast<std::uint8_t>(op), 0, 0);
+  }
+}
+
+}  // namespace
+
+void FrameWriter::ping(std::optional<std::uint64_t> id) {
+  control_frame(out_, Opcode::kPing, id);
+}
+
+void FrameWriter::stats(std::optional<std::uint64_t> id) {
+  control_frame(out_, Opcode::kStats, id);
+}
+
+void FrameWriter::response(const ResponseLine& resp) {
+  std::uint8_t flags = resp.id.has_value() ? kFlagHasId : 0;
+  const std::uint64_t id = resp.id.value_or(0);
+  switch (resp.kind) {
+    case ResponseLine::Kind::kPong:
+      control_frame(out_, Opcode::kPong, resp.id);
+      return;
+    case ResponseLine::Kind::kStats: {
+      std::size_t payload_len = 8 + 4;
+      for (const auto& [key, value] : resp.stats) {
+        (void)value;
+        payload_len += 2 + key.size() + 8;
+      }
+      append_header(out_, static_cast<std::uint8_t>(Opcode::kStatsReply),
+                    flags, static_cast<std::uint32_t>(payload_len));
+      put_u64(out_, id);
+      put_u32(out_, static_cast<std::uint32_t>(resp.stats.size()));
+      for (const auto& [key, value] : resp.stats) {
+        put_u16(out_, static_cast<std::uint16_t>(key.size()));
+        out_.append(key);
+        put_u64(out_, value);
+      }
+      return;
+    }
+    case ResponseLine::Kind::kSchedule:
+      break;
+  }
+  if (resp.ok) {
+    flags |= kFlagOk;
+    if (resp.cache_hit) flags |= kFlagCacheHit;
+    const std::size_t payload_len = 8 + 8 + 8 + 8 + 4 + 4 + 1 + 2 +
+                                    resp.algo.size();
+    append_header(out_, static_cast<std::uint8_t>(Opcode::kResponse), flags,
+                  static_cast<std::uint32_t>(payload_len));
+    put_u64(out_, id);
+    put_u64(out_, resp.tree_hash);
+    put_u64(out_, resp.peak_memory);
+    put_f64(out_, resp.makespan);
+    put_u32(out_, static_cast<std::uint32_t>(resp.n));
+    put_u32(out_, static_cast<std::uint32_t>(resp.p));
+    out_.push_back(static_cast<char>(resp.priority));
+    put_u16(out_, static_cast<std::uint16_t>(resp.algo.size()));
+    out_.append(resp.algo);
+  } else {
+    const std::size_t payload_len = 8 + 2 + resp.message.size();
+    append_header(out_, static_cast<std::uint8_t>(Opcode::kResponse), flags,
+                  static_cast<std::uint32_t>(payload_len));
+    put_u64(out_, id);
+    put_u16(out_, static_cast<std::uint16_t>(resp.code));
+    out_.append(resp.message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// control-payload decoders
+// ---------------------------------------------------------------------------
+
+bool decode_cancel(const Frame& frame, std::uint64_t& id) {
+  if (frame.payload.size() != 8) return false;
+  id = get_u64(frame.payload.data());
+  return true;
+}
+
+bool decode_control_id(const Frame& frame,
+                       std::optional<std::uint64_t>& id) {
+  id.reset();
+  if (frame.flags & kFlagHasId) {
+    if (frame.payload.size() != 8) return false;
+    id = get_u64(frame.payload.data());
+    return true;
+  }
+  return frame.payload.empty();
+}
+
+// ---------------------------------------------------------------------------
+// decode_batch
+// ---------------------------------------------------------------------------
+
+bool decode_batch(std::string_view payload,
+                  std::vector<std::string_view>& out, std::string& error) {
+  out.clear();
+  Cursor cur(payload);
+  std::uint32_t count = 0;
+  if (!cur.u32(count)) {
+    error = "batch frame shorter than its count field";
+    return false;
+  }
+  // Each entry costs at least its 4-byte length prefix; a count claiming
+  // more entries than the payload can hold is hostile.
+  if (count > cur.remaining() / 4) {
+    error = "batch count " + std::to_string(count) +
+            " exceeds what the frame can hold";
+    return false;
+  }
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    std::string_view line;
+    if (!cur.u32(len) || !cur.bytes(len, line)) {
+      error = "batch frame truncated in entry " + std::to_string(i);
+      return false;
+    }
+    out.push_back(line);
+  }
+  if (cur.remaining() != 0) {
+    error = std::to_string(cur.remaining()) +
+            " trailing bytes after the last batch entry";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// decode_response_frame
+// ---------------------------------------------------------------------------
+
+bool decode_response_frame(const Frame& frame, ResponseLine& out,
+                           std::string& error) {
+  out = ResponseLine{};
+  Cursor cur(frame.payload);
+  std::uint64_t id = 0;
+  switch (frame.opcode) {
+    case Opcode::kPong: {
+      out.kind = ResponseLine::Kind::kPong;
+      out.ok = true;
+      if (frame.flags & kFlagHasId) {
+        if (!cur.u64(id)) {
+          error = "pong frame too short for its id";
+          return false;
+        }
+        out.id = id;
+      }
+      return true;
+    }
+    case Opcode::kStatsReply: {
+      out.kind = ResponseLine::Kind::kStats;
+      out.ok = true;
+      std::uint32_t count = 0;
+      if (!cur.u64(id) || !cur.u32(count)) {
+        error = "stats frame shorter than its fixed header";
+        return false;
+      }
+      if (frame.flags & kFlagHasId) out.id = id;
+      // Each entry is at least 10 bytes (u16 len + u64 value); a count
+      // claiming more than fits is hostile — reject before reserving.
+      if (count > cur.remaining() / 10) {
+        error = "stats frame count exceeds its payload";
+        return false;
+      }
+      out.stats.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint16_t key_len = 0;
+        std::string_view key;
+        std::uint64_t value = 0;
+        if (!cur.u16(key_len) || !cur.bytes(key_len, key) ||
+            !cur.u64(value)) {
+          error = "stats frame truncated mid-entry";
+          return false;
+        }
+        out.stats.emplace_back(std::string(key), value);
+      }
+      return true;
+    }
+    case Opcode::kResponse:
+      break;
+    default:
+      error = "unexpected response opcode " +
+              std::to_string(static_cast<int>(frame.opcode));
+      return false;
+  }
+
+  out.kind = ResponseLine::Kind::kSchedule;
+  if (frame.flags & kFlagOk) {
+    out.ok = true;
+    out.cache_hit = (frame.flags & kFlagCacheHit) != 0;
+    std::uint32_t n = 0, p = 0;
+    std::uint8_t priority = 0;
+    std::uint16_t algo_len = 0;
+    std::string_view algo;
+    if (!cur.u64(id) || !cur.u64(out.tree_hash) || !cur.u64(out.peak_memory) ||
+        !cur.f64(out.makespan) || !cur.u32(n) || !cur.u32(p) ||
+        !cur.u8(priority) || !cur.u16(algo_len) ||
+        !cur.bytes(algo_len, algo)) {
+      error = "ok response frame truncated";
+      return false;
+    }
+    if (n > static_cast<std::uint32_t>(std::numeric_limits<NodeId>::max()) ||
+        p > static_cast<std::uint32_t>(std::numeric_limits<int>::max())) {
+      error = "ok response frame carries out-of-range n or p";
+      return false;
+    }
+    if (priority >= kPriorityClasses) {
+      error = "ok response frame carries unknown priority " +
+              std::to_string(priority);
+      return false;
+    }
+    if (frame.flags & kFlagHasId) out.id = id;
+    out.n = static_cast<NodeId>(n);
+    out.p = static_cast<int>(p);
+    out.priority = static_cast<Priority>(priority);
+    out.algo = std::string(algo);
+    return true;
+  }
+
+  out.ok = false;
+  std::uint16_t code = 0;
+  if (!cur.u64(id) || !cur.u16(code)) {
+    error = "error response frame truncated";
+    return false;
+  }
+  if (frame.flags & kFlagHasId) out.id = id;
+  // The numeric values of ErrorCode are the shared v2/v3 contract
+  // (service/errors.hpp); an unknown number is rejected exactly like an
+  // unknown text spelling in parse_response_line.
+  if (code > static_cast<std::uint16_t>(ErrorCode::kBadRequest)) {
+    error = "unknown error code " + std::to_string(code);
+    return false;
+  }
+  out.code = static_cast<ErrorCode>(code);
+  std::string_view message;
+  (void)cur.bytes(cur.remaining(), message);
+  out.message = std::string(message);
+  return true;
+}
+
+}  // namespace treesched::net

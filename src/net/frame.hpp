@@ -1,0 +1,187 @@
+#pragma once
+// Binary protocol v3 framing (src/net/): length-prefixed frames,
+// negotiated on connect and parsed in place from the connection's read
+// buffer — the throughput path where text v2 spends its time splitting
+// lines and allocating field strings.
+//
+// Negotiation: the first bytes a client sends decide the protocol. The
+// 4-byte magic "\xB3TS3" switches the connection to v3; anything else
+// (its first byte 0xB3 is not printable ASCII, so no v2 text line can
+// start with it) keeps text v2 unchanged — plain `nc` clients never
+// notice v3 exists. A first byte of 0xB3 followed by a wrong magic tail
+// is answered with one binary bad_request frame and the connection
+// closes.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     1  opcode
+//        1     1  flags     (per-opcode; unused bits must be 0)
+//        2     2  reserved  (must be 0)
+//        4     4  length    (payload bytes; bounded by max_frame)
+//        8   len  payload
+//
+// Client -> server opcodes:
+//   kRequest 0x01  payload = one request line (v2 grammar, no newline),
+//                  parsed zero-copy via service/request_view.hpp
+//   kBatch   0x02  payload = u32 count, then count x (u32 len, len bytes
+//                  of request line) — one frame, many pipelined requests
+//   kCancel  0x03  payload = u64 id
+//   kPing    0x04  payload = u64 id iff flags & kFlagHasId, else empty
+//   kStats   0x05  payload = u64 id iff flags & kFlagHasId, else empty
+//
+// Server -> client opcodes (every payload leads with u64 id, meaningful
+// iff flags & kFlagHasId):
+//   kResponse   0x81  flags kFlagOk: u64 id, u64 tree_hash,
+//                     u64 peak_memory, f64 makespan (IEEE-754 bits),
+//                     u32 n, u32 p, u8 priority, u16 algo_len, algo
+//                     bytes. Without kFlagOk: u64 id, u16 code
+//                     (ErrorCode's numeric value — service/errors.hpp
+//                     numbering IS the wire contract), message bytes to
+//                     the end of the payload.
+//   kPong       0x84  u64 id iff kFlagHasId, else empty
+//   kStatsReply 0x85  u64 id, u32 count, count x (u16 key_len, key
+//                     bytes, u64 value)
+//
+// Responses are tagged exactly like v2 `id=` answers: tagged requests
+// may complete out of order, untagged ones keep submission order.
+//
+// FrameReader parses incrementally and in place: the connection reads
+// straight into the reader's buffer (write_ptr/commit) and next()
+// returns payload string_views over that buffer — stable until the next
+// write_ptr/commit call, i.e. for exactly as long as the caller is
+// draining the frames of one read. A frame whose length exceeds
+// max_frame, a nonzero reserved field, or a malformed batch payload is
+// a protocol violation: next() turns sticky-bad and the connection
+// answers one typed bad_request, then closes — it never over-reads.
+//
+// FrameWriter appends frames to a caller-owned buffer (the connection's
+// write buffer), so a batch of completions coalesces into one flush.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/request_line.hpp"
+
+namespace treesched::net {
+
+inline constexpr std::string_view kFrameMagic = "\xB3TS3";
+inline constexpr std::size_t kFrameHeaderLen = 8;
+inline constexpr std::size_t kDefaultMaxFrame = 1 << 20;
+
+enum class Opcode : std::uint8_t {
+  // client -> server
+  kRequest = 0x01,
+  kBatch = 0x02,
+  kCancel = 0x03,
+  kPing = 0x04,
+  kStats = 0x05,
+  // server -> client
+  kResponse = 0x81,
+  kPong = 0x84,
+  kStatsReply = 0x85,
+};
+
+inline constexpr std::uint8_t kFlagOk = 0x01;
+inline constexpr std::uint8_t kFlagHasId = 0x02;
+inline constexpr std::uint8_t kFlagCacheHit = 0x04;
+
+/// One framed unit. `payload` is a view into the FrameReader's buffer —
+/// valid until the reader's next write_ptr()/commit().
+struct Frame {
+  Opcode opcode = Opcode::kRequest;
+  std::uint8_t flags = 0;
+  std::string_view payload;
+};
+
+/// Incremental, zero-copy frame parser. Read into write_ptr(), commit()
+/// the byte count, then drain with next().
+class FrameReader {
+ public:
+  enum class Status {
+    kFrame,     ///< `out` holds the next complete frame
+    kNeedMore,  ///< a partial header/payload is buffered; read again
+    kBad,       ///< protocol violation (sticky); see bad_reason()
+  };
+
+  explicit FrameReader(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  /// Writable tail of the buffer, good for at least `hint` bytes. May
+  /// compact, invalidating every payload view handed out earlier.
+  char* write_ptr(std::size_t hint = 16384);
+  [[nodiscard]] std::size_t write_capacity() const {
+    return buf_.size() - tail_;
+  }
+  /// Marks `n` bytes (read into write_ptr()) as available for framing.
+  void commit(std::size_t n) { tail_ += n; }
+
+  /// Appends bytes by copy (the negotiation prelude; tests).
+  void feed(const char* data, std::size_t len);
+
+  Status next(Frame& out);
+
+  [[nodiscard]] const std::string& bad_reason() const { return bad_reason_; }
+  /// Bytes buffered but not yet returned as frames — nonzero at EOF
+  /// means the peer vanished mid-frame.
+  [[nodiscard]] std::size_t buffered() const { return tail_ - head_; }
+  [[nodiscard]] std::size_t max_frame() const { return max_frame_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<char> buf_;
+  std::size_t head_ = 0;  ///< consumed prefix
+  std::size_t tail_ = 0;  ///< end of valid bytes
+  bool bad_ = false;
+  std::string bad_reason_;
+};
+
+/// Appends v3 frames to a caller-owned byte buffer.
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::string& out) : out_(out) {}
+
+  /// One response frame — kResponse/kPong/kStatsReply by `resp.kind`.
+  void response(const ResponseLine& resp);
+
+  // Client -> server frames.
+  void request(std::string_view line);
+  void batch(const std::vector<std::string>& lines);
+  void cancel(std::uint64_t id);
+  void ping(std::optional<std::uint64_t> id);
+  void stats(std::optional<std::uint64_t> id);
+
+  /// Raw escape hatch (tests build hostile frames with it).
+  void raw_frame(std::uint8_t opcode, std::uint8_t flags,
+                 std::string_view payload);
+
+ private:
+  std::string& out_;
+};
+
+/// Decodes a kCancel payload (exactly one u64 id). False on any other
+/// payload size.
+bool decode_cancel(const Frame& frame, std::uint64_t& id);
+
+/// Decodes a kPing/kStats payload: u64 id iff kFlagHasId, else empty.
+/// False when the payload size contradicts the flag.
+bool decode_control_id(const Frame& frame,
+                       std::optional<std::uint64_t>& id);
+
+/// Splits a kBatch payload into its request lines (views into the
+/// payload, same lifetime). Returns false with a message when the count
+/// or an entry length contradicts the payload size — the caller treats
+/// that as a protocol violation, exactly like a bad frame header.
+bool decode_batch(std::string_view payload,
+                  std::vector<std::string_view>& out, std::string& error);
+
+/// Decodes a kResponse/kPong/kStatsReply frame back into the shared
+/// in-memory response shape (the client side of the wire). Returns
+/// false with a message on a malformed payload.
+bool decode_response_frame(const Frame& frame, ResponseLine& out,
+                           std::string& error);
+
+}  // namespace treesched::net

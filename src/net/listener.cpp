@@ -1,12 +1,15 @@
 #include "net/listener.hpp"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <stdexcept>
 #include <system_error>
 
 namespace treesched::net {
@@ -24,47 +27,73 @@ void set_nonblocking(int fd) {
   }
 }
 
+[[noreturn]] void close_and_throw(int fd, const char* what) {
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  throw_errno(what);
+}
+
 }  // namespace
 
-Listener::Listener(std::uint16_t port) {
+Listener::Listener(const ListenerConfig& config)
+    : unix_path_(config.unix_path) {
+  if (is_unix()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path_.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("unix socket path longer than " +
+                                  std::to_string(sizeof(addr.sun_path) - 1) +
+                                  " bytes: " + unix_path_);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) throw_errno("socket(AF_UNIX)");
+    // A stale socket file from a crashed previous run would make bind
+    // fail with EADDRINUSE forever; remove it (a live listener would
+    // have been detectable only by connecting — restarting over it is
+    // the accepted unix-socket convention).
+    (void)::unlink(unix_path_.c_str());
+    unix_path_.copy(addr.sun_path, unix_path_.size());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      close_and_throw(fd_, "bind(unix)");
+    }
+    if (::listen(fd_, SOMAXCONN) < 0) close_and_throw(fd_, "listen");
+    set_nonblocking(fd_);
+    address_ = "unix:" + unix_path_;
+    return;
+  }
+
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw_errno("socket");
   const int one = 1;
   (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, config.bind.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::invalid_argument("not an IPv4 bind address: " + config.bind);
+  }
+  addr.sin_port = htons(config.port);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    throw_errno("bind");
+    close_and_throw(fd_, "bind");
   }
-  if (::listen(fd_, SOMAXCONN) < 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    throw_errno("listen");
-  }
+  if (::listen(fd_, SOMAXCONN) < 0) close_and_throw(fd_, "listen");
   set_nonblocking(fd_);
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    throw_errno("getsockname");
+    close_and_throw(fd_, "getsockname");
   }
   port_ = ntohs(bound.sin_port);
+  address_ = config.bind + ":" + std::to_string(port_);
 }
 
 Listener::~Listener() {
   if (fd_ >= 0) ::close(fd_);
+  if (is_unix()) (void)::unlink(unix_path_.c_str());
 }
 
 void Listener::accept_ready(const std::function<void(int fd)>& sink) {
@@ -77,9 +106,11 @@ void Listener::accept_ready(const std::function<void(int fd)>& sink) {
       throw_errno("accept4");
     }
     set_nonblocking(conn);
-    const int one = 1;
-    // Response lines are small and latency-bound: never Nagle them.
-    (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (!is_unix()) {
+      const int one = 1;
+      // Response lines are small and latency-bound: never Nagle them.
+      (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     sink(conn);
   }
 }

@@ -15,7 +15,11 @@
 namespace treesched::net {
 
 Server::Server(SchedulingService& service, ServerConfig config)
-    : service_(service), config_(config), listener_(config.port) {}
+    : service_(service),
+      config_(std::move(config)),
+      listener_(ListenerConfig{.bind = config_.bind,
+                               .port = config_.port,
+                               .unix_path = config_.unix_path}) {}
 
 Server::~Server() {
   if (signal_fd_ >= 0) ::close(signal_fd_);
@@ -82,16 +86,18 @@ void Server::accept_ready() {
   });
 }
 
-Result<TreeHandle, ServiceError> Server::intern_spec(
-    const std::string& spec) {
+Result<TreeHandle, ServiceError> Server::intern_spec(std::string_view spec) {
+  // Heterogeneous find: the hot path (a spec seen before, which is what
+  // a steady workload looks like) costs zero allocations even when the
+  // spec is a view into a v3 frame buffer.
   const auto it = spec_memo_.find(spec);
   if (it != spec_memo_.end()) return it->second;
   try {
     // try_intern keeps store rejection typed (kStoreFull); only spec
     // resolution itself (file IO, generator args) still throws.
     Result<TreeHandle, ServiceError> handle =
-        service_.try_intern(tree_from_spec(spec));
-    if (handle.ok()) spec_memo_.emplace(spec, handle.value());
+        service_.try_intern(tree_from_spec(std::string(spec)));
+    if (handle.ok()) spec_memo_.emplace(std::string(spec), handle.value());
     return handle;
   } catch (const std::exception& e) {
     return ServiceError{ErrorCode::kBadRequest, e.what(),

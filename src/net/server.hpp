@@ -1,7 +1,9 @@
 #pragma once
-// The networked scheduling server (src/net/): an epoll-driven TCP
-// front-end speaking protocol v2 (service/request_line.hpp) to many
-// concurrent clients, multiplexed onto ONE I/O thread.
+// The networked scheduling server (src/net/): an epoll-driven front-end
+// serving many concurrent clients over TCP or a unix-domain socket,
+// multiplexed onto ONE I/O thread. Each connection speaks either
+// protocol — text v2 (service/request_line.hpp) or binary v3
+// (net/frame.hpp) — negotiated by the first bytes the client sends.
 //
 //   net -> service -> sched:
 //
@@ -24,36 +26,50 @@
 //
 // Scale limits are explicit and typed: at most max_conns sockets (the
 // excess is greeted with a queue_full error line and closed), at most
-// max_pending unsettled requests per connection (excess lines answer
+// max_pending unsettled requests per connection (excess requests answer
 // queue_full), at most max_wbuf buffered response bytes per connection
-// (past it the connection stops reading until the client drains).
+// (past it the connection stops reading until the client drains), at
+// most max_line text-line / max_frame binary-frame bytes per request.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
+#include "net/frame.hpp"
 #include "net/listener.hpp"
 #include "service/service.hpp"
 
 namespace treesched::net {
 
 struct ServerConfig {
-  /// TCP port on 127.0.0.1; 0 = kernel-assigned (see Server::port()).
+  /// IPv4 address the TCP listener binds; "0.0.0.0" opens it to the
+  /// network, the loopback default keeps it local.
+  std::string bind = "127.0.0.1";
+  /// TCP port; 0 = kernel-assigned (see Server::port()).
   std::uint16_t port = 0;
+  /// Nonempty = serve on a unix-domain socket at this path instead of
+  /// TCP (bind/port are ignored). Same protocols, no TCP stack.
+  std::string unix_path;
   /// Accepted-connection bound; excess connections are answered with
   /// one queue_full error line and closed.
   std::size_t max_conns = 256;
-  /// Per-connection unsettled-request bound; excess request lines
-  /// answer the typed queue_full error without reaching the service.
+  /// Per-connection unsettled-request bound; excess requests answer the
+  /// typed queue_full error without reaching the service.
   std::size_t max_pending = 64;
   /// Per-connection write-buffer high watermark in bytes; past it the
   /// connection stops reading until the client drains below half.
   std::size_t max_wbuf = 256 * 1024;
-  /// Longest accepted request line; longer lines answer bad_request.
+  /// Longest accepted request line (text v2); longer lines answer
+  /// bad_request.
   std::size_t max_line = LineFramer::kDefaultMaxLine;
+  /// Largest accepted binary frame (v3); a bigger length prefix answers
+  /// bad_request and closes — the hostile length is never buffered.
+  std::size_t max_frame = kDefaultMaxFrame;
   /// Install a signalfd for SIGTERM/SIGINT and drain gracefully on
   /// either. The caller must block both signals in every thread BEFORE
   /// spawning any (schedule_server does; in-process tests use stop()).
@@ -64,8 +80,14 @@ struct ServerConfig {
 struct ServerCounters {
   std::uint64_t accepted = 0;        ///< connections accepted
   std::uint64_t rejected_conns = 0;  ///< turned away at max_conns
-  std::uint64_t lines = 0;           ///< request lines framed
+  std::uint64_t lines = 0;           ///< requests framed (text lines and
+                                     ///< binary request payloads alike)
   std::uint64_t submitted = 0;       ///< tickets submitted to the service
+  std::uint64_t v3_conns = 0;        ///< connections that negotiated v3
+  std::uint64_t frames_in = 0;       ///< well-formed v3 frames parsed
+  std::uint64_t frames_bad = 0;      ///< protocol-violating frames
+  std::uint64_t batch_requests = 0;  ///< requests that arrived in batches
+  std::uint64_t parse_errors = 0;    ///< requests rejected by the grammar
 };
 
 class Server {
@@ -79,6 +101,10 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  /// Printable endpoint: "<bind>:<port>" or "unix:<path>".
+  [[nodiscard]] const std::string& address() const {
+    return listener_.address();
+  }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
   /// Serves until stop()/SIGTERM, then drains (see file comment).
@@ -92,15 +118,25 @@ class Server {
  private:
   friend class Connection;
 
+  /// Heterogeneous hasher so a string_view spec (v3's zero-copy path)
+  /// probes the memo without materializing a std::string first.
+  struct SpecHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view spec) const {
+      return std::hash<std::string_view>{}(spec);
+    }
+  };
+
   // --- Connection-facing surface (I/O thread only) --------------------
   EventLoop& loop() { return loop_; }
   SchedulingService& service() { return service_; }
   ServerCounters& counters() { return counters_; }
   /// Spec -> interned handle, memoized server-wide (all parsing happens
-  /// on the I/O thread, so the memo needs no lock). Failures are typed
-  /// values: kBadRequest for an unresolvable spec, kStoreFull (via
-  /// try_intern) past the store budget.
-  Result<TreeHandle, ServiceError> intern_spec(const std::string& spec);
+  /// on the I/O thread, so the memo needs no lock). The lookup is
+  /// copy-free; the spec string is owned only on first sight. Failures
+  /// are typed values: kBadRequest for an unresolvable spec, kStoreFull
+  /// (via try_intern) past the store budget.
+  Result<TreeHandle, ServiceError> intern_spec(std::string_view spec);
   /// Registers one submitted ticket for the drain accounting and
   /// forwards its completion to the loop. Callable from any thread
   /// (it is the Ticket::on_complete target).
@@ -125,7 +161,8 @@ class Server {
   bool listener_active_ = false;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
-  std::unordered_map<std::string, TreeHandle> spec_memo_;
+  std::unordered_map<std::string, TreeHandle, SpecHash, std::equal_to<>>
+      spec_memo_;
   ServerCounters counters_;
   std::uint64_t next_conn_id_ = 1;
   /// Tickets submitted whose completion has not yet been processed on

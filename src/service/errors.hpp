@@ -23,16 +23,19 @@ namespace treesched {
 
 /// Machine-readable failure code. The wire spelling (to_string) is part
 /// of the protocol-v2 contract; parse_error_code rejects unknown codes.
+/// The NUMERIC values are part of the protocol-v3 contract (binary error
+/// frames carry them verbatim — net/frame.hpp): existing values must
+/// never be renumbered; new codes append at the end.
 enum class ErrorCode : int {
   kUnknownAlgorithm = 0,  ///< algo name not in the SchedulerRegistry
-  kInvalidResources,      ///< bad p / stray memory cap / missing tree
-  kDeadlineExpired,       ///< deadline lapsed while the request was queued
-  kQueueFull,             ///< admission queue at max_pending, turned away
-  kCancelled,             ///< cancelled via Ticket::cancel() while queued
-  kSchedulerFailure,      ///< the scheduler itself failed on the instance
-  kStoreFull,             ///< instance store byte budget exhausted
-  kBadRequest,            ///< protocol-level violation (parse error,
-                          ///< unknown id, malformed cancel)
+  kInvalidResources = 1,  ///< bad p / stray memory cap / missing tree
+  kDeadlineExpired = 2,   ///< deadline lapsed while the request was queued
+  kQueueFull = 3,         ///< admission queue at max_pending, turned away
+  kCancelled = 4,         ///< cancelled via Ticket::cancel() while queued
+  kSchedulerFailure = 5,  ///< the scheduler itself failed on the instance
+  kStoreFull = 6,         ///< instance store byte budget exhausted
+  kBadRequest = 7,        ///< protocol-level violation (parse error,
+                          ///< unknown id, malformed cancel, bad frame)
 };
 
 /// Wire spelling of `code` ("unknown_algorithm", "queue_full", ...).

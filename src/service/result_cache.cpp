@@ -45,6 +45,16 @@ CachedResultPtr ResultCache::get(const ResultKey& key) {
   return it->second->second;
 }
 
+CachedResultPtr ResultCache::peek(const ResultKey& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
 void ResultCache::put(const ResultKey& key, CachedResultPtr value) {
   if (!enabled() || !value) return;
   const std::size_t cost = value->bytes();

@@ -89,6 +89,12 @@ class ResultCache {
   /// Looks up `key`, refreshing its LRU position. Counts a hit or miss.
   [[nodiscard]] CachedResultPtr get(const ResultKey& key);
 
+  /// get() for opportunistic probes (the service's I/O-thread fast
+  /// path): a hit counts and refreshes LRU, but a miss counts nothing —
+  /// the prober falls back to the full path, whose get() records the
+  /// one authoritative miss.
+  [[nodiscard]] CachedResultPtr peek(const ResultKey& key);
+
   /// Inserts (or overwrites) `key`. Never throws on a full cache; evicts
   /// least-recently-used entries from the shard instead.
   void put(const ResultKey& key, CachedResultPtr value);

@@ -70,6 +70,40 @@ ResultKey SchedulingService::key_for(const ScheduleRequest& req,
   return key;
 }
 
+std::optional<ScheduleResponse> SchedulingService::try_cached(
+    const ScheduleRequest& req) {
+  if (!cache_.enabled() || !req.tree) return std::nullopt;
+  std::shared_ptr<const Scheduler> sched;
+  {
+    const std::shared_lock<std::shared_mutex> lock(schedulers_mutex_);
+    const auto it = schedulers_.find(req.algo);
+    // Never resolved means never computed, so there cannot be a cache
+    // entry — and an unknown algorithm's typed error stays on the slow
+    // path instead of being re-diagnosed per probe.
+    if (it == schedulers_.end()) return std::nullopt;
+    sched = it->second;
+  }
+  try {
+    // Sequential-only algorithms normalize p to 1 in the key, so an
+    // invalid p could still collide with a cached entry: requests the
+    // slow path would reject must never be answered from the cache.
+    validate_resources(Resources{req.p, req.memory_cap},
+                       sched->capabilities(), req.algo);
+  } catch (...) {
+    return std::nullopt;
+  }
+  CachedResultPtr result = cache_.peek(key_for(req, *sched));
+  if (!result) return std::nullopt;
+  ScheduleResponse resp;
+  resp.makespan = result->makespan;
+  resp.peak_memory = result->peak_memory;
+  resp.cache_hit = true;
+  if (req.want_schedule) {
+    resp.schedule = std::shared_ptr<const Schedule>(result, &result->schedule);
+  }
+  return resp;
+}
+
 ServiceResult SchedulingService::evaluate(const ScheduleRequest& req) {
   if (!req.tree) {
     return ServiceError{

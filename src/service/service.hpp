@@ -62,6 +62,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -125,6 +126,17 @@ class SchedulingService {
   /// self-deadlock; such requests resolve immediately, are invisible to
   /// queue_stats(), and cannot be cancelled.
   [[nodiscard]] Ticket submit(ScheduleRequest req);
+
+  /// Latency fast path: answers `req` immediately iff it is a pure
+  /// result-cache hit — no admission queue, no pool job, no ticket.
+  /// Safe to call from a front-end's I/O thread; a hit costs one shard
+  /// lock. nullopt means "not answerable here" (cache disabled, the
+  /// algorithm never resolved, resources that would fail validation, or
+  /// a plain miss): fall back to submit(), which produces the typed
+  /// error or computes — and records the one authoritative cache miss
+  /// (a probe miss counts nothing).
+  [[nodiscard]] std::optional<ScheduleResponse> try_cached(
+      const ScheduleRequest& req);
 
   // --- legacy wrappers, all delegating to submit() ---------------------
 
