@@ -18,6 +18,10 @@
 // requests per connection (excess answers the typed queue_full error);
 // --max-frame-kb bounds one v3 frame; --store-mb / --cache-mb budget
 // the instance store and result cache.
+// --metrics-port N serves `GET /metrics` (Prometheus text exposition)
+// on 127.0.0.1:N, riding the server's own I/O thread; 0 picks an
+// ephemeral port (printed as "metrics on ..."). --slow-ms T logs the
+// full stage breakdown of any request slower than T ms to stderr.
 // SIGTERM/SIGINT drain gracefully: the listener closes, every accepted
 // request is answered or cancelled, buffers flush, then the process
 // exits 0 — kill -TERM is the production stop.
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
     server_config.max_wbuf =
         static_cast<std::size_t>(args.get_int("max-wbuf-kb", 256)) << 10;
     server_config.handle_signals = true;
+    server_config.metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
+    server_config.slow_ms = args.get_double("slow-ms", 0.0);
     ServiceConfig service_config;
     service_config.cache_bytes =
         static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
@@ -74,6 +80,10 @@ int main(int argc, char** argv) {
     // Machine-read by scripts (the e2e test binds port 0): keep the
     // format stable and flushed before serving starts.
     std::cout << "listening on " << server.address() << std::endl;
+    if (server.metrics_port() != 0) {
+      std::cout << "metrics on 127.0.0.1:" << server.metrics_port()
+                << std::endl;
+    }
     server.run();
     std::cerr << "drained: all accepted requests answered or cancelled\n";
     return 0;

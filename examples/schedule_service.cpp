@@ -9,6 +9,8 @@
 //                   cancel id=<n>
 //                   ping [id=<n>]        answered `pong [id=<n>]` at once
 //                   stats [id=<n>]       queue/cache/store counters at once
+//                   trace start|stop|status|dump=<path> [id=<n>]
+//                                        drives the process-wide tracer
 // (service/request_line.hpp is the grammar's single home; unknown
 // key=value fields are rejected with an error naming the field.)
 // Tree specs:       file:<path>             a treesched-tree v1 file
@@ -39,16 +41,27 @@
 // --max-pending bounds the in-flight window: past it the reader blocks
 // on the oldest pending answer before accepting more lines, so a huge
 // input file cannot flood the queue (backpressure, v1's --batch role).
+// --metrics-port N serves `GET /metrics` (Prometheus text exposition of
+// the service's registry) on 127.0.0.1:N from a dedicated thread; 0
+// picks an ephemeral port (printed to stderr). --slow-ms T logs the
+// stage breakdown of any request slower than T ms to stderr.
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/event_loop.hpp"
+#include "net/metrics_http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
 #include "service/request_line.hpp"
 #include "service/service.hpp"
 #include "campaign/dataset.hpp"
@@ -76,8 +89,9 @@ struct Pending {
 
 class Stream {
  public:
-  Stream(SchedulingService& service, std::size_t max_pending)
-      : service_(service), max_pending_(max_pending) {}
+  Stream(SchedulingService& service, std::size_t max_pending,
+         double slow_ms)
+      : service_(service), max_pending_(max_pending), slow_ms_(slow_ms) {}
 
   /// Handles one nonempty, comment-stripped input line; prints any
   /// response lines that become available.
@@ -104,6 +118,9 @@ class Stream {
           break;
         case RequestLine::Kind::kStats:
           handle_stats(parsed);
+          break;
+        case RequestLine::Kind::kTrace:
+          handle_trace(parsed);
           break;
         case RequestLine::Kind::kSchedule:
           handle_schedule(parsed);
@@ -155,6 +172,11 @@ class Stream {
     }
     pending.tree_hash = req.tree.hash;
     pending.n = req.tree->size();
+    // One clock read stamps both front-end stages: the stdin path has
+    // no network accept, so "accept" is the moment the line was read.
+    const std::uint64_t now = obs::now_ns();
+    req.stamps.stamp(obs::Stage::kAccept, now);
+    req.stamps.stamp(obs::Stage::kParse, now);
     req.algo = parsed.algo;
     req.p = parsed.p;
     req.memory_cap = parsed.memory_cap;
@@ -219,6 +241,46 @@ class Stream {
     for (auto& pair : service_stats_pairs(service_)) {
       line.stats.push_back(std::move(pair));
     }
+    std::cout << format_response_line(line) << "\n";
+  }
+
+  /// Same contract as the TCP front-end's trace verb: drives the
+  /// process-wide tracer, answers a stats-shaped `trace` line at once.
+  void handle_trace(const RequestLine& parsed) {
+    obs::Tracer& tracer = obs::Tracer::global();
+    std::uint64_t written = 0;
+    bool dumped = false;
+    if (parsed.trace_action == "start") {
+      tracer.enable();
+    } else if (parsed.trace_action == "stop") {
+      tracer.disable();
+    } else if (parsed.trace_action == "dump") {
+      std::ofstream out{parsed.trace_path};
+      if (!out) {
+        emit_error(parsed.id, ErrorCode::kBadRequest,
+                   "cannot open trace path \"" + parsed.trace_path +
+                       "\" for writing");
+        return;
+      }
+      written = tracer.write_chrome_trace(out);
+      if (!out) {
+        emit_error(parsed.id, ErrorCode::kBadRequest,
+                   "short write dumping trace to \"" + parsed.trace_path +
+                       "\"");
+        return;
+      }
+      dumped = true;
+    }  // "status" mutates nothing
+    ResponseLine line;
+    line.kind = ResponseLine::Kind::kTrace;
+    line.ok = true;
+    line.id = parsed.id;
+    line.stats = {
+        {"enabled", tracer.enabled() ? 1 : 0},
+        {"spans", tracer.recorded()},
+        {"dropped", tracer.dropped()},
+    };
+    if (dumped) line.stats.emplace_back("written", written);
     std::cout << format_response_line(line) << "\n";
   }
 
@@ -298,6 +360,37 @@ class Stream {
       line.message = result.error().message;
     }
     std::cout << format_response_line(line) << "\n";
+    if (slow_ms_ > 0.0 && result.ok()) slow_log(pending, result.value());
+  }
+
+  /// Stage breakdown to stderr for requests over --slow-ms. The stream
+  /// has no flush stage — e2e here is accept to compute end.
+  void slow_log(const Pending& pending, const ScheduleResponse& resp) {
+    using obs::Stage;
+    const obs::StageStamps& st = resp.stamps;
+    if (!st.has(Stage::kAccept) || !st.has(Stage::kComputeEnd)) return;
+    const std::uint64_t e2e = st.between(Stage::kAccept, Stage::kComputeEnd);
+    if (static_cast<double>(e2e) < slow_ms_ * 1e6) return;
+    std::string msg = "[treesched] slow request";
+    if (pending.id) msg.append(" id=").append(std::to_string(*pending.id));
+    msg.append(" algo=").append(pending.algo);
+    msg.append(" class=").append(to_string(pending.priority));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " e2e=%.3fms",
+                  static_cast<double>(e2e) / 1e6);
+    msg.append(buf);
+    const auto stage_delta = [&](const char* name, Stage from, Stage to) {
+      if (!st.has(from) || !st.has(to)) return;
+      std::snprintf(buf, sizeof(buf), " %s=%.3fms", name,
+                    static_cast<double>(st.between(from, to)) / 1e6);
+      msg.append(buf);
+    };
+    stage_delta("admit", Stage::kParse, Stage::kAdmit);
+    stage_delta("queue_wait", Stage::kAdmit, Stage::kDequeue);
+    stage_delta("dispatch", Stage::kDequeue, Stage::kComputeStart);
+    stage_delta("compute", Stage::kComputeStart, Stage::kComputeEnd);
+    msg.push_back('\n');
+    std::fputs(msg.c_str(), stderr);
   }
 
   void emit_error(std::optional<std::uint64_t> id, ErrorCode code,
@@ -327,6 +420,7 @@ class Stream {
   std::unordered_set<std::uint64_t> by_id_;
   std::uint64_t lines_ = 0;
   std::uint64_t parse_errors_ = 0;
+  const double slow_ms_;
 };
 
 }  // namespace
@@ -348,13 +442,35 @@ int main(int argc, char** argv) {
     const auto max_pending =
         static_cast<std::size_t>(args.get_int("max-pending", 256));
     const bool stats = args.get_bool("stats", false);
+    const int metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
+    const double slow_ms = args.get_double("slow-ms", 0.0);
     args.reject_unknown();
     if (max_pending == 0) {
       throw std::invalid_argument("--max-pending must be >= 1");
     }
 
     SchedulingService service(config);
-    Stream stream(service, max_pending);
+    Stream stream(service, max_pending, slow_ms);
+
+    // Optional scrape endpoint on its own loop thread. It serves the
+    // service's registry only — every collector behind it reads
+    // mutex-guarded or atomic state, so a scrape never races the main
+    // thread's stream bookkeeping (which stays stats-verb-only).
+    std::unique_ptr<net::EventLoop> metrics_loop;
+    std::unique_ptr<net::MetricsHttp> metrics_http;
+    std::thread metrics_thread;
+    if (metrics_port >= 0) {
+      metrics_loop = std::make_unique<net::EventLoop>();
+      metrics_http = std::make_unique<net::MetricsHttp>(
+          *metrics_loop, service.registry(),
+          net::ListenerConfig{
+              .bind = "127.0.0.1",
+              .port = static_cast<std::uint16_t>(metrics_port),
+              .unix_path = {}});
+      metrics_http->start();
+      metrics_thread = std::thread([&] { metrics_loop->run(); });
+      std::cerr << "metrics on " << metrics_http->address() << "\n";
+    }
 
     std::ifstream file;
     if (input != "-") {
@@ -371,6 +487,12 @@ int main(int argc, char** argv) {
       stream.consume(line);
     }
     stream.finish();
+
+    if (metrics_thread.joinable()) {
+      metrics_loop->stop();
+      metrics_thread.join();
+      metrics_http->stop();  // loop idle: tears down scrape sockets
+    }
 
     if (stats) {
       const CacheStats cs = service.cache_stats();

@@ -23,11 +23,18 @@
 // the tool shares the service's interning/caching engine and failures
 // arrive as typed ServiceErrors — printed as "error [<code>]: <message>"
 // with a non-zero exit.
+//
+// --trace-out <file> enables the process-wide tracer for the whole run
+// and writes a Chrome trace_event JSON on exit — load it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing to see per-request queue-wait
+// and per-algorithm compute spans on their worker threads.
 
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 #include "campaign/dataset.hpp"
 #include "core/lower_bounds.hpp"
@@ -138,8 +145,10 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    const std::string trace_out = args.get("trace-out", "");
     const Tree tree = load_tree(args);
     args.reject_unknown();
+    if (!trace_out.empty()) obs::Tracer::global().enable();
 
     std::cout << "tree: " << tree.describe() << "\n";
     if (!save_tree.empty()) {
@@ -234,6 +243,16 @@ int main(int argc, char** argv) {
                    write_memory_profile_csv(os, tree, schedule);
                  });
       }
+    }
+    if (!trace_out.empty()) {
+      obs::Tracer& tracer = obs::Tracer::global();
+      tracer.disable();
+      std::ofstream out(trace_out);
+      if (!out) throw std::runtime_error("cannot open " + trace_out);
+      const std::size_t written = tracer.write_chrome_trace(out);
+      std::cout << "wrote " << written << " trace spans to " << trace_out
+                << " (" << tracer.dropped()
+                << " overwritten; open in Perfetto or chrome://tracing)\n";
     }
     return 0;
   } catch (const std::exception& e) {

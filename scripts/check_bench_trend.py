@@ -1,51 +1,57 @@
 #!/usr/bin/env python3
-"""Perf gate: compare bench output against the committed baseline
-(bench/baseline.json) and fail on regressions.
+"""Perf gate: compare bench output against the committed baselines
+(bench/baseline.json, bench/baseline_perf.json) and fail on
+regressions.
 
 Usage:
-    check_bench_trend.py [current.json previous.json]
-        [--threshold 0.15]
+    check_bench_trend.py
+        [--perf-current BENCH_PR2.json]
+        [--perf-baseline bench/baseline_perf.json]
+        [--threshold 0.50]
         [--service-current bench_service.json]
         [--baseline bench/baseline.json]
         [--service-threshold 0.30]
         [--min-v3-ratio 3.0]
 
-Two independent comparisons, each optional:
+Two independent comparisons, each optional, both against COMMITTED
+baselines — no artifact chaining anywhere, so sub-threshold drift
+cannot accumulate across runs: every run answers to the same pinned
+numbers.
 
-  * The positional pair uses the treesched-bench-pr2 schema written by
-    bench_perf ({"benchmarks": [{"name", "ns_per_op",
-    "items_per_second"}, ...]}) — "BM_Sched/<algorithm>" gates on
-    ns_per_op (up > --threshold fails), "BM_Service/..." gates on
-    items_per_second (down > --threshold fails). These still compare
-    run-to-run (same CI hardware, artifact-chained); omit the pair to
-    skip them.
+  * --perf-current names this run's bench_perf JSON (schema
+    treesched-bench-pr2: {"benchmarks": [{"name", "ns_per_op",
+    "items_per_second"}, ...]}) and gates it against the committed
+    --perf-baseline — "BM_Sched/<algorithm>" on ns_per_op (up >
+    --threshold fails), "BM_Service/..." on items_per_second (down >
+    --threshold fails). The threshold is loose by default: absolute
+    microbenchmark numbers are hardware-dependent and CI runners
+    differ from the reference box.
 
   * --service-current names this run's bench_service JSON (schema
     treesched-bench-service-v5). Its loopback-server requests/sec are
-    gated against the COMMITTED baseline named by --baseline — no
-    artifact chaining, so sub-threshold drift cannot accumulate across
-    runs: every run answers to the same pinned numbers. Absolute rps
-    keys gate at --service-threshold (loose: they cross the kernel
-    loopback stack and a real scheduler pool). Hardware-relative ratios
-    gate regardless of the machine: the v3-batch-16-over-text-v2 ratio
+    gated against the committed --baseline. Absolute rps keys gate at
+    --service-threshold (loose: they cross the kernel loopback stack
+    and a real scheduler pool). Hardware-relative ratios gate
+    regardless of the machine: the v3-batch-16-over-text-v2 ratio
     must stay >= --min-v3-ratio (the protocol-v3 acceptance bar), and
     the cached/uncached speedup gates like an rps key.
 
-Updating the baseline
----------------------
-The baseline is a bench_service run committed to the repo. Regenerate
-it ONLY alongside the change that legitimately moved the numbers (an
+Updating the baselines
+----------------------
+Each baseline is a bench run committed to the repo. Regenerate ONLY
+alongside the change that legitimately moved the numbers (an
 intentional perf change, a bench-shape change, or new reference
 hardware), and commit the refreshed file in the same PR so reviewers
 see old and new numbers in one diff:
 
     ./build/bench_service --json bench/baseline.json
-    git add bench/baseline.json
+    ./build/bench_perf --benchmark_filter='BM_Sched|BM_Service' \\
+        --benchmark_min_time=0.1 --bench_json=bench/baseline_perf.json
+    git add bench/baseline.json bench/baseline_perf.json
 
-Absolute rps values are machine-dependent; if CI moves to different
-hardware, regenerate there (or widen --service-threshold in the
-workflow) — the ratio gates keep protecting the protocol contract
-either way.
+Absolute values are machine-dependent; if CI moves to different
+hardware, regenerate there (or widen the thresholds in the workflow)
+— the ratio gates keep protecting the protocol contract either way.
 
 Benchmarks/keys present on only one side are reported but never fail
 the build (new benchmarks appear, old ones are retired).
@@ -115,12 +121,12 @@ def load_loopback(path):
 def compare(label, current, previous, threshold, lower_is_better):
     """Prints the table for one metric family; returns its regressions."""
     if not previous:
-        print(f"check_bench_trend: previous run has no {label} entries; "
+        print(f"check_bench_trend: reference has no {label} entries; "
               "nothing to gate")
         return []
     unit = "ns/op" if lower_is_better else "items/s"
     regressions = []
-    print(f"{label:<40} {f'prev {unit}':>14} {f'cur {unit}':>14} "
+    print(f"{label:<40} {f'base {unit}':>14} {f'cur {unit}':>14} "
           f"{'delta':>8}")
     for name in sorted(set(current) | set(previous)):
         if name not in current:
@@ -144,25 +150,31 @@ def compare(label, current, previous, threshold, lower_is_better):
     return regressions
 
 
-def default_baseline():
-    """bench/baseline.json relative to the repo root (this script's
-    parent directory's parent), so the gate works from any CWD."""
+def default_baseline(name):
+    """bench/<name> relative to the repo root (this script's parent
+    directory's parent), so the gate works from any CWD."""
     here = os.path.dirname(os.path.abspath(__file__))
-    return os.path.join(os.path.dirname(here), "bench", "baseline.json")
+    return os.path.join(os.path.dirname(here), "bench", name)
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("current", nargs="?", default=None,
+    parser.add_argument("--perf-current", default=None,
                         help="this run's BENCH_PR2.json (bench_perf)")
-    parser.add_argument("previous", nargs="?", default=None,
-                        help="the previous run's BENCH_PR2.json")
-    parser.add_argument("--threshold", type=float, default=0.15,
+    parser.add_argument("--perf-baseline",
+                        default=default_baseline("baseline_perf.json"),
+                        help="committed baseline bench_perf JSON (default: "
+                             "bench/baseline_perf.json in this repo)")
+    parser.add_argument("--threshold", type=float, default=0.50,
                         help="allowed fractional change for BM_Sched ns/op "
-                             "and BM_Service items/sec (default 0.15)")
+                             "and BM_Service items/sec vs. the committed "
+                             "baseline, loose because absolute "
+                             "microbenchmark numbers are hardware-dependent "
+                             "(default 0.50)")
     parser.add_argument("--service-current", default=None,
                         help="this run's bench_service.json (loopback rps)")
-    parser.add_argument("--baseline", default=default_baseline(),
+    parser.add_argument("--baseline",
+                        default=default_baseline("baseline.json"),
                         help="committed baseline bench_service.json "
                              "(default: bench/baseline.json in this repo)")
     parser.add_argument("--service-threshold", type=float, default=0.30,
@@ -174,18 +186,21 @@ def main():
                              "current run — hardware-relative, so it gates "
                              "on any machine (default 3.0; 0 disables)")
     args = parser.parse_args()
-    if (args.current is None) != (args.previous is None):
-        parser.error("current and previous must be given together")
 
     regressions = []
-    if args.current is not None:
-        cur_sched, cur_service = load_entries(args.current)
-        prev_sched, prev_service = load_entries(args.previous)
-        regressions += compare("BM_Sched (ns/op)", cur_sched, prev_sched,
-                               args.threshold, lower_is_better=True)
-        regressions += compare("BM_Service (items/s)", cur_service,
-                               prev_service, args.threshold,
-                               lower_is_better=False)
+    if args.perf_current is not None:
+        if os.path.exists(args.perf_baseline):
+            cur_sched, cur_service = load_entries(args.perf_current)
+            base_sched, base_service = load_entries(args.perf_baseline)
+            regressions += compare("BM_Sched vs baseline (ns/op)", cur_sched,
+                                   base_sched, args.threshold,
+                                   lower_is_better=True)
+            regressions += compare("BM_Service vs baseline (items/s)",
+                                   cur_service, base_service, args.threshold,
+                                   lower_is_better=False)
+        else:
+            print(f"check_bench_trend: no baseline at {args.perf_baseline}; "
+                  "skipping the bench_perf comparison")
 
     compared = 0
     if args.service_current:

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition (version 0.0.4) scrapes.
+
+    check_prometheus.py scrape1.txt [scrape2.txt]
+
+Checks, per file:
+  * every line is a comment (# HELP / # TYPE) or a sample
+    `name{labels} value` with a legal metric name, well-formed label
+    pairs, and a parseable value;
+  * HELP and TYPE precede the first sample of their metric, TYPE appears
+    at most once per name, and all samples of one name are contiguous
+    (the format forbids interleaved blocks);
+  * counter samples are non-negative;
+  * every TYPE histogram series has increasing `le` bounds, cumulative
+    (non-decreasing) bucket counts, an `le="+Inf"` bucket, and that
+    +Inf count equals the series' `_count` sample.
+
+With two files, additionally checks that every counter — including
+histogram `_bucket`/`_count`/`_sum` series — is monotonic: the second
+scrape's value must be >= the first's for every series present in both.
+
+Exit status 0 on success; 1 with one message per violation on stderr.
+Used by scripts/test_schedule_server.sh against a live --metrics-port
+endpoint, and usable by hand against `curl .../metrics` output.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One label pair: key="value" with \" \\ \n escapes allowed in the value.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(\d+))?$")
+
+
+def parse_labels(raw, errors, where):
+    """Returns the label string normalized to a sorted tuple of pairs."""
+    if raw is None or raw == "":
+        return ()
+    pairs = []
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_RE.match(raw, pos)
+        if not m:
+            errors.append(f"{where}: malformed labels: {{{raw}}}")
+            return ()
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                errors.append(f"{where}: malformed labels: {{{raw}}}")
+                return ()
+            pos += 1
+    return tuple(sorted(pairs))
+
+
+def parse_value(raw, errors, where):
+    try:
+        if raw in ("+Inf", "Inf"):
+            return float("inf")
+        if raw == "-Inf":
+            return float("-inf")
+        if raw == "NaN":
+            return float("nan")
+        return float(raw)
+    except ValueError:
+        errors.append(f"{where}: unparseable value {raw!r}")
+        return 0.0
+
+
+def base_name(name, types):
+    """Histogram samples use name_bucket/_sum/_count; map to the base."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_exposition(path):
+    """Returns (samples, types, errors): samples maps
+    (name, labels-tuple) -> value, types maps name -> TYPE string."""
+    errors = []
+    samples = {}
+    types = {}
+    helps = set()
+    seen_names = []  # order of first appearance, for contiguity
+    closed = set()   # names whose block has ended
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if line == "":
+            errors.append(f"{where}: blank line inside exposition")
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) (\S+)(?: (.*))?$", line)
+            if not m:
+                errors.append(f"{where}: malformed comment: {line!r}")
+                continue
+            kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not NAME_RE.match(name):
+                errors.append(f"{where}: illegal metric name {name!r}")
+                continue
+            if kind == "HELP":
+                if name in helps:
+                    errors.append(f"{where}: duplicate HELP for {name}")
+                helps.add(name)
+            else:
+                if rest not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    errors.append(f"{where}: unknown TYPE {rest!r} for {name}")
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = rest
+                if name in samples_names(samples, types):
+                    errors.append(f"{where}: TYPE {name} after its samples")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m or m.group(4) is not None:
+            # group(4) would be a timestamp; the server never emits one.
+            errors.append(f"{where}: malformed sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group(1), m.group(2), m.group(3)
+        base = base_name(name, types)
+        if base not in types:
+            errors.append(f"{where}: sample {name} has no preceding TYPE")
+        if base not in helps:
+            errors.append(f"{where}: sample {name} has no preceding HELP")
+        if base in closed:
+            errors.append(
+                f"{where}: samples for {base} are not contiguous")
+        if seen_names and seen_names[-1] != base:
+            closed.add(seen_names[-1])
+        if not seen_names or seen_names[-1] != base:
+            seen_names.append(base)
+        labels = parse_labels(raw_labels, errors, where)
+        value = parse_value(raw_value, errors, where)
+        key = (name, labels)
+        if key in samples:
+            errors.append(f"{where}: duplicate series {name}{{{raw_labels}}}")
+        samples[key] = value
+        if types.get(base) == "counter" and value < 0:
+            errors.append(f"{where}: counter {name} is negative ({value})")
+
+    check_histograms(path, samples, types, errors)
+    return samples, types, errors
+
+
+def samples_names(samples, types):
+    return {base_name(name, types) for name, _ in samples}
+
+
+def check_histograms(path, samples, types, errors):
+    for name, t in types.items():
+        if t != "histogram":
+            continue
+        # Group bucket samples by their labels-minus-le series identity.
+        series = {}
+        for (sname, labels), value in samples.items():
+            if sname != name + "_bucket":
+                continue
+            le = [v for k, v in labels if k == "le"]
+            rest = tuple(p for p in labels if p[0] != "le")
+            if len(le) != 1:
+                errors.append(f"{path}: {sname} series without one le label")
+                continue
+            series.setdefault(rest, []).append((le[0], value))
+        if not series:
+            errors.append(f"{path}: histogram {name} has no _bucket samples")
+        for rest, buckets in series.items():
+            def le_key(le):
+                return float("inf") if le == "+Inf" else float(le)
+            try:
+                ordered = sorted(buckets, key=lambda b: le_key(b[0]))
+            except ValueError:
+                errors.append(f"{path}: {name} has unparseable le bound")
+                continue
+            bounds = [le_key(le) for le, _ in ordered]
+            if bounds != sorted(set(bounds)):
+                errors.append(f"{path}: {name}{dict(rest)} repeats le bounds")
+            counts = [v for _, v in ordered]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                errors.append(
+                    f"{path}: {name}{dict(rest)} buckets are not cumulative: "
+                    f"{counts}")
+            if ordered[-1][0] != "+Inf":
+                errors.append(f"{path}: {name}{dict(rest)} lacks le=\"+Inf\"")
+                continue
+            count = samples.get((name + "_count", rest))
+            if count is None:
+                errors.append(f"{path}: {name}{dict(rest)} lacks _count")
+            elif count != ordered[-1][1]:
+                errors.append(
+                    f"{path}: {name}{dict(rest)} +Inf bucket "
+                    f"({ordered[-1][1]}) != _count ({count})")
+            if (name + "_sum", rest) not in samples:
+                errors.append(f"{path}: {name}{dict(rest)} lacks _sum")
+
+
+def monotonic_series(samples, types):
+    """Series that must never decrease between scrapes."""
+    out = {}
+    for (name, labels), value in samples.items():
+        base = base_name(name, types)
+        t = types.get(base)
+        if t == "counter" or (t == "histogram" and name != base):
+            out[(name, labels)] = value
+    return out
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_errors = []
+    parsed = []
+    for path in argv[1:]:
+        samples, types, errors = parse_exposition(path)
+        all_errors.extend(errors)
+        parsed.append((samples, types))
+    if len(parsed) == 2 and not all_errors:
+        first = monotonic_series(*parsed[0])
+        second = monotonic_series(*parsed[1])
+        for key, v1 in sorted(first.items()):
+            v2 = second.get(key)
+            if v2 is None:
+                all_errors.append(
+                    f"{argv[2]}: series {key[0]}{dict(key[1])} vanished "
+                    "between scrapes")
+            elif v2 < v1:
+                all_errors.append(
+                    f"{argv[2]}: counter {key[0]}{dict(key[1])} went "
+                    f"backwards: {v1} -> {v2}")
+    if all_errors:
+        print("\n".join(all_errors), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,9 +11,17 @@
 # binary path as $1 — and by the ASan/TSan CI jobs, where the
 # abrupt-disconnect ticket cleanup and the v3 in-place parse path are
 # leak- and race-checked for real.
+#
+# The observability surface rides along: the server runs with
+# --metrics-port 0 --slow-ms 5, the Prometheus endpoint is scraped
+# mid-load and again after, both scrapes go through
+# scripts/check_prometheus.py (format + counters monotonic), the trace
+# verb is driven start -> dump -> stop and its JSON checked, and the
+# slow-request log is asserted in stderr.
 set -eu
 
 bin="$1"
+checker="$(dirname "$0")/check_prometheus.py"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
@@ -24,6 +32,7 @@ trap 'rm -rf "$workdir"' EXIT
 backlog=$((2 * $(nproc) + 6))
 
 "$bin" --port 0 --max-pending $((backlog + 16)) --store-mb 64 \
+    --metrics-port 0 --slow-ms 5 \
     > "$workdir/stdout" 2> "$workdir/stderr" &
 server_pid=$!
 
@@ -43,13 +52,35 @@ $(cat "$workdir/stderr")"
     sleep 0.1
 done
 [ -n "$port" ] || fail "server never printed its port"
+# The metrics line follows the listening line; poll for it separately
+# so a flush race can't hand us an empty port.
+mport=""
+for _ in $(seq 1 100); do
+    mport=$(sed -n 's/^metrics on 127.0.0.1://p' "$workdir/stdout")
+    [ -n "$mport" ] && break
+    sleep 0.1
+done
+[ -n "$mport" ] || fail "server never printed its metrics port"
 
-python3 - "$port" "$backlog" <<'EOF' || fail "client driver reported a failure"
-import socket, struct, sys, threading
+python3 - "$port" "$backlog" "$mport" "$workdir" \
+    <<'EOF' || fail "client driver reported a failure"
+import socket, struct, sys, threading, urllib.request
 
 port = int(sys.argv[1])
 backlog = int(sys.argv[2])
+mport = int(sys.argv[3])
+workdir = sys.argv[4]
 errors = []
+
+def scrape(path):
+    url = f"http://127.0.0.1:{mport}/metrics"
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        ctype = resp.headers.get("Content-Type", "")
+        body = resp.read()
+    if not ctype.startswith("text/plain"):
+        raise AssertionError(f"/metrics content-type {ctype!r}")
+    with open(path, "wb") as f:
+        f.write(body)
 
 # --- protocol v3 plumbing (mirrors src/net/frame.hpp) -------------------
 MAGIC = b"\xb3TS3"
@@ -106,7 +137,10 @@ def orderly_client():
         for i in range(backlog):
             lines.append(f"synthetic:20000:1 ParDeepestFirst {2+i} "
                          f"priority=interactive id={100+i}")
-        lines.append("random:200:1 Liu 1 priority=bulk id=7")
+        # A tree spec no other client touches: if a concurrent client
+        # cached the same (tree, algo, p) first, the I/O-thread cache
+        # fast path would answer id=7 before the cancel line landed.
+        lines.append("random:211:1 Liu 1 priority=bulk id=7")
         lines.append("cancel id=7")
         s.sendall(("\n".join(lines) + "\n").encode())
         s.shutdown(socket.SHUT_WR)
@@ -205,8 +239,25 @@ t1 = threading.Thread(target=orderly_client)
 t2 = threading.Thread(target=abrupt_client)
 t3 = threading.Thread(target=v3_client)
 t1.start(); t2.start(); t3.start()
+# First Prometheus scrape mid-load: the endpoint shares the server's
+# I/O thread, so answering while the pool is pinned IS the test.
+try:
+    scrape(f"{workdir}/scrape1.txt")
+except Exception as e:  # noqa: BLE001
+    errors.append(f"mid-load scrape: {e}")
 t1.join(); t2.join(); t3.join()
 hostile_client()
+
+# Non-GET and unknown paths must answer typed HTTP errors, not hang.
+try:
+    with urllib.request.urlopen(f"http://127.0.0.1:{mport}/nope",
+                                timeout=30) as resp:
+        errors.append(f"GET /nope answered {resp.status}, wanted 404")
+except urllib.error.HTTPError as e:
+    if e.code != 404:
+        errors.append(f"GET /nope answered {e.code}, wanted 404")
+except Exception as e:  # noqa: BLE001
+    errors.append(f"GET /nope: {e}")
 
 # Liveness probe after the chaos: ping + stats must answer immediately,
 # and the stats vocabulary must carry the v3 protocol counters.
@@ -229,11 +280,65 @@ else:
         errors.append(f"expected batched requests in stats: {replies[1]}")
     if int(stats.get("frames_bad", 0)) < 3:
         errors.append(f"expected the hostile frames counted: {replies[1]}")
+    if "net_e2e_count" not in stats or "stage_compute_count" not in stats:
+        errors.append(f"stats line lacks histogram summaries: {replies[1]}")
+
+# Trace verb: start -> schedule under tracing -> dump -> stop, pinning
+# the stats-shaped reply grammar at each step.
+def trace_fields(reply, tag):
+    if not reply.startswith(f"trace id={tag} "):
+        raise AssertionError(f"bad trace reply: {reply!r}")
+    return dict(kv.split("=", 1) for kv in reply.split()[2:])
+
+try:
+    s = connect()
+    s.sendall(b"trace start id=20\n"
+              b"random:250:9 ParSubtrees 4 id=21\n"
+              + f"trace dump={workdir}/trace.json id=22\n".encode()
+              + b"trace stop id=23\n")
+    s.shutdown(socket.SHUT_WR)
+    replies = recv_lines(s)
+    s.close()
+    # Control verbs answer out of band; key replies by their tag.
+    by_tag = {}
+    for r in replies:
+        for kv in r.split():
+            if kv.startswith("id="):
+                by_tag[int(kv[3:])] = r
+    start = trace_fields(by_tag[20], 20)
+    if start.get("enabled") != "1":
+        raise AssertionError(f"trace start: {by_tag[20]!r}")
+    if not by_tag[21].startswith("ok "):
+        raise AssertionError(f"traced schedule failed: {by_tag[21]!r}")
+    dump = trace_fields(by_tag[22], 22)
+    if "written" not in dump or "spans" not in dump or "dropped" not in dump:
+        raise AssertionError(f"trace dump: {by_tag[22]!r}")
+    stop = trace_fields(by_tag[23], 23)
+    if stop.get("enabled") != "0":
+        raise AssertionError(f"trace stop: {by_tag[23]!r}")
+except Exception as e:  # noqa: BLE001
+    errors.append(f"trace probe: {e}")
+
+# Second scrape after the load: check_prometheus.py asserts counters
+# only ever moved forward between the two.
+try:
+    scrape(f"{workdir}/scrape2.txt")
+except Exception as e:  # noqa: BLE001
+    errors.append(f"post-load scrape: {e}")
 
 if errors:
     print("\n".join(errors), file=sys.stderr)
     sys.exit(1)
 EOF
+
+python3 "$checker" "$workdir/scrape1.txt" "$workdir/scrape2.txt" \
+    || fail "Prometheus exposition checker rejected the scrapes"
+[ -s "$workdir/trace.json" ] || fail "trace dump wrote no file"
+grep -q '"traceEvents"' "$workdir/trace.json" \
+    || fail "trace dump is not Chrome trace JSON: $(head -c 200 \
+"$workdir/trace.json")"
+grep -q "slow request" "$workdir/stderr" \
+    || fail "no slow-request log despite --slow-ms 5 under pinned load"
 
 # Graceful drain: SIGTERM must answer/cancel everything and exit 0.
 kill -TERM "$server_pid"

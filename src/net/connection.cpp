@@ -6,10 +6,13 @@
 
 #include <array>
 #include <cerrno>
+#include <fstream>
 #include <utility>
 #include <vector>
 
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/errors.hpp"
 #include "service/service.hpp"
 
@@ -21,6 +24,9 @@ Connection::Connection(Server& server, int fd, std::uint64_t id)
       id_(id),
       framer_(server.config().max_line),
       reader_(server.config().max_frame) {
+  // The accept moment doubles as the first burst stamp, so a request
+  // that somehow precedes the first readable event still has one.
+  burst_ns_ = obs::now_ns();
   interest_ = EPOLLIN;
   server_.loop().add(fd_, interest_,
                      [this](std::uint32_t events) { handle_events(events); });
@@ -62,6 +68,11 @@ void Connection::handle_events(std::uint32_t events) {
 }
 
 void Connection::on_readable() {
+  // One clock read per readable event stamps accept/parse for every
+  // request framed out of this burst — a 16-deep batch frame costs one
+  // now_ns(), not sixteen, which keeps the stage timing inside the
+  // fast path's overhead budget.
+  burst_ns_ = obs::now_ns();
   while (!read_closed_ && !closing_) {
     if (mode_ == Mode::kBinary) {
       // Zero-copy read path: straight into the FrameReader's buffer —
@@ -298,6 +309,9 @@ void Connection::dispatch_request(const RequestView& req) {
     case RequestLine::Kind::kStats:
       handle_stats(req.id);
       break;
+    case RequestLine::Kind::kTrace:
+      handle_trace(req);
+      break;
     case RequestLine::Kind::kSchedule:
       handle_schedule(req);
       break;
@@ -346,6 +360,11 @@ void Connection::handle_schedule(const RequestView& req) {
     return;
   }
   ScheduleRequest sreq;
+  sreq.stamps.stamp(obs::Stage::kAccept, burst_ns_);
+  // Parse is stamped at burst granularity too: sub-burst parse time is
+  // noise at the histograms' microsecond resolution, and sharing the
+  // stamp keeps the hot path at one clock read per read burst.
+  sreq.stamps.stamp(obs::Stage::kParse, burst_ns_);
   sreq.tree = handle.value();
   pending.tree_hash = sreq.tree.hash;
   pending.n = sreq.tree->size();
@@ -444,6 +463,49 @@ void Connection::handle_stats(std::optional<std::uint64_t> id) {
   send_response(line);
 }
 
+void Connection::handle_trace(const RequestView& req) {
+  // Like ping/stats, trace answers immediately, out of band of the
+  // pending window. The tracer is process-wide: every connection (and
+  // the stdin front-end) drives the same one, which is the point — one
+  // client can turn tracing on, load can come from anywhere, and a dump
+  // sees it all.
+  obs::Tracer& tracer = obs::Tracer::global();
+  std::uint64_t written = 0;
+  bool dumped = false;
+  if (req.trace_action == "start") {
+    tracer.enable();
+  } else if (req.trace_action == "stop") {
+    tracer.disable();
+  } else if (req.trace_action == "dump") {
+    std::ofstream out{std::string(req.trace_path)};
+    if (!out) {
+      emit_error(req.id, ErrorCode::kBadRequest,
+                 "cannot open trace path \"" + std::string(req.trace_path) +
+                     "\" for writing");
+      return;
+    }
+    written = tracer.write_chrome_trace(out);
+    if (!out) {
+      emit_error(req.id, ErrorCode::kBadRequest,
+                 "short write dumping trace to \"" +
+                     std::string(req.trace_path) + "\"");
+      return;
+    }
+    dumped = true;
+  }  // "status" mutates nothing
+  ResponseLine line;
+  line.kind = ResponseLine::Kind::kTrace;
+  line.ok = true;
+  line.id = req.id;
+  line.stats = {
+      {"enabled", tracer.enabled() ? 1 : 0},
+      {"spans", tracer.recorded()},
+      {"dropped", tracer.dropped()},
+  };
+  if (dumped) line.stats.emplace_back("written", written);
+  send_response(line);
+}
+
 void Connection::deliver(std::uint64_t key, const ServiceResult& result) {
   for (Pending& p : pending_) {
     if (p.key != key) continue;
@@ -460,6 +522,7 @@ void Connection::deliver(std::uint64_t key, const ServiceResult& result) {
 }
 
 void Connection::flush_ready() {
+  emit_now_ns_ = 0;  // one lazy clock read serves the whole emit burst
   // The settled in-order prefix answers first…
   while (!pending_.empty() && pending_.front().result.has_value()) {
     emit(pending_.front(), *pending_.front().result);
@@ -497,6 +560,22 @@ void Connection::emit(const Pending& pending, const ServiceResult& result) {
     line.message = result.error().message;
   }
   send_response(line);
+  if (!result.ok() || !result.value().stamps.has(obs::Stage::kAccept)) {
+    // Errors and requests born before stamping (in-process callers'
+    // cached entries) carry no stamps worth a histogram.
+    return;
+  }
+  if (emit_now_ns_ == 0) emit_now_ns_ = obs::now_ns();
+  FlushMark mark;
+  mark.timing.stamps = result.value().stamps;
+  mark.timing.stamps.stamp(obs::Stage::kSerialize, emit_now_ns_);
+  mark.timing.priority = pending.priority;
+  mark.timing.id = pending.id;
+  mark.timing.algo = pending.algo;
+  mark.timing.cache_hit = result.value().cache_hit;
+  // The response is flushed once this many bytes have left the process.
+  mark.target = cum_sent_ + (wbuf_.size() - wbuf_head_);
+  flush_q_.push_back(std::move(mark));
 }
 
 void Connection::emit_error(std::optional<std::uint64_t> id, ErrorCode code,
@@ -552,6 +631,7 @@ void Connection::send_buffered() {
                MSG_NOSIGNAL);
     if (n > 0) {
       wbuf_head_ += static_cast<std::size_t>(n);
+      cum_sent_ += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -567,6 +647,18 @@ void Connection::send_buffered() {
   } else if (wbuf_head_ > 65536 && wbuf_head_ * 2 > wbuf_.size()) {
     wbuf_.erase(0, wbuf_head_);
     wbuf_head_ = 0;
+  }
+  // Every response whose last byte just reached the kernel is flushed:
+  // stamp once (the whole drained batch shares one clock read) and hand
+  // the stage record to the server's histograms and slow log.
+  if (!flush_q_.empty() && cum_sent_ >= flush_q_.front().target) {
+    const std::uint64_t now = obs::now_ns();
+    do {
+      FlushMark& mark = flush_q_.front();
+      mark.timing.stamps.stamp(obs::Stage::kFlush, now);
+      server_.record_flushed(mark.timing);
+      flush_q_.pop_front();
+    } while (!flush_q_.empty() && cum_sent_ >= flush_q_.front().target);
   }
 }
 

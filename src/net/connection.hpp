@@ -54,6 +54,7 @@
 
 #include "net/frame.hpp"
 #include "net/line_framer.hpp"
+#include "obs/stages.hpp"
 #include "service/request_line.hpp"
 #include "service/request_view.hpp"
 #include "service/ticket.hpp"
@@ -61,6 +62,18 @@
 namespace treesched::net {
 
 class Server;
+
+/// Stage record of one flushed response, handed to
+/// Server::record_flushed when the response's last byte reaches the
+/// kernel. Carries what the slow-request log prints: the full stamp
+/// set plus enough identity to find the request again.
+struct ResponseTiming {
+  obs::StageStamps stamps;
+  Priority priority = Priority::kBatch;
+  std::optional<std::uint64_t> id;
+  std::string algo;  ///< short names; stays within SSO on the hot path
+  bool cache_hit = false;
+};
 
 class Connection {
  public:
@@ -130,6 +143,9 @@ class Connection {
   void handle_cancel(std::uint64_t cancel_id);
   void handle_ping(std::optional<std::uint64_t> id);
   void handle_stats(std::optional<std::uint64_t> id);
+  /// `trace start|stop|status|dump=<path>`: drives the process-wide
+  /// obs::Tracer and answers a stats-shaped `trace` line.
+  void handle_trace(const RequestView& req);
 
   // --- output path ---------------------------------------------------
   /// Emits every answerable response: the settled in-order prefix, plus
@@ -165,6 +181,23 @@ class Connection {
   std::string wbuf_;
   std::size_t wbuf_head_ = 0;  ///< sent prefix (compacted lazily)
   std::uint32_t interest_ = 0;
+
+  // --- stage timing ---------------------------------------------------
+  // The accept/parse stamp of the current read burst: one clock read
+  // serves every request framed out of one readable event, so a 16-deep
+  // batch frame costs one now_ns(), not sixteen. The serialize stamp is
+  // likewise read lazily once per emit burst.
+  std::uint64_t burst_ns_ = 0;
+  std::uint64_t emit_now_ns_ = 0;  ///< 0 = unread this emit burst
+  /// Total bytes ever handed to the kernel (wbuf_ compacts; this never
+  /// rewinds). A FlushMark whose target is <= cum_sent_ has fully left
+  /// the process.
+  std::uint64_t cum_sent_ = 0;
+  struct FlushMark {
+    std::uint64_t target = 0;  ///< cum_sent_ value that completes it
+    ResponseTiming timing;
+  };
+  std::deque<FlushMark> flush_q_;
   bool read_closed_ = false;   ///< EOF seen or drain begun
   bool closing_ = false;       ///< defer_close already requested
   bool paused_reads_ = false;  ///< backpressure: EPOLLIN off until drained

@@ -225,13 +225,17 @@ void FrameWriter::response(const ResponseLine& resp) {
     case ResponseLine::Kind::kPong:
       control_frame(out_, Opcode::kPong, resp.id);
       return;
-    case ResponseLine::Kind::kStats: {
+    case ResponseLine::Kind::kStats:
+    case ResponseLine::Kind::kTrace: {
       std::size_t payload_len = 8 + 4;
       for (const auto& [key, value] : resp.stats) {
         (void)value;
         payload_len += 2 + key.size() + 8;
       }
-      append_header(out_, static_cast<std::uint8_t>(Opcode::kStatsReply),
+      const Opcode op = resp.kind == ResponseLine::Kind::kStats
+                            ? Opcode::kStatsReply
+                            : Opcode::kTraceReply;
+      append_header(out_, static_cast<std::uint8_t>(op),
                     flags, static_cast<std::uint32_t>(payload_len));
       put_u64(out_, id);
       put_u32(out_, static_cast<std::uint32_t>(resp.stats.size()));
@@ -352,8 +356,11 @@ bool decode_response_frame(const Frame& frame, ResponseLine& out,
       }
       return true;
     }
-    case Opcode::kStatsReply: {
-      out.kind = ResponseLine::Kind::kStats;
+    case Opcode::kStatsReply:
+    case Opcode::kTraceReply: {
+      out.kind = frame.opcode == Opcode::kStatsReply
+                     ? ResponseLine::Kind::kStats
+                     : ResponseLine::Kind::kTrace;
       out.ok = true;
       std::uint32_t count = 0;
       if (!cur.u64(id) || !cur.u32(count)) {

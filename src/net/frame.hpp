@@ -83,6 +83,10 @@ enum class Opcode : std::uint8_t {
   kResponse = 0x81,
   kPong = 0x84,
   kStatsReply = 0x85,
+  /// Payload identical to kStatsReply (u64 id, u32 count, count x
+  /// (u16 key_len, key bytes, u64 value)) — the answer to a `trace`
+  /// control verb sent as a kRequest/kBatch request line.
+  kTraceReply = 0x86,
 };
 
 inline constexpr std::uint8_t kFlagOk = 0x01;

@@ -1,0 +1,187 @@
+#include "net/metrics_http.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "obs/prometheus.hpp"
+
+namespace treesched::net {
+
+namespace {
+
+/// Splits the request line "<METHOD> <target> <version>"; false when the
+/// bytes are not even that much HTTP.
+bool parse_request_line(std::string_view line, std::string_view& method,
+                        std::string_view& target) {
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  method = line.substr(0, sp1);
+  target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return !method.empty() && !target.empty();
+}
+
+}  // namespace
+
+MetricsHttp::MetricsHttp(EventLoop& loop, obs::MetricsRegistry& registry,
+                         ListenerConfig config)
+    : loop_(loop), registry_(registry), listener_(config) {}
+
+MetricsHttp::~MetricsHttp() { stop(); }
+
+void MetricsHttp::start() {
+  if (active_) return;
+  loop_.add(listener_.fd(), EPOLLIN, [this](std::uint32_t) { accept_ready(); });
+  active_ = true;
+}
+
+void MetricsHttp::stop() {
+  if (!active_) return;
+  loop_.remove(listener_.fd());
+  active_ = false;
+  for (auto& [id, conn] : conns_) {
+    loop_.remove(conn->fd);
+    ::close(conn->fd);
+  }
+  conns_.clear();
+}
+
+void MetricsHttp::accept_ready() {
+  listener_.accept_ready([this](int fd) {
+    const std::uint64_t id = next_id_++;
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->interest = EPOLLIN;
+    loop_.add(fd, EPOLLIN,
+              [this, id](std::uint32_t events) { conn_events(id, events); });
+    conns_.emplace(id, std::move(conn));
+  });
+}
+
+void MetricsHttp::conn_events(std::uint64_t id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_conn(id);
+    return;
+  }
+  if (events & EPOLLIN) {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.rbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        // EOF before a complete head: nothing to answer.
+        if (!conn.responded) {
+          close_conn(id);
+          return;
+        }
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(id);
+      return;
+    }
+    if (!conn.responded) respond(conn);
+  }
+  send_buffered(id, conn);
+}
+
+void MetricsHttp::respond(Conn& conn) {
+  const std::size_t head_end = conn.rbuf.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (conn.rbuf.size() > kMaxHead) {
+      queue_response(conn, 400, "Bad Request", "text/plain",
+                     "request head too large\n");
+    }
+    return;  // head still incomplete
+  }
+  const std::string_view head(conn.rbuf.data(), head_end);
+  const std::string_view line = head.substr(0, head.find("\r\n"));
+  std::string_view method;
+  std::string_view target;
+  if (!parse_request_line(line, method, target)) {
+    queue_response(conn, 400, "Bad Request", "text/plain",
+                   "malformed request line\n");
+    return;
+  }
+  // Ignore any query string: `/metrics?foo=bar` is still the scrape.
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  if (method != "GET") {
+    queue_response(conn, 405, "Method Not Allowed", "text/plain",
+                   "only GET is served here\n");
+    return;
+  }
+  if (target != "/metrics") {
+    queue_response(conn, 404, "Not Found", "text/plain",
+                   "try /metrics\n");
+    return;
+  }
+  queue_response(conn, 200, "OK",
+                 "text/plain; version=0.0.4; charset=utf-8",
+                 obs::render_prometheus(registry_.snapshot()));
+}
+
+void MetricsHttp::queue_response(Conn& conn, int status, const char* reason,
+                                 const char* content_type, std::string body) {
+  conn.responded = true;
+  std::string head;
+  head.append("HTTP/1.1 ")
+      .append(std::to_string(status))
+      .append(" ")
+      .append(reason)
+      .append("\r\nContent-Type: ")
+      .append(content_type)
+      .append("\r\nContent-Length: ")
+      .append(std::to_string(body.size()))
+      .append("\r\nConnection: close\r\n\r\n");
+  conn.wbuf = std::move(head);
+  conn.wbuf += body;
+}
+
+void MetricsHttp::send_buffered(std::uint64_t id, Conn& conn) {
+  while (conn.whead < conn.wbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.wbuf.data() + conn.whead,
+               conn.wbuf.size() - conn.whead, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.whead += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(id);
+    return;
+  }
+  if (conn.responded && conn.whead == conn.wbuf.size()) {
+    close_conn(id);
+    return;
+  }
+  const std::uint32_t want =
+      conn.whead < conn.wbuf.size() ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  if (want != conn.interest) {
+    loop_.modify(conn.fd, want);
+    conn.interest = want;
+  }
+}
+
+void MetricsHttp::close_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  loop_.remove(it->second->fd);
+  ::close(it->second->fd);
+  conns_.erase(it);
+}
+
+}  // namespace treesched::net

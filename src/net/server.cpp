@@ -7,10 +7,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <system_error>
 #include <utility>
 
 #include "campaign/dataset.hpp"
+#include "obs/metrics.hpp"
 
 namespace treesched::net {
 
@@ -19,16 +21,138 @@ Server::Server(SchedulingService& service, ServerConfig config)
       config_(std::move(config)),
       listener_(ListenerConfig{.bind = config_.bind,
                                .port = config_.port,
-                               .unix_path = config_.unix_path}) {}
+                               .unix_path = config_.unix_path}) {
+  init_metrics();
+  if (config_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<MetricsHttp>(
+        loop_, service_.registry(),
+        ListenerConfig{
+            .bind = config_.metrics_bind,
+            .port = static_cast<std::uint16_t>(config_.metrics_port),
+            .unix_path = {}});
+  }
+}
 
 Server::~Server() {
+  *alive_ = false;
   if (signal_fd_ >= 0) ::close(signal_fd_);
+}
+
+void Server::init_metrics() {
+  obs::MetricsRegistry& reg = service_.registry();
+  // The bridge reads loop-thread counters without synchronization — see
+  // the declaration comment for why every snapshot consumer is that
+  // same thread. Empty stats_key throughout: the `stats` verb reports
+  // these counters directly (transport keys lead the stats line).
+  reg.register_collector(
+      [this, alive = std::weak_ptr<bool>(alive_)](obs::RegistrySnapshot& out) {
+        if (alive.expired()) return;
+        const ServerCounters& sc = counters_;
+        auto counter = [&](const char* name, const char* help, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, "", help, obs::MetricKind::kCounter, v, ""});
+        };
+        auto gauge = [&](const char* name, const char* help, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, "", help, obs::MetricKind::kGauge, v, ""});
+        };
+        counter("treesched_server_accepted_total", "Connections accepted",
+                static_cast<double>(sc.accepted));
+        counter("treesched_server_rejected_conns_total",
+                "Connections turned away at max_conns",
+                static_cast<double>(sc.rejected_conns));
+        counter("treesched_server_requests_total",
+                "Requests framed (text lines and binary payloads alike)",
+                static_cast<double>(sc.lines));
+        counter("treesched_server_submitted_total",
+                "Tickets submitted to the service",
+                static_cast<double>(sc.submitted));
+        counter("treesched_server_v3_conns_total",
+                "Connections that negotiated binary protocol v3",
+                static_cast<double>(sc.v3_conns));
+        counter("treesched_server_frames_total",
+                "Well-formed v3 frames parsed",
+                static_cast<double>(sc.frames_in));
+        counter("treesched_server_frames_bad_total",
+                "Protocol-violating v3 frames",
+                static_cast<double>(sc.frames_bad));
+        counter("treesched_server_batch_requests_total",
+                "Requests that arrived inside batch frames",
+                static_cast<double>(sc.batch_requests));
+        counter("treesched_server_parse_errors_total",
+                "Requests rejected by the grammar",
+                static_cast<double>(sc.parse_errors));
+        gauge("treesched_server_connections", "Open connections",
+              static_cast<double>(conns_.size()));
+        gauge("treesched_server_outstanding",
+              "Submitted tickets not yet settled",
+              static_cast<double>(outstanding_));
+      });
+  h_net_e2e_ = &reg.histogram(
+      "treesched_net_e2e_seconds", "",
+      "Accept-to-flush wall time of one served request",
+      obs::Histogram::latency_bounds_ns(), 1e-9, "net_e2e");
+  for (int c = 0; c <= kPriorityClasses; ++c) {
+    const char* label =
+        c == kPriorityClasses ? "all" : to_string(static_cast<Priority>(c));
+    std::string labels = "stage=\"write_stall\",class=\"";
+    labels.append(label).append("\"");
+    h_write_stall_[c] = &reg.histogram(
+        "treesched_stage_seconds", labels,
+        "Per-stage latency of one request's lifecycle",
+        obs::Histogram::latency_bounds_ns(), 1e-9,
+        c == kPriorityClasses ? "stage_write_stall" : "");
+  }
+}
+
+void Server::record_flushed(const ResponseTiming& timing) {
+  using obs::Stage;
+  const obs::StageStamps& st = timing.stamps;
+  const std::uint64_t e2e = st.between(Stage::kAccept, Stage::kFlush);
+  const std::uint64_t stall = st.between(Stage::kSerialize, Stage::kFlush);
+  h_net_e2e_->record(e2e);
+  int cls = static_cast<int>(timing.priority);
+  if (cls < 0 || cls >= kPriorityClasses) cls = kPriorityClasses;
+  h_write_stall_[cls]->record(stall);
+  if (cls != kPriorityClasses) h_write_stall_[kPriorityClasses]->record(stall);
+  if (config_.slow_ms <= 0.0 ||
+      static_cast<double>(e2e) < config_.slow_ms * 1e6) {
+    return;
+  }
+  // One stderr line per slow request, built whole so concurrent writers
+  // (pool workers log nothing, but the stdin front-end shares stderr)
+  // can't interleave mid-line.
+  std::string line = "[treesched] slow request";
+  if (timing.id) line.append(" id=").append(std::to_string(*timing.id));
+  if (!timing.algo.empty()) line.append(" algo=").append(timing.algo);
+  line.append(" class=").append(to_string(timing.priority));
+  if (timing.cache_hit) line.append(" cache_hit=1");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " e2e=%.3fms",
+                static_cast<double>(e2e) / 1e6);
+  line.append(buf);
+  const auto stage_delta = [&](const char* name, Stage from, Stage to) {
+    if (!st.has(from) || !st.has(to)) return;
+    std::snprintf(buf, sizeof(buf), " %s=%.3fms", name,
+                  static_cast<double>(st.between(from, to)) / 1e6);
+    line.append(buf);
+  };
+  stage_delta("parse", Stage::kAccept, Stage::kParse);
+  stage_delta("admit", Stage::kParse, Stage::kAdmit);
+  stage_delta("queue_wait", Stage::kAdmit, Stage::kDequeue);
+  stage_delta("dispatch", Stage::kDequeue, Stage::kComputeStart);
+  stage_delta("compute", Stage::kComputeStart, Stage::kComputeEnd);
+  stage_delta("settle", Stage::kComputeEnd, Stage::kSerialize);
+  stage_delta("write_stall", Stage::kSerialize, Stage::kFlush);
+  line.push_back('\n');
+  std::fputs(line.c_str(), stderr);
 }
 
 void Server::run() {
   loop_.add(listener_.fd(), EPOLLIN,
             [this](std::uint32_t) { accept_ready(); });
   listener_active_ = true;
+  if (metrics_http_) metrics_http_->start();
   if (config_.handle_signals) {
     sigset_t mask;
     sigemptyset(&mask);
@@ -48,7 +172,9 @@ void Server::run() {
   loop_.run();
   // Drained: no connection and no outstanding ticket — every accepted
   // request was answered or cancelled, and no Ticket::on_complete
-  // callback can reach this Server again.
+  // callback can reach this Server again. (run()'s caller is the loop
+  // thread, so tearing down the scrape endpoint here is in-contract.)
+  if (metrics_http_) metrics_http_->stop();
   if (signal_fd_ >= 0) {
     loop_.remove(signal_fd_);
     ::close(signal_fd_);

@@ -42,6 +42,7 @@
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/listener.hpp"
+#include "net/metrics_http.hpp"
 #include "service/service.hpp"
 
 namespace treesched::net {
@@ -74,6 +75,18 @@ struct ServerConfig {
   /// either. The caller must block both signals in every thread BEFORE
   /// spawning any (schedule_server does; in-process tests use stop()).
   bool handle_signals = false;
+  /// Prometheus scrape endpoint: -1 = no endpoint, 0 = ephemeral port
+  /// (read back via Server::metrics_port()), otherwise the port to
+  /// bind. Serves `GET /metrics` on the server's own I/O thread — a
+  /// scrape and the request path never race.
+  int metrics_port = -1;
+  /// Bind address of the scrape endpoint (loopback by default — opening
+  /// the metrics port to the network is a deliberate act).
+  std::string metrics_bind = "127.0.0.1";
+  /// Slow-request log threshold in milliseconds: a request whose
+  /// accept-to-flush time exceeds it logs its full stage breakdown to
+  /// stderr. 0 = disabled.
+  double slow_ms = 0.0;
 };
 
 /// Monotonic server counters (I/O-thread state, reported by `stats`).
@@ -106,6 +119,12 @@ class Server {
     return listener_.address();
   }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// The bound scrape port; 0 when config.metrics_port is -1 (no
+  /// endpoint). Readable right after construction — the bind happens in
+  /// the constructor, like the main listener's.
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_http_ ? metrics_http_->port() : 0;
+  }
 
   /// Serves until stop()/SIGTERM, then drains (see file comment).
   /// Blocks; the calling thread becomes the I/O thread.
@@ -148,15 +167,25 @@ class Server {
   /// connection's own methods; idempotent).
   void defer_close(std::uint64_t conn_id);
   [[nodiscard]] bool draining() const { return draining_; }
+  /// A response's last byte reached the kernel: record the transport
+  /// stage histograms (accept-to-flush, serialize-to-flush by priority
+  /// class) and, past config.slow_ms, log the stage breakdown.
+  void record_flushed(const ResponseTiming& timing);
 
   void accept_ready();
   void begin_drain();
   void maybe_finish();
+  /// Creates the transport histograms and bridges ServerCounters into
+  /// the service's registry. The bridge reads plain I/O-thread state;
+  /// that is sound because every snapshot consumer in this process (the
+  /// `stats` verb, the /metrics endpoint) runs on the loop thread too.
+  void init_metrics();
 
   SchedulingService& service_;
   ServerConfig config_;
   EventLoop loop_;
   Listener listener_;
+  std::unique_ptr<MetricsHttp> metrics_http_;
   int signal_fd_ = -1;
   bool listener_active_ = false;
 
@@ -170,6 +199,16 @@ class Server {
   /// Ticket::on_complete callback can touch a dead Server.
   std::uint64_t outstanding_ = 0;
   bool draining_ = false;
+
+  /// Collector liveness guard: the counters bridge registered with the
+  /// service's registry bails once this server is gone, so a registry
+  /// that outlives the server stays safe to snapshot.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Transport stage histograms (owned by the service's registry).
+  /// h_write_stall_[kPriorityClasses] is the class="all" aggregate that
+  /// carries the stats-verb key.
+  obs::Histogram* h_net_e2e_ = nullptr;
+  obs::Histogram* h_write_stall_[kPriorityClasses + 1] = {};
 };
 
 }  // namespace treesched::net

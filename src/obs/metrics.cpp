@@ -1,0 +1,257 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace treesched::obs {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: clamp to the largest finite bound.
+      return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+    }
+    const double hi = static_cast<double>(bounds[i]);
+    const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket <= 0.0) return hi;
+    const double before = static_cast<double>(seen) - in_bucket;
+    return lo + (hi - lo) * ((rank - before) / in_bucket);
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("histogram needs bounds");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly sorted");
+  }
+  for (unsigned i = 0; i < kShards; ++i) {
+    auto& shard = shards_.emplace_back();
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+namespace {
+// Stable per-thread shard slot: threads take consecutive slots on first
+// use, so up to kShards recorders never collide.
+unsigned thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+}  // namespace
+
+void Histogram::record(std::uint64_t v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& shard = shards_[thread_slot() % kShards];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t i = 0; i < out.counts.size(); ++i) {
+      out.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  // The total derives from the buckets, so the +Inf cumulative bucket
+  // can never lag a concurrently bumped finite bucket — the exposition
+  // stays monotonic in le even while recorders race the snapshot.
+  for (std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+const std::vector<std::uint64_t>& Histogram::latency_bounds_ns() {
+  static const std::vector<std::uint64_t> kBounds = [] {
+    std::vector<std::uint64_t> b;
+    // 1us..500us, 1ms..500ms in 1-2-5 steps, then 1s/2s/5s/10s.
+    for (std::uint64_t decade : {1'000ULL, 1'000'000ULL}) {
+      for (std::uint64_t m : {1, 2, 5, 10, 20, 50, 100, 200, 500}) {
+        b.push_back(decade * static_cast<std::uint64_t>(m));
+      }
+    }
+    for (std::uint64_t s : {1, 2, 5, 10}) b.push_back(s * 1'000'000'000ULL);
+    return b;
+  }();
+  return kBounds;
+}
+
+const std::vector<std::uint64_t>& Histogram::bytes_bounds() {
+  static const std::vector<std::uint64_t> kBounds = [] {
+    std::vector<std::uint64_t> b;
+    for (std::uint64_t v = 1024; v <= (1ULL << 34); v *= 4) b.push_back(v);
+    return b;
+  }();
+  return kBounds;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+RegistrySnapshot::stats_pairs() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const MetricSample& s : samples) {
+    if (s.stats_key.empty()) continue;
+    const double v = std::max(0.0, s.value);
+    out.emplace_back(s.stats_key, static_cast<std::uint64_t>(v));
+  }
+  for (const HistogramSample& h : histograms) {
+    if (h.stats_key.empty()) continue;
+    // Latency histograms (ns -> s scale) quote quantiles in integer
+    // microseconds; anything else stays in its raw unit.
+    const double div = h.scale == 1e-9 ? 1'000.0 : 1.0;
+    const char* suffix = h.scale == 1e-9 ? "_us" : "";
+    out.emplace_back(h.stats_key + "_count", h.snap.count);
+    for (auto [q, tag] :
+         {std::pair<double, const char*>{0.50, "_p50"},
+          std::pair<double, const char*>{0.90, "_p90"},
+          std::pair<double, const char*>{0.99, "_p99"}}) {
+      out.emplace_back(h.stats_key + tag + suffix,
+                       static_cast<std::uint64_t>(h.snap.quantile(q) / div));
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string index_key(const std::string& name, const std::string& labels) {
+  std::string k = name;
+  k.push_back('\x01');
+  k += labels;
+  return k;
+}
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help,
+                                  const std::string& stats_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = index_key(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    if (it->second.first != Slot::kCounter) {
+      throw std::invalid_argument("metric registered with a different type: " +
+                                  name);
+    }
+    return counters_[it->second.second].metric;
+  }
+  auto& entry = counters_.emplace_back();
+  entry.name = name;
+  entry.labels = labels;
+  entry.help = help;
+  entry.stats_key = stats_key;
+  const auto slot = std::make_pair(Slot::kCounter, counters_.size() - 1);
+  index_.emplace(key, slot);
+  order_.push_back(slot);
+  return counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help,
+                              const std::string& stats_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = index_key(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    if (it->second.first != Slot::kGauge) {
+      throw std::invalid_argument("metric registered with a different type: " +
+                                  name);
+    }
+    return gauges_[it->second.second].metric;
+  }
+  auto& entry = gauges_.emplace_back();
+  entry.name = name;
+  entry.labels = labels;
+  entry.help = help;
+  entry.stats_key = stats_key;
+  const auto slot = std::make_pair(Slot::kGauge, gauges_.size() - 1);
+  index_.emplace(key, slot);
+  order_.push_back(slot);
+  return gauges_.back().metric;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      const std::string& help,
+                                      std::vector<std::uint64_t> bounds,
+                                      double scale,
+                                      const std::string& stats_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = index_key(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    if (it->second.first != Slot::kHistogram) {
+      throw std::invalid_argument("metric registered with a different type: " +
+                                  name);
+    }
+    return histograms_[it->second.second].metric;
+  }
+  auto& entry = histograms_.emplace_back(std::move(bounds), scale);
+  entry.name = name;
+  entry.labels = labels;
+  entry.help = help;
+  entry.stats_key = stats_key;
+  const auto slot = std::make_pair(Slot::kHistogram, histograms_.size() - 1);
+  index_.emplace(key, slot);
+  order_.push_back(slot);
+  return entry.metric;
+}
+
+void MetricsRegistry::register_collector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  for (const Collector& fn : collectors_) fn(out);
+  for (const auto& [slot, idx] : order_) {
+    switch (slot) {
+      case Slot::kCounter: {
+        const CounterEntry& e = counters_[idx];
+        out.samples.push_back(MetricSample{
+            e.name, e.labels, e.help, MetricKind::kCounter,
+            static_cast<double>(e.metric.value()), e.stats_key});
+        break;
+      }
+      case Slot::kGauge: {
+        const GaugeEntry& e = gauges_[idx];
+        out.samples.push_back(MetricSample{
+            e.name, e.labels, e.help, MetricKind::kGauge,
+            static_cast<double>(e.metric.value()), e.stats_key});
+        break;
+      }
+      case Slot::kHistogram: {
+        const HistogramEntry& e = histograms_[idx];
+        out.histograms.push_back(HistogramSample{
+            e.name, e.labels, e.help, e.scale, e.stats_key,
+            e.metric.snapshot()});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace treesched::obs

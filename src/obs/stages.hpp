@@ -1,0 +1,75 @@
+#pragma once
+// Per-request stage stamps (src/obs/): one steady-clock nanosecond
+// timestamp per lifecycle stage, carried inside the request/response so
+// every layer can stamp its own transition without allocation or
+// synchronization (a request is owned by exactly one thread at a time).
+//
+// The stamps partition a request's journey:
+//
+//   accept -> parse -> admit -> dequeue -> compute_start -> compute_end
+//          -> serialize -> flush
+//
+// net/ owns accept/parse/serialize/flush; service/ owns the middle
+// four. Consecutive differences feed the stage-latency histograms, so
+// the sum of stage means reconstructs the end-to-end mean exactly
+// (integer sums, same clock). A stamp of 0 means "stage not reached" —
+// e.g. cache hits served on the I/O thread never dequeue.
+
+#include <array>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace treesched::obs {
+
+enum class Stage : std::size_t {
+  kAccept = 0,    ///< bytes for this request arrived off the socket
+  kParse,         ///< request line/frame decoded
+  kAdmit,         ///< accepted into the admission queue
+  kDequeue,       ///< popped by a worker
+  kComputeStart,  ///< scheduler invoked (cache miss) or cache probed
+  kComputeEnd,    ///< scheduler returned / cache answered
+  kSerialize,     ///< response bytes appended to the write buffer
+  kFlush,         ///< last response byte handed to the kernel
+};
+
+inline constexpr std::size_t kStageCount = 8;
+
+inline const char* to_string(Stage s) noexcept {
+  switch (s) {
+    case Stage::kAccept: return "accept";
+    case Stage::kParse: return "parse";
+    case Stage::kAdmit: return "admit";
+    case Stage::kDequeue: return "dequeue";
+    case Stage::kComputeStart: return "compute_start";
+    case Stage::kComputeEnd: return "compute_end";
+    case Stage::kSerialize: return "serialize";
+    case Stage::kFlush: return "flush";
+  }
+  return "?";
+}
+
+struct StageStamps {
+  std::array<std::uint64_t, kStageCount> ns{};
+
+  void stamp(Stage s) noexcept {
+    ns[static_cast<std::size_t>(s)] = now_ns();
+  }
+  void stamp(Stage s, std::uint64_t at) noexcept {
+    ns[static_cast<std::size_t>(s)] = at;
+  }
+  [[nodiscard]] std::uint64_t at(Stage s) const noexcept {
+    return ns[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool has(Stage s) const noexcept { return at(s) != 0; }
+
+  /// Nanoseconds from `from` to `to`; 0 when either stamp is missing or
+  /// the clock ordering is violated (never negative).
+  [[nodiscard]] std::uint64_t between(Stage from, Stage to) const noexcept {
+    const std::uint64_t a = at(from);
+    const std::uint64_t b = at(to);
+    return (a == 0 || b == 0 || b < a) ? 0 : b - a;
+  }
+};
+
+}  // namespace treesched::obs

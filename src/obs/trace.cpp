@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace treesched::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::next_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Tracer::Ring& Tracer::ring_for_thread() {
+  // One ring per (thread, tracer). The cache is a tiny thread_local
+  // list because tests run several Tracer instances; a thread touches
+  // one or two in practice. Keyed by a never-reused id, NOT the Tracer
+  // address: a new Tracer allocated where a destroyed one lived must
+  // not resolve to the dead Tracer's freed ring. Stale entries linger
+  // but can never match again.
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> cache;
+  for (auto& [id, ring] : cache) {
+    if (id == id_) return *ring;
+  }
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(rings_.size());
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  cache.emplace_back(id_, raw);
+  return *raw;
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  Ring& ring = ring_for_thread();
+  const std::uint64_t idx = ring.next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[idx % kRingSpans];
+  // Seqlock write: odd sequence marks the slot in flight; the release
+  // store of the even sequence publishes the payload to snapshot().
+  // Payload stores are release so none can sink above the odd-sequence
+  // store (fence-free on purpose: GCC's TSan rejects
+  // atomic_thread_fence, and release stores are plain stores on x86).
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed) + 1;
+  slot.seq.store(seq, std::memory_order_release);
+  slot.name.store(name, std::memory_order_release);
+  slot.start_ns.store(start_ns, std::memory_order_release);
+  slot.dur_ns.store(dur_ns, std::memory_order_release);
+  slot.arg.store(arg, std::memory_order_release);
+  slot.seq.store(seq + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanView> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::vector<SpanView> out;
+  for (const auto& ring : rings_) {
+    for (const Slot& slot : ring->slots) {
+      const std::uint32_t before = slot.seq.load(std::memory_order_acquire);
+      if (before == 0 || (before & 1u) != 0) continue;  // empty or mid-write
+      SpanView span;
+      // Acquire payload loads keep the sequence re-check below from
+      // being reordered above them (the usual acquire fence, expressed
+      // per-load because GCC's TSan rejects atomic_thread_fence).
+      span.name = slot.name.load(std::memory_order_acquire);
+      span.start_ns = slot.start_ns.load(std::memory_order_acquire);
+      span.dur_ns = slot.dur_ns.load(std::memory_order_acquire);
+      span.arg = slot.arg.load(std::memory_order_acquire);
+      span.tid = ring->tid;
+      if (slot.seq.load(std::memory_order_acquire) != before) continue;
+      if (span.name == nullptr) continue;
+      out.push_back(span);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t written = ring->next.load(std::memory_order_relaxed);
+    if (written > kRingSpans) total += written - kRingSpans;
+  }
+  return total;
+}
+
+const char* Tracer::intern_name(std::string_view name) {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& s : interned_) {
+    if (*s == name) return s->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(name));
+  return interned_.back()->c_str();
+}
+
+namespace {
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+}  // namespace
+
+std::size_t Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<SpanView> spans = snapshot();
+  // Rebase to the earliest span: steady-clock ns-since-boot values are
+  // too large for the default double formatting to keep us precision.
+  std::uint64_t base = ~0ULL;
+  for (const SpanView& span : spans) base = std::min(base, span.start_ns);
+  if (spans.empty()) base = 0;
+  const auto saved = os.precision(15);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanView& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, span.name);
+    // ts/dur are microseconds in the trace_event format; keep sub-us
+    // precision as decimals.
+    os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+       << ",\"ts\":" << static_cast<double>(span.start_ns - base) / 1e3
+       << ",\"dur\":" << static_cast<double>(span.dur_ns) / 1e3
+       << ",\"args\":{\"arg\":" << span.arg << "}}";
+  }
+  os << "]}\n";
+  os.precision(saved);
+  return spans.size();
+}
+
+ScopedSpan::ScopedSpan(Tracer& tracer, const char* name,
+                       std::uint64_t arg) noexcept
+    : name_(name), arg_(arg) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  start_ns_ = now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  tracer_->record(name_, start_ns_, now_ns() - start_ns_, arg_);
+}
+
+}  // namespace treesched::obs

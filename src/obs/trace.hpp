@@ -1,0 +1,124 @@
+#pragma once
+// Request tracing (src/obs/): lock-free per-thread span ring buffers
+// dumped as Chrome trace_event JSON ("ph":"X" complete events), loadable
+// in Perfetto or chrome://tracing.
+//
+// Recording contract: Tracer::record is wait-free after a thread's
+// first span — a relaxed enabled check, a monotonically claimed ring
+// slot, five atomic stores. Every payload field is an atomic and the
+// slot carries a seqlock-style sequence number, so a concurrent dump
+// never reads a torn span (it skips slots whose sequence is odd or
+// moves under it) and the whole structure is clean under TSan without
+// a single lock on the hot path.
+//
+// Span names must be string literals or interned strings: the ring
+// stores `const char*` and the dump may run long after the recording
+// call returned. Dynamic names (algorithm strings) go through
+// `intern_name`, which leaks its nodes by design — names are few and
+// the pointers must stay valid for the process lifetime.
+//
+// Rings are fixed-size and overwrite oldest-first; `dropped` counts
+// overwritten spans so a dump can say what it lost.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace treesched::obs {
+
+/// Snapshot of one recorded span, in dump order.
+struct SpanView {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;  ///< request id, tree size — span-defined
+  std::uint32_t tid = 0;  ///< ring index, stable per recording thread
+};
+
+class Tracer {
+ public:
+  /// Spans each ring retains; older spans are overwritten.
+  static constexpr std::size_t kRingSpans = 4096;
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// No-op unless enabled. `name` must outlive the tracer (literal or
+  /// intern_name result).
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t arg = 0) noexcept;
+
+  /// Copies every readable span out of every ring. Spans mid-write and
+  /// spans overwritten during the walk are skipped, never torn.
+  [[nodiscard]] std::vector<SpanView> snapshot() const;
+
+  /// Total spans recorded / overwritten before being dumped.
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  /// Interns a dynamic span name; returned pointer lives forever.
+  const char* intern_name(std::string_view name);
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with ph:"X"
+  /// complete events, ts/dur in microseconds. Returns the number of
+  /// spans written (what the `trace dump` reply reports).
+  std::size_t write_chrome_trace(std::ostream& os) const;
+
+  /// Process-wide tracer the front-ends and the `trace` verb share.
+  static Tracer& global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> seq{0};  ///< odd while a write is in flight
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint64_t> arg{0};
+  };
+  struct Ring {
+    std::uint32_t tid = 0;
+    std::atomic<std::uint64_t> next{0};  ///< claims slots mod kRingSpans
+    std::vector<Slot> slots{kRingSpans};
+  };
+
+  Ring& ring_for_thread();
+  static std::uint64_t next_id() noexcept;
+
+  /// Process-unique, never reused — the per-thread ring cache key (see
+  /// ring_for_thread for why the Tracer address would be unsound).
+  const std::uint64_t id_ = next_id();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+
+  mutable std::mutex rings_mu_;  ///< guards ring registration + intern set
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+};
+
+/// RAII span: records [construction, destruction) when the tracer is
+/// enabled at *construction* time.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, const char* name, std::uint64_t arg = 0) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;  ///< null when disabled at construction
+  const char* name_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace treesched::obs

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "core/schedule.hpp"
+#include "obs/stages.hpp"
 #include "service/errors.hpp"
 #include "service/instance_store.hpp"
 #include "util/result.hpp"
@@ -77,6 +78,11 @@ struct ScheduleRequest {
   /// deadline passes while it is still queued is answered with the
   /// kDeadlineExpired error instead of ever reaching a compute worker.
   double deadline_ms = 0.0;
+  /// Per-stage timestamps (obs/stages.hpp). The front-end stamps
+  /// accept/parse before submitting; the service stamps
+  /// admit/dequeue/compute as the request moves through it. Never part
+  /// of the cache key.
+  obs::StageStamps stamps;
 };
 
 struct ScheduleResponse {
@@ -90,6 +96,10 @@ struct ScheduleResponse {
   /// error through ServiceResult instead, and the legacy schedule() /
   /// future surfaces convert it into the corresponding exception.
   std::optional<ServiceError> error;
+  /// The request's stamps as of settlement, so the front-end that
+  /// submitted it can stamp serialize/flush and log a full stage
+  /// breakdown for slow requests.
+  obs::StageStamps stamps;
 
   [[nodiscard]] bool ok() const { return !error.has_value(); }
 };

@@ -103,6 +103,56 @@ RequestLine parse_cancel_line(std::istringstream& is) {
   return out;
 }
 
+/// `trace start|stop|status [id=<n>]` / `trace dump=<path> [id=<n>]`:
+/// exactly one action, an optional tag.
+RequestLine parse_trace_line(std::istringstream& is) {
+  RequestLine out;
+  out.kind = RequestLine::Kind::kTrace;
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      if (!out.trace_action.empty()) {
+        throw std::invalid_argument("trailing token \"" + token + "\"");
+      }
+      if (token != "start" && token != "stop" && token != "status") {
+        throw std::invalid_argument(
+            "trace line must be: trace start|stop|status|dump=<path> "
+            "[id=<n>] (got \"" + token + "\")");
+      }
+      out.trace_action = token;
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    if (key == "id") {
+      if (out.id) {
+        throw std::invalid_argument("duplicate request field \"id\"");
+      }
+      out.id = parse_uint_field("id", token.substr(eq + 1));
+      continue;
+    }
+    if (key == "dump") {
+      if (!out.trace_action.empty()) {
+        throw std::invalid_argument("duplicate trace action \"" + token +
+                                    "\"");
+      }
+      out.trace_path = token.substr(eq + 1);
+      if (out.trace_path.empty()) {
+        throw std::invalid_argument("trace dump= needs a path");
+      }
+      out.trace_action = "dump";
+      continue;
+    }
+    throw std::invalid_argument("unknown trace field \"" + key +
+                                "\" (known fields: dump, id)");
+  }
+  if (out.trace_action.empty()) {
+    throw std::invalid_argument(
+        "trace line must name an action: trace start|stop|status|dump=<path>");
+  }
+  return out;
+}
+
 /// `ping [id=<n>]` and `stats [id=<n>]` share one shape: the verb plus
 /// an optional tag, nothing else.
 RequestLine parse_control_line(const std::string& verb,
@@ -140,6 +190,7 @@ RequestLine parse_request_line(const std::string& line) {
   if (out.tree_spec == "stats") {
     return parse_control_line("stats", RequestLine::Kind::kStats, is);
   }
+  if (out.tree_spec == "trace") return parse_trace_line(is);
   if (!(is >> out.algo >> out.p)) {
     throw std::invalid_argument(
         "request line must be: <tree-spec> <algo> <p> [<memory-cap>] "
@@ -179,8 +230,9 @@ std::string format_response_line(const ResponseLine& resp) {
     if (resp.id) os << " id=" << *resp.id;
     return os.str();
   }
-  if (resp.kind == ResponseLine::Kind::kStats) {
-    os << "stats";
+  if (resp.kind == ResponseLine::Kind::kStats ||
+      resp.kind == ResponseLine::Kind::kTrace) {
+    os << (resp.kind == ResponseLine::Kind::kStats ? "stats" : "trace");
     if (resp.id) os << " id=" << *resp.id;
     for (const auto& [key, value] : resp.stats) {
       os << " " << key << "=" << value;
@@ -354,9 +406,10 @@ ResponseLine parse_pong_line(std::istringstream& is) {
   return out;
 }
 
-ResponseLine parse_stats_line(std::istringstream& is) {
+ResponseLine parse_stats_line(std::istringstream& is,
+                              ResponseLine::Kind kind) {
   ResponseLine out;
-  out.kind = ResponseLine::Kind::kStats;
+  out.kind = kind;
   out.ok = true;
   std::set<std::string> seen;
   std::string token;
@@ -385,10 +438,15 @@ ResponseLine parse_response_line(const std::string& line) {
   if (verb == "ok") return parse_ok_line(is);
   if (verb == "error") return parse_error_line(is);
   if (verb == "pong") return parse_pong_line(is);
-  if (verb == "stats") return parse_stats_line(is);
+  if (verb == "stats") {
+    return parse_stats_line(is, ResponseLine::Kind::kStats);
+  }
+  if (verb == "trace") {
+    return parse_stats_line(is, ResponseLine::Kind::kTrace);
+  }
   throw std::invalid_argument(
-      "response line must start with ok|error|pong|stats (got \"" + verb +
-      "\")");
+      "response line must start with ok|error|pong|stats|trace (got \"" +
+      verb + "\")");
 }
 
 }  // namespace treesched

@@ -9,6 +9,8 @@
 //   cancel id=<n>
 //   ping [id=<n>]
 //   stats [id=<n>]
+//   trace start|stop|status [id=<n>]
+//   trace dump=<path> [id=<n>]
 // with the named fields
 //   priority=interactive|batch|bulk   admission class (default batch)
 //   deadline_ms=<positive float>      give up if still queued after this
@@ -29,12 +31,18 @@
 // scheduler compute, never queued), out of band of any pending window —
 // a server drowning in Bulk work still answers its health check.
 //
+// `trace` drives the in-process span recorder (obs/trace.hpp): start
+// and stop toggle it, status reports counters, dump=<path> writes the
+// collected spans as Chrome trace_event JSON to a server-side file.
+// Like ping/stats it is answered immediately by the front-end.
+//
 // Response lines (v2):
 //   ok [id=<n>] tree=<hex> n=<nodes> algo=<name> p=<p> makespan=<f>
 //      peak_memory=<bytes> cache=hit|miss priority=<class>   (one line)
 //   error [id=<n>] code=<error-code> <message...>
 //   pong [id=<n>]
 //   stats [id=<n>] <key>=<non-negative integer> ...
+//   trace [id=<n>] <key>=<non-negative integer> ...
 // where <error-code> is an ErrorCode wire spelling (service/errors.hpp).
 // parse_response_line rejects unknown codes by name — a client never has
 // to guess what a new server means. A stats line's keys are free-form
@@ -56,7 +64,7 @@ namespace treesched {
 /// One parsed request line. The tree is still a spec string — resolving
 /// it (file IO, generators, interning) is the caller's business.
 struct RequestLine {
-  enum class Kind { kSchedule, kCancel, kPing, kStats };
+  enum class Kind { kSchedule, kCancel, kPing, kStats, kTrace };
   Kind kind = Kind::kSchedule;
 
   /// Client-chosen tag (id=); required for kCancel, optional otherwise.
@@ -69,6 +77,11 @@ struct RequestLine {
   MemSize memory_cap = 0;
   Priority priority = Priority::kBatch;
   double deadline_ms = 0.0;  ///< <= 0 = none
+
+  // kTrace fields: the action ("start" | "stop" | "status" | "dump")
+  // and, for dump only, the server-side output path.
+  std::string trace_action;
+  std::string trace_path;
 };
 
 /// Parses a nonempty, comment-stripped request line. Throws
@@ -80,13 +93,15 @@ RequestLine parse_request_line(const std::string& line);
 /// schedule answer (`ok` discriminates ok/error); kPong answers ping;
 /// kStats answers stats with free-form integer counters.
 struct ResponseLine {
-  enum class Kind { kSchedule, kPong, kStats };
+  enum class Kind { kSchedule, kPong, kStats, kTrace };
   Kind kind = Kind::kSchedule;
   bool ok = false;
   std::optional<std::uint64_t> id;
 
-  /// kStats payload, emitted/parsed in the order given. Keys are
-  /// free-form identifiers; values non-negative integers.
+  /// kStats/kTrace payload, emitted/parsed in the order given. Keys are
+  /// free-form identifiers; values non-negative integers. (A trace
+  /// answer is a stats-shaped line under the `trace` verb: enabled,
+  /// spans, dropped, and for dump the spans written.)
   std::vector<std::pair<std::string, std::uint64_t>> stats;
 
   // ok payload.

@@ -91,6 +91,64 @@ bool parse_control_view(std::string_view verb, RequestLine::Kind kind,
   return true;
 }
 
+/// `trace start|stop|status [id=<n>]` / `trace dump=<path> [id=<n>]`,
+/// acceptance-identical to the v2 parse_trace_line.
+bool parse_trace_view(std::string_view rest, RequestView& out,
+                      std::string& error) {
+  out.kind = RequestLine::Kind::kTrace;
+  for (std::string_view token = next_token(rest); !token.empty();
+       token = next_token(rest)) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      if (!out.trace_action.empty()) {
+        error = "trailing token \"" + std::string(token) + "\"";
+        return false;
+      }
+      if (token != "start" && token != "stop" && token != "status") {
+        error =
+            "trace line must be: trace start|stop|status|dump=<path> "
+            "[id=<n>] (got \"" + std::string(token) + "\")";
+        return false;
+      }
+      out.trace_action = token;
+      continue;
+    }
+    const std::string_view key = token.substr(0, eq);
+    if (key == "id") {
+      if (out.id) {
+        error = "duplicate request field \"id\"";
+        return false;
+      }
+      std::uint64_t id = 0;
+      if (!parse_u64("id", token.substr(eq + 1), id, error)) return false;
+      out.id = id;
+      continue;
+    }
+    if (key == "dump") {
+      if (!out.trace_action.empty()) {
+        error = "duplicate trace action \"" + std::string(token) + "\"";
+        return false;
+      }
+      out.trace_path = token.substr(eq + 1);
+      if (out.trace_path.empty()) {
+        error = "trace dump= needs a path";
+        return false;
+      }
+      out.trace_action = "dump";
+      continue;
+    }
+    error = "unknown trace field \"" + std::string(key) +
+            "\" (known fields: dump, id)";
+    return false;
+  }
+  if (out.trace_action.empty()) {
+    error =
+        "trace line must name an action: trace start|stop|status|dump=<path>";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool parse_request_view(std::string_view line, RequestView& out,
@@ -118,6 +176,10 @@ bool parse_request_view(std::string_view line, RequestView& out,
     out.tree_spec = {};
     return parse_control_view("stats", RequestLine::Kind::kStats,
                               /*id_required=*/false, rest, out, error);
+  }
+  if (out.tree_spec == "trace") {
+    out.tree_spec = {};
+    return parse_trace_view(rest, out, error);
   }
 
   out.algo = next_token(rest);
@@ -204,6 +266,8 @@ RequestView as_view(const RequestLine& line) {
   view.memory_cap = line.memory_cap;
   view.priority = line.priority;
   view.deadline_ms = line.deadline_ms;
+  view.trace_action = line.trace_action;
+  view.trace_path = line.trace_path;
   return view;
 }
 

@@ -14,6 +14,7 @@
 //   cancel id=<n>
 //   ping [id=<n>]
 //   stats [id=<n>]
+//   trace start|stop|status|dump=<path> [id=<n>]
 // Equivalence with parse_request_line is pinned by tests/test_frame.cpp:
 // every line either parses to the same fields through both parsers or is
 // rejected by both (messages may differ; acceptance may not).
@@ -45,6 +46,10 @@ struct RequestView {
   MemSize memory_cap = 0;
   Priority priority = Priority::kBatch;
   double deadline_ms = 0.0;  ///< <= 0 = none
+
+  // kTrace fields (mirror RequestLine's).
+  std::string_view trace_action;
+  std::string_view trace_path;
 };
 
 /// Parses one nonempty request line in place. Returns true and fills

@@ -1,22 +1,169 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/simulator.hpp"
+#include "obs/trace.hpp"
 #include "sched/validate.hpp"
 #include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace treesched {
 
+namespace {
+using obs::Stage;
+
+constexpr const char* kClassLabel[kPriorityClasses + 1] = {
+    "interactive", "batch", "bulk", "all"};
+}  // namespace
+
 SchedulingService::SchedulingService(ServiceConfig config)
     : config_(config),
+      registry_(config.registry ? config.registry
+                                : std::make_shared<obs::MetricsRegistry>()),
       store_(config.store),
       cache_(config.cache_bytes, config.cache_shards),
-      queue_(std::make_shared<RequestQueue>(config.queue)) {}
+      queue_(std::make_shared<RequestQueue>(config.queue)) {
+  init_metrics();
+}
+
+void SchedulingService::init_metrics() {
+  auto stage_hist = [&](const char* stage, std::size_t cls,
+                        const std::string& stats_key) -> obs::Histogram* {
+    std::string labels = "stage=\"";
+    labels += stage;
+    labels += "\",class=\"";
+    labels += kClassLabel[cls];
+    labels += "\"";
+    return &registry_->histogram(
+        "treesched_stage_seconds", labels,
+        "Per-stage request latency by priority class",
+        obs::Histogram::latency_bounds_ns(), 1e-9, stats_key);
+  };
+  for (std::size_t c = 0; c <= kPriorityClasses; ++c) {
+    // Only the class="all" aggregates carry stats keys: the stats verb
+    // stays bounded while Prometheus gets every class series.
+    const bool agg = c == kPriorityClasses;
+    h_queue_wait_[c] =
+        stage_hist("queue_wait", c, agg ? "stage_queue_wait" : "");
+    h_compute_[c] = stage_hist("compute", c, agg ? "stage_compute" : "");
+    h_e2e_[c] = c == kPriorityClasses
+                    ? &registry_->histogram(
+                          "treesched_request_e2e_seconds", "",
+                          "Admission-to-settlement request latency",
+                          obs::Histogram::latency_bounds_ns(), 1e-9, "e2e")
+                    : &registry_->histogram(
+                          "treesched_request_e2e_seconds",
+                          std::string("class=\"") + kClassLabel[c] + "\"",
+                          "Admission-to-settlement request latency",
+                          obs::Histogram::latency_bounds_ns(), 1e-9, "");
+  }
+  h_dispatch_ = stage_hist("dispatch", kPriorityClasses, "stage_dispatch");
+
+  // Legacy-stats bridge: cache/queue/store/pool accessors stay the
+  // source of truth; this collector projects them into the exposition
+  // at snapshot time. All of them read atomics or take their own locks,
+  // so a scrape from any thread is safe.
+  registry_->register_collector(
+      [this, alive = std::weak_ptr<bool>(alive_)](obs::RegistrySnapshot& out) {
+        if (alive.expired()) return;
+        const CacheStats cs = cache_stats();
+        const QueueStats qs = queue_stats();
+        const InstanceStore::Stats ss = store_stats();
+        const ThreadPool::Stats ps = ThreadPool::shared().stats();
+        auto counter = [&](const char* name, const char* help,
+                           std::string labels, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, std::move(labels), help, obs::MetricKind::kCounter, v, ""});
+        };
+        auto gauge = [&](const char* name, const char* help,
+                         std::string labels, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, std::move(labels), help, obs::MetricKind::kGauge, v, ""});
+        };
+        for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+          const ClassQueueStats& q = qs.by_class[c];
+          std::string cls = "class=\"";
+          cls += kClassLabel[c];
+          cls += "\"";
+          counter("treesched_queue_admitted_total",
+                  "Requests pushed at admission, accepted or rejected", cls,
+                  static_cast<double>(q.admitted));
+          counter("treesched_queue_rejected_total",
+                  "Requests turned away at admission (queue full)", cls,
+                  static_cast<double>(q.rejected));
+          counter("treesched_queue_completed_total",
+                  "Requests popped live and handed to a worker", cls,
+                  static_cast<double>(q.completed));
+          counter("treesched_queue_expired_total",
+                  "Requests whose deadline lapsed while queued", cls,
+                  static_cast<double>(q.expired));
+          counter("treesched_queue_cancelled_total",
+                  "Requests removed while queued by cancel", cls,
+                  static_cast<double>(q.cancelled));
+          counter("treesched_queue_aged_total",
+                  "Priority-class promotions granted to waiting requests",
+                  cls, static_cast<double>(q.aged));
+          gauge("treesched_queue_pending", "Currently queued requests", cls,
+                static_cast<double>(q.pending));
+        }
+        counter("treesched_cache_hits_total", "Result-cache hits", "",
+                static_cast<double>(cs.hits));
+        counter("treesched_cache_misses_total", "Result-cache misses", "",
+                static_cast<double>(cs.misses));
+        counter("treesched_cache_evictions_total", "Result-cache evictions",
+                "", static_cast<double>(cs.evictions));
+        gauge("treesched_cache_entries", "Cached results resident", "",
+              static_cast<double>(cs.entries));
+        gauge("treesched_cache_bytes", "Result-cache bytes resident", "",
+              static_cast<double>(cs.bytes));
+        gauge("treesched_store_trees", "Interned trees resident", "",
+              static_cast<double>(ss.unique_trees));
+        gauge("treesched_store_bytes", "Instance-store bytes resident", "",
+              static_cast<double>(ss.bytes));
+        counter("treesched_store_rejected_total",
+                "Trees rejected by the instance-store byte budget", "",
+                static_cast<double>(ss.rejected));
+        gauge("treesched_pool_threads", "Shared thread-pool workers", "",
+              static_cast<double>(ps.threads));
+        counter("treesched_pool_submitted_total",
+                "Jobs enqueued on the shared pool", "",
+                static_cast<double>(ps.submitted));
+        counter("treesched_pool_executed_total",
+                "Jobs finished on the shared pool", "",
+                static_cast<double>(ps.executed));
+        gauge("treesched_pool_pending", "Jobs enqueued, not yet picked up",
+              "", static_cast<double>(ps.pending));
+      });
+}
+
+void SchedulingService::record_stage_metrics(const ScheduleRequest& req) {
+  const auto& st = req.stamps;
+  if (!st.has(Stage::kAdmit) || !st.has(Stage::kComputeEnd)) return;
+  const auto cls = static_cast<std::size_t>(req.priority);
+  const std::uint64_t queue_wait = st.between(Stage::kAdmit, Stage::kDequeue);
+  const std::uint64_t dispatch =
+      st.between(Stage::kDequeue, Stage::kComputeStart);
+  const std::uint64_t compute =
+      st.between(Stage::kComputeStart, Stage::kComputeEnd);
+  const std::uint64_t e2e = st.between(Stage::kAdmit, Stage::kComputeEnd);
+  h_queue_wait_[cls]->record(queue_wait);
+  h_queue_wait_[kPriorityClasses]->record(queue_wait);
+  h_dispatch_->record(dispatch);
+  h_compute_[cls]->record(compute);
+  h_compute_[kPriorityClasses]->record(compute);
+  h_e2e_[cls]->record(e2e);
+  h_e2e_[kPriorityClasses]->record(e2e);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.record("queue_wait", st.at(Stage::kAdmit), queue_wait,
+                  req.tree.uid);
+  }
+}
 
 SchedulingService::~SchedulingService() {
   // One registered servicer covers every queued entry from before it is
@@ -98,13 +245,15 @@ std::optional<ScheduleResponse> SchedulingService::try_cached(
   resp.makespan = result->makespan;
   resp.peak_memory = result->peak_memory;
   resp.cache_hit = true;
+  resp.stamps = req.stamps;  // no queue/compute stages on the fast path
   if (req.want_schedule) {
     resp.schedule = std::shared_ptr<const Schedule>(result, &result->schedule);
   }
   return resp;
 }
 
-ServiceResult SchedulingService::evaluate(const ScheduleRequest& req) {
+ServiceResult SchedulingService::evaluate(ScheduleRequest& req) {
+  req.stamps.stamp(Stage::kComputeStart);
   if (!req.tree) {
     return ServiceError{
         ErrorCode::kInvalidResources,
@@ -162,6 +311,9 @@ ServiceResult SchedulingService::evaluate(const ScheduleRequest& req) {
       resp.schedule =
           std::shared_ptr<const Schedule>(result, &result->schedule);
     }
+    req.stamps.stamp(Stage::kComputeEnd);
+    resp.stamps = req.stamps;
+    record_stage_metrics(req);
     return resp;
   } catch (const std::exception& e) {
     return ServiceError{ErrorCode::kSchedulerFailure, e.what(),
@@ -229,6 +381,7 @@ CachedResultPtr SchedulingService::compute_deduplicated(
 
 CachedResultPtr SchedulingService::compute(const ScheduleRequest& req,
                                            const Scheduler& sched) {
+  const std::uint64_t started = obs::now_ns();
   Schedule s =
       sched.schedule(*req.tree, Resources{req.p, req.memory_cap});
   if (config_.validate) {
@@ -244,6 +397,29 @@ CachedResultPtr SchedulingService::compute(const ScheduleRequest& req,
   result->makespan = sim.makespan;
   result->peak_memory = sim.peak_memory;
   result->schedule = std::move(s);
+
+  // Per-algorithm distributions (ISSUE 7 satellite): actual scheduler
+  // compute only — cache hits and twin-shared results never get here,
+  // so these histograms answer "what does algorithm X cost" without a
+  // campaign rerun. Registry get-or-create takes a lock, which is noise
+  // against a real scheduler run.
+  const std::uint64_t took = obs::now_ns() - started;
+  const std::string algo_label = "algo=\"" + req.algo + "\"";
+  registry_
+      ->histogram("treesched_algo_compute_seconds", algo_label,
+                  "Scheduler compute time by algorithm",
+                  obs::Histogram::latency_bounds_ns(), 1e-9)
+      .record(took);
+  registry_
+      ->histogram("treesched_algo_peak_memory_bytes", algo_label,
+                  "Schedule peak memory by algorithm",
+                  obs::Histogram::bytes_bounds(), 1.0)
+      .record(static_cast<std::uint64_t>(sim.peak_memory));
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.record(tracer.intern_name("compute:" + req.algo), started, took,
+                  req.tree.uid);
+  }
   return result;
 }
 
@@ -263,6 +439,7 @@ void SchedulingService::drain_one() {
         ServiceError{ErrorCode::kDeadlineExpired, os.str(), nullptr});
   }
   if (popped.entry) {
+    popped.entry->request.stamps.stamp(Stage::kDequeue);
     detail::complete_ticket(popped.entry->ticket,
                             evaluate(popped.entry->request));
   }
@@ -286,6 +463,7 @@ Ticket SchedulingService::submit(ScheduleRequest req) {
     return Ticket(std::move(state), nullptr, 0);
   }
 
+  req.stamps.stamp(Stage::kAdmit);
   // The servicer is registered in async_outstanding_ BEFORE the entry is
   // admitted: at no instant does the queue hold an entry whose answerer
   // the destructor cannot see.
@@ -390,7 +568,7 @@ std::vector<std::pair<std::string, std::uint64_t>> service_stats_pairs(
     cancelled += c.cancelled;
     rejected += c.rejected;
   }
-  return {
+  std::vector<std::pair<std::string, std::uint64_t>> pairs = {
       {"queue_pending", qs.pending()},
       {"queue_admitted", admitted},
       {"queue_completed", completed},
@@ -406,6 +584,35 @@ std::vector<std::pair<std::string, std::uint64_t>> service_stats_pairs(
       {"store_bytes", ss.bytes},
       {"store_rejected", ss.rejected},
   };
+  // Everything after the legacy block is additive vocabulary (ISSUE 7):
+  // per-class queue keys (both front-ends get them from this one
+  // function — that is the parity guarantee), the shared pool, and the
+  // stage-histogram summaries from the service's registry.
+  static constexpr const char* kClassKey[kPriorityClasses] = {
+      "interactive", "batch", "bulk"};
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const ClassQueueStats& q = qs.by_class[c];
+    const std::string suffix = std::string("_") + kClassKey[c];
+    pairs.emplace_back("queue_pending" + suffix, q.pending);
+    pairs.emplace_back("queue_admitted" + suffix, q.admitted);
+    pairs.emplace_back("queue_completed" + suffix, q.completed);
+    pairs.emplace_back("queue_expired" + suffix, q.expired);
+    pairs.emplace_back("queue_cancelled" + suffix, q.cancelled);
+    pairs.emplace_back("queue_rejected" + suffix, q.rejected);
+    pairs.emplace_back("queue_aged" + suffix, q.aged);
+    pairs.emplace_back(
+        "queue_wait_p99_us" + suffix,
+        static_cast<std::uint64_t>(std::max(0.0, q.wait_ms_p99 * 1000.0)));
+  }
+  const ThreadPool::Stats ps = ThreadPool::shared().stats();
+  pairs.emplace_back("pool_threads", ps.threads);
+  pairs.emplace_back("pool_submitted", ps.submitted);
+  pairs.emplace_back("pool_executed", ps.executed);
+  pairs.emplace_back("pool_pending", ps.pending);
+  for (auto& kv : service.registry().snapshot().stats_pairs()) {
+    pairs.push_back(std::move(kv));
+  }
+  return pairs;
 }
 
 }  // namespace treesched

@@ -69,6 +69,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/registry.hpp"
 #include "service/instance_store.hpp"
 #include "service/request.hpp"
@@ -97,6 +98,12 @@ struct ServiceConfig {
   /// Instance-store byte budget (0 = unbudgeted); when set, intern()
   /// throws StoreFull and try_intern() returns kStoreFull past it.
   InstanceStoreConfig store;
+  /// Metrics registry the service records into (stage histograms,
+  /// per-algorithm distributions) and bridges its legacy stats onto
+  /// (cache/queue/store/pool collectors for the Prometheus exposition).
+  /// null = the service creates a private one; share a registry to
+  /// co-export front-end counters from the same scrape endpoint.
+  std::shared_ptr<obs::MetricsRegistry> registry;
 };
 
 class SchedulingService {
@@ -176,6 +183,16 @@ class SchedulingService {
   }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
 
+  /// The registry this service records into (the configured one, or the
+  /// private default). Snapshot it for the Prometheus exposition; its
+  /// collectors reference this service, so don't snapshot a registry
+  /// that outlives the service it was configured into.
+  [[nodiscard]] obs::MetricsRegistry& registry() const { return *registry_; }
+  [[nodiscard]] const std::shared_ptr<obs::MetricsRegistry>&
+  registry_ptr() const {
+    return registry_;
+  }
+
   /// Drops all cached results (counters survive; interned trees stay).
   void clear_cache() { cache_.clear(); }
 
@@ -190,8 +207,18 @@ class SchedulingService {
 
   /// The single enforcement point: resolves, validates, computes (via
   /// cache + in-flight dedup) and classifies every failure into a
-  /// ServiceError. Never throws.
-  ServiceResult evaluate(const ScheduleRequest& req);
+  /// ServiceError. Never throws. Mutable `req` because it stamps the
+  /// compute stages and hands the stamps back in the response.
+  ServiceResult evaluate(ScheduleRequest& req);
+
+  /// Wires the stage/algorithm histograms and the legacy-stats bridge
+  /// into registry_. Called once from the constructor.
+  void init_metrics();
+
+  /// Feeds the per-class and aggregate stage histograms from a settled
+  /// request's stamps (queued requests only; inline worker submissions
+  /// have no admit/dequeue stamps and skip the queue stages).
+  void record_stage_metrics(const ScheduleRequest& req);
 
   /// The (stateless, shared) scheduler for `algo`, created through the
   /// registry on first use.
@@ -223,6 +250,18 @@ class SchedulingService {
   void drain_one();
 
   ServiceConfig config_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  /// Collector liveness guard: collectors capture a weak_ptr to this and
+  /// bail once the service is gone, so a shared registry that outlives
+  /// the service degrades to missing samples instead of UB.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Stage histograms, indexed by priority class; [kPriorityClasses] is
+  /// the class="all" aggregate (the one the decomposition test and the
+  /// stats-verb quantiles read). Raw unit: nanoseconds.
+  obs::Histogram* h_queue_wait_[kPriorityClasses + 1] = {};
+  obs::Histogram* h_dispatch_ = nullptr;
+  obs::Histogram* h_compute_[kPriorityClasses + 1] = {};
+  obs::Histogram* h_e2e_[kPriorityClasses + 1] = {};
   InstanceStore store_;
   ResultCache cache_;
   /// Shared with every queued Ticket so cancel() stays safe even after
@@ -252,7 +291,10 @@ class SchedulingService {
 /// stable order — the single source both wire front-ends (stdin and
 /// TCP) share, so their stats vocabularies cannot silently diverge.
 /// Front-ends prepend their transport-specific keys (connection counts,
-/// window depth) before these.
+/// window depth) before these. The legacy fourteen keys lead unchanged;
+/// after them come the per-class queue keys, the shared pool's
+/// counters, and the stage-histogram summaries
+/// (<key>_count/_p50_us/_p90_us/_p99_us) from the service's registry.
 std::vector<std::pair<std::string, std::uint64_t>> service_stats_pairs(
     const SchedulingService& service);
 

@@ -26,8 +26,19 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(job));
+    ++submitted_;
   }
   cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.threads = num_threads_;
+  s.submitted = submitted_;
+  s.executed = executed_;
+  s.pending = queue_.size();
+  return s;
 }
 
 bool ThreadPool::on_worker_thread() const {
@@ -54,6 +65,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     job();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -24,6 +25,15 @@ namespace treesched {
 
 class ThreadPool {
  public:
+  /// Point-in-time pool telemetry (obs: the `pool_*` stats keys and the
+  /// treesched_pool_* exported metrics).
+  struct Stats {
+    unsigned threads = 0;
+    std::uint64_t submitted = 0;  ///< jobs ever enqueued
+    std::uint64_t executed = 0;   ///< jobs finished
+    std::size_t pending = 0;      ///< enqueued, not yet picked up
+  };
+
   /// Starts `threads` workers (0 = hardware concurrency, at least 1).
   explicit ThreadPool(unsigned threads = 0);
 
@@ -46,6 +56,10 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   [[nodiscard]] bool on_worker_thread() const;
 
+  /// Consistent snapshot of the job counters (taken under the queue
+  /// mutex, so submitted - executed - pending is never negative).
+  [[nodiscard]] Stats stats() const;
+
   /// The process-wide pool (hardware-concurrency workers, started on
   /// first use).
   static ThreadPool& shared();
@@ -54,9 +68,11 @@ class ThreadPool {
   void worker_loop();
 
   unsigned num_threads_ = 0;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::uint64_t submitted_ = 0;  ///< guarded by mutex_
+  std::uint64_t executed_ = 0;   ///< guarded by mutex_
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

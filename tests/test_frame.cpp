@@ -114,6 +114,11 @@ TEST(RequestView, AgreesWithTheV2ParserAcrossTheCorpus) {
       "ping id=9",
       "stats",
       "stats id=18446744073709551615",
+      "trace start",
+      "trace stop id=4",
+      "trace status",
+      "trace dump=/tmp/out.json",
+      "trace dump=/tmp/out.json id=2",
       // rejected
       "",
       "   ",
@@ -144,6 +149,15 @@ TEST(RequestView, AgreesWithTheV2ParserAcrossTheCorpus) {
       "ping extra",
       "ping id=1 id=2",
       "stats id=x",
+      "trace",
+      "trace restart",
+      "trace start stop",
+      "trace dump=",
+      "trace dump=/a dump=/b",
+      "trace start dump=/a",
+      "trace start trailing",
+      "trace unknown=1",
+      "trace start id=1 id=2",
   };
   for (const char* raw : corpus) {
     const std::string line = raw;
@@ -169,6 +183,8 @@ TEST(RequestView, AgreesWithTheV2ParserAcrossTheCorpus) {
     EXPECT_EQ(view.memory_cap, expected.memory_cap) << line;
     EXPECT_EQ(view.priority, expected.priority) << line;
     EXPECT_EQ(view.deadline_ms, expected.deadline_ms) << line;
+    EXPECT_EQ(view.trace_action, expected.trace_action) << line;
+    EXPECT_EQ(view.trace_path, expected.trace_path) << line;
   }
 }
 
@@ -319,6 +335,33 @@ TEST(FrameCodec, ErrorAndControlResponsesRoundTrip) {
   ASSERT_EQ(decoded.stats.size(), 2u);
   EXPECT_EQ(decoded.stats[0].first, "conns");
   EXPECT_EQ(decoded.stats[1].second, 12u);
+}
+
+TEST(FrameCodec, TraceReplyRoundTripsUnderItsOwnOpcode) {
+  ResponseLine trace;
+  trace.kind = ResponseLine::Kind::kTrace;
+  trace.ok = true;
+  trace.id = 11;
+  trace.stats = {{"enabled", 1}, {"spans", 42}, {"dropped", 0}};
+  std::string wire;
+  FrameWriter(wire).response(trace);
+  EXPECT_EQ(static_cast<std::uint8_t>(wire[0]),
+            static_cast<std::uint8_t>(Opcode::kTraceReply))
+      << "trace replies must not masquerade as stats replies";
+
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ResponseLine decoded;
+  std::string error;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  ASSERT_TRUE(decode_response_frame(frame, decoded, error)) << error;
+  EXPECT_EQ(decoded.kind, ResponseLine::Kind::kTrace);
+  EXPECT_EQ(decoded.id, 11u);
+  ASSERT_EQ(decoded.stats.size(), 3u);
+  EXPECT_EQ(decoded.stats[0].first, "enabled");
+  EXPECT_EQ(decoded.stats[1].first, "spans");
+  EXPECT_EQ(decoded.stats[1].second, 42u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,402 @@
+// The observability layer (src/obs/): histogram bucket math (inclusive
+// upper bounds, overflow, shard merge), exact concurrent counters (the
+// TSan job runs this file), registry get-or-create identity and
+// snapshot ordering, the stats-verb projection, golden Prometheus text
+// exposition, Chrome trace JSON, and — the acceptance criterion worth
+// pinning — per-stage histogram means summing to the end-to-end mean
+// through a live SchedulingService.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.hpp"
+#include "obs/stages.hpp"
+#include "obs/trace.hpp"
+#include "service/service.hpp"
+#include "trees/generators.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::RegistrySnapshot;
+using obs::Stage;
+using obs::StageStamps;
+using obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BoundsAreInclusiveUpperBounds) {
+  Histogram h({10, 20, 50});
+  h.record(0);    // bucket 0 (<= 10)
+  h.record(10);   // bucket 0: the bound itself lands below the fence
+  h.record(11);   // bucket 1
+  h.record(20);   // bucket 1
+  h.record(50);   // bucket 2
+  h.record(51);   // overflow
+  h.record(1000); // overflow
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u) << "bounds.size() + 1 (overflow)";
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 2u);
+  EXPECT_EQ(s.count, 7u) << "count derives from the buckets";
+  EXPECT_EQ(s.sum, 0u + 10 + 11 + 20 + 50 + 51 + 1000)
+      << "sums are exact integers, not bucket midpoints";
+}
+
+TEST(ObsHistogram, QuantilesInterpolateAndOverflowClamps) {
+  Histogram h({100, 200, 400});
+  for (int i = 0; i < 100; ++i) h.record(150);  // all in (100, 200]
+  const HistogramSnapshot s = h.snapshot();
+  // The standard Prometheus estimate: linear inside the winning bucket.
+  EXPECT_NEAR(s.quantile(0.5), 150.0, 1.0);
+  EXPECT_NEAR(s.quantile(1.0), 200.0, 1e-9);
+
+  Histogram over({100});
+  over.record(5000);
+  over.record(9000);
+  EXPECT_EQ(over.snapshot().quantile(0.99), 100.0)
+      << "overflow quantiles clamp to the largest finite bound";
+
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0.0);
+  EXPECT_EQ(HistogramSnapshot{}.mean(), 0.0);
+}
+
+TEST(ObsHistogram, ShardsMergeExactlyUnderConcurrentRecorders) {
+  // More threads than shards, all hammering one histogram: the merged
+  // snapshot must not lose a single record or nanosecond of sum.
+  Histogram h(Histogram::latency_bounds_ns());
+  constexpr int kThreads = 12;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record((static_cast<std::uint64_t>(t) + 1) * 1000 + i % 7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (static_cast<std::uint64_t>(t) + 1) * 1000 + i % 7;
+    }
+  }
+  EXPECT_EQ(s.sum, expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count) << "count must equal the bucket total";
+}
+
+TEST(ObsCounter, ConcurrentIncrementsAreExact) {
+  Counter c;
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        g.add(1);
+        g.add(-1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(g.value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry identity, ordering, and the stats-verb projection.
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, GetOrCreateIsKeyedByNameAndLabels) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("hits_total", "", "help");
+  Counter& b = reg.counter("hits_total", "", "different help ignored");
+  EXPECT_EQ(&a, &b) << "same (name, labels) must return the same node";
+  Counter& c = reg.counter("hits_total", "class=\"bulk\"", "help");
+  EXPECT_NE(&a, &c) << "labels are part of the identity";
+  Histogram& h1 = reg.histogram("lat", "", "help", {1, 2}, 1.0);
+  Histogram& h2 = reg.histogram("lat", "", "help", {1, 2}, 1.0);
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, SnapshotRunsCollectorsFirstThenOwnedInOrder) {
+  MetricsRegistry reg;
+  reg.counter("owned_a_total", "", "a").inc(1);
+  reg.register_collector([](RegistrySnapshot& out) {
+    out.samples.push_back(obs::MetricSample{"bridged_total", "", "b",
+                                            obs::MetricKind::kCounter, 7.0,
+                                            "bridged"});
+  });
+  reg.counter("owned_b_total", "", "b").inc(2);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  EXPECT_EQ(snap.samples[0].name, "bridged_total")
+      << "collectors run first so legacy keys lead the stats line";
+  EXPECT_EQ(snap.samples[1].name, "owned_a_total");
+  EXPECT_EQ(snap.samples[2].name, "owned_b_total");
+  EXPECT_EQ(snap.samples[1].value, 1.0);
+  EXPECT_EQ(snap.samples[2].value, 2.0);
+}
+
+TEST(ObsRegistry, StatsPairsProjectKeyedEntriesOnly) {
+  MetricsRegistry reg;
+  reg.counter("keyed_total", "", "h", "keyed").inc(3);
+  reg.counter("prom_only_total", "", "h").inc(9);
+  reg.gauge("depth", "", "h", "depth").set(-4);
+  Histogram& h =
+      reg.histogram("lat_seconds", "", "h",
+                    Histogram::latency_bounds_ns(), 1e-9, "lat");
+  h.record(1500);  // 1.5us
+  h.record(2500);
+  const auto pairs = reg.snapshot().stats_pairs();
+  auto find = [&](const std::string& key) -> const std::uint64_t* {
+    for (const auto& [k, v] : pairs) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("keyed"), nullptr);
+  EXPECT_EQ(*find("keyed"), 3u);
+  EXPECT_EQ(find("prom_only_total"), nullptr)
+      << "empty stats_key means Prometheus-only";
+  ASSERT_NE(find("depth"), nullptr);
+  EXPECT_EQ(*find("depth"), 0u) << "gauges clamp at zero on the stats line";
+  ASSERT_NE(find("lat_count"), nullptr);
+  EXPECT_EQ(*find("lat_count"), 2u);
+  ASSERT_NE(find("lat_p50_us"), nullptr)
+      << "scale 1e-9 histograms project quantiles in microseconds";
+  EXPECT_LE(*find("lat_p50_us"), 10u);
+  ASSERT_NE(find("lat_p99_us"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (golden).
+// ---------------------------------------------------------------------------
+
+TEST(ObsPrometheus, GoldenExposition) {
+  MetricsRegistry reg;
+  reg.counter("treesched_requests_total", "", "Requests seen").inc(5);
+  reg.gauge("treesched_conns", "", "Open connections").set(2);
+  Counter& hit = reg.counter("treesched_cache_total", "kind=\"hit\"", "Cache");
+  Counter& miss =
+      reg.counter("treesched_cache_total", "kind=\"miss\"", "Cache");
+  hit.inc(3);
+  miss.inc(1);
+  Histogram& h = reg.histogram("treesched_lat_seconds", "", "Latency",
+                               {1000000000ull, 2000000000ull}, 1e-9);
+  h.record(500000000);   // 0.5s -> bucket le=1
+  h.record(1500000000);  // 1.5s -> bucket le=2
+  h.record(9000000000);  // 9s -> overflow
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  const std::string expected =
+      "# HELP treesched_requests_total Requests seen\n"
+      "# TYPE treesched_requests_total counter\n"
+      "treesched_requests_total 5\n"
+      "# HELP treesched_conns Open connections\n"
+      "# TYPE treesched_conns gauge\n"
+      "treesched_conns 2\n"
+      "# HELP treesched_cache_total Cache\n"
+      "# TYPE treesched_cache_total counter\n"
+      "treesched_cache_total{kind=\"hit\"} 3\n"
+      "treesched_cache_total{kind=\"miss\"} 1\n"
+      "# HELP treesched_lat_seconds Latency\n"
+      "# TYPE treesched_lat_seconds histogram\n"
+      "treesched_lat_seconds_bucket{le=\"1\"} 1\n"
+      "treesched_lat_seconds_bucket{le=\"2\"} 2\n"
+      "treesched_lat_seconds_bucket{le=\"+Inf\"} 3\n"
+      "treesched_lat_seconds_sum 11\n"
+      "treesched_lat_seconds_count 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsPrometheus, LabeledHistogramSeriesShareOneHeader) {
+  MetricsRegistry reg;
+  reg.histogram("s_seconds", "class=\"a\"", "h", {10}, 1.0).record(3);
+  reg.histogram("s_seconds", "class=\"b\"", "h", {10}, 1.0).record(30);
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_EQ(text.find("# TYPE s_seconds histogram"),
+            text.rfind("# TYPE s_seconds histogram"))
+      << "one TYPE line per metric name, not per series";
+  EXPECT_NE(text.find("s_seconds_bucket{class=\"a\",le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("s_seconds_bucket{class=\"b\",le=\"10\"} 0"),
+            std::string::npos)
+      << "an overflow-only series still renders its finite buckets";
+  EXPECT_NE(text.find("s_seconds_bucket{class=\"b\",le=\"+Inf\"} 1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stage stamps.
+// ---------------------------------------------------------------------------
+
+TEST(ObsStages, BetweenHandlesMissingAndBackwardStamps) {
+  StageStamps st;
+  EXPECT_FALSE(st.has(Stage::kAccept));
+  EXPECT_EQ(st.between(Stage::kAccept, Stage::kFlush), 0u);
+  st.stamp(Stage::kAccept, 100);
+  st.stamp(Stage::kFlush, 350);
+  EXPECT_TRUE(st.has(Stage::kAccept));
+  EXPECT_EQ(st.between(Stage::kAccept, Stage::kFlush), 250u);
+  EXPECT_EQ(st.between(Stage::kFlush, Stage::kAccept), 0u)
+      << "never negative, even on clock-order violations";
+  EXPECT_EQ(st.between(Stage::kAccept, Stage::kDequeue), 0u)
+      << "missing far stamp";
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: ring recording, drops, Chrome trace JSON.
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, RecordsOnlyWhileEnabledAndCountsDrops) {
+  Tracer tracer;
+  tracer.record("ignored", 0, 10);
+  EXPECT_EQ(tracer.recorded(), 0u) << "disabled tracer records nothing";
+  tracer.enable();
+  for (std::uint64_t i = 0; i < Tracer::kRingSpans + 5; ++i) {
+    tracer.record("span", i * 10, 5, i);
+  }
+  tracer.disable();
+  tracer.record("late", 0, 1);
+  EXPECT_EQ(tracer.recorded(), Tracer::kRingSpans + 5);
+  EXPECT_EQ(tracer.dropped(), 5u) << "overwritten oldest-first";
+  const std::vector<obs::SpanView> spans = tracer.snapshot();
+  EXPECT_EQ(spans.size(), Tracer::kRingSpans);
+  for (const obs::SpanView& s : spans) {
+    EXPECT_STREQ(s.name, "span");
+    EXPECT_GE(s.arg, 5u) << "the five oldest spans were overwritten";
+  }
+}
+
+TEST(ObsTrace, InternedNamesAreStableAndDeduplicated) {
+  Tracer tracer;
+  std::string dynamic = "ParSubtrees";
+  const char* a = tracer.intern_name(dynamic);
+  dynamic[0] = 'X';  // the intern must have copied
+  const char* b = tracer.intern_name("ParSubtrees");
+  EXPECT_STREQ(a, "ParSubtrees");
+  EXPECT_EQ(a, b) << "same name interns to the same pointer";
+}
+
+TEST(ObsTrace, ChromeTraceJsonCarriesEverySpan) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record("compute", 2000, 1500, 42);
+  tracer.record("queue_wait", 1000, 900, 42);
+  tracer.disable();
+  std::ostringstream os;
+  const std::size_t written = tracer.write_chrome_trace(os);
+  EXPECT_EQ(written, 2u) << "returns the span count (the dump reply)";
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos)
+      << "complete events, the Perfetto-friendly phase";
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy without a JSON
+  // parser in the test suite.
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsTrace, ScopedSpanRecordsItsLifetime) {
+  Tracer tracer;
+  tracer.enable();
+  { obs::ScopedSpan span(tracer, "scoped", 7); }
+  tracer.disable();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "scoped");
+  EXPECT_EQ(spans[0].arg, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state stage decomposition through a live service: the sum of
+// per-stage histogram means must reconstruct the end-to-end mean. The
+// stamps share one clock and the sums are exact integers, so the match
+// is by construction — the 10% window only absorbs requests still in
+// flight at snapshot time (there are none: every ticket is waited).
+// ---------------------------------------------------------------------------
+
+TEST(ObsService, StageMeansSumToEndToEndMean) {
+  SchedulingService service;
+  Rng rng(7);
+  RandomTreeParams params;
+  params.n = 80;
+  params.max_output = 40;
+  params.max_exec = 15;
+  params.min_work = 1.0;
+  params.max_work = 30.0;
+  const TreeHandle handle = service.intern(random_tree(params, rng));
+
+  const Priority classes[] = {Priority::kInteractive, Priority::kBatch,
+                              Priority::kBulk};
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 24; ++i) {
+    ScheduleRequest req;
+    req.tree = handle;
+    req.algo = i % 2 == 0 ? "ParSubtrees" : "ParDeepestFirst";
+    req.p = 4;
+    req.priority = classes[i % 3];
+    req.stamps.stamp(Stage::kAccept);
+    req.stamps.stamp(Stage::kParse);
+    tickets.push_back(service.submit(std::move(req)));
+  }
+  for (Ticket& t : tickets) {
+    ASSERT_TRUE(t.wait().ok());
+  }
+
+  const RegistrySnapshot snap = service.registry().snapshot();
+  auto mean_of = [&](const std::string& stats_key) -> double {
+    for (const obs::HistogramSample& h : snap.histograms) {
+      if (h.stats_key == stats_key) return h.snap.mean();
+    }
+    ADD_FAILURE() << "no histogram with stats_key " << stats_key;
+    return 0.0;
+  };
+  const double queue_wait = mean_of("stage_queue_wait");
+  const double dispatch = mean_of("stage_dispatch");
+  const double compute = mean_of("stage_compute");
+  const double e2e = mean_of("e2e");
+  ASSERT_GT(e2e, 0.0);
+  const double stage_sum = queue_wait + dispatch + compute;
+  EXPECT_NEAR(stage_sum, e2e, 0.10 * e2e)
+      << "queue_wait=" << queue_wait << " dispatch=" << dispatch
+      << " compute=" << compute << " vs e2e=" << e2e;
+}
+
+}  // namespace
+}  // namespace treesched

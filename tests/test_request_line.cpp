@@ -319,6 +319,69 @@ TEST(ControlLines, StatsRoundTripsFreeFormCounters) {
                std::invalid_argument);
 }
 
+TEST(ControlLines, TraceParsesActionsAndDump) {
+  const RequestLine start = parse_request_line("trace start");
+  EXPECT_EQ(start.kind, RequestLine::Kind::kTrace);
+  EXPECT_EQ(start.trace_action, "start");
+  EXPECT_TRUE(start.trace_path.empty());
+  EXPECT_FALSE(start.id.has_value());
+
+  const RequestLine stop = parse_request_line("trace stop id=4");
+  EXPECT_EQ(stop.kind, RequestLine::Kind::kTrace);
+  EXPECT_EQ(stop.trace_action, "stop");
+  ASSERT_TRUE(stop.id.has_value());
+  EXPECT_EQ(*stop.id, 4u);
+
+  const RequestLine status = parse_request_line("trace status");
+  EXPECT_EQ(status.trace_action, "status");
+
+  const RequestLine dump = parse_request_line("trace dump=/tmp/x.json id=2");
+  EXPECT_EQ(dump.kind, RequestLine::Kind::kTrace);
+  EXPECT_EQ(dump.trace_action, "dump");
+  EXPECT_EQ(dump.trace_path, "/tmp/x.json");
+  ASSERT_TRUE(dump.id.has_value());
+  EXPECT_EQ(*dump.id, 2u);
+}
+
+TEST(ControlLines, TraceRejectsMalformedLines) {
+  // A bare `trace` has no action; unknown actions are named errors, not
+  // schedule lines in disguise.
+  EXPECT_THROW((void)parse_request_line("trace"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace restart"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace start stop"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace dump="), std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace dump=/a dump=/b"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace start dump=/a"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace start trailing"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_request_line("trace start id=1 id=2"),
+               std::invalid_argument);
+}
+
+TEST(ControlLines, TraceRoundTripsStatsShapedReplies) {
+  ResponseLine trace;
+  trace.kind = ResponseLine::Kind::kTrace;
+  trace.ok = true;
+  trace.id = 5;
+  trace.stats = {{"enabled", 1}, {"spans", 42}, {"dropped", 0}};
+  const std::string line = format_response_line(trace);
+  EXPECT_EQ(line, "trace id=5 enabled=1 spans=42 dropped=0");
+  const ResponseLine back = parse_response_line(line);
+  EXPECT_EQ(back.kind, ResponseLine::Kind::kTrace)
+      << "a trace reply must not come back as stats";
+  ASSERT_TRUE(back.id.has_value());
+  EXPECT_EQ(*back.id, 5u);
+  ASSERT_EQ(back.stats.size(), 3u);
+  EXPECT_EQ(back.stats[1].first, "spans");
+  EXPECT_EQ(back.stats[1].second, 42u);
+  EXPECT_THROW((void)parse_response_line("trace spans=lots"),
+               std::invalid_argument);
+}
+
 TEST(ControlLines, ScheduleResponsesKeepKindSchedule) {
   const ResponseLine err =
       parse_response_line("error code=queue_full window full");
