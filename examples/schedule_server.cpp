@@ -22,6 +22,9 @@
 // on 127.0.0.1:N, riding the server's own I/O thread; 0 picks an
 // ephemeral port (printed as "metrics on ..."). --slow-ms T logs the
 // full stage breakdown of any request slower than T ms to stderr.
+// --trace-dir DIR allows the `trace dump=<file>` verb to write Chrome
+// trace JSON into DIR (relative names only); without it dumps are
+// refused — a network client must not name server-side files.
 // SIGTERM/SIGINT drain gracefully: the listener closes, every accepted
 // request is answered or cancelled, buffers flush, then the process
 // exits 0 — kill -TERM is the production stop.
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
     server_config.handle_signals = true;
     server_config.metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
     server_config.slow_ms = args.get_double("slow-ms", 0.0);
+    server_config.trace_dir = args.get("trace-dir", "");
     ServiceConfig service_config;
     service_config.cache_bytes =
         static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;

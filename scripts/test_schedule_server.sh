@@ -32,7 +32,7 @@ trap 'rm -rf "$workdir"' EXIT
 backlog=$((2 * $(nproc) + 6))
 
 "$bin" --port 0 --max-pending $((backlog + 16)) --store-mb 64 \
-    --metrics-port 0 --slow-ms 5 \
+    --metrics-port 0 --slow-ms 5 --trace-dir "$workdir" \
     > "$workdir/stdout" 2> "$workdir/stderr" &
 server_pid=$!
 
@@ -284,7 +284,9 @@ else:
         errors.append(f"stats line lacks histogram summaries: {replies[1]}")
 
 # Trace verb: start -> schedule under tracing -> dump -> stop, pinning
-# the stats-shaped reply grammar at each step.
+# the stats-shaped reply grammar at each step. The dump names a file
+# RELATIVE to the server's --trace-dir; absolute and ".." paths must be
+# refused (the arbitrary-file-write guard).
 def trace_fields(reply, tag):
     if not reply.startswith(f"trace id={tag} "):
         raise AssertionError(f"bad trace reply: {reply!r}")
@@ -294,8 +296,10 @@ try:
     s = connect()
     s.sendall(b"trace start id=20\n"
               b"random:250:9 ParSubtrees 4 id=21\n"
-              + f"trace dump={workdir}/trace.json id=22\n".encode()
-              + b"trace stop id=23\n")
+              b"trace dump=trace.json id=22\n"
+              b"trace stop id=23\n"
+              b"trace dump=/tmp/evil.json id=24\n"
+              b"trace dump=../evil.json id=25\n")
     s.shutdown(socket.SHUT_WR)
     replies = recv_lines(s)
     s.close()
@@ -316,6 +320,10 @@ try:
     stop = trace_fields(by_tag[23], 23)
     if stop.get("enabled") != "0":
         raise AssertionError(f"trace stop: {by_tag[23]!r}")
+    for tag in (24, 25):
+        if "code=bad_request" not in by_tag[tag]:
+            raise AssertionError(
+                f"escaping dump path was not refused: {by_tag[tag]!r}")
 except Exception as e:  # noqa: BLE001
     errors.append(f"trace probe: {e}")
 
@@ -375,17 +383,20 @@ def recv_all(sock):
         data += chunk
     return data
 
-# Text v2 over the unix socket.
+# Text v2 over the unix socket. This instance runs WITHOUT --trace-dir,
+# so a trace dump must be refused with a typed error.
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(path)
-s.sendall(b"random:200:1 Liu 2 id=5\nping\n")
+s.sendall(b"random:200:1 Liu 2 id=5\ntrace dump=x.json id=9\nping\n")
 s.shutdown(socket.SHUT_WR)
 lines = [l for l in recv_all(s).decode().split("\n") if l]
 s.close()
 # The pong may legally overtake the schedule answer: health checks
 # bypass the pending window while the cache miss computes.
-assert len(lines) == 2 and "pong" in lines, lines
+assert len(lines) == 3 and "pong" in lines, lines
 assert any(l.startswith("ok id=5 ") for l in lines), lines
+assert any("id=9" in l and "code=bad_request" in l for l in lines), \
+    f"trace dump without --trace-dir must answer bad_request: {lines}"
 
 # Binary v3 over the unix socket: same request must hit the cache.
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)

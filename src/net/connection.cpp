@@ -18,6 +18,35 @@
 
 namespace treesched::net {
 
+namespace {
+
+/// Resolves a client-supplied `trace dump=` path against the configured
+/// trace directory. The client names a file the SERVER will write, so
+/// the path may only be a plain relative name inside trace_dir:
+/// absolute paths, "." / ".." components, and empty components are all
+/// rejected — otherwise any network client could create or truncate any
+/// file the server user can write.
+bool resolve_trace_path(const std::string& trace_dir, std::string_view path,
+                        std::string& resolved) {
+  if (path.empty() || path.front() == '/') return false;
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view component = rest.substr(0, slash);
+    if (component.empty() || component == "." || component == "..") {
+      return false;
+    }
+    rest = slash == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(slash + 1);
+  }
+  resolved = trace_dir;
+  if (!resolved.empty() && resolved.back() != '/') resolved += '/';
+  resolved.append(path);
+  return true;
+}
+
+}  // namespace
+
 Connection::Connection(Server& server, int fd, std::uint64_t id)
     : server_(server),
       fd_(fd),
@@ -477,18 +506,39 @@ void Connection::handle_trace(const RequestView& req) {
   } else if (req.trace_action == "stop") {
     tracer.disable();
   } else if (req.trace_action == "dump") {
-    std::ofstream out{std::string(req.trace_path)};
+    // Dumps write a server-side file, so they are off unless the
+    // operator opted in with a trace directory, and the client's path
+    // is confined to it (see resolve_trace_path).
+    const std::string& trace_dir = server_.config().trace_dir;
+    if (trace_dir.empty()) {
+      emit_error(req.id, ErrorCode::kBadRequest,
+                 "trace dump is disabled on this server "
+                 "(start it with --trace-dir to allow dumps)");
+      return;
+    }
+    std::string resolved;
+    if (!resolve_trace_path(trace_dir, req.trace_path, resolved)) {
+      emit_error(req.id, ErrorCode::kBadRequest,
+                 "trace dump path must be a relative name inside the "
+                 "server's trace directory (no absolute paths, no \"..\")");
+      return;
+    }
+    // The write runs synchronously on the I/O thread and stalls every
+    // connection (and the metrics endpoint) for its duration. Accepted
+    // deliberately: the dump is bounded (4096 spans per thread ring),
+    // and it only happens when the operator configured a trace
+    // directory and asked for a dump — a diagnostic moment, not a
+    // serving-path operation.
+    std::ofstream out{resolved};
     if (!out) {
       emit_error(req.id, ErrorCode::kBadRequest,
-                 "cannot open trace path \"" + std::string(req.trace_path) +
-                     "\" for writing");
+                 "cannot open trace path \"" + resolved + "\" for writing");
       return;
     }
     written = tracer.write_chrome_trace(out);
     if (!out) {
       emit_error(req.id, ErrorCode::kBadRequest,
-                 "short write dumping trace to \"" +
-                     std::string(req.trace_path) + "\"");
+                 "short write dumping trace to \"" + resolved + "\"");
       return;
     }
     dumped = true;

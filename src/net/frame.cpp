@@ -354,6 +354,14 @@ bool decode_response_frame(const Frame& frame, ResponseLine& out,
         }
         out.id = id;
       }
+      // Exactly the strictness the server's decode_control_id applies
+      // to the request direction: an untagged pong has an empty
+      // payload, a tagged one exactly its id — both sides must agree
+      // on what a valid frame is.
+      if (cur.remaining() != 0) {
+        error = "pong frame carries trailing bytes";
+        return false;
+      }
       return true;
     }
     case Opcode::kStatsReply:
@@ -385,6 +393,10 @@ bool decode_response_frame(const Frame& frame, ResponseLine& out,
           return false;
         }
         out.stats.emplace_back(std::string(key), value);
+      }
+      if (cur.remaining() != 0) {
+        error = "stats frame carries trailing bytes after its entries";
+        return false;
       }
       return true;
     }
@@ -419,6 +431,10 @@ bool decode_response_frame(const Frame& frame, ResponseLine& out,
     if (priority >= kPriorityClasses) {
       error = "ok response frame carries unknown priority " +
               std::to_string(priority);
+      return false;
+    }
+    if (cur.remaining() != 0) {
+      error = "ok response frame carries trailing bytes";
       return false;
     }
     if (frame.flags & kFlagHasId) out.id = id;

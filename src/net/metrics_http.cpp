@@ -71,20 +71,21 @@ void MetricsHttp::conn_events(std::uint64_t id, std::uint32_t events) {
     close_conn(id);
     return;
   }
-  if (events & EPOLLIN) {
+  if ((events & EPOLLIN) && !conn.responded) {
     char buf[4096];
+    bool eof = false;
     while (true) {
+      // Hard cap regardless of head completeness: past kMaxHead there
+      // is enough buffered to judge the request (or 400 it), so a
+      // client streaming a body can never grow rbuf without bound.
+      if (conn.rbuf.size() > kMaxHead) break;
       const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
       if (n > 0) {
         conn.rbuf.append(buf, static_cast<std::size_t>(n));
         continue;
       }
       if (n == 0) {
-        // EOF before a complete head: nothing to answer.
-        if (!conn.responded) {
-          close_conn(id);
-          return;
-        }
+        eof = true;
         break;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -92,7 +93,12 @@ void MetricsHttp::conn_events(std::uint64_t id, std::uint32_t events) {
       close_conn(id);
       return;
     }
-    if (!conn.responded) respond(conn);
+    respond(conn);
+    if (!conn.responded && eof) {
+      // EOF before a complete head: nothing to answer.
+      close_conn(id);
+      return;
+    }
   }
   send_buffered(id, conn);
 }
@@ -168,8 +174,11 @@ void MetricsHttp::send_buffered(std::uint64_t id, Conn& conn) {
     close_conn(id);
     return;
   }
-  const std::uint32_t want =
-      conn.whead < conn.wbuf.size() ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+  // Once the response is queued the request is over: reading stops (a
+  // client streaming a body can fill its socket buffer, never ours) and
+  // only the flush keeps the connection registered.
+  std::uint32_t want = conn.responded ? 0u : static_cast<std::uint32_t>(EPOLLIN);
+  if (conn.whead < conn.wbuf.size()) want |= EPOLLOUT;
   if (want != conn.interest) {
     loop_.modify(conn.fd, want);
     conn.interest = want;

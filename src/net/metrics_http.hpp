@@ -29,8 +29,10 @@ namespace treesched::net {
 
 class MetricsHttp {
  public:
-  /// Longest accepted request head; a client that sends more without
-  /// finishing its headers is answered 400 and closed.
+  /// Buffered-request-bytes cap, enforced unconditionally: a client
+  /// that sends more without finishing its headers is answered 400, and
+  /// reading stops the moment a response is queued — body bytes past
+  /// the head are never buffered.
   static constexpr std::size_t kMaxHead = 8192;
 
   /// Binds immediately (throws std::system_error on failure, so a bad

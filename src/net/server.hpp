@@ -87,6 +87,12 @@ struct ServerConfig {
   /// accept-to-flush time exceeds it logs its full stage breakdown to
   /// stderr. 0 = disabled.
   double slow_ms = 0.0;
+  /// Directory `trace dump=<file>` may write into. Empty (the default)
+  /// disables dumps entirely: the verb names a server-side file, and an
+  /// unauthenticated network client must never choose where the server
+  /// writes. When set, dump paths are resolved inside this directory —
+  /// absolute paths and ".." components are rejected.
+  std::string trace_dir;
 };
 
 /// Monotonic server counters (I/O-thread state, reported by `stats`).

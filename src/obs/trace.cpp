@@ -40,7 +40,16 @@ Tracer::Ring& Tracer::ring_for_thread() {
 void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t dur_ns, std::uint64_t arg) noexcept {
   if (!enabled()) return;
-  Ring& ring = ring_for_thread();
+  Ring* registered;
+  try {
+    registered = &ring_for_thread();
+  } catch (...) {
+    // A thread's FIRST span registers its ring, which allocates; under
+    // memory pressure the span is dropped rather than letting bad_alloc
+    // escape this noexcept call and terminate the process.
+    return;
+  }
+  Ring& ring = *registered;
   const std::uint64_t idx = ring.next.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = ring.slots[idx % kRingSpans];
   // Seqlock write: odd sequence marks the slot in flight; the release

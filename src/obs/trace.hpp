@@ -51,7 +51,9 @@ class Tracer {
   }
 
   /// No-op unless enabled. `name` must outlive the tracer (literal or
-  /// intern_name result).
+  /// intern_name result). A thread's first span registers its ring
+  /// (takes a lock and allocates); on allocation failure that span is
+  /// dropped — record never throws.
   void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
               std::uint64_t arg = 0) noexcept;
 

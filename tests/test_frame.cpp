@@ -337,6 +337,65 @@ TEST(FrameCodec, ErrorAndControlResponsesRoundTrip) {
   EXPECT_EQ(decoded.stats[1].second, 12u);
 }
 
+/// The client-side decoder must be exactly as strict about frame shape
+/// as the server's decode_control_id/decode_batch: trailing payload
+/// bytes are a protocol violation in BOTH directions, or the two sides
+/// disagree on what a valid frame is.
+TEST(FrameCodec, ResponseFramesWithTrailingBytesAreRejected) {
+  ResponseLine decoded;
+  std::string error;
+
+  // An untagged pong carries an empty payload — nothing else.
+  Frame pong;
+  pong.opcode = Opcode::kPong;
+  pong.flags = 0;
+  pong.payload = "junk";
+  EXPECT_FALSE(decode_response_frame(pong, decoded, error));
+
+  // A tagged pong carries exactly its 8-byte id.
+  const std::string tagged_payload = std::string(8, '\0') + "x";
+  pong.flags = kFlagHasId;
+  pong.payload = tagged_payload;
+  EXPECT_FALSE(decode_response_frame(pong, decoded, error));
+
+  // A stats reply carries exactly its declared entries; pad a valid one
+  // and the decode must flip to rejection.
+  ResponseLine stats;
+  stats.kind = ResponseLine::Kind::kStats;
+  stats.ok = true;
+  stats.stats = {{"conns", 3}};
+  std::string wire;
+  FrameWriter(wire).response(stats);
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  ASSERT_TRUE(decode_response_frame(frame, decoded, error)) << error;
+  const std::string padded = std::string(frame.payload) + '\0';
+  Frame bad = frame;
+  bad.payload = padded;
+  EXPECT_FALSE(decode_response_frame(bad, decoded, error));
+
+  // Same for an ok schedule response.
+  ResponseLine ok;
+  ok.kind = ResponseLine::Kind::kSchedule;
+  ok.ok = true;
+  ok.id = 1;
+  ok.algo = "Liu";
+  ok.n = 10;
+  ok.p = 2;
+  std::string ok_wire;
+  FrameWriter(ok_wire).response(ok);
+  FrameReader ok_reader;
+  ok_reader.feed(ok_wire.data(), ok_wire.size());
+  ASSERT_EQ(ok_reader.next(frame), FrameReader::Status::kFrame);
+  ASSERT_TRUE(decode_response_frame(frame, decoded, error)) << error;
+  const std::string ok_padded = std::string(frame.payload) + "x";
+  bad = frame;
+  bad.payload = ok_padded;
+  EXPECT_FALSE(decode_response_frame(bad, decoded, error));
+}
+
 TEST(FrameCodec, TraceReplyRoundTripsUnderItsOwnOpcode) {
   ResponseLine trace;
   trace.kind = ResponseLine::Kind::kTrace;

@@ -13,6 +13,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -208,6 +210,51 @@ TEST(ScheduleServer, PingAndStatsAnswerImmediately) {
   ASSERT_TRUE(saw_admitted);
   EXPECT_EQ(conns, 1u);
   EXPECT_GE(admitted, 1u);
+}
+
+TEST(ScheduleServer, TraceDumpIsRefusedWithoutATraceDir) {
+  // A dump names a file the SERVER writes; with no --trace-dir
+  // configured (the default) any network client asking for one must get
+  // a typed refusal, never a file.
+  ServerHarness harness;
+  Client client = connect(harness);
+  const ResponseLine err = client.request("trace dump=t.json id=1");
+  ASSERT_FALSE(err.ok);
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(err.id, 1u);
+  // The connection survives, and the no-file trace verbs still answer.
+  const ResponseLine status = client.request("trace status id=2");
+  EXPECT_EQ(status.kind, ResponseLine::Kind::kTrace);
+  EXPECT_TRUE(status.ok);
+  EXPECT_EQ(status.id, 2u);
+}
+
+TEST(ScheduleServer, TraceDumpIsConfinedToTheConfiguredDir) {
+  std::string dir = ::testing::TempDir();
+  if (dir.empty() || dir.back() != '/') dir += '/';
+  ServerConfig config;
+  config.trace_dir = dir;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  // Every way out of the directory is a typed error, never a write.
+  for (const char* line : {"trace dump=/etc/evil id=1",
+                           "trace dump=../evil.json id=2",
+                           "trace dump=a/../evil.json id=3",
+                           "trace dump=./evil.json id=4"}) {
+    const ResponseLine err = client.request(line);
+    ASSERT_FALSE(err.ok) << line;
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest) << line;
+  }
+  // A plain relative name lands inside the configured directory.
+  const std::string path = dir + "net_trace_dump.json";
+  std::remove(path.c_str());
+  const ResponseLine ok = client.request("trace dump=net_trace_dump.json id=5");
+  EXPECT_EQ(ok.kind, ResponseLine::Kind::kTrace);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.id, 5u);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "dump did not land in the trace dir: " << path;
+  std::remove(path.c_str());
 }
 
 TEST(ScheduleServer, OversizedLineAnswersBadRequestAndTheConnectionSurvives) {
