@@ -25,6 +25,14 @@
 // --trace-dir DIR allows the `trace dump=<file>` verb to write Chrome
 // trace JSON into DIR (relative names only); without it dumps are
 // refused — a network client must not name server-side files.
+// --tree-dir DIR allows `file:` tree specs to read trees from DIR
+// (relative names only); without it file: specs are refused — a network
+// client must not choose what the server opens. --max-spec-nodes N
+// bounds generator specs (random:/synthetic:/grid:) before allocation
+// (default 2000000; 0 = unlimited, trusted networks only).
+// --cache-backend mutex|lockfree selects the result-cache index
+// (sharded-mutex LRU vs concurrent CLOCK map); --queue-backend
+// mutex|lockfree selects the admission queue's fast path.
 // SIGTERM/SIGINT drain gracefully: the listener closes, every accepted
 // request is answered or cancelled, buffers flush, then the process
 // exits 0 — kill -TERM is the production stop.
@@ -57,9 +65,16 @@ int main(int argc, char** argv) {
     server_config.metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
     server_config.slow_ms = args.get_double("slow-ms", 0.0);
     server_config.trace_dir = args.get("trace-dir", "");
+    server_config.tree_dir = args.get("tree-dir", "");
+    server_config.max_spec_nodes =
+        static_cast<std::uint64_t>(args.get_int("max-spec-nodes", 2'000'000));
     ServiceConfig service_config;
     service_config.cache_bytes =
         static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;
+    service_config.cache_backend =
+        parse_cache_backend(args.get("cache-backend", "mutex"));
+    service_config.queue.backend =
+        parse_queue_backend(args.get("queue-backend", "mutex"));
     service_config.validate = args.get_bool("validate", false);
     service_config.store.max_bytes =
         static_cast<std::size_t>(args.get_int("store-mb", 0)) << 20;

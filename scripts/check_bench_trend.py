@@ -12,6 +12,7 @@ Usage:
         [--baseline bench/baseline.json]
         [--service-threshold 0.30]
         [--min-v3-ratio 3.0]
+        [--min-cache-scale-ratio 1.0]
 
 Two independent comparisons, each optional, both against COMMITTED
 baselines — no artifact chaining anywhere, so sub-threshold drift
@@ -28,13 +29,16 @@ numbers.
     differ from the reference box.
 
   * --service-current names this run's bench_service JSON (schema
-    treesched-bench-service-v5). Its loopback-server requests/sec are
+    treesched-bench-service-v6). Its loopback-server requests/sec are
     gated against the committed --baseline. Absolute rps keys gate at
     --service-threshold (loose: they cross the kernel loopback stack
     and a real scheduler pool). Hardware-relative ratios gate
     regardless of the machine: the v3-batch-16-over-text-v2 ratio
-    must stay >= --min-v3-ratio (the protocol-v3 acceptance bar), and
-    the cached/uncached speedup gates like an rps key.
+    must stay >= --min-v3-ratio (the protocol-v3 acceptance bar), the
+    lock-free-over-mutex cache-hit throughput at 16 threads must stay
+    >= --min-cache-scale-ratio (both backends measured in the SAME
+    run, so the ratio is hardware-independent), and the
+    cached/uncached speedup gates like an rps key.
 
 Updating the baselines
 ----------------------
@@ -185,6 +189,11 @@ def main():
                         help="required server_v3_over_v2_batch16 in the "
                              "current run — hardware-relative, so it gates "
                              "on any machine (default 3.0; 0 disables)")
+    parser.add_argument("--min-cache-scale-ratio", type=float, default=1.0,
+                        help="required cache_scale_ratio_t16 (lock-free over "
+                             "mutex cache hit throughput at 16 threads) in "
+                             "the current run — within-run, so it gates on "
+                             "any machine (default 1.0; 0 disables)")
     args = parser.parse_args()
 
     regressions = []
@@ -226,6 +235,19 @@ def main():
                 regressions.append(
                     ("server_v3_over_v2_batch16",
                      ratio / args.min_v3_ratio - 1.0))
+            compared += 1
+        scale = doc.get("cache_scale_ratio_t16")
+        if args.min_cache_scale_ratio > 0 \
+                and isinstance(scale, (int, float)) and scale > 0:
+            ok = scale >= args.min_cache_scale_ratio
+            print(f"lock-free over mutex cache hits at 16 threads: "
+                  f"{scale:.2f}x "
+                  f"(required >= {args.min_cache_scale_ratio:.2f}x)"
+                  f"{'' if ok else '  << REGRESSION'}")
+            if not ok:
+                regressions.append(
+                    ("cache_scale_ratio_t16",
+                     scale / args.min_cache_scale_ratio - 1.0))
             compared += 1
 
     if regressions:

@@ -327,6 +327,38 @@ try:
 except Exception as e:  # noqa: BLE001
     errors.append(f"trace probe: {e}")
 
+# Hostile tree specs over a live socket: this instance runs WITHOUT
+# --tree-dir, so file: specs are refused outright; generator counts
+# beyond --max-spec-nodes (default 2M) and negative counts each get one
+# typed bad_request, no tree is allocated, no filesystem contents leak
+# into the error text, and the connection keeps answering.
+try:
+    s = connect()
+    s.sendall(b"file:/etc/passwd Liu 1 id=30\n"
+              b"random:2000000000:1 Liu 1 id=31\n"
+              b"random:-5:1 Liu 1 id=32\n"
+              b"random:100:3 Liu 1 id=33\n")
+    s.shutdown(socket.SHUT_WR)
+    replies = recv_lines(s)
+    s.close()
+    by_tag = {}
+    for r in replies:
+        for kv in r.split():
+            if kv.startswith("id="):
+                by_tag[int(kv[3:])] = r
+    for tag in (30, 31, 32):
+        if "code=bad_request" not in by_tag.get(tag, ""):
+            raise AssertionError(
+                f"hostile spec id={tag} was not refused: "
+                f"{by_tag.get(tag)!r}")
+    if "root:" in by_tag[30]:
+        raise AssertionError(f"error text leaked file contents: {by_tag[30]!r}")
+    if not by_tag.get(33, "").startswith("ok "):
+        raise AssertionError(
+            f"connection died after hostile specs: {by_tag.get(33)!r}")
+except Exception as e:  # noqa: BLE001
+    errors.append(f"hostile spec probe: {e}")
+
 # Second scrape after the load: check_prometheus.py asserts counters
 # only ever moved forward between the two.
 try:

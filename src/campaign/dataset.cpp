@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "spmatrix/amalgamation.hpp"
@@ -13,6 +14,7 @@
 #include "trees/generators.hpp"
 #include "trees/io.hpp"
 #include "util/cli.hpp"
+#include "util/confine.hpp"
 
 namespace treesched {
 
@@ -148,7 +150,41 @@ std::vector<DatasetEntry> build_dataset(const DatasetParams& params) {
 }
 
 
-Tree tree_from_spec(const std::string& spec) {
+namespace {
+
+/// Parses one numeric field of a tree spec as a non-negative decimal
+/// integer. Rejects negative values (no sign accepted at all) and turns
+/// std::out_of_range's useless what() into a message naming the field —
+/// the same contract request_line.cpp's parse_uint_field gives protocol
+/// fields. `max_value` 0 means "only the 64-bit range bounds it".
+std::uint64_t parse_spec_uint(const std::string& spec, const char* field,
+                              const std::string& value,
+                              std::uint64_t max_value) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("tree spec \"" + spec + "\": " + field +
+                                " must be a non-negative integer, got \"" +
+                                value + "\"");
+  }
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("tree spec \"" + spec + "\": " + field +
+                                " value \"" + value +
+                                "\" does not fit in 64 bits");
+  }
+  if (max_value != 0 && parsed > max_value) {
+    throw std::invalid_argument(
+        "tree spec \"" + spec + "\": " + field + " value " + value +
+        " exceeds this front-end's limit of " + std::to_string(max_value));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Tree tree_from_spec(const std::string& spec, const TreeSpecOptions& opts) {
   const auto colon = spec.find(':');
   if (colon == std::string::npos) {
     throw std::invalid_argument("tree spec \"" + spec +
@@ -162,19 +198,38 @@ Tree tree_from_spec(const std::string& spec) {
     if (c == ':') c = ',';
   }
   const std::vector<std::string> args = split_csv(rest);
+  // Generator node counts must fit NodeId and respect the caller's cap.
+  const std::uint64_t node_cap =
+      opts.max_nodes != 0
+          ? std::min<std::uint64_t>(opts.max_nodes,
+                                    std::numeric_limits<NodeId>::max())
+          : std::numeric_limits<NodeId>::max();
   if (kind == "file") {
     if (args.size() != 1) {
       throw std::invalid_argument("tree spec file:<path>");
     }
-    return read_tree_file(args[0]);
+    if (!opts.allow_file) {
+      throw std::invalid_argument(
+          "file: tree specs are disabled on this front-end (start the "
+          "server with --tree-dir DIR to allow them)");
+    }
+    std::string path = args[0];
+    if (!opts.file_dir.empty() &&
+        !confine_relative_path(opts.file_dir, args[0], path)) {
+      throw std::invalid_argument(
+          "file: tree spec path must be a plain relative name inside the "
+          "server's tree directory (no absolute paths, no \".\" or \"..\")");
+    }
+    return read_tree_file(path);
   }
   if (kind == "random") {
     if (args.size() != 2) {
       throw std::invalid_argument("tree spec random:<n>:<seed>");
     }
-    Rng rng(std::stoull(args[1]));
+    Rng rng(parse_spec_uint(spec, "seed", args[1], 0));
     RandomTreeParams params;
-    params.n = static_cast<NodeId>(std::stol(args[0]));
+    params.n = static_cast<NodeId>(parse_spec_uint(spec, "n", args[0],
+                                                   node_cap));
     params.max_output = 100;
     params.max_exec = 20;
     params.min_work = 1.0;
@@ -185,19 +240,33 @@ Tree tree_from_spec(const std::string& spec) {
     if (args.size() != 2) {
       throw std::invalid_argument("tree spec grid:<nx>:<z>");
     }
-    const int nx = std::stoi(args[0]);
-    return grid2d_assembly_tree(nx, nx, std::stol(args[1]));
+    // A grid spec allocates ~nx*nx matrix rows before amalgamation, so
+    // the node cap bounds nx*nx (and nx*nx must itself fit an int).
+    const auto grid_cap = static_cast<std::uint64_t>(std::floor(
+        std::sqrt(static_cast<double>(
+            std::min<std::uint64_t>(node_cap,
+                                    std::numeric_limits<int>::max())))));
+    const int nx =
+        static_cast<int>(parse_spec_uint(spec, "nx", args[0], grid_cap));
+    const auto z = static_cast<std::int64_t>(parse_spec_uint(
+        spec, "z", args[1], std::numeric_limits<std::int64_t>::max()));
+    return grid2d_assembly_tree(nx, nx, z);
   }
   if (kind == "synthetic") {
     if (args.size() != 2) {
       throw std::invalid_argument("tree spec synthetic:<n>:<seed>");
     }
-    Rng rng(std::stoull(args[1]));
-    return synthetic_assembly_tree(static_cast<NodeId>(std::stol(args[0])),
-                                   2.0, rng);
+    Rng rng(parse_spec_uint(spec, "seed", args[1], 0));
+    return synthetic_assembly_tree(
+        static_cast<NodeId>(parse_spec_uint(spec, "n", args[0], node_cap)),
+        2.0, rng);
   }
   throw std::invalid_argument("unknown tree spec kind \"" + kind +
                               "\" (file|random|grid|synthetic)");
+}
+
+Tree tree_from_spec(const std::string& spec) {
+  return tree_from_spec(spec, TreeSpecOptions{});
 }
 
 }  // namespace treesched

@@ -52,6 +52,25 @@ Tree random_md_assembly_tree(int n, double avg_degree, std::int64_t z,
 /// sqrt-of-subtree scaling.
 Tree synthetic_assembly_tree(NodeId n, double depth_bias, Rng& rng);
 
+/// Limits applied to a tree spec BEFORE any allocation or filesystem
+/// access happens. The defaults are fully permissive (trusted CLI
+/// callers); network front-ends tighten both knobs because the spec is
+/// raw client input — `random:2000000000:1` is otherwise a one-line
+/// memory bomb and `file:/etc/passwd` an arbitrary file probe.
+struct TreeSpecOptions {
+  /// Upper bound on the node count a generator spec may request
+  /// (`random:<n>`, `synthetic:<n>`, and `grid:<nx>` via nx*nx).
+  /// 0 = unlimited. Node counts must always fit NodeId (int32).
+  std::uint64_t max_nodes = 0;
+  /// false refuses `file:` specs outright (server started without
+  /// --tree-dir). When true and `file_dir` is non-empty, the path must
+  /// be a plain relative name confined inside `file_dir` (absolute
+  /// paths and "." / ".." components rejected). When true and
+  /// `file_dir` is empty the path is used as given (CLI trust).
+  bool allow_file = true;
+  std::string file_dir;
+};
+
 /// Resolves a protocol tree spec — the `<tree-spec>` token of a request
 /// line, shared by the stdin and TCP front-ends:
 ///   file:<path>             a treesched-tree v1 file
@@ -59,7 +78,12 @@ Tree synthetic_assembly_tree(NodeId n, double depth_bias, Rng& rng);
 ///   grid:<nx>:<z>           2D-grid assembly tree
 ///   synthetic:<n>:<seed>    assembly-like synthetic tree
 /// Throws std::invalid_argument naming the offending spec (file paths
-/// containing ':' are not supported — rename the file).
+/// containing ':' are not supported — rename the file). Numeric fields
+/// must be non-negative decimal integers; negative or overflowing
+/// values get a descriptive invalid_argument instead of wrapping.
 Tree tree_from_spec(const std::string& spec);
+
+/// As above, with limits enforced before anything is allocated or read.
+Tree tree_from_spec(const std::string& spec, const TreeSpecOptions& opts);
 
 }  // namespace treesched

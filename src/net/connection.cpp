@@ -15,6 +15,7 @@
 #include "obs/trace.hpp"
 #include "service/errors.hpp"
 #include "service/service.hpp"
+#include "util/confine.hpp"
 
 namespace treesched::net {
 
@@ -22,27 +23,13 @@ namespace {
 
 /// Resolves a client-supplied `trace dump=` path against the configured
 /// trace directory. The client names a file the SERVER will write, so
-/// the path may only be a plain relative name inside trace_dir:
-/// absolute paths, "." / ".." components, and empty components are all
-/// rejected — otherwise any network client could create or truncate any
-/// file the server user can write.
+/// the path may only be a plain relative name inside trace_dir —
+/// otherwise any network client could create or truncate any file the
+/// server user can write. Shared with the `file:` tree-spec confinement
+/// (Server::intern_spec) via util/confine.
 bool resolve_trace_path(const std::string& trace_dir, std::string_view path,
                         std::string& resolved) {
-  if (path.empty() || path.front() == '/') return false;
-  std::string_view rest = path;
-  while (!rest.empty()) {
-    const std::size_t slash = rest.find('/');
-    const std::string_view component = rest.substr(0, slash);
-    if (component.empty() || component == "." || component == "..") {
-      return false;
-    }
-    rest = slash == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(slash + 1);
-  }
-  resolved = trace_dir;
-  if (!resolved.empty() && resolved.back() != '/') resolved += '/';
-  resolved.append(path);
-  return true;
+  return confine_relative_path(trace_dir, path, resolved);
 }
 
 }  // namespace

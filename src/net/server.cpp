@@ -219,10 +219,18 @@ Result<TreeHandle, ServiceError> Server::intern_spec(std::string_view spec) {
   const auto it = spec_memo_.find(spec);
   if (it != spec_memo_.end()) return it->second;
   try {
+    // The spec is raw client input: bound generator sizes before any
+    // allocation and confine (or refuse) file: reads. The limits throw
+    // BEFORE read_tree_file or a generator runs, so the error text can
+    // never carry filesystem contents.
+    TreeSpecOptions limits;
+    limits.max_nodes = config_.max_spec_nodes;
+    limits.allow_file = !config_.tree_dir.empty();
+    limits.file_dir = config_.tree_dir;
     // try_intern keeps store rejection typed (kStoreFull); only spec
     // resolution itself (file IO, generator args) still throws.
     Result<TreeHandle, ServiceError> handle =
-        service_.try_intern(tree_from_spec(std::string(spec)));
+        service_.try_intern(tree_from_spec(std::string(spec), limits));
     if (handle.ok()) spec_memo_.emplace(std::string(spec), handle.value());
     return handle;
   } catch (const std::exception& e) {

@@ -93,6 +93,17 @@ struct ServerConfig {
   /// writes. When set, dump paths are resolved inside this directory —
   /// absolute paths and ".." components are rejected.
   std::string trace_dir;
+  /// Directory `file:` tree specs may read from. Empty (the default)
+  /// refuses file: specs entirely — the spec names a server-side file,
+  /// and an unauthenticated network client must never choose what the
+  /// server opens. When set, spec paths are resolved inside this
+  /// directory exactly like trace_dir confines trace dumps.
+  std::string tree_dir;
+  /// Upper bound on the node count a generator spec (random:/synthetic:/
+  /// grid:) may request; larger requests answer bad_request before any
+  /// allocation. 0 = unlimited (trusted networks only — a client could
+  /// request a multi-gigabyte tree in one line).
+  std::uint64_t max_spec_nodes = 2'000'000;
 };
 
 /// Monotonic server counters (I/O-thread state, reported by `stats`).

@@ -1,0 +1,452 @@
+#pragma once
+// Concurrent open-addressing index for the result cache: a fixed-capacity
+// power-of-two table of tagged slots probed linearly, with CAS slot
+// claiming, seqlock-validated key reads, refcount-safe value hand-out
+// through hazard-pointer-pinned shared_ptr copies, and approximate
+// CLOCK (second-chance) eviction in place of the mutex backend's LRU.
+//
+// Concurrency protocol (every shared word is a std::atomic — the
+// structure is data-race-free by construction, which is what lets the
+// TSan stress suite run it at full speed):
+//
+//  * state tags each slot kEmpty / kBusy / kReady / kTombstone. All
+//    mutation happens under slot OWNERSHIP: a writer CASes the state to
+//    kBusy first, so at most one mutator (inserter, overwriter, evictor,
+//    clear) touches a slot at a time. Readers never wait — a kBusy slot
+//    is simply skipped (a miss recomputes a bit-identical result, so
+//    false misses are benign; false HITS are what the protocol forbids).
+//  * version is a per-slot seqlock generation: every claim that changes
+//    the slot's identity bumps it to odd before mutating and back to
+//    even after. A reader samples version (even), compares the key
+//    fields, loads the value, then re-samples; any generation change in
+//    between voids the match. All loads use acquire ordering, which
+//    (paired with the acq_rel bump / release publish on the writer
+//    side) pins the sample window without fences.
+//  * value hand-out is hazard-pointer protected: each slot publishes an
+//    immutable heap CachedResultPtr through a plain atomic raw pointer
+//    (writers install a fresh allocation, never mutate a published
+//    one). A reader claims a hazard record, publishes the pointer it is
+//    about to copy (seq_cst), re-validates the slot still holds it, and
+//    only then bumps the refcount; retired values are freed in batches
+//    once no hazard record names them. Readers therefore never spin on
+//    a writer — libstdc++'s std::atomic<shared_ptr> guards every load
+//    with a NON-yielding spinlock, which collapses the hit path as soon
+//    as threads outnumber cores (a descheduled writer stalls every
+//    reader for a scheduling quantum).
+//  * Lookups terminate at the first kEmpty slot or after kMaxProbe
+//    slots; inserts reuse the first tombstone in that window. A put
+//    that finds no claimable slot is DROPPED after nudging the CLOCK
+//    hand — for a cache of deterministic results this only costs a
+//    recompute, never correctness. A lookup that cannot claim a hazard
+//    record (more than kHazardSlots concurrent readers) reports a miss,
+//    which is equally benign.
+//  * Algorithm names are interned once into an append-only array of
+//    atomic pointers so the hot paths compare a u32 id instead of a
+//    string, keeping every key field a plain scalar atomic.
+//
+// Two same-key entries can briefly coexist (two racing first-time puts
+// claim different slots); lookups return whichever they meet first and
+// eviction eventually collects the loser — results for one key are
+// bit-identical by construction, so this is invisible to callers.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/result_cache.hpp"
+
+namespace treesched {
+
+class ConcurrentResultMap {
+ public:
+  /// `byte_budget` 0 disables the map (every lookup misses, every put is
+  /// dropped), mirroring ResultCache's "uncached" mode.
+  explicit ConcurrentResultMap(std::size_t byte_budget)
+      : byte_budget_(byte_budget),
+        capacity_(capacity_for(byte_budget)),
+        mask_(capacity_ - 1),
+        slots_(new Slot[capacity_]) {}
+
+  ~ConcurrentResultMap() {
+    // Single-threaded by contract here: no reader can hold a hazard on
+    // a value once the owning ResultCache is being destroyed.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      delete slots_[i].value.load(std::memory_order_relaxed);
+    }
+    for (const CachedResultPtr* p : retired_) delete p;
+    for (auto& name : algo_names_) {
+      delete name.load(std::memory_order_relaxed);
+    }
+  }
+
+  ConcurrentResultMap(const ConcurrentResultMap&) = delete;
+  ConcurrentResultMap& operator=(const ConcurrentResultMap&) = delete;
+
+  /// Lookup counting a hit or a miss (the ResultCache::get contract).
+  /// A hit refreshes the slot's CLOCK reference bit — the approximate
+  /// analogue of the mutex backend's LRU splice.
+  [[nodiscard]] CachedResultPtr get(const ResultKey& key) {
+    CachedResultPtr found = lookup(key);
+    if (found) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return found;
+  }
+
+  /// Lookup counting only hits (the ResultCache::peek contract: the
+  /// prober's fallback path records the one authoritative miss).
+  [[nodiscard]] CachedResultPtr peek(const ResultKey& key) {
+    CachedResultPtr found = lookup(key);
+    if (found) hits_.fetch_add(1, std::memory_order_relaxed);
+    return found;
+  }
+
+  /// Insert or overwrite. Never throws and never blocks a reader; past
+  /// the byte budget (or table occupancy) the CLOCK hand evicts
+  /// unreferenced entries.
+  void put(const ResultKey& key, CachedResultPtr value) {
+    if (byte_budget_ == 0 || !value) return;
+    const std::size_t cost = value->bytes();
+    const std::uint32_t algo = intern_algo(key.algo);
+    if (algo == 0) return;  // interner full — drop, a miss just recomputes
+    const std::size_t h = ResultKeyHash{}(key);
+    for (int attempt = 0; attempt < kPutRetries; ++attempt) {
+      const TryPut outcome = try_put(h, key, algo, value, cost);
+      if (outcome == TryPut::kDone) {
+        maybe_evict();
+        return;
+      }
+      if (outcome == TryPut::kNoSlot) break;
+    }
+    // Contended or full probe window: drop the insert, but advance the
+    // CLOCK so a hot window frees up for the next put.
+    maybe_evict();
+  }
+
+  [[nodiscard]] CacheStats stats() const {
+    CacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.insertions = insertions_.load(std::memory_order_relaxed);
+    out.entries = entries_.load(std::memory_order_relaxed);
+    out.bytes = bytes_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  /// Drops every entry present at the start of the call; counters are
+  /// preserved. Entries inserted concurrently with clear() may survive.
+  void clear() {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      retire(slots_[i], /*count_as_eviction=*/false);
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  enum : std::uint32_t { kEmpty = 0, kBusy = 1, kReady = 2, kTombstone = 3 };
+  enum class TryPut { kDone, kRetry, kNoSlot };
+
+  static constexpr std::size_t kMaxProbe = 64;
+  static constexpr int kPutRetries = 8;
+  static constexpr std::size_t kMaxAlgos = 256;
+  static constexpr std::size_t kHazardSlots = 64;
+  static constexpr std::size_t kReclaimBatch = 128;
+
+  struct Slot {
+    std::atomic<std::uint32_t> state{kEmpty};
+    std::atomic<std::uint32_t> version{0};
+    std::atomic<std::uint64_t> tree_uid{0};
+    std::atomic<std::uint64_t> memory_cap{0};
+    std::atomic<std::uint32_t> algo_id{0};
+    std::atomic<std::int32_t> p{0};
+    std::atomic<bool> ref{false};
+    // Immutable heap CachedResultPtr, hazard-pointer protected. Writers
+    // install fresh allocations and retire the old one; they never
+    // mutate a published object, so readers may copy it concurrently.
+    std::atomic<const CachedResultPtr*> value{nullptr};
+  };
+
+  // One cache line per record: the owning thread re-claims the same
+  // record on every lookup, so claim + publish stay core-local.
+  struct alignas(64) HazardRecord {
+    std::atomic<std::size_t> owner{0};
+    std::atomic<const CachedResultPtr*> ptr{nullptr};
+  };
+
+  static std::size_t capacity_for(std::size_t byte_budget) {
+    if (byte_budget == 0) return 1;
+    // Cached schedules run a few KiB each; size the table so the slot
+    // array itself stays a small fraction of the budget while leaving
+    // headroom for CLOCK to breathe.
+    const std::size_t want = std::clamp<std::size_t>(
+        byte_budget / 2048, 1024, std::size_t{1} << 20);
+    return std::bit_ceil(want);
+  }
+
+  /// Seqlock-validated, hazard-protected probe shared by get and peek.
+  [[nodiscard]] CachedResultPtr lookup(const ResultKey& key) {
+    if (byte_budget_ == 0) return nullptr;
+    const std::uint32_t algo = find_algo(key.algo);
+    if (algo == 0) return nullptr;  // algo never inserted -> cannot be cached
+    HazardRecord* hp = acquire_hazard();
+    if (hp == nullptr) return nullptr;  // > kHazardSlots readers: benign miss
+    CachedResultPtr found;
+    const std::size_t h = ResultKeyHash{}(key);
+    for (std::size_t i = 0; i < kMaxProbe; ++i) {
+      Slot& s = slots_[(h + i) & mask_];
+      const std::uint32_t state = s.state.load(std::memory_order_acquire);
+      if (state == kEmpty) break;     // end of the probe chain
+      if (state != kReady) continue;  // kBusy / kTombstone
+      const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 & 1u) continue;  // a writer owns this slot right now
+      if (s.tree_uid.load(std::memory_order_acquire) != key.tree_uid ||
+          s.algo_id.load(std::memory_order_acquire) != algo ||
+          s.p.load(std::memory_order_acquire) != key.p ||
+          s.memory_cap.load(std::memory_order_acquire) != key.memory_cap) {
+        continue;
+      }
+      const CachedResultPtr* raw = s.value.load(std::memory_order_acquire);
+      if (raw == nullptr) continue;
+      // Publish the hazard, then re-validate that the slot still holds
+      // `raw` AND the same key generation: if both held at the recheck,
+      // any retirer's exchange is ordered after our publish, so its
+      // hazard scan must observe `raw` pinned and spare it.
+      hp->ptr.store(raw, std::memory_order_seq_cst);
+      if (s.value.load(std::memory_order_seq_cst) != raw ||
+          s.version.load(std::memory_order_acquire) != v1) {
+        hp->ptr.store(nullptr, std::memory_order_relaxed);
+        continue;  // generation changed under us — the match is void
+      }
+      found = *raw;  // refcount bump on a hazard-pinned, immutable object
+      s.ref.store(true, std::memory_order_relaxed);
+      break;
+    }
+    release_hazard(hp);
+    return found;
+  }
+
+  TryPut try_put(std::size_t h, const ResultKey& key, std::uint32_t algo,
+                 const CachedResultPtr& value, std::size_t cost) {
+    constexpr std::size_t kNone = ~std::size_t{0};
+    std::size_t claim = kNone;
+    for (std::size_t i = 0; i < kMaxProbe; ++i) {
+      const std::size_t idx = (h + i) & mask_;
+      Slot& s = slots_[idx];
+      const std::uint32_t state = s.state.load(std::memory_order_acquire);
+      if (state == kEmpty) {
+        if (claim == kNone) claim = idx;
+        break;  // nothing beyond the first empty can match
+      }
+      if (state == kTombstone) {
+        if (claim == kNone) claim = idx;
+        continue;
+      }
+      if (state != kReady) continue;  // kBusy
+      const std::uint32_t v1 = s.version.load(std::memory_order_acquire);
+      if (v1 & 1u) continue;
+      if (s.tree_uid.load(std::memory_order_acquire) != key.tree_uid ||
+          s.algo_id.load(std::memory_order_acquire) != algo ||
+          s.p.load(std::memory_order_acquire) != key.p ||
+          s.memory_cap.load(std::memory_order_acquire) != key.memory_cap) {
+        continue;
+      }
+      // Same key already cached: overwrite in place under ownership.
+      std::uint32_t expected = kReady;
+      if (!s.state.compare_exchange_strong(expected, kBusy,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        return TryPut::kRetry;  // another mutator got there first
+      }
+      if (s.version.load(std::memory_order_acquire) != v1) {
+        // Evicted and re-used between our compare and our claim; this
+        // slot no longer holds our key.
+        s.state.store(kReady, std::memory_order_release);
+        return TryPut::kRetry;
+      }
+      const CachedResultPtr* old =
+          s.value.exchange(new CachedResultPtr(value), std::memory_order_seq_cst);
+      s.ref.store(true, std::memory_order_relaxed);
+      s.state.store(kReady, std::memory_order_release);
+      bytes_.fetch_add(cost, std::memory_order_relaxed);
+      if (old != nullptr) {
+        bytes_.fetch_sub((*old)->bytes(), std::memory_order_relaxed);
+        retire_value(old);
+      }
+      return TryPut::kDone;
+    }
+    if (claim == kNone) return TryPut::kNoSlot;
+    Slot& s = slots_[claim];
+    std::uint32_t expected = kEmpty;
+    if (!s.state.compare_exchange_strong(expected, kBusy,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      expected = kTombstone;
+      if (!s.state.compare_exchange_strong(expected, kBusy,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        return TryPut::kRetry;
+      }
+    }
+    s.version.fetch_add(1, std::memory_order_acq_rel);  // odd: new identity
+    s.tree_uid.store(key.tree_uid, std::memory_order_relaxed);
+    s.algo_id.store(algo, std::memory_order_relaxed);
+    s.p.store(key.p, std::memory_order_relaxed);
+    s.memory_cap.store(key.memory_cap, std::memory_order_relaxed);
+    s.value.store(new CachedResultPtr(value), std::memory_order_release);
+    s.ref.store(true, std::memory_order_relaxed);
+    s.version.fetch_add(1, std::memory_order_release);  // even: key stable
+    s.state.store(kReady, std::memory_order_release);
+    bytes_.fetch_add(cost, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return TryPut::kDone;
+  }
+
+  /// Takes ownership of a kReady slot and empties it. Returns false if
+  /// the slot was not claimable (not kReady, or lost the CAS).
+  bool retire(Slot& s, bool count_as_eviction) {
+    std::uint32_t expected = kReady;
+    if (!s.state.compare_exchange_strong(expected, kBusy,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return false;
+    }
+    s.version.fetch_add(1, std::memory_order_acq_rel);
+    const CachedResultPtr* old =
+        s.value.exchange(nullptr, std::memory_order_seq_cst);
+    s.version.fetch_add(1, std::memory_order_release);
+    s.state.store(kTombstone, std::memory_order_release);
+    if (old != nullptr) {
+      bytes_.fetch_sub((*old)->bytes(), std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      if (count_as_eviction) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      retire_value(old);
+    }
+    return true;
+  }
+
+  /// Claims a hazard record for the calling thread, probing from a
+  /// per-thread home slot so repeat claims stay on a local cache line.
+  [[nodiscard]] HazardRecord* acquire_hazard() {
+    const std::size_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    for (std::size_t i = 0; i < kHazardSlots; ++i) {
+      HazardRecord& h = hazards_[(tid + i) % kHazardSlots];
+      std::size_t expected = 0;
+      if (h.owner.compare_exchange_strong(expected, tid,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        return &h;
+      }
+    }
+    return nullptr;
+  }
+
+  void release_hazard(HazardRecord* h) {
+    h->ptr.store(nullptr, std::memory_order_release);
+    h->owner.store(0, std::memory_order_release);
+  }
+
+  /// Queues a replaced/evicted value for deferred deletion; once a batch
+  /// accumulates, frees every queued value no hazard record still pins.
+  /// Writer-side only — the read path never touches this mutex.
+  void retire_value(const CachedResultPtr* p) {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    retired_.push_back(p);
+    if (retired_.size() < kReclaimBatch) return;
+    std::array<const CachedResultPtr*, kHazardSlots> pinned;
+    std::size_t n = 0;
+    for (auto& h : hazards_) {
+      const CachedResultPtr* q = h.ptr.load(std::memory_order_seq_cst);
+      if (q != nullptr) pinned[n++] = q;
+    }
+    auto keep = std::partition(
+        retired_.begin(), retired_.end(), [&](const CachedResultPtr* q) {
+          return std::find(pinned.begin(), pinned.begin() + n, q) !=
+                 pinned.begin() + n;
+        });
+    for (auto it = keep; it != retired_.end(); ++it) delete *it;
+    retired_.erase(keep, retired_.end());
+  }
+
+  /// CLOCK sweep: while over the byte budget (or close to table
+  /// occupancy limits), advance the hand; a set reference bit buys the
+  /// slot a second chance, a clear one evicts it. Bounded to two laps
+  /// per call so a put can never spin forever. Always retains at least
+  /// one entry, so one oversized result still caches.
+  void maybe_evict() {
+    const std::size_t occupancy_limit = capacity_ - capacity_ / 8;
+    std::size_t sweep = 2 * capacity_;
+    while (sweep-- != 0 &&
+           entries_.load(std::memory_order_relaxed) > 1 &&
+           (bytes_.load(std::memory_order_relaxed) > byte_budget_ ||
+            entries_.load(std::memory_order_relaxed) > occupancy_limit)) {
+      Slot& s = slots_[hand_.fetch_add(1, std::memory_order_relaxed) & mask_];
+      if (s.state.load(std::memory_order_acquire) != kReady) continue;
+      if (s.ref.exchange(false, std::memory_order_relaxed)) continue;
+      (void)retire(s, /*count_as_eviction=*/true);
+    }
+  }
+
+  /// Returns the 1-based id of `name` if it was ever interned, else 0.
+  [[nodiscard]] std::uint32_t find_algo(const std::string& name) const {
+    for (std::size_t i = 0; i < kMaxAlgos; ++i) {
+      const std::string* s = algo_names_[i].load(std::memory_order_acquire);
+      if (s == nullptr) return 0;
+      if (*s == name) return static_cast<std::uint32_t>(i + 1);
+    }
+    return 0;
+  }
+
+  /// Interns `name`, returning its 1-based id; 0 when the (generously
+  /// sized — the roster has ~10 algorithms) interner is full.
+  std::uint32_t intern_algo(const std::string& name) {
+    for (std::size_t i = 0; i < kMaxAlgos; ++i) {
+      const std::string* s = algo_names_[i].load(std::memory_order_acquire);
+      if (s == nullptr) {
+        auto* fresh = new std::string(name);
+        if (algo_names_[i].compare_exchange_strong(
+                s, fresh, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          return static_cast<std::uint32_t>(i + 1);
+        }
+        delete fresh;  // lost the race; `s` now holds the winner
+      }
+      if (*s == name) return static_cast<std::uint32_t>(i + 1);
+    }
+    return 0;
+  }
+
+  std::size_t byte_budget_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::array<HazardRecord, kHazardSlots> hazards_{};
+  std::mutex retire_mutex_;
+  std::vector<const CachedResultPtr*> retired_;
+  std::array<std::atomic<const std::string*>, kMaxAlgos> algo_names_{};
+  std::atomic<std::size_t> hand_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+};
+
+}  // namespace treesched

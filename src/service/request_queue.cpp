@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -9,17 +10,47 @@
 
 namespace treesched {
 
+QueueBackend parse_queue_backend(const std::string& name) {
+  if (name == "mutex") return QueueBackend::kMutex;
+  if (name == "lockfree") return QueueBackend::kLockFree;
+  throw std::invalid_argument("unknown queue backend \"" + name +
+                              "\" (mutex|lockfree)");
+}
+
+const char* to_string(QueueBackend backend) {
+  return backend == QueueBackend::kLockFree ? "lockfree" : "mutex";
+}
+
 RequestQueue::RequestQueue(RequestQueueConfig config) : config_(config) {}
+
+RequestQueue::~RequestQueue() {
+  for (FastLane& lane : lanes_) {
+    while (std::optional<Stored*> parked = lane.ring.try_pop()) {
+      delete *parked;
+    }
+  }
+}
+
+bool RequestQueue::reserve_pending() {
+  if (config_.max_pending == 0) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (pending_.fetch_add(1, std::memory_order_relaxed) >=
+      config_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
 
 std::optional<std::uint64_t> RequestQueue::push(
     ScheduleRequest req, std::shared_ptr<detail::TicketState> ticket) {
   const Clock::time_point now = Clock::now();
   const Priority cls = req.priority;
-  std::unique_lock<std::mutex> lock(mutex_);
-  ++counters(cls).admitted;
-  if (config_.max_pending != 0 && pending_ >= config_.max_pending) {
-    ++counters(cls).rejected;
-    lock.unlock();
+  counters(cls).admitted.fetch_add(1, std::memory_order_relaxed);
+  if (!reserve_pending()) {
+    counters(cls).rejected.fetch_add(1, std::memory_order_relaxed);
     detail::complete_ticket(
         ticket,
         ServiceError{ErrorCode::kQueueFull,
@@ -28,6 +59,8 @@ std::optional<std::uint64_t> RequestQueue::push(
                      nullptr});
     return std::nullopt;
   }
+  pending_by_class_[static_cast<std::size_t>(cls)].fetch_add(
+      1, std::memory_order_relaxed);
 
   Stored stored;
   stored.entry.request = std::move(req);
@@ -44,16 +77,44 @@ std::optional<std::uint64_t> RequestQueue::push(
                   std::chrono::duration<double, std::milli>(deadline_ms));
   }
   stored.last_aged = now;
+  stored.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = stored.seq;
 
-  const std::uint64_t seq = next_seq_++;
+  if (config_.backend == QueueBackend::kLockFree &&
+      stored.entry.deadline == Clock::time_point::max()) {
+    // Fast lane: deadline-less entries have no EDF position (they sort
+    // after every deadline-tagged entry, FIFO among themselves), so the
+    // MPMC ring preserves the mutex backend's pop order by itself.
+    // Stamp `oldest` BEFORE pushing so the aging check can never miss a
+    // parked entry.
+    FastLane& lane = lanes_[static_cast<std::size_t>(cls)];
+    const std::int64_t tick = now.time_since_epoch().count();
+    std::int64_t cur = lane.oldest.load(std::memory_order_relaxed);
+    while (tick < cur &&
+           !lane.oldest.compare_exchange_weak(cur, tick,
+                                              std::memory_order_relaxed)) {
+    }
+    auto* parked = new Stored(std::move(stored));
+    if (lane.ring.try_push(parked)) return seq;
+    // Ring full: fall back to the mutex buckets (the entry keeps its
+    // seq, so the locked pop still merges it in FIFO position).
+    stored = std::move(*parked);
+    delete parked;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(static_cast<int>(cls), seq, std::move(stored));
+  return seq;
+}
+
+void RequestQueue::insert_locked(int cls, std::uint64_t seq, Stored stored) {
   const EdfKey key{stored.entry.deadline, seq};
-  Bucket& b = bucket(static_cast<int>(cls));
+  Bucket& b = bucket(cls);
   b.by_age.emplace(stored.last_aged, key);
   b.items.emplace(key, std::move(stored));
-  by_seq_.emplace(seq, std::make_pair(static_cast<int>(cls), key.deadline));
-  ++pending_;
-  ++pending_by_class_[static_cast<std::size_t>(cls)];
-  return seq;
+  by_seq_.emplace(seq, std::make_pair(cls, key.deadline));
+  bucket_count_[static_cast<std::size_t>(cls)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void RequestQueue::age_pending(Clock::time_point now) {
@@ -70,8 +131,13 @@ void RequestQueue::age_pending(Clock::time_point now) {
       Stored stored = std::move(it->second);
       from.items.erase(it);
       stored.last_aged = now;
-      ++counters(stored.entry.submitted).aged;
+      counters(stored.entry.submitted)
+          .aged.fetch_add(1, std::memory_order_relaxed);
       by_seq_[key.seq].first = cls - 1;
+      bucket_count_[static_cast<std::size_t>(cls)].fetch_sub(
+          1, std::memory_order_relaxed);
+      bucket_count_[static_cast<std::size_t>(cls - 1)].fetch_add(
+          1, std::memory_order_relaxed);
       Bucket& to = bucket(cls - 1);
       to.by_age.emplace(stored.last_aged, key);
       to.items.emplace(key, std::move(stored));
@@ -94,8 +160,11 @@ RequestQueue::Stored RequestQueue::remove_stored(int cls, const EdfKey& key) {
   }
   b.items.erase(it);
   by_seq_.erase(key.seq);
-  --pending_;
-  --pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)];
+  bucket_count_[static_cast<std::size_t>(cls)].fetch_sub(
+      1, std::memory_order_relaxed);
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)]
+      .fetch_sub(1, std::memory_order_relaxed);
   return stored;
 }
 
@@ -103,20 +172,87 @@ void RequestQueue::record_wait(Priority cls, Clock::time_point admitted,
                                Clock::time_point now) {
   const double ms =
       std::chrono::duration<double, std::milli>(now - admitted).count();
-  auto& samples = wait_samples_[static_cast<std::size_t>(cls)];
-  auto& next = wait_next_[static_cast<std::size_t>(cls)];
-  if (samples.size() < kWaitSampleCap) {
-    samples.push_back(ms);
-  } else {
-    samples[next] = ms;
-    next = (next + 1) % kWaitSampleCap;
+  WaitRing& ring = wait_rings_[static_cast<std::size_t>(cls)];
+  const std::size_t slot =
+      ring.count.fetch_add(1, std::memory_order_relaxed) % kWaitSampleCap;
+  ring.samples[slot].store(ms, std::memory_order_relaxed);
+}
+
+bool RequestQueue::lane_aging_due(Clock::time_point now) const {
+  if (config_.age_after.count() <= 0) return false;
+  // Class 0 entries never promote, so only the lower lanes matter.
+  for (int cls = 1; cls < kPriorityClasses; ++cls) {
+    const std::int64_t oldest =
+        lanes_[static_cast<std::size_t>(cls)].oldest.load(
+            std::memory_order_relaxed);
+    if (oldest == kLaneIdle) continue;
+    const Clock::time_point stamp{Clock::duration{oldest}};
+    if (stamp + config_.age_after <= now) return true;
+  }
+  return false;
+}
+
+void RequestQueue::drain_lanes_locked() {
+  for (int cls = 0; cls < kPriorityClasses; ++cls) {
+    FastLane& lane = lanes_[static_cast<std::size_t>(cls)];
+    bool drained_any = false;
+    while (std::optional<Stored*> parked = lane.ring.try_pop()) {
+      Stored stored = std::move(**parked);
+      delete *parked;
+      // Drained entries keep last_aged = admission time, so the ring
+      // wait counts toward their aging credit exactly as if they had
+      // been in the buckets all along.
+      const std::uint64_t seq = stored.seq;
+      insert_locked(cls, seq, std::move(stored));
+      drained_any = true;
+    }
+    if (drained_any || lane.oldest.load(std::memory_order_relaxed) !=
+                           kLaneIdle) {
+      // Conservative re-stamp: `now` rather than idle, so a push racing
+      // this drain can never leave a parked entry unwatched. Costs at
+      // most one false drain per aging interval on an idle lane.
+      lane.oldest.store(Clock::now().time_since_epoch().count(),
+                        std::memory_order_relaxed);
+    }
   }
 }
 
 RequestQueue::PopResult RequestQueue::pop() {
-  PopResult result;
   const Clock::time_point now = Clock::now();
+  if (config_.backend == QueueBackend::kLockFree && !lane_aging_due(now)) {
+    // Pure fast path: class preemption by scan order; a nonzero bucket
+    // forces the locked path because bucket entries (deadline-tagged,
+    // overflowed, or previously drained) must merge ahead of or among
+    // the lane's FIFO by EDF-then-seq order.
+    PopResult result;
+    for (int cls = 0; cls < kPriorityClasses; ++cls) {
+      if (bucket_count_[static_cast<std::size_t>(cls)].load(
+              std::memory_order_acquire) != 0) {
+        return pop_locked(now);
+      }
+      FastLane& lane = lanes_[static_cast<std::size_t>(cls)];
+      if (std::optional<Stored*> parked = lane.ring.try_pop()) {
+        Stored stored = std::move(**parked);
+        delete *parked;
+        record_wait(stored.entry.submitted, stored.entry.admitted, now);
+        counters(stored.entry.submitted)
+            .completed.fetch_add(1, std::memory_order_relaxed);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        pending_by_class_[static_cast<std::size_t>(stored.entry.submitted)]
+            .fetch_sub(1, std::memory_order_relaxed);
+        result.entry = std::move(stored.entry);
+        return result;
+      }
+    }
+    return result;
+  }
+  return pop_locked(now);
+}
+
+RequestQueue::PopResult RequestQueue::pop_locked(Clock::time_point now) {
+  PopResult result;
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.backend == QueueBackend::kLockFree) drain_lanes_locked();
   age_pending(now);
   for (int cls = 0; cls < kPriorityClasses; ++cls) {
     Bucket& b = bucket(cls);
@@ -125,11 +261,13 @@ RequestQueue::PopResult RequestQueue::pop() {
       Stored stored = remove_stored(cls, key);
       record_wait(stored.entry.submitted, stored.entry.admitted, now);
       if (stored.entry.deadline <= now) {
-        ++counters(stored.entry.submitted).expired;
+        counters(stored.entry.submitted)
+            .expired.fetch_add(1, std::memory_order_relaxed);
         result.expired.push_back(std::move(stored.entry));
         continue;  // expired entries are an EDF prefix; keep scanning
       }
-      ++counters(stored.entry.submitted).completed;
+      counters(stored.entry.submitted)
+          .completed.fetch_add(1, std::memory_order_relaxed);
       result.entry = std::move(stored.entry);
       return result;
     }
@@ -141,11 +279,17 @@ bool RequestQueue::cancel(std::uint64_t seq) {
   Entry entry;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Lane entries are invisible to by_seq_; pull them into the buckets
+    // first so the lookup below arbitrates ownership exactly once (the
+    // MPMC pop means a concurrently popping worker and this drain can
+    // never both obtain the same entry).
+    if (config_.backend == QueueBackend::kLockFree) drain_lanes_locked();
     const auto it = by_seq_.find(seq);
     if (it == by_seq_.end()) return false;  // popped, cancelled, or unknown
     const auto [cls, deadline] = it->second;
     Stored stored = remove_stored(cls, EdfKey{deadline, seq});
-    ++counters(stored.entry.submitted).cancelled;
+    counters(stored.entry.submitted)
+        .cancelled.fetch_add(1, std::memory_order_relaxed);
     entry = std::move(stored.entry);
   }
   // Settle outside the queue mutex: completion wakes ticket waiters and
@@ -169,15 +313,22 @@ QueueStats RequestQueue::stats() const {
   for (int cls = 0; cls < kPriorityClasses; ++cls) {
     const auto i = static_cast<std::size_t>(cls);
     ClassQueueStats& out = stats.by_class[i];
-    out.admitted = counters_[i].admitted;
-    out.rejected = counters_[i].rejected;
-    out.expired = counters_[i].expired;
-    out.completed = counters_[i].completed;
-    out.cancelled = counters_[i].cancelled;
-    out.aged = counters_[i].aged;
-    out.pending = pending_by_class_[i];
-    if (!wait_samples_[i].empty()) {
-      std::vector<double> sorted = wait_samples_[i];
+    out.admitted = counters_[i].admitted.load(std::memory_order_relaxed);
+    out.rejected = counters_[i].rejected.load(std::memory_order_relaxed);
+    out.expired = counters_[i].expired.load(std::memory_order_relaxed);
+    out.completed = counters_[i].completed.load(std::memory_order_relaxed);
+    out.cancelled = counters_[i].cancelled.load(std::memory_order_relaxed);
+    out.aged = counters_[i].aged.load(std::memory_order_relaxed);
+    out.pending = pending_by_class_[i].load(std::memory_order_relaxed);
+    const WaitRing& ring = wait_rings_[i];
+    const std::size_t n =
+        std::min(ring.count.load(std::memory_order_relaxed), kWaitSampleCap);
+    if (n != 0) {
+      std::vector<double> sorted;
+      sorted.reserve(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        sorted.push_back(ring.samples[s].load(std::memory_order_relaxed));
+      }
       std::sort(sorted.begin(), sorted.end());
       out.wait_ms_p50 = quantile_sorted(sorted, 0.50);
       out.wait_ms_p90 = quantile_sorted(sorted, 0.90);
@@ -188,8 +339,7 @@ QueueStats RequestQueue::stats() const {
 }
 
 std::size_t RequestQueue::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return pending_;
+  return pending_.load(std::memory_order_relaxed);
 }
 
 }  // namespace treesched

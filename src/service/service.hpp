@@ -84,6 +84,10 @@ struct ServiceConfig {
   /// Result-cache budget; 0 disables caching (every request recomputes).
   std::size_t cache_bytes = ResultCache::kDefaultByteBudget;
   unsigned cache_shards = 16;
+  /// Result-cache index implementation: kMutex (sharded exact LRU, the
+  /// default) or kLockFree (concurrent CLOCK map — see
+  /// service/concurrent_map.hpp). Results are bit-identical either way.
+  CacheBackend cache_backend = CacheBackend::kMutex;
   /// Parallelism bound for schedule_batch (0 = the shared thread pool's
   /// size via the admission queue; nonzero runs the batch exactly this
   /// wide).

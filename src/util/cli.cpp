@@ -42,14 +42,34 @@ std::int64_t CliArgs::get_int(const std::string& name,
   seen_[name] = true;
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stoll(it->second);
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(it->second, &used);
+    if (used != it->second.size()) {
+      throw std::invalid_argument("trailing garbage");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer value for --" + name + ": '" +
+                                it->second + "'");
+  }
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   seen_[name] = true;
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(it->second, &used);
+    if (used != it->second.size()) {
+      throw std::invalid_argument("trailing garbage");
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for --" + name + ": '" +
+                                it->second + "'");
+  }
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -1,0 +1,25 @@
+#include "util/confine.hpp"
+
+namespace treesched {
+
+bool confine_relative_path(const std::string& dir, std::string_view path,
+                           std::string& resolved) {
+  if (path.empty() || path.front() == '/') return false;
+  std::string_view rest = path;
+  while (!rest.empty()) {
+    const std::size_t slash = rest.find('/');
+    const std::string_view component = rest.substr(0, slash);
+    if (component.empty() || component == "." || component == "..") {
+      return false;
+    }
+    rest = slash == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(slash + 1);
+  }
+  std::string out = dir;
+  if (!out.empty() && out.back() != '/') out += '/';
+  out.append(path);
+  resolved = std::move(out);
+  return true;
+}
+
+}  // namespace treesched

@@ -1,0 +1,19 @@
+#pragma once
+// Path confinement for client-supplied file names. Network clients may
+// name files the server reads or writes (trace dumps, file: tree specs),
+// so those names must stay strictly inside an operator-chosen directory.
+
+#include <string>
+#include <string_view>
+
+namespace treesched {
+
+/// Resolves a client-supplied path against a confinement directory.
+/// The path may only be a plain relative name inside `dir`: absolute
+/// paths, "." / ".." components, and empty components ("a//b") are all
+/// rejected. On success writes `dir + "/" + path` to `resolved` and
+/// returns true; on rejection returns false and leaves `resolved` alone.
+bool confine_relative_path(const std::string& dir, std::string_view path,
+                           std::string& resolved);
+
+}  // namespace treesched

@@ -1,0 +1,97 @@
+#pragma once
+// Bounded lock-free MPMC ring (Vyukov's array queue): each cell carries a
+// sequence ticket; producers and consumers claim positions with one
+// fetch_add + CAS race and then synchronize on the cell ticket alone, so
+// neither side ever takes a lock and a stalled thread can only delay its
+// own cell, not the whole ring. Used by the admission queue's lock-free
+// fast lane (service/request_queue.hpp).
+//
+// try_push moves the value in and returns false when the ring is full;
+// try_pop returns nullopt when it is empty. Exactly-once hand-off: a
+// value pushed once is popped by exactly one consumer — which is what
+// lets RequestQueue keep its admitted == completed + ... balance exact
+// without the queue mutex.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace treesched {
+
+template <typename T>
+class MpmcRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit MpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].ticket.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t ticket = cell.ticket.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(ticket) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.ticket.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // pos reloaded by the failed CAS; retry there.
+      } else if (diff < 0) {
+        return false;  // the cell still holds an unconsumed value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<T> try_pop() {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t ticket = cell.ticket.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(ticket) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          std::optional<T> out(std::move(cell.value));
+          cell.ticket.store(pos + mask_ + 1, std::memory_order_release);
+          return out;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // the cell was never filled: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> ticket{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next push position
+  alignas(64) std::atomic<std::size_t> head_{0};  // next pop position
+};
+
+}  // namespace treesched

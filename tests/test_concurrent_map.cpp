@@ -1,0 +1,512 @@
+// The lock-free backends behind ResultCache and RequestQueue: the MPMC
+// ring's exactly-once hand-off, the concurrent CLOCK map's contract
+// parity with the sharded-mutex cache (no false hits, balanced stats,
+// bit-identical service results across the full roster), and the
+// admission queue's fast-lane ordering and counter balance. The stress
+// tests here are the ones the CI TSan job runs against the lock-free
+// paths.
+
+#include "service/concurrent_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "sched/registry.hpp"
+#include "service/request_queue.hpp"
+#include "service/result_cache.hpp"
+#include "service/service.hpp"
+#include "trees/generators.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/random.hpp"
+
+namespace treesched {
+namespace {
+
+using namespace std::chrono_literals;
+
+Tree weighted_tree(std::uint64_t seed, NodeId n = 60) {
+  Rng rng(seed);
+  RandomTreeParams params;
+  params.n = n;
+  params.max_output = 40;
+  params.max_exec = 15;
+  params.min_work = 1.0;
+  params.max_work = 30.0;
+  params.depth_bias = 1.5;
+  return random_tree(params, rng);
+}
+
+// ---------------------------------------------------------------------------
+// MpmcRing: the primitive under the queue's fast lanes.
+// ---------------------------------------------------------------------------
+
+TEST(MpmcRing, SingleThreadedFifoAndCapacity) {
+  MpmcRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99)) << "capacity 4 ring is full";
+  for (int i = 0; i < 4; ++i) {
+    const std::optional<int> v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i) << "FIFO order";
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(MpmcRing, ConcurrentHandOffIsExactlyOnce) {
+  // 4 producers push disjoint value ranges, 4 consumers drain; every
+  // value must come out exactly once — the property RequestQueue's
+  // counter balance rests on.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcRing<int> ring(128);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::atomic<int> drained{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        while (!ring.try_push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (drained.load() < kProducers * kPerProducer) {
+        if (const std::optional<int> v = ring.try_pop()) {
+          seen[static_cast<std::size_t>(*v)].fetch_add(1);
+          drained.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentResultMap behind the ResultCache interface: the contract
+// tests the mutex backend already passes.
+// ---------------------------------------------------------------------------
+
+CachedResultPtr dummy_result(NodeId n) {
+  auto r = std::make_shared<CachedResult>();
+  r->makespan = static_cast<double>(n);
+  r->schedule = Schedule(n);
+  return r;
+}
+
+ResultCache lockfree_cache(std::size_t bytes = 1 << 20) {
+  return ResultCache(ResultCacheConfig{bytes, 16, CacheBackend::kLockFree});
+}
+
+TEST(ConcurrentMapCache, ParseAndLabelRoundTrip) {
+  EXPECT_EQ(parse_cache_backend("mutex"), CacheBackend::kMutex);
+  EXPECT_EQ(parse_cache_backend("lockfree"), CacheBackend::kLockFree);
+  EXPECT_THROW((void)parse_cache_backend("spinlock"), std::invalid_argument);
+  EXPECT_STREQ(to_string(CacheBackend::kLockFree), "lockfree");
+  EXPECT_EQ(parse_queue_backend("lockfree"), QueueBackend::kLockFree);
+  EXPECT_THROW((void)parse_queue_backend(""), std::invalid_argument);
+  EXPECT_STREQ(to_string(QueueBackend::kMutex), "mutex");
+}
+
+TEST(ConcurrentMapCache, GetPutAndStatsMatchTheMutexContract) {
+  ResultCache cache = lockfree_cache();
+  EXPECT_EQ(cache.backend(), CacheBackend::kLockFree);
+  const ResultKey key{123, "ParSubtrees", 4, 0};
+  EXPECT_EQ(cache.get(key), nullptr);
+  cache.put(key, dummy_result(10));
+  const CachedResultPtr hit = cache.get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->makespan, 10.0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ConcurrentMapCache, DistinctKeysAreDistinctEntries) {
+  ResultCache cache = lockfree_cache();
+  cache.put({1, "A", 2, 0}, dummy_result(1));
+  cache.put({1, "A", 4, 0}, dummy_result(2));  // different p
+  cache.put({1, "A", 2, 9}, dummy_result(3));  // different cap
+  cache.put({2, "A", 2, 0}, dummy_result(4));  // different tree
+  cache.put({1, "B", 2, 0}, dummy_result(5));  // different algo
+  EXPECT_EQ(cache.stats().entries, 5u);
+  EXPECT_EQ(cache.get({1, "A", 2, 0})->makespan, 1.0);
+  EXPECT_EQ(cache.get({1, "B", 2, 0})->makespan, 5.0);
+}
+
+TEST(ConcurrentMapCache, OverwriteReplacesInPlace) {
+  ResultCache cache = lockfree_cache();
+  const ResultKey key{7, "Liu", 1, 0};
+  cache.put(key, dummy_result(10));
+  cache.put(key, dummy_result(20));
+  EXPECT_EQ(cache.get(key)->makespan, 20.0);
+  EXPECT_EQ(cache.stats().entries, 1u) << "overwrite is not a new entry";
+}
+
+TEST(ConcurrentMapCache, PeekCountsHitsButNeverMisses) {
+  ResultCache cache = lockfree_cache();
+  const ResultKey key{9, "Liu", 1, 0};
+  EXPECT_EQ(cache.peek(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 0u) << "peek misses are silent";
+  cache.put(key, dummy_result(3));
+  EXPECT_NE(cache.peek(key), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ConcurrentMapCache, ZeroBudgetDisablesCaching) {
+  ResultCache cache = lockfree_cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.put({1, "A", 1, 0}, dummy_result(10));
+  EXPECT_EQ(cache.get({1, "A", 1, 0}), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ConcurrentMapCache, ClearDropsEntriesAndKeepsCounters) {
+  ResultCache cache = lockfree_cache();
+  cache.put({1, "A", 1, 0}, dummy_result(10));
+  (void)cache.get({1, "A", 1, 0});
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u) << "counters survive clear()";
+  EXPECT_EQ(cache.get({1, "A", 1, 0}), nullptr);
+}
+
+TEST(ConcurrentMapCache, ByteBudgetTriggersEvictionNotGrowth) {
+  // Budget fits ~2 of these entries; insert 64 distinct keys. CLOCK is
+  // approximate, so we assert bounds rather than exact LRU order.
+  const std::size_t entry_cost = dummy_result(100)->bytes();
+  ResultCache cache = lockfree_cache(2 * entry_cost + 64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.put({i, "A", 1, 0}, dummy_result(100));
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 32u) << "most inserts forced an eviction";
+  EXPECT_GE(stats.entries, 1u) << "at least the latest entry is retained";
+  EXPECT_LE(stats.bytes, 4 * entry_cost)
+      << "byte accounting stays near the budget, not the insert volume";
+}
+
+TEST(ConcurrentMapCache, StressNoFalseHitsAndBalancedStats) {
+  // The makespan encodes the key, so any false hit (a lookup returning
+  // another key's value) is detected immediately. Threads mix puts, gets
+  // and the occasional clear over a small hot key set.
+  ResultCache cache = lockfree_cache(4 << 20);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 3000;
+  constexpr std::uint64_t kKeys = 32;
+  const std::vector<std::string> algos{"ParSubtrees", "Liu", "ParInnerFirst"};
+  auto expected_makespan = [&](std::uint64_t uid, std::size_t algo, int p) {
+    return static_cast<double>(uid * 1000 + algo * 100 +
+                               static_cast<std::uint64_t>(p));
+  };
+  std::atomic<int> false_hits{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t uid = static_cast<std::uint64_t>(t + i) % kKeys;
+        const std::size_t a = static_cast<std::size_t>(i) % algos.size();
+        const int p = 1 + i % 4;
+        const ResultKey key{uid, algos[a], p, 0};
+        if (i % 3 == 0) {
+          auto r = std::make_shared<CachedResult>();
+          r->makespan = expected_makespan(uid, a, p);
+          r->schedule = Schedule(4);
+          cache.put(key, std::move(r));
+        } else if (t == 0 && i % 1000 == 999) {
+          cache.clear();
+        } else {
+          const CachedResultPtr hit = cache.get(key);
+          lookups.fetch_add(1);
+          if (hit && hit->makespan != expected_makespan(uid, a, p)) {
+            false_hits.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(false_hits.load(), 0) << "a stale or foreign value was served";
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load())
+      << "every get() counts exactly one hit or one miss";
+  EXPECT_LE(stats.entries, static_cast<std::size_t>(kKeys * 12))
+      << "entries stay bounded by the live key set (plus benign dups)";
+}
+
+// ---------------------------------------------------------------------------
+// Service determinism: the lock-free backends answer bit-identically to
+// the mutex backends for every registered algorithm.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentMapCache, ServiceResultsBitIdenticalAcrossBackends) {
+  ServiceConfig lockfree_config;
+  lockfree_config.cache_backend = CacheBackend::kLockFree;
+  lockfree_config.queue.backend = QueueBackend::kLockFree;
+  SchedulingService mutex_service;
+  SchedulingService lockfree_service(lockfree_config);
+
+  const Tree tree = weighted_tree(3, 16);
+  const TreeHandle h_mutex = mutex_service.intern(tree);
+  const TreeHandle h_lockfree = lockfree_service.intern(tree);
+  for (const std::string& name : SchedulerRegistry::instance().names()) {
+    for (int p : {1, 4}) {
+      ScheduleRequest req;
+      req.algo = name;
+      req.p = p;
+      req.want_schedule = true;
+
+      req.tree = h_mutex;
+      const ScheduleResponse expect = mutex_service.schedule(req);
+      req.tree = h_lockfree;
+      // Twice: a cold miss (computed through the lock-free queue) and a
+      // warm hit (served from the concurrent map) must both match.
+      for (int round = 0; round < 2; ++round) {
+        const ScheduleResponse got =
+            lockfree_service.schedule_async(req).get();
+        EXPECT_EQ(got.makespan, expect.makespan)
+            << name << " p=" << p << " round=" << round;
+        EXPECT_EQ(got.peak_memory, expect.peak_memory) << name;
+        ASSERT_NE(got.schedule, nullptr);
+        EXPECT_EQ(got.schedule->start, expect.schedule->start) << name;
+        EXPECT_EQ(got.schedule->proc, expect.schedule->proc) << name;
+      }
+    }
+  }
+  // Warm rounds were all cache hits in the lock-free map.
+  EXPECT_GT(lockfree_service.cache_stats().hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The lock-free queue backend: same ordering semantics, exact balance.
+// ---------------------------------------------------------------------------
+
+std::pair<ScheduleRequest, std::shared_ptr<detail::TicketState>> tagged(
+    const std::string& tag, Priority cls, double deadline_ms = 0.0) {
+  ScheduleRequest req;
+  req.algo = tag;
+  req.priority = cls;
+  req.deadline_ms = deadline_ms;
+  return {std::move(req), std::make_shared<detail::TicketState>()};
+}
+
+std::string pop_tag(RequestQueue& q) {
+  RequestQueue::PopResult r = q.pop();
+  return r.entry ? r.entry->request.algo : std::string("<empty>");
+}
+
+RequestQueueConfig lockfree_queue_config() {
+  RequestQueueConfig config;
+  config.backend = QueueBackend::kLockFree;
+  return config;
+}
+
+TEST(LockFreeQueue, HigherClassesPreemptLowerAtDequeue) {
+  RequestQueue q(lockfree_queue_config());
+  for (const auto& [tag, cls] :
+       std::vector<std::pair<std::string, Priority>>{
+           {"bulk", Priority::kBulk},
+           {"batch", Priority::kBatch},
+           {"interactive", Priority::kInteractive}}) {
+    auto [req, state] = tagged(tag, cls);
+    EXPECT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_EQ(pop_tag(q), "interactive");
+  EXPECT_EQ(pop_tag(q), "batch");
+  EXPECT_EQ(pop_tag(q), "bulk");
+  EXPECT_EQ(pop_tag(q), "<empty>");
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(LockFreeQueue, DeadlineMixMatchesTheMutexOrdering) {
+  // Deadline-tagged entries go straight to the EDF buckets; deadline-less
+  // ones ride the fast lane. The merged pop order must equal the mutex
+  // backend's: deadlines first (EDF), then FIFO.
+  RequestQueue q(lockfree_queue_config());
+  for (const auto& [tag, deadline] :
+       std::vector<std::pair<std::string, double>>{{"late", 60000.0},
+                                                   {"none-1", 0.0},
+                                                   {"early", 10000.0},
+                                                   {"none-2", 0.0}}) {
+    auto [req, state] = tagged(tag, Priority::kBatch, deadline);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  EXPECT_EQ(pop_tag(q), "early");
+  EXPECT_EQ(pop_tag(q), "late");
+  EXPECT_EQ(pop_tag(q), "none-1");
+  EXPECT_EQ(pop_tag(q), "none-2");
+}
+
+TEST(LockFreeQueue, AgingPromotesLaneEntriesWithinTwoIntervals) {
+  RequestQueueConfig config = lockfree_queue_config();
+  config.age_after = 10ms;
+  RequestQueue q(config);
+  {
+    auto [req, state] = tagged("starved-bulk", Priority::kBulk);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  std::this_thread::sleep_for(15ms);
+  {
+    auto [req, state] = tagged("fresh-1", Priority::kInteractive);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  EXPECT_EQ(pop_tag(q), "fresh-1") << "one interval climbs one level only";
+  std::this_thread::sleep_for(15ms);
+  {
+    auto [req, state] = tagged("fresh-2", Priority::kInteractive);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  EXPECT_EQ(pop_tag(q), "starved-bulk")
+      << "the lane entry aged into the top class with seniority";
+  EXPECT_EQ(pop_tag(q), "fresh-2");
+  EXPECT_EQ(q.stats().of(Priority::kBulk).aged, 2u);
+}
+
+TEST(LockFreeQueue, CancelWinsExactlyOnceAgainstConcurrentPops) {
+  RequestQueue q(lockfree_queue_config());
+  auto [req_a, state_a] = tagged("a", Priority::kBatch);
+  auto [req_b, state_b] = tagged("b", Priority::kBatch);
+  const auto seq_a = q.push(std::move(req_a), state_a);
+  const auto seq_b = q.push(std::move(req_b), state_b);
+  ASSERT_TRUE(seq_a && seq_b);
+  EXPECT_TRUE(q.cancel(*seq_a)) << "lane entries are cancellable";
+  EXPECT_FALSE(q.cancel(*seq_a)) << "double-cancel is a no-op";
+  EXPECT_EQ(pop_tag(q), "b");
+  EXPECT_FALSE(q.cancel(*seq_b)) << "cancel after pop is a no-op";
+  const QueueStats stats = q.stats();
+  const ClassQueueStats& c = stats.of(Priority::kBatch);
+  EXPECT_EQ(c.admitted, 2u);
+  EXPECT_EQ(c.cancelled, 1u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.admitted, c.completed + c.expired + c.rejected + c.cancelled);
+}
+
+TEST(LockFreeQueue, RingOverflowFallsBackWithoutLosingFifoOrder) {
+  // Push more deadline-less entries than one lane holds: the overflow
+  // lands in the mutex buckets, and pops must still come out in exact
+  // admission order (the nonzero bucket forces the merging locked path).
+  RequestQueue q(lockfree_queue_config());
+  constexpr int kTotal = 1500;  // > kLaneCapacity = 1024
+  for (int i = 0; i < kTotal; ++i) {
+    auto [req, state] = tagged(std::to_string(i), Priority::kBatch);
+    ASSERT_TRUE(q.push(std::move(req), std::move(state)).has_value());
+  }
+  EXPECT_EQ(q.pending(), static_cast<std::size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(pop_tag(q), std::to_string(i)) << "FIFO across the overflow";
+  }
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(LockFreeQueue, StressBalanceStaysExactUnderContention) {
+  // Producers, consumers and cancellers hammer the queue; afterwards the
+  // per-class balance must hold exactly:
+  //     admitted == completed + expired + rejected + cancelled.
+  RequestQueueConfig config = lockfree_queue_config();
+  config.age_after = 1ms;     // force frequent locked pops too
+  config.max_pending = 512;   // exercise the rejection path
+  RequestQueue q(config);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 4000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> popped{0};
+  std::array<std::vector<std::uint64_t>, kProducers> seqs;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      while (!done.load()) {
+        RequestQueue::PopResult r = q.pop();
+        const std::uint64_t got = r.expired.size() + (r.entry ? 1 : 0);
+        if (got == 0) {
+          std::this_thread::yield();
+        } else {
+          popped.fetch_add(got);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      seqs[static_cast<std::size_t>(t)].reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Mostly deadline-less (fast lane); every 7th carries a deadline
+        // (bucket path), every 13th a tight one that may expire.
+        double deadline = 0.0;
+        if (i % 13 == 0) {
+          deadline = 0.01;
+        } else if (i % 7 == 0) {
+          deadline = 60000.0;
+        }
+        auto [req, state] =
+            tagged("x", static_cast<Priority>(i % kPriorityClasses), deadline);
+        if (const auto seq = q.push(std::move(req), std::move(state))) {
+          seqs[static_cast<std::size_t>(t)].push_back(*seq);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+
+  // Cancellers race the still-running consumers for the leftovers: the
+  // lane drain + by_seq_ lookup must hand each entry to exactly one side.
+  std::vector<std::thread> cancellers;
+  for (int t = 0; t < kProducers; ++t) {
+    cancellers.emplace_back([&, t] {
+      const std::vector<std::uint64_t>& mine =
+          seqs[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < mine.size(); i += 3) {
+        (void)q.cancel(mine[i]);
+      }
+    });
+  }
+  for (std::thread& t : cancellers) t.join();
+
+  while (q.pending() != 0) {
+    RequestQueue::PopResult r = q.pop();
+    popped.fetch_add(r.expired.size() + (r.entry ? 1 : 0));
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (std::thread& t : consumers) t.join();
+
+  const QueueStats stats = q.stats();
+  std::uint64_t admitted = 0;
+  for (const ClassQueueStats& c : stats.by_class) {
+    EXPECT_EQ(c.admitted, c.completed + c.expired + c.rejected + c.cancelled)
+        << "exact per-class balance";
+    EXPECT_EQ(c.pending, 0u);
+    admitted += c.admitted;
+  }
+  EXPECT_EQ(admitted,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace treesched

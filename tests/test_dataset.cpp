@@ -64,6 +64,37 @@ TEST(Dataset, BuildDatasetSmallScale) {
   EXPECT_EQ(names.size(), ds.size());  // unique names
 }
 
+TEST(TreeSpec, BoundedOverloadRejectsHostileSpecsBeforeAllocation) {
+  TreeSpecOptions opts;
+  opts.max_nodes = 2'000'000;
+  opts.allow_file = false;
+  // Huge, negative, non-numeric and overflowing counts: each is one
+  // typed invalid_argument thrown before any node vector is allocated.
+  for (const char* spec :
+       {"random:2000000000:1", "random:-5:1", "random:abc:1",
+        "synthetic:999999999999999999999:1", "grid:80000:80000:2"}) {
+    EXPECT_THROW((void)tree_from_spec(spec, opts), std::invalid_argument)
+        << spec;
+  }
+  EXPECT_THROW((void)tree_from_spec("file:/etc/passwd", opts),
+               std::invalid_argument)
+      << "file: specs are refused when the front-end disallows them";
+  // In-bounds specs still generate, and the unbounded overload keeps the
+  // CLI's unrestricted behavior.
+  EXPECT_EQ(tree_from_spec("random:500:1", opts).size(), 500);
+  EXPECT_EQ(tree_from_spec("random:500:1").size(), 500);
+}
+
+TEST(TreeSpec, NegativeCountsAreNamedInTheError) {
+  try {
+    (void)tree_from_spec("random:-5:1");
+    FAIL() << "a negative node count parsed";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("-5"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Dataset, DeterministicForFixedSeed) {
   DatasetParams params;
   params.scale = 0.05;

@@ -20,9 +20,11 @@
 #include <thread>
 #include <vector>
 
+#include "campaign/dataset.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "service/service.hpp"
+#include "trees/io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace treesched {
@@ -255,6 +257,75 @@ TEST(ScheduleServer, TraceDumpIsConfinedToTheConfiguredDir) {
   std::ifstream in(path);
   EXPECT_TRUE(in.good()) << "dump did not land in the trace dir: " << path;
   std::remove(path.c_str());
+}
+
+TEST(ScheduleServer, FileSpecsAreRefusedWithoutATreeDir) {
+  // A file: spec names a file the SERVER reads; with no --tree-dir
+  // configured (the default) any network client asking for one must get
+  // a typed refusal — and the error text must never carry file contents.
+  ServerHarness harness;
+  Client client = connect(harness);
+  const ResponseLine err = client.request("file:/etc/passwd Liu 1 id=1");
+  ASSERT_FALSE(err.ok);
+  EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+  EXPECT_EQ(err.id, 1u);
+  EXPECT_EQ(err.message.find("root:"), std::string::npos)
+      << "error text leaked file contents: " << err.message;
+  EXPECT_NE(err.message.find("tree-dir"), std::string::npos)
+      << "the refusal should point at the --tree-dir opt-in";
+  // No tree was read or interned, and the connection survives.
+  EXPECT_EQ(harness.service().store_stats().unique_trees, 0u);
+  const ResponseLine ok = client.request("random:100:1 Liu 1 id=2");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.id, 2u);
+}
+
+TEST(ScheduleServer, FileSpecsAreConfinedToTheConfiguredTreeDir) {
+  std::string dir = ::testing::TempDir();
+  if (dir.empty() || dir.back() != '/') dir += '/';
+  const std::string path = dir + "net_spec_tree.txt";
+  write_tree_file(path, tree_from_spec("random:40:7"));
+  ServerConfig config;
+  config.tree_dir = dir;
+  ServerHarness harness(config);
+  Client client = connect(harness);
+  // Every way out of the directory is a typed error, never a read.
+  for (const char* line : {"file:/etc/passwd Liu 1 id=1",
+                           "file:../evil.txt Liu 1 id=2",
+                           "file:a/../../evil.txt Liu 1 id=3",
+                           "file:./net_spec_tree.txt Liu 1 id=4"}) {
+    const ResponseLine err = client.request(line);
+    ASSERT_FALSE(err.ok) << line;
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest) << line;
+    EXPECT_EQ(err.message.find("root:"), std::string::npos) << line;
+  }
+  // A plain relative name inside the tree dir is served.
+  const ResponseLine ok = client.request("file:net_spec_tree.txt Liu 1 id=5");
+  ASSERT_TRUE(ok.ok) << ok.message;
+  EXPECT_EQ(ok.id, 5u);
+  EXPECT_EQ(ok.n, 40);
+  EXPECT_GT(ok.makespan, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ScheduleServer, HostileGeneratorSpecsAreRejectedBeforeAllocation) {
+  ServerHarness harness;  // default --max-spec-nodes = 2'000'000
+  Client client = connect(harness);
+  // Each hostile spec gets exactly one typed bad_request: a 2-billion-node
+  // ask (would be ~tens of GiB), a negative count, and a non-numeric one.
+  for (const char* line : {"random:2000000000:1 Liu 1 id=1",
+                           "random:-5:1 Liu 1 id=2",
+                           "synthetic:999999999999999999999:1 Liu 1 id=3",
+                           "grid:80000:80000:2 Liu 1 id=4"}) {
+    const ResponseLine err = client.request(line);
+    ASSERT_FALSE(err.ok) << line;
+    EXPECT_EQ(err.code, ErrorCode::kBadRequest) << line;
+  }
+  // Nothing was allocated or interned, and the same socket still works.
+  EXPECT_EQ(harness.service().store_stats().unique_trees, 0u);
+  const ResponseLine ok = client.request("random:100:1 Liu 1 id=9");
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.id, 9u);
 }
 
 TEST(ScheduleServer, OversizedLineAnswersBadRequestAndTheConnectionSurvives) {
