@@ -36,13 +36,21 @@
 // ratio, v3 batch=16 over text v2 batch=1 (both cache-hot, same run),
 // carries the PR 6 acceptance bar: >= 3x.
 //
+// Experiment 6 (router overhead): the experiment-4 cache-hot closed
+// loop driven once directly at a backend schedule server and once
+// through a cluster::Router (src/cluster/) fronting that same node, in
+// the same process and run. The routed/direct rps ratio prices the
+// router hop alone — spec fingerprinting, the ring walk, the upstream
+// pipe, one extra loopback round trip — and carries the PR 9 acceptance
+// bar: >= 0.7x, gated in CI by check_bench_trend.py --min-router-ratio.
+//
 //   $ ./bench_service
 //   $ ./bench_service --trees 8 --n 4000 --repeat 50 --json service.json
 //   $ ./bench_service --probes 50 --bulk-per-probe 4 --bulk-n 4000
 //   $ ./bench_service --server-clients 8 --server-requests 512
 //
 // --probes 0 skips experiment 2; --ticket-ops 0 skips experiment 3;
-// --server-clients 0 skips experiment 4.
+// --server-clients 0 skips experiments 4 and 6.
 // --json writes the numbers machine-readably (merged into BENCH_PR2.json
 // by the perf pipeline alongside bench_perf's per-algorithm ns/op).
 
@@ -58,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "sched/registry.hpp"
@@ -410,6 +419,96 @@ double run_cache_scale(CacheBackend backend, std::size_t threads,
   return static_cast<double>(threads * ops_per_thread) / elapsed.count();
 }
 
+/// Experiment 6: the router hop, priced within one run. The same
+/// cache-hot closed loop (text v2, batch=1) runs twice against the SAME
+/// backend service — once straight at its server port, once through a
+/// cluster::Router fronting that single node — so routed/direct
+/// isolates exactly what the router adds (spec fingerprint, ring walk,
+/// upstream pipe, a second loopback hop) from the machine it ran on.
+struct RouterCompare {
+  double direct_rps = 0.0;
+  double routed_rps = 0.0;
+};
+
+double run_closed_loop(std::uint16_t port, std::size_t clients,
+                       std::size_t per_client, NodeId tree_n) {
+  std::vector<std::exception_ptr> failures(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      try {
+        net::Client client("127.0.0.1", port, net::Protocol::kText);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const ResponseLine resp =
+              client.request(loopback_line(tree_n, c, i));
+          if (!resp.ok) {
+            throw std::runtime_error("router-compare request failed: " +
+                                     resp.message);
+          }
+        }
+      } catch (...) {
+        failures[c] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  for (const std::exception_ptr& failure : failures) {
+    if (failure) std::rethrow_exception(failure);
+  }
+  return static_cast<double>(clients * per_client) / elapsed.count();
+}
+
+RouterCompare run_router_compare(std::size_t clients, std::size_t per_client,
+                                 NodeId tree_n) {
+  SchedulingService service;  // cache ON: the timed loops are all hits
+  net::Server server(service, net::ServerConfig{});
+  std::thread io([&server] { server.run(); });
+
+  cluster::RouterConfig router_config;
+  router_config.nodes = {"127.0.0.1:" + std::to_string(server.port())};
+  router_config.health_interval_ms = 10.0;
+  router_config.reconnect_backoff_ms = 20.0;
+  cluster::Router router(std::move(router_config));
+  std::thread router_io([&router] { router.run(); });
+
+  {
+    // The router only forwards once a health ping marked the node up;
+    // then warm the 32-key pool (one backend cache serves both loops).
+    net::Client probe("127.0.0.1", router.port(), net::Protocol::kText);
+    bool up = false;
+    for (int tries = 0; tries < 500 && !up; ++tries) {
+      const ResponseLine st = probe.request("stats");
+      for (const auto& [key, value] : st.stats) {
+        if (key == "nodes_up" && value >= 1) up = true;
+      }
+      if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!up) throw std::runtime_error("router never saw its backend up");
+    for (std::size_t i = 0; i < 4 * 8; ++i) {
+      const ResponseLine resp = probe.request(loopback_line(tree_n, i, i));
+      if (!resp.ok) {
+        throw std::runtime_error("router warm-up failed: " + resp.message);
+      }
+    }
+  }
+
+  RouterCompare result;
+  result.direct_rps =
+      run_closed_loop(server.port(), clients, per_client, tree_n);
+  result.routed_rps =
+      run_closed_loop(router.port(), clients, per_client, tree_n);
+
+  router.stop();
+  router_io.join();
+  server.stop();
+  io.join();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -645,12 +744,38 @@ int main(int argc, char** argv) {
                 << "\n";
     }
 
+    // Experiment 6: direct vs routed cache-hot rps, same backend, same
+    // run — the ratio is hardware-relative and gates in CI at >= 0.7x.
+    RouterCompare router_compare;
+    double router_over_direct = 0.0;
+    if (server_clients > 0) {
+      std::cout << "\n== router overhead, direct vs routed (experiment 6) =="
+                << "\none backend node, " << server_clients
+                << " clients x " << server_requests
+                << " cache-hot text requests per path\n";
+      router_compare =
+          run_router_compare(server_clients, server_requests, server_n);
+      router_over_direct = router_compare.routed_rps /
+                           std::max(router_compare.direct_rps, 1e-9);
+      std::cout << std::setprecision(0)
+                << "direct to the node:  " << router_compare.direct_rps
+                << " requests/sec\n"
+                << "through the router:  " << router_compare.routed_rps
+                << " requests/sec\n"
+                << std::setprecision(2) << "routed/direct ratio: "
+                << router_over_direct << "x"
+                << (router_over_direct >= 0.7
+                        ? "  (meets the >= 0.7x bar)"
+                        : "  (BELOW the >= 0.7x bar)")
+                << "\n";
+    }
+
     if (!json_path.empty()) {
       std::ofstream os(json_path);
       if (!os) throw std::runtime_error("cannot open " + json_path);
       os << std::setprecision(17)
          << "{\n"
-         << "  \"schema\": \"treesched-bench-service-v6\",\n"
+         << "  \"schema\": \"treesched-bench-service-v7\",\n"
          << "  \"distinct_requests\": " << distinct << ",\n"
          << "  \"repeat\": " << repeat << ",\n"
          << "  \"uncached_requests_per_sec\": " << uncached_rps << ",\n"
@@ -708,7 +833,10 @@ int main(int argc, char** argv) {
              << "_rps\": " << scale_rps[backend][t] << ",\n";
         }
       }
-      os << "  \"cache_scale_ratio_t16\": " << cache_scale_ratio_t16 << "\n"
+      os << "  \"cache_scale_ratio_t16\": " << cache_scale_ratio_t16 << ",\n"
+         << "  \"router_direct_rps\": " << router_compare.direct_rps << ",\n"
+         << "  \"router_routed_rps\": " << router_compare.routed_rps << ",\n"
+         << "  \"router_over_direct_ratio\": " << router_over_direct << "\n"
          << "}\n";
       std::cout << "wrote " << json_path << "\n";
     }

@@ -29,7 +29,12 @@
 // (relative names only); without it file: specs are refused — a network
 // client must not choose what the server opens. --max-spec-nodes N
 // bounds generator specs (random:/synthetic:/grid:) before allocation
-// (default 2000000; 0 = unlimited, trusted networks only).
+// (default 2000000; 0 = unlimited, trusted networks only);
+// --max-spec-bytes N bounds the on-disk size of a file: spec before it
+// is read (default 16 MiB; 0 = unlimited). --drain-timeout-ms T caps
+// the graceful drain: past T, clients that never read their last
+// answers are closed instead of holding the process up (0 = wait
+// forever).
 // --cache-backend mutex|lockfree selects the result-cache index
 // (sharded-mutex LRU vs concurrent CLOCK map); --queue-backend
 // mutex|lockfree selects the admission queue's fast path.
@@ -68,6 +73,9 @@ int main(int argc, char** argv) {
     server_config.tree_dir = args.get("tree-dir", "");
     server_config.max_spec_nodes =
         static_cast<std::uint64_t>(args.get_int("max-spec-nodes", 2'000'000));
+    server_config.max_spec_bytes = static_cast<std::uint64_t>(
+        args.get_int("max-spec-bytes", 16 << 20));
+    server_config.drain_timeout_ms = args.get_double("drain-timeout-ms", 0.0);
     ServiceConfig service_config;
     service_config.cache_bytes =
         static_cast<std::size_t>(args.get_int("cache-mb", 256)) << 20;

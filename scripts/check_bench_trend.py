@@ -13,6 +13,7 @@ Usage:
         [--service-threshold 0.30]
         [--min-v3-ratio 3.0]
         [--min-cache-scale-ratio 1.0]
+        [--min-router-ratio 0.7]
 
 Two independent comparisons, each optional, both against COMMITTED
 baselines — no artifact chaining anywhere, so sub-threshold drift
@@ -37,7 +38,10 @@ numbers.
     must stay >= --min-v3-ratio (the protocol-v3 acceptance bar), the
     lock-free-over-mutex cache-hit throughput at 16 threads must stay
     >= --min-cache-scale-ratio (both backends measured in the SAME
-    run, so the ratio is hardware-independent), and the
+    run, so the ratio is hardware-independent), the routed-over-direct
+    cache-hit throughput through the cluster router must stay >=
+    --min-router-ratio (both paths hit the SAME backend in the same
+    bench run, so this too holds on any machine), and the
     cached/uncached speedup gates like an rps key.
 
 Updating the baselines
@@ -108,6 +112,8 @@ LOOPBACK_KEYS = (
     "server_v3_uncached_rps",
     "server_uds_v2_batch1_rps",
     "server_uds_v3_batch16_rps",
+    "router_direct_rps",
+    "router_routed_rps",
     "speedup",
 )
 
@@ -194,6 +200,12 @@ def main():
                              "mutex cache hit throughput at 16 threads) in "
                              "the current run — within-run, so it gates on "
                              "any machine (default 1.0; 0 disables)")
+    parser.add_argument("--min-router-ratio", type=float, default=0.7,
+                        help="required router_over_direct_ratio (cache-hot "
+                             "rps through the cluster router over the same "
+                             "backend hit directly) in the current run — "
+                             "both paths measured in the SAME run, so it "
+                             "gates on any machine (default 0.7; 0 disables)")
     args = parser.parse_args()
 
     regressions = []
@@ -248,6 +260,18 @@ def main():
                 regressions.append(
                     ("cache_scale_ratio_t16",
                      scale / args.min_cache_scale_ratio - 1.0))
+            compared += 1
+        routed = doc.get("router_over_direct_ratio")
+        if args.min_router_ratio > 0 and isinstance(routed, (int, float)) \
+                and routed > 0:
+            ok = routed >= args.min_router_ratio
+            print(f"routed over direct cache-hit rps: {routed:.2f}x "
+                  f"(required >= {args.min_router_ratio:.2f}x)"
+                  f"{'' if ok else '  << REGRESSION'}")
+            if not ok:
+                regressions.append(
+                    ("router_over_direct_ratio",
+                     routed / args.min_router_ratio - 1.0))
             compared += 1
 
     if regressions:

@@ -1,0 +1,254 @@
+#!/bin/sh
+# End-to-end check of the cluster router: starts two schedule_server
+# backend nodes and a schedule_router in front of them (all ephemeral
+# ports), then drives the cluster through real sockets — the
+# cluster-wide cache probe (warm a tree through one client, hit it from
+# a fresh client routed to the same node), protocol transparency (text
+# v2 and a binary-v3 batch frame through the router), the aggregated
+# stats vocabulary (per-node routing counters + backend_ sums), and the
+# Prometheus endpoint (scraped twice, counters must be monotonic, the
+# per-node routed series must carry node="..." labels). Then one node
+# is SIGKILLed — abrupt death, no drain — and the cluster must detect
+# it, report nodes_up=1, and keep answering every request on the
+# survivor. Finally the router SIGTERMs to a clean graceful drain.
+# Run by CTest as schedule_cluster_e2e with the router binary as $1 and
+# the server binary as $2 — and by the ASan/TSan CI jobs, where the
+# node-death forward handoff and the upstream reconnect machinery are
+# leak- and race-checked for real.
+set -eu
+
+router_bin="$1"
+server_bin="$2"
+checker="$(dirname "$0")/check_prometheus.py"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$server_bin" --port 0 > "$workdir/node_a_out" 2> "$workdir/node_a_err" &
+node_a_pid=$!
+"$server_bin" --port 0 > "$workdir/node_b_out" 2> "$workdir/node_b_err" &
+node_b_pid=$!
+
+fail() {
+    echo "FAIL: $1" >&2
+    kill "$router_pid" 2>/dev/null || true
+    kill "$node_a_pid" "$node_b_pid" 2>/dev/null || true
+    exit 1
+}
+router_pid=""
+
+wait_port() { # $1 = stdout file, $2 = pid, $3 = label
+    _port=""
+    for _ in $(seq 1 100); do
+        _port=$(sed -n 's/^listening on 127.0.0.1://p' "$1")
+        [ -n "$_port" ] && break
+        kill -0 "$2" 2>/dev/null || fail "$3 died on startup"
+        sleep 0.1
+    done
+    [ -n "$_port" ] || fail "$3 never printed its port"
+    echo "$_port"
+}
+
+port_a=$(wait_port "$workdir/node_a_out" "$node_a_pid" "node A")
+port_b=$(wait_port "$workdir/node_b_out" "$node_b_pid" "node B")
+
+"$router_bin" --port 0 --nodes "127.0.0.1:$port_a,127.0.0.1:$port_b" \
+    --metrics-port 0 --health-interval-ms 25 --backoff-ms 50 \
+    > "$workdir/router_out" 2> "$workdir/router_err" &
+router_pid=$!
+rport=$(wait_port "$workdir/router_out" "$router_pid" "router")
+mport=""
+for _ in $(seq 1 100); do
+    mport=$(sed -n 's/^metrics on 127.0.0.1://p' "$workdir/router_out")
+    [ -n "$mport" ] && break
+    sleep 0.1
+done
+[ -n "$mport" ] || fail "router never printed its metrics port"
+
+python3 - "$rport" "$mport" "$workdir" phase1 \
+    <<'EOF' || fail "phase-1 client driver reported a failure"
+import socket, struct, sys, time, urllib.request
+
+rport, mport, workdir = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+errors = []
+
+def connect():
+    return socket.create_connection(("127.0.0.1", rport), timeout=30)
+
+def recv_lines(sock):
+    data = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    return [l for l in data.decode().split("\n") if l]
+
+def ask(*lines):
+    s = connect()
+    s.sendall(("\n".join(lines) + "\n").encode())
+    s.shutdown(socket.SHUT_WR)
+    replies = recv_lines(s)
+    s.close()
+    return replies
+
+def stats():
+    (line,) = ask("stats")
+    assert line.startswith("stats "), line
+    return dict(kv.split("=", 1) for kv in line.split()[1:])
+
+def scrape(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{mport}/metrics",
+                                timeout=30) as resp:
+        body = resp.read()
+    with open(path, "wb") as f:
+        f.write(body)
+    return body.decode()
+
+# Routing needs live backends: the first health tick connects them.
+for _ in range(200):
+    if int(stats().get("nodes_up", 0)) == 2:
+        break
+    time.sleep(0.05)
+else:
+    errors.append(f"backends never came up: {stats()}")
+
+scrape(f"{workdir}/scrape1.txt")
+
+# Cluster-wide cache: warm a tree through one client, then a FRESH
+# client sends the same spec — the ring lands it on the same node,
+# whose warm result cache must answer.
+warm = ask("synthetic:800:3 ParSubtrees 4 id=1")
+if len(warm) != 1 or "cache=miss" not in warm[0] or \
+        not warm[0].startswith("ok id=1 "):
+    errors.append(f"warm request failed: {warm}")
+hit = ask("synthetic:800:3 ParSubtrees 4 id=2")
+if len(hit) != 1 or "cache=hit" not in hit[0]:
+    errors.append(f"cluster-wide cache hit missed: {hit}")
+
+# Protocol transparency: a binary-v3 batch frame through the router.
+MAGIC = b"\xb3TS3"
+raw_lines = [f"random:150:{i} Liu 1 id={10+i}".encode() for i in range(6)]
+payload = struct.pack("<I", len(raw_lines))
+for raw in raw_lines:
+    payload += struct.pack("<I", len(raw)) + raw
+s = connect()
+s.sendall(MAGIC + struct.pack("<BBHI", 0x02, 0, 0, len(payload)) + payload)
+s.shutdown(socket.SHUT_WR)
+data = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+ids, off = set(), 0
+while off + 8 <= len(data):
+    op, flags, _res, length = struct.unpack_from("<BBHI", data, off)
+    off += 8
+    if op != 0x81 or not (flags & 0x01):
+        errors.append(f"v3 answer not ok: op={op:#x} flags={flags:#x}")
+        break
+    ids.add(struct.unpack_from("<Q", data, off)[0])
+    off += length
+if ids != set(range(10, 16)):
+    errors.append(f"v3 batch through the router lost answers: {sorted(ids)}")
+
+# The aggregated stats vocabulary: per-node routing counters must sum
+# to forwarded, and the polled backend_ aggregate must be present.
+st = stats()
+for key in ("nodes", "nodes_up", "forwarded", "responses",
+            "node0_routed", "node1_routed", "node0_up", "node1_up"):
+    if key not in st:
+        errors.append(f"stats line lacks {key}: {st}")
+if errors == []:
+    if int(st["node0_routed"]) + int(st["node1_routed"]) != \
+            int(st["forwarded"]):
+        errors.append(f"per-node routed counters do not sum: {st}")
+    if int(st["forwarded"]) < 8 or int(st["responses"]) < 8:
+        errors.append(f"expected 8+ forwarded/answered requests: {st}")
+    if not any(k.startswith("backend_") for k in st):
+        errors.append(f"stats line lacks the backend_ aggregate: {st}")
+
+# The router's own metrics endpoint, with per-node labeled series.
+body = scrape(f"{workdir}/scrape2.txt")
+if "treesched_router_forwarded_total" not in body:
+    errors.append("scrape lacks treesched_router_forwarded_total")
+if 'treesched_router_node_routed_total{node="127.0.0.1:' not in body:
+    errors.append("scrape lacks node-labeled routing counters")
+
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+EOF
+
+# Abrupt node death: SIGKILL node B — no drain, sockets just vanish.
+# The router must mark it down, keep the survivor serving, and answer
+# every request (never hang a client on a dead backend).
+kill -KILL "$node_b_pid"
+wait "$node_b_pid" 2>/dev/null || true
+
+python3 - "$rport" "$mport" "$workdir" phase2 \
+    <<'EOF' || fail "phase-2 (node-death) client driver reported a failure"
+import socket, sys, time
+
+rport = int(sys.argv[1])
+errors = []
+
+def ask(*lines):
+    s = socket.create_connection(("127.0.0.1", rport), timeout=30)
+    s.sendall(("\n".join(lines) + "\n").encode())
+    s.shutdown(socket.SHUT_WR)
+    data = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+    s.close()
+    return [l for l in data.decode().split("\n") if l]
+
+def stats():
+    (line,) = ask("stats")
+    return dict(kv.split("=", 1) for kv in line.split()[1:])
+
+for _ in range(200):
+    if int(stats().get("nodes_up", 2)) == 1:
+        break
+    time.sleep(0.05)
+else:
+    errors.append(f"router never noticed the dead node: {stats()}")
+
+# Every spec must still be answered ok on the survivor — including ones
+# whose ring primary is the dead node (the walk skips it).
+for i in range(8):
+    replies = ask(f"random:170:{i} Liu 1 id={30+i}")
+    if len(replies) != 1 or not replies[0].startswith(f"ok id={30+i} "):
+        errors.append(f"request after node death not served: {replies}")
+        break
+
+st = stats()
+if int(st.get("node_failures", 0)) < 1:
+    errors.append(f"node death not counted: {st}")
+
+if errors:
+    print("\n".join(errors), file=sys.stderr)
+    sys.exit(1)
+EOF
+
+python3 "$checker" "$workdir/scrape1.txt" "$workdir/scrape2.txt" \
+    || fail "Prometheus exposition checker rejected the router scrapes"
+
+# Graceful drain: SIGTERM must answer everything outstanding and exit 0.
+kill -TERM "$router_pid"
+router_status=0
+wait "$router_pid" || router_status=$?
+[ "$router_status" -eq 0 ] || fail "router exited $router_status on SIGTERM"
+grep -q "drained: all accepted requests answered" "$workdir/router_err" \
+    || fail "missing router drain confirmation: $(cat "$workdir/router_err")"
+
+kill -TERM "$node_a_pid"
+node_status=0
+wait "$node_a_pid" || node_status=$?
+[ "$node_status" -eq 0 ] || fail "surviving node exited $node_status"
+
+echo "schedule_cluster e2e OK"

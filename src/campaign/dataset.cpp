@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <limits>
 #include <sstream>
 
@@ -219,6 +220,20 @@ Tree tree_from_spec(const std::string& spec, const TreeSpecOptions& opts) {
       throw std::invalid_argument(
           "file: tree spec path must be a plain relative name inside the "
           "server's tree directory (no absolute paths, no \".\" or \"..\")");
+    }
+    if (opts.max_file_bytes != 0) {
+      // Byte budget enforced against the on-disk size before the first
+      // read: max_nodes bounds the parsed tree, this bounds the read
+      // itself. A stat error falls through to read_tree_file, whose
+      // open failure carries the better message.
+      std::error_code ec;
+      const std::uintmax_t size = std::filesystem::file_size(path, ec);
+      if (!ec && size > opts.max_file_bytes) {
+        throw std::invalid_argument(
+            "tree spec \"" + spec + "\": file is " + std::to_string(size) +
+            " bytes, over this front-end's " +
+            std::to_string(opts.max_file_bytes) + "-byte limit");
+      }
     }
     return read_tree_file(path);
   }

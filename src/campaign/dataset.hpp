@@ -69,6 +69,12 @@ struct TreeSpecOptions {
   /// `file_dir` is empty the path is used as given (CLI trust).
   bool allow_file = true;
   std::string file_dir;
+  /// Upper bound on the size of a `file:` tree file, checked against
+  /// the on-disk size BEFORE any byte is read — max_nodes bounds what a
+  /// parsed tree may allocate, but without this a client could point
+  /// the server at a multi-gigabyte file and make it read the whole
+  /// thing just to fail the parse. 0 = unlimited (CLI trust).
+  std::uint64_t max_file_bytes = 0;
 };
 
 /// Resolves a protocol tree spec — the `<tree-spec>` token of a request

@@ -1,0 +1,482 @@
+#include "cluster/router.hpp"
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "campaign/dataset.hpp"
+#include "cluster/router_connection.hpp"
+#include "service/instance_store.hpp"
+
+namespace treesched::cluster {
+
+namespace {
+
+/// "host:port" -> parts. Throws std::invalid_argument so a typo in
+/// --nodes fails the process at startup, never at first request.
+std::pair<std::string, std::uint16_t> parse_node(const std::string& spec) {
+  const auto pos = spec.rfind(':');
+  if (pos == std::string::npos || pos == 0 || pos + 1 == spec.size()) {
+    throw std::invalid_argument("backend node \"" + spec +
+                                "\" is not host:port");
+  }
+  const std::string host = spec.substr(0, pos);
+  int port = 0;
+  try {
+    port = std::stoi(spec.substr(pos + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("backend node \"" + spec +
+                                "\" has an invalid port");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      listener_(net::ListenerConfig{.bind = config_.bind,
+                                    .port = config_.port,
+                                    .unix_path = {}}),
+      ring_(config_.vnodes) {
+  if (config_.nodes.empty()) {
+    throw std::invalid_argument("router needs at least one backend node");
+  }
+  if (config_.max_pending == 0 || config_.upstream_window == 0) {
+    throw std::invalid_argument(
+        "max_pending and upstream_window must be >= 1");
+  }
+  for (const std::string& spec : config_.nodes) {
+    auto [host, port] = parse_node(spec);
+    const std::string name = host + ":" + std::to_string(port);
+    const std::size_t index = ring_.add(name);
+    if (index != upstreams_.size()) {
+      throw std::invalid_argument("duplicate backend node " + name);
+    }
+    upstreams_.push_back(
+        std::make_unique<Upstream>(*this, index, std::move(host), port));
+    routed_.push_back(0);
+  }
+  init_metrics();
+  if (config_.metrics_port >= 0) {
+    metrics_http_ = std::make_unique<net::MetricsHttp>(
+        loop_, registry_,
+        net::ListenerConfig{
+            .bind = config_.metrics_bind,
+            .port = static_cast<std::uint16_t>(config_.metrics_port),
+            .unix_path = {}});
+  }
+}
+
+Router::~Router() {
+  *alive_ = false;
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+  if (health_timer_fd_ >= 0) ::close(health_timer_fd_);
+  if (drain_timer_fd_ >= 0) ::close(drain_timer_fd_);
+}
+
+void Router::init_metrics() {
+  // Same bridge idiom as the server's: plain loop-thread counters read
+  // by a collector, sound because every snapshot consumer (the stats
+  // verb, the /metrics endpoint) runs on this same loop thread.
+  registry_.register_collector(
+      [this, alive = std::weak_ptr<bool>(alive_)](obs::RegistrySnapshot& out) {
+        if (alive.expired()) return;
+        const RouterCounters& rc = counters_;
+        auto counter = [&](const char* name, const char* help, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, "", help, obs::MetricKind::kCounter, v, ""});
+        };
+        auto gauge = [&](const char* name, const char* help, double v) {
+          out.samples.push_back(obs::MetricSample{
+              name, "", help, obs::MetricKind::kGauge, v, ""});
+        };
+        counter("treesched_router_accepted_total",
+                "Client connections accepted",
+                static_cast<double>(rc.accepted));
+        counter("treesched_router_requests_total",
+                "Client requests framed",
+                static_cast<double>(rc.lines));
+        counter("treesched_router_forwarded_total",
+                "Forwards handed to a backend node",
+                static_cast<double>(rc.forwarded));
+        counter("treesched_router_responses_total",
+                "Backend answers delivered to clients",
+                static_cast<double>(rc.responses));
+        counter("treesched_router_retried_total",
+                "Forwards re-routed after a node death",
+                static_cast<double>(rc.retried));
+        counter("treesched_router_node_unavailable_total",
+                "Requests answered with the typed node_unavailable error",
+                static_cast<double>(rc.node_unavailable));
+        counter("treesched_router_queue_full_total",
+                "Requests refused by upstream backpressure",
+                static_cast<double>(rc.queue_full));
+        counter("treesched_router_node_failures_total",
+                "Backend node-death events",
+                static_cast<double>(rc.node_failures));
+        counter("treesched_router_parse_errors_total",
+                "Requests rejected by the grammar",
+                static_cast<double>(rc.parse_errors));
+        gauge("treesched_router_connections", "Open client connections",
+              static_cast<double>(conns_.size()));
+        std::size_t up = 0;
+        for (const auto& node : upstreams_) {
+          if (node->state() == Upstream::State::kUp) ++up;
+        }
+        gauge("treesched_router_nodes_up", "Backend nodes currently up",
+              static_cast<double>(up));
+        for (std::size_t i = 0; i < upstreams_.size(); ++i) {
+          out.samples.push_back(obs::MetricSample{
+              "treesched_router_node_routed_total",
+              "node=\"" + upstreams_[i]->name() + "\"",
+              "Forwards routed to this backend node",
+              obs::MetricKind::kCounter, static_cast<double>(routed_[i]),
+              ""});
+        }
+      });
+  h_upstream_ = &registry_.histogram(
+      "treesched_router_upstream_seconds", "",
+      "Forward send to backend answer, one routed request",
+      obs::Histogram::latency_bounds_ns(), 1e-9, "upstream");
+}
+
+void Router::run() {
+  loop_.add(listener_.fd(), EPOLLIN,
+            [this](std::uint32_t) { accept_ready(); });
+  listener_active_ = true;
+  if (metrics_http_) metrics_http_->start();
+  if (config_.handle_signals) {
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGTERM);
+    sigaddset(&mask, SIGINT);
+    signal_fd_ = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+    if (signal_fd_ < 0) {
+      throw std::system_error(errno, std::generic_category(), "signalfd");
+    }
+    loop_.add(signal_fd_, EPOLLIN, [this](std::uint32_t) {
+      signalfd_siginfo info;
+      while (::read(signal_fd_, &info, sizeof(info)) > 0) {
+      }
+      begin_drain();
+    });
+  }
+  // Periodic health driver: connects, pings, timeouts, stats polls. It
+  // stays armed through the drain — a node that dies mid-drain must
+  // still fail over or error out the forwards it holds, or the drain
+  // would hang on answers that can never come.
+  health_timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (health_timer_fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "timerfd");
+  }
+  const auto interval_ns = static_cast<std::uint64_t>(
+      std::max(1.0, config_.health_interval_ms) * 1e6);
+  itimerspec spec{};
+  spec.it_value.tv_sec = static_cast<time_t>(interval_ns / 1'000'000'000ULL);
+  spec.it_value.tv_nsec = static_cast<long>(interval_ns % 1'000'000'000ULL);
+  spec.it_interval = spec.it_value;
+  ::timerfd_settime(health_timer_fd_, 0, &spec, nullptr);
+  loop_.add(health_timer_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t expirations = 0;
+    while (::read(health_timer_fd_, &expirations, sizeof(expirations)) > 0) {
+    }
+    const std::uint64_t now = obs::now_ns();
+    for (auto& node : upstreams_) node->health_tick(now);
+  });
+  {
+    // First connects happen now, not a health interval from now.
+    const std::uint64_t now = obs::now_ns();
+    for (auto& node : upstreams_) node->health_tick(now);
+  }
+  loop_.run();
+  if (metrics_http_) metrics_http_->stop();
+  if (signal_fd_ >= 0) {
+    loop_.remove(signal_fd_);
+    ::close(signal_fd_);
+    signal_fd_ = -1;
+  }
+  if (health_timer_fd_ >= 0) {
+    loop_.remove(health_timer_fd_);
+    ::close(health_timer_fd_);
+    health_timer_fd_ = -1;
+  }
+  if (drain_timer_fd_ >= 0) {
+    loop_.remove(drain_timer_fd_);
+    ::close(drain_timer_fd_);
+    drain_timer_fd_ = -1;
+  }
+}
+
+void Router::stop() {
+  loop_.post([this] { begin_drain(); });
+}
+
+void Router::accept_ready() {
+  listener_.accept_ready([this](int fd) {
+    if (draining_) {
+      ::close(fd);
+      return;
+    }
+    if (conns_.size() >= config_.max_conns) {
+      ++counters_.rejected_conns;
+      ResponseLine line;
+      line.ok = false;
+      line.code = ErrorCode::kQueueFull;
+      line.message = "router at max connections (" +
+                     std::to_string(config_.max_conns) + ")";
+      const std::string text = format_response_line(line) + "\n";
+      (void)::send(fd, text.data(), text.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      return;
+    }
+    ++counters_.accepted;
+    const std::uint64_t id = next_conn_id_++;
+    conns_.emplace(id, std::make_unique<RouterConnection>(*this, fd, id));
+  });
+}
+
+Result<std::uint64_t, ServiceError> Router::fingerprint_spec(
+    std::string_view spec) {
+  const auto it = spec_memo_.find(spec);
+  if (it != spec_memo_.end()) return it->second;
+  try {
+    // Same bounds a node enforces: hostile specs are the router's
+    // problem too, and they must fail BEFORE any allocation or read.
+    TreeSpecOptions limits;
+    limits.max_nodes = config_.max_spec_nodes;
+    limits.allow_file = !config_.tree_dir.empty();
+    limits.file_dir = config_.tree_dir;
+    limits.max_file_bytes = config_.max_spec_bytes;
+    // Build the tree just long enough to fingerprint it — the routing
+    // key must be bit-identical to what the node's store will compute,
+    // and hashing the resolved tree (not the spec text) is what makes
+    // `random:500:1` and an equivalent file: spec land on one node.
+    const Tree tree = tree_from_spec(std::string(spec), limits);
+    const std::uint64_t fp = tree_fingerprint(tree);
+    if (spec_memo_.size() >= config_.spec_memo_max) spec_memo_.clear();
+    spec_memo_.emplace(std::string(spec), fp);
+    return fp;
+  } catch (const std::exception& e) {
+    return ServiceError{ErrorCode::kBadRequest, e.what(),
+                        std::current_exception()};
+  }
+}
+
+Result<std::size_t, ServiceError> Router::route(Forward fwd) {
+  std::size_t total = 0;
+  std::size_t live = 0;
+  for (const auto& node : upstreams_) {
+    total += node->load();
+    if (node->state() != Upstream::State::kDown) ++live;
+  }
+  if (live == 0) {
+    return ServiceError{ErrorCode::kNodeUnavailable,
+                        "no backend node is up", nullptr};
+  }
+  // Bounded-load consistent hashing: the first live clockwise node
+  // under ceil(c * (total+1) / live) in-flight forwards takes the key.
+  // At least one live node sits at or below the average, so the walk
+  // only falls through when queues (not the bound) are the constraint.
+  const std::size_t bound = static_cast<std::size_t>(std::ceil(
+      config_.load_factor * static_cast<double>(total + 1) /
+      static_cast<double>(live)));
+  std::size_t chosen = SIZE_MAX;
+  std::size_t fallback = SIZE_MAX;
+  ring_.walk(fwd.fingerprint, [&](std::size_t node) {
+    const Upstream& up = *upstreams_[node];
+    if (!up.routable()) return false;
+    if (fallback == SIZE_MAX) fallback = node;
+    if (up.load() < bound) {
+      chosen = node;
+      return true;
+    }
+    return false;
+  });
+  if (chosen == SIZE_MAX) chosen = fallback;
+  if (chosen == SIZE_MAX) {
+    return ServiceError{
+        ErrorCode::kQueueFull,
+        "every live backend is at its queue bound (" +
+            std::to_string(config_.upstream_queue) +
+            " queued forwards); the cluster is saturated",
+        nullptr};
+  }
+  ++counters_.forwarded;
+  ++routed_[chosen];
+  upstreams_[chosen]->enqueue(std::move(fwd));
+  return chosen;
+}
+
+bool Router::try_cancel(std::size_t node, std::uint64_t conn_id,
+                        std::uint64_t key) {
+  if (node >= upstreams_.size()) return false;
+  if (!upstreams_[node]->cancel_queued(conn_id, key)) return false;
+  ++counters_.cancelled;
+  return true;
+}
+
+void Router::on_upstream_response(const Forward& fwd, ResponseLine&& resp) {
+  ++counters_.responses;
+  if (h_upstream_ != nullptr && fwd.sent_ns != 0) {
+    h_upstream_->record(obs::now_ns() - fwd.sent_ns);
+  }
+  const auto it = conns_.find(fwd.conn_id);
+  if (it == conns_.end()) return;  // client vanished; drop the answer
+  it->second->deliver(fwd.key, std::move(resp));
+}
+
+void Router::on_upstream_failed(Forward&& fwd) {
+  const std::uint64_t conn_id = fwd.conn_id;
+  const std::uint64_t key = fwd.key;
+  if (fwd.retries_left > 0) {
+    --fwd.retries_left;
+    ++counters_.retried;
+    Result<std::size_t, ServiceError> routed = route(std::move(fwd));
+    if (routed.ok()) {
+      const auto it = conns_.find(conn_id);
+      if (it != conns_.end()) it->second->note_routed(key, routed.value());
+      return;
+    }
+    ++counters_.node_unavailable;
+    settle_error(conn_id, key, ErrorCode::kNodeUnavailable,
+                 "the node serving this request died and no alternate "
+                 "could take it: " +
+                     routed.error().message);
+    return;
+  }
+  ++counters_.node_unavailable;
+  settle_error(conn_id, key, ErrorCode::kNodeUnavailable,
+               "the node serving this request died (retry budget "
+               "exhausted)");
+}
+
+void Router::settle_error(std::uint64_t conn_id, std::uint64_t key,
+                          ErrorCode code, std::string message) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ResponseLine line;
+  line.ok = false;
+  line.code = code;
+  line.message = std::move(message);
+  it->second->deliver(key, std::move(line));
+}
+
+void Router::defer_close(std::uint64_t conn_id) {
+  loop_.post([this, conn_id] {
+    conns_.erase(conn_id);
+    if (draining_) maybe_finish();
+  });
+}
+
+void Router::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listener_active_) {
+    loop_.remove(listener_.fd());
+    listener_active_ = false;
+  }
+  if (config_.drain_timeout_ms > 0.0 && drain_timer_fd_ < 0) {
+    // Same ceiling as the server's: a client that never reads its last
+    // answers must not hold the router process up forever.
+    drain_timer_fd_ =
+        ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (drain_timer_fd_ >= 0) {
+      const auto ns =
+          static_cast<std::uint64_t>(config_.drain_timeout_ms * 1e6);
+      itimerspec spec{};
+      spec.it_value.tv_sec = static_cast<time_t>(ns / 1'000'000'000ULL);
+      spec.it_value.tv_nsec = static_cast<long>(ns % 1'000'000'000ULL);
+      if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+        spec.it_value.tv_nsec = 1;
+      }
+      ::timerfd_settime(drain_timer_fd_, 0, &spec, nullptr);
+      loop_.add(drain_timer_fd_, EPOLLIN, [this](std::uint32_t) {
+        std::uint64_t expirations = 0;
+        while (::read(drain_timer_fd_, &expirations, sizeof(expirations)) >
+               0) {
+        }
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (const std::uint64_t id : ids) defer_close(id);
+      });
+    }
+  }
+  for (auto& [id, conn] : conns_) conn->begin_drain();
+  maybe_finish();
+}
+
+void Router::maybe_finish() {
+  // Unlike the server there is no outstanding-ticket count: forwards
+  // settle synchronously on this thread, and once every client is gone
+  // any answer still in flight from a backend has nowhere to go.
+  if (conns_.empty()) loop_.stop();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Router::stats_pairs()
+    const {
+  const RouterCounters& rc = counters_;
+  std::size_t up = 0;
+  for (const auto& node : upstreams_) {
+    if (node->state() == Upstream::State::kUp) ++up;
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out = {
+      {"conns", conns_.size()},
+      {"nodes", upstreams_.size()},
+      {"nodes_up", up},
+      {"accepted", rc.accepted},
+      {"rejected_conns", rc.rejected_conns},
+      {"lines", rc.lines},
+      {"forwarded", rc.forwarded},
+      {"responses", rc.responses},
+      {"retried", rc.retried},
+      {"node_unavailable", rc.node_unavailable},
+      {"queue_full", rc.queue_full},
+      {"node_failures", rc.node_failures},
+      {"connects", rc.connects},
+      {"orphan_responses", rc.orphan_responses},
+      {"cancelled", rc.cancelled},
+      {"v3_conns", rc.v3_conns},
+      {"frames_in", rc.frames_in},
+      {"frames_bad", rc.frames_bad},
+      {"batch_requests", rc.batch_requests},
+      {"parse_errors", rc.parse_errors},
+  };
+  for (std::size_t i = 0; i < upstreams_.size(); ++i) {
+    const std::string prefix = "node" + std::to_string(i) + "_";
+    out.emplace_back(prefix + "routed", routed_[i]);
+    out.emplace_back(prefix + "up",
+                     upstreams_[i]->state() == Upstream::State::kUp ? 1 : 0);
+    out.emplace_back(prefix + "inflight", upstreams_[i]->inflight());
+    out.emplace_back(prefix + "queued", upstreams_[i]->queued());
+  }
+  // Cluster-wide service view: sum the last polled stats snapshot of
+  // every node under a backend_ prefix. std::map keeps the key order
+  // stable run to run; a node that is down contributes nothing (its
+  // snapshot cleared with the socket).
+  std::map<std::string, std::uint64_t> agg;
+  for (const auto& node : upstreams_) {
+    for (const auto& [key, value] : node->last_stats()) agg[key] += value;
+  }
+  for (const auto& [key, value] : agg) {
+    out.emplace_back("backend_" + key, value);
+  }
+  return out;
+}
+
+}  // namespace treesched::cluster

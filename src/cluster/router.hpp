@@ -1,0 +1,277 @@
+#pragma once
+// Cluster router (src/cluster/): a protocol-transparent front-end that
+// shards the scheduling service across N backend schedule_server nodes
+// by tree fingerprint, so every request for the same tree lands on the
+// same node — and its warm result cache — no matter which client sent
+// it. Clients speak the unchanged text-v2 / binary-v3 protocols to the
+// router exactly as they would to one node; the cluster is invisible
+// except for being larger.
+//
+//   Client ──v2/v3──> RouterConnection ──route()──> Upstream ──v3──> node
+//      ^                    |   ^                      │
+//      └──── response ──────┘   └──── deliver() <──────┘ (id remapped)
+//
+// Routing: the router resolves each request's tree spec to the SAME
+// 64-bit content fingerprint the backends intern by (it builds the tree
+// once, fingerprints it, memoizes spec -> fingerprint, and drops the
+// tree — the router stores no trees and runs no scheduler), then walks
+// the consistent-hash ring (cluster/ring.hpp) from that fingerprint:
+// the first live node under the bounded-load threshold
+// ceil(load_factor * (total_in_flight + 1) / live_nodes) takes the
+// request. The bound keeps a hot fingerprint from melting its primary
+// while still sending nearly every key to its ring-deterministic home.
+//
+// Like the single-node server, the router is ONE epoll I/O thread and
+// never computes: client sockets, backend sockets, the health timer,
+// the metrics endpoint, and the signal fd all ride one EventLoop, so
+// every structure here is plain loop-thread state — no locks anywhere.
+//
+// Failure semantics (the part worth reading twice): a node death —
+// connect refused, socket error, EOF, or a ping overdue past
+// ping_timeout_ms — hands every in-flight and queued forward back to
+// the router. Each is retried on the next live ring alternate (the
+// requests are deterministic pure functions of the request line, so
+// re-execution is safe) up to `retries` times, then answered with the
+// typed node_unavailable error. Clients always get an answer: typed
+// errors, never a hang, never a dropped response. The dead node
+// reconnects with backoff and resumes taking its arc of the ring.
+//
+// `stats` answers with the router's own counters, per-node routing
+// counters, and a backend_-prefixed aggregate summed over each node's
+// periodically-polled stats. The same numbers export through the PR-7
+// metrics registry on --metrics-port (GET /metrics, Prometheus text).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/ring.hpp"
+#include "cluster/upstream.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/line_framer.hpp"
+#include "net/listener.hpp"
+#include "net/metrics_http.hpp"
+#include "obs/metrics.hpp"
+#include "service/errors.hpp"
+#include "util/result.hpp"
+
+namespace treesched::cluster {
+
+class RouterConnection;
+
+struct RouterConfig {
+  /// IPv4 address the client-facing listener binds.
+  std::string bind = "127.0.0.1";
+  /// Client-facing TCP port; 0 = kernel-assigned (see Router::port()).
+  std::uint16_t port = 0;
+  /// Backend endpoints, "host:port" each. At least one; duplicates are
+  /// rejected (one ring identity = one socket).
+  std::vector<std::string> nodes;
+  /// Virtual points per node on the consistent-hash ring.
+  int vnodes = 64;
+  /// Bounded-load factor c: a node already carrying more than
+  /// ceil(c * (total + 1) / live) in-flight forwards is skipped for the
+  /// next ring alternate. Larger = stickier placement, spikier load.
+  double load_factor = 1.25;
+  /// Client-facing limits, same meaning as the single-node server's.
+  std::size_t max_conns = 256;
+  std::size_t max_pending = 64;
+  std::size_t max_wbuf = 256 * 1024;
+  std::size_t max_line = net::LineFramer::kDefaultMaxLine;
+  std::size_t max_frame = net::kDefaultMaxFrame;
+  /// Install a signalfd for SIGTERM/SIGINT and drain gracefully (the
+  /// caller must block both signals first, like schedule_server does).
+  bool handle_signals = false;
+  /// Prometheus endpoint: -1 = none, 0 = ephemeral, else the port.
+  int metrics_port = -1;
+  std::string metrics_bind = "127.0.0.1";
+  /// Directory `trace dump=<file>` may write (router-side spans); empty
+  /// disables dumps — same confinement contract as the server's.
+  std::string trace_dir;
+  /// Directory `file:` tree specs may be read from WHEN FINGERPRINTING.
+  /// The router resolves specs itself to compute the routing key, so it
+  /// needs the same tree files the backends have (a shared directory in
+  /// practice). Empty refuses file: specs at the router.
+  std::string tree_dir;
+  /// Spec bounds enforced at fingerprint time, before any allocation or
+  /// read — the router is as exposed to hostile specs as a node is.
+  std::uint64_t max_spec_nodes = 2'000'000;
+  std::uint64_t max_spec_bytes = 16 << 20;
+  /// Graceful-drain ceiling in ms; 0 = wait forever. Same contract as
+  /// the server: past it, clients that never read are closed.
+  double drain_timeout_ms = 0.0;
+  /// Per-node forwarding window: at most this many forwards in flight
+  /// on one backend socket; excess queues router-side.
+  std::size_t upstream_window = 128;
+  /// Per-node queue bound; a full queue makes the node ineligible and,
+  /// with every alternate also full, answers queue_full (backpressure).
+  std::size_t upstream_queue = 1024;
+  /// Per-node socket write-buffer bound: past it queued forwards stay
+  /// queued (a backend that stops reading stalls its queue, not us).
+  std::size_t upstream_max_wbuf = 1 << 20;
+  /// Retry-on-alternate budget after a node death. The forwarded
+  /// requests are deterministic (same line -> same answer), so
+  /// re-execution on another node is safe.
+  int retries = 1;
+  /// Health cadence: ping each node this often; a node whose pong is
+  /// ping_timeout_ms overdue is declared dead. Reconnects back off by
+  /// reconnect_backoff_ms.
+  double health_interval_ms = 250.0;
+  double ping_timeout_ms = 2000.0;
+  double reconnect_backoff_ms = 500.0;
+  /// Every this many health ticks, poll each node's `stats` for the
+  /// aggregated stats verb. 0 disables polling.
+  unsigned stats_poll_ticks = 4;
+  /// Spec -> fingerprint memo bound (entries). The memo clears wholesale
+  /// when full — crude, but the router must never grow without bound on
+  /// a stream of distinct specs.
+  std::size_t spec_memo_max = 65536;
+};
+
+/// Monotonic router counters (loop-thread state, reported by `stats`
+/// and bridged into the metrics registry).
+struct RouterCounters {
+  std::uint64_t accepted = 0;         ///< client connections accepted
+  std::uint64_t rejected_conns = 0;   ///< turned away at max_conns
+  std::uint64_t lines = 0;            ///< client requests framed
+  std::uint64_t v3_conns = 0;         ///< clients that negotiated v3
+  std::uint64_t frames_in = 0;        ///< well-formed client v3 frames
+  std::uint64_t frames_bad = 0;       ///< protocol-violating client frames
+  std::uint64_t batch_requests = 0;   ///< requests arriving in batches
+  std::uint64_t parse_errors = 0;     ///< requests the grammar rejected
+  std::uint64_t forwarded = 0;        ///< forwards handed to an upstream
+  std::uint64_t responses = 0;        ///< backend answers delivered
+  std::uint64_t retried = 0;          ///< forwards re-routed after a death
+  std::uint64_t node_unavailable = 0; ///< requests answered with the typed
+                                      ///< node_unavailable error
+  std::uint64_t queue_full = 0;       ///< requests refused by backpressure
+  std::uint64_t node_failures = 0;    ///< node-death events
+  std::uint64_t connects = 0;         ///< successful backend connects
+  std::uint64_t orphan_responses = 0; ///< backend answers with no waiting
+                                      ///< forward (late after a retry)
+  std::uint64_t cancelled = 0;        ///< forwards cancelled while queued
+};
+
+class Router {
+ public:
+  /// Binds the client listener and resolves the node list (throws
+  /// std::invalid_argument / std::system_error) but does not serve yet.
+  explicit Router(RouterConfig config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] const std::string& address() const {
+    return listener_.address();
+  }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_http_ ? metrics_http_->port() : 0;
+  }
+  /// The router's own registry (scraped by --metrics-port).
+  [[nodiscard]] obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Serves until stop()/SIGTERM, then drains: the listener closes,
+  /// every accepted request is answered (by a backend or a typed
+  /// error), buffers flush, and run() returns. Blocks; the calling
+  /// thread becomes the I/O thread.
+  void run();
+
+  /// Begins a graceful drain from any thread.
+  void stop();
+
+ private:
+  friend class RouterConnection;
+  friend class Upstream;
+
+  struct SpecHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view spec) const {
+      return std::hash<std::string_view>{}(spec);
+    }
+  };
+
+  // --- RouterConnection-facing surface (loop thread only) -------------
+  net::EventLoop& loop() { return loop_; }
+  RouterCounters& counters() { return counters_; }
+  /// Spec -> routing fingerprint: builds the tree once under the same
+  /// limits a node enforces, fingerprints it, memoizes, DROPS the tree.
+  /// Typed kBadRequest on an unresolvable spec.
+  Result<std::uint64_t, ServiceError> fingerprint_spec(
+      std::string_view spec);
+  /// Routes one forward: bounded-load ring walk over live nodes, then
+  /// Upstream::enqueue. Returns the chosen node index, or the typed
+  /// error (kNodeUnavailable when no node is up, kQueueFull when every
+  /// live alternate is at its queue bound).
+  Result<std::size_t, ServiceError> route(Forward fwd);
+  /// Cancels a still-queued forward on `node`. False once it is on the
+  /// wire (or already answered) — then only the backend could stop it,
+  /// and the router deliberately never forwards cancels: a failed
+  /// remote cancel acks UNTAGGED, which is unattributable on a
+  /// multiplexed upstream connection shared by many clients.
+  bool try_cancel(std::size_t node, std::uint64_t conn_id,
+                  std::uint64_t key);
+  /// Posts the removal of connection `id` (idempotent).
+  void defer_close(std::uint64_t conn_id);
+  [[nodiscard]] bool draining() const { return draining_; }
+  /// The `stats` verb's payload: router counters, per-node routing
+  /// counters, then the backend_-prefixed aggregate.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  stats_pairs() const;
+
+  // --- Upstream-facing surface (loop thread only) ---------------------
+  /// Upstream wire ids, unique across every backend socket for the
+  /// router's lifetime — a retried forward gets a fresh uid, so a slow
+  /// answer from the first attempt can never alias the second.
+  std::uint64_t next_uid() { return next_uid_++; }
+  /// A backend answered forward `fwd`: record latency, deliver to the
+  /// client connection (dropped if the client is gone).
+  void on_upstream_response(const Forward& fwd, ResponseLine&& resp);
+  /// Forward `fwd`'s node died before answering: retry on the next live
+  /// ring alternate, or settle the typed node_unavailable error.
+  void on_upstream_failed(Forward&& fwd);
+
+  void accept_ready();
+  void begin_drain();
+  void maybe_finish();
+  void init_metrics();
+  /// Delivers a router-generated error to a client window entry.
+  void settle_error(std::uint64_t conn_id, std::uint64_t key,
+                    ErrorCode code, std::string message);
+
+  RouterConfig config_;
+  net::EventLoop loop_;
+  net::Listener listener_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<net::MetricsHttp> metrics_http_;
+  int signal_fd_ = -1;
+  int health_timer_fd_ = -1;
+  int drain_timer_fd_ = -1;
+  bool listener_active_ = false;
+
+  HashRing ring_;
+  std::vector<std::unique_ptr<Upstream>> upstreams_;
+  std::vector<std::uint64_t> routed_;  ///< per-node forwards routed
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<RouterConnection>>
+      conns_;
+  std::unordered_map<std::string, std::uint64_t, SpecHash, std::equal_to<>>
+      spec_memo_;
+  RouterCounters counters_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t next_uid_ = 1;
+  bool draining_ = false;
+
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  obs::Histogram* h_upstream_ = nullptr;  ///< forward send -> answer
+};
+
+}  // namespace treesched::cluster

@@ -1,0 +1,162 @@
+#pragma once
+// One backend node, as seen from the cluster router (src/cluster/): a
+// non-blocking protocol-v3 connection multiplexing every client's
+// forwarded requests onto one pipelined socket, plus the node's health
+// state machine. All methods run on the router's I/O (event-loop)
+// thread — the router is single-threaded end to end; it never computes,
+// so one epoll loop carries both sides of every hop.
+//
+// Forwarding: each routed request becomes a Forward — the canonical
+// request line (no id=), the client connection/window entry it answers,
+// the fingerprint it was routed by, and its remaining retry budget. At
+// send time the forward gets a router-assigned upstream id (one counter
+// across all upstreams, so an id can never collide anywhere) appended
+// as `id=<uid>`, making every upstream answer attributable no matter
+// how far out of order the backend completes it. Responses map uid ->
+// Forward -> client window entry; the id is rewritten back to the
+// client's own tag (or dropped for untagged requests) on delivery.
+//
+// Windowing: at most `upstream_window` forwards are in flight per node;
+// excess forwards wait in a bounded per-node queue. A full queue is the
+// router's backpressure signal — route() fails typed (queue_full) and
+// the client hears it immediately instead of the router buffering
+// without bound. A slow upstream additionally caps the socket write
+// buffer: past upstream_max_wbuf no queued forward is serialized, so a
+// node that stops reading stalls its own queue, never the router.
+//
+// Health: the router's periodic tick pings each node (kPing frames ride
+// the same uid space) and fails it when the pong is `ping_timeout_ms`
+// overdue, when connect() fails, or when the socket errors — whichever
+// comes first. fail() hands every in-flight and queued Forward back to
+// the router, which retries each on the next ring alternate (fresh uid,
+// deterministic requests make the re-execution safe) or answers the
+// typed node_unavailable error when the budget or the cluster is
+// exhausted. A failed node reconnects with backoff and re-enters the
+// ring eligibility set on the next successful connect.
+//
+// The tick also polls each node's `stats` (every few intervals); the
+// last snapshot feeds the router's aggregated stats verb and keeps
+// working while the node is up.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace treesched::cluster {
+
+class Router;
+
+/// One routed request (or router-internal probe) bound for a backend.
+struct Forward {
+  enum class Kind { kSchedule, kPing, kStatsPoll };
+  Kind kind = Kind::kSchedule;
+  std::uint64_t conn_id = 0;  ///< client connection (0 = router-internal)
+  std::uint64_t key = 0;      ///< client window entry
+  std::string line;           ///< canonical request line, no id= field
+  std::uint64_t fingerprint = 0;
+  int retries_left = 0;
+  std::uint64_t sent_ns = 0;  ///< stamped at (each) send, for latency
+};
+
+class Upstream {
+ public:
+  enum class State { kDown, kConnecting, kUp };
+
+  /// Does not connect — the router's first health tick does, so startup
+  /// failures ride the same backoff path as mid-run deaths.
+  Upstream(Router& router, std::size_t index, std::string host,
+           std::uint16_t port);
+  ~Upstream();
+
+  Upstream(const Upstream&) = delete;
+  Upstream& operator=(const Upstream&) = delete;
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Routing load: in-flight plus queued forwards (the bounded-load
+  /// ring compares these across nodes).
+  [[nodiscard]] std::size_t load() const {
+    return inflight_.size() + queue_.size();
+  }
+  [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Eligible for new routes: not known-dead and queue not full.
+  [[nodiscard]] bool routable() const;
+  /// Last polled backend `stats` snapshot (empty until the first poll).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>&
+  last_stats() const {
+    return last_stats_;
+  }
+
+  /// Accepts one forward: serializes it immediately when the window and
+  /// write buffer allow (so window/queue accounting is synchronous),
+  /// queues it otherwise. The actual send() syscall is deferred to the
+  /// end of the current event-loop dispatch batch, so N clients routed
+  /// here in one batch cost ONE write on the shared upstream socket.
+  /// The caller checked routable().
+  void enqueue(Forward fwd);
+
+  /// Removes a still-queued (never sent) forward for this client window
+  /// entry. True when it was found — the cancel settles client-side; a
+  /// forward already on the wire cannot be cancelled remotely.
+  bool cancel_queued(std::uint64_t conn_id, std::uint64_t key);
+
+  /// Health driver, called from the router's periodic tick: connects
+  /// (with backoff) when down, fails an overdue connect or ping, sends
+  /// the next ping / stats poll when up.
+  void health_tick(std::uint64_t now_ns);
+
+  /// Marks the node dead: closes the socket, hands every in-flight and
+  /// queued Forward back to the router (retry or typed error), arms the
+  /// reconnect backoff. Idempotent while down.
+  void fail(const std::string& reason);
+
+ private:
+  void try_connect(std::uint64_t now_ns);
+  void on_connected();
+  void handle_events(std::uint32_t events);
+  void on_readable();
+  void drain_frames();
+  void handle_response(ResponseLine&& resp);
+  void send_forward(Forward&& fwd);
+  /// Moves queued forwards into flight while the window and write
+  /// buffer have room.
+  void flush_queue();
+  void send_buffered();
+  /// Arms a once-per-dispatch-batch deferred send_buffered() (see
+  /// EventLoop::defer) instead of issuing a syscall per enqueue.
+  void schedule_send();
+  void update_interest();
+  void close_fd();
+
+  Router& router_;
+  const std::size_t index_;  ///< dense ring/node index
+  const std::string host_;
+  const std::uint16_t port_;
+  const std::string name_;  ///< "host:port", the ring identity
+
+  State state_ = State::kDown;
+  int fd_ = -1;
+  std::uint32_t interest_ = 0;
+  std::uint64_t connect_started_ns_ = 0;
+  std::uint64_t next_connect_ns_ = 0;  ///< backoff gate
+  std::uint64_t last_heard_ns_ = 0;    ///< any frame proves liveness
+  std::uint64_t ping_sent_ns_ = 0;     ///< 0 = no ping outstanding
+  unsigned ticks_since_stats_ = 0;
+
+  std::string wbuf_;
+  std::size_t wbuf_head_ = 0;
+  bool send_scheduled_ = false;  ///< a deferred send_buffered is armed
+  net::FrameReader reader_;
+
+  std::unordered_map<std::uint64_t, Forward> inflight_;  ///< by uid
+  std::deque<Forward> queue_;
+  std::vector<std::pair<std::string, std::uint64_t>> last_stats_;
+};
+
+}  // namespace treesched::cluster

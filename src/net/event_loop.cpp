@@ -81,6 +81,21 @@ void EventLoop::post(std::function<void()> fn) {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
 }
 
+void EventLoop::defer(std::function<void()> fn) {
+  deferred_.push_back(std::move(fn));
+}
+
+void EventLoop::run_deferred() {
+  // A deferred function may defer again (e.g. a send that filled the
+  // kernel buffer and wants another try after the next batch it joins);
+  // loop until the queue is quiet so nothing leaks into the epoll wait.
+  while (!deferred_.empty()) {
+    std::vector<std::function<void()>> batch;
+    batch.swap(deferred_);
+    for (std::function<void()>& fn : batch) fn();
+  }
+}
+
 void EventLoop::drain_wakeup() {
   std::uint64_t count = 0;
   while (::read(wake_fd_, &count, sizeof(count)) > 0) {
@@ -124,6 +139,7 @@ void EventLoop::run() {
       batch.swap(posted_);
     }
     for (std::function<void()>& fn : batch) fn();
+    run_deferred();
   }
   // stop() ran as a posted function, so every function posted before it
   // has already run; drain stragglers posted after (completions racing
@@ -137,6 +153,7 @@ void EventLoop::run() {
     }
     if (batch.empty()) break;
     for (std::function<void()>& fn : batch) fn();
+    run_deferred();
   }
   stop_ = false;  // run() may be called again
 }

@@ -58,6 +58,15 @@ class EventLoop {
   /// before run() returns.
   void post(std::function<void()> fn);
 
+  /// Loop thread ONLY: runs `fn` later in the CURRENT iteration — after
+  /// the fd dispatch batch and that iteration's posted functions,
+  /// before the next epoll wait. No lock, no eventfd wakeup: this is
+  /// the cheap way for handlers to coalesce work across one dispatch
+  /// batch (e.g. one send() syscall for many enqueues onto a shared
+  /// socket). Deferred functions run in defer order and may defer
+  /// again; everything deferred before run() returns is invoked.
+  void defer(std::function<void()> fn);
+
   /// Dispatches events until stop(). Must be called from exactly one
   /// thread — that thread becomes the loop thread.
   void run();
@@ -68,6 +77,8 @@ class EventLoop {
 
  private:
   void drain_wakeup();
+  /// Runs deferred functions until none remain (they may defer again).
+  void run_deferred();
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
@@ -78,6 +89,7 @@ class EventLoop {
 
   std::mutex post_mutex_;
   std::vector<std::function<void()>> posted_;
+  std::vector<std::function<void()>> deferred_;  ///< loop thread only
 };
 
 }  // namespace treesched::net

@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <sys/signalfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -36,6 +37,7 @@ Server::Server(SchedulingService& service, ServerConfig config)
 Server::~Server() {
   *alive_ = false;
   if (signal_fd_ >= 0) ::close(signal_fd_);
+  if (drain_timer_fd_ >= 0) ::close(drain_timer_fd_);
 }
 
 void Server::init_metrics() {
@@ -180,6 +182,11 @@ void Server::run() {
     ::close(signal_fd_);
     signal_fd_ = -1;
   }
+  if (drain_timer_fd_ >= 0) {
+    loop_.remove(drain_timer_fd_);
+    ::close(drain_timer_fd_);
+    drain_timer_fd_ = -1;
+  }
 }
 
 void Server::stop() {
@@ -227,6 +234,7 @@ Result<TreeHandle, ServiceError> Server::intern_spec(std::string_view spec) {
     limits.max_nodes = config_.max_spec_nodes;
     limits.allow_file = !config_.tree_dir.empty();
     limits.file_dir = config_.tree_dir;
+    limits.max_file_bytes = config_.max_spec_bytes;
     // try_intern keeps store rejection typed (kStoreFull); only spec
     // resolution itself (file IO, generator args) still throws.
     Result<TreeHandle, ServiceError> handle =
@@ -272,6 +280,37 @@ void Server::begin_drain() {
   if (listener_active_) {
     loop_.remove(listener_.fd());
     listener_active_ = false;
+  }
+  if (config_.drain_timeout_ms > 0.0 && drain_timer_fd_ < 0) {
+    // The drain's hard ceiling: a client that never reads its answers
+    // keeps its write buffer from flushing, which would hold run() up
+    // forever. Past the timeout every remaining connection closes —
+    // undelivered answers are dropped, queued tickets cancelled — and
+    // the outstanding-ticket accounting finishes the drain as usual.
+    drain_timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+    if (drain_timer_fd_ >= 0) {
+      const auto ns =
+          static_cast<std::uint64_t>(config_.drain_timeout_ms * 1e6);
+      itimerspec spec{};
+      spec.it_value.tv_sec = static_cast<time_t>(ns / 1'000'000'000ULL);
+      spec.it_value.tv_nsec = static_cast<long>(ns % 1'000'000'000ULL);
+      if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+        spec.it_value.tv_nsec = 1;
+      }
+      ::timerfd_settime(drain_timer_fd_, 0, &spec, nullptr);
+      loop_.add(drain_timer_fd_, EPOLLIN, [this](std::uint32_t) {
+        std::uint64_t expirations = 0;
+        while (::read(drain_timer_fd_, &expirations, sizeof(expirations)) >
+               0) {
+        }
+        // Snapshot the ids: defer_close posts erasures, and destructors
+        // must not run while we iterate the map.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (const std::uint64_t id : ids) defer_close(id);
+      });
+    }
   }
   for (auto& [id, conn] : conns_) conn->begin_drain();
   maybe_finish();

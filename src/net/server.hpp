@@ -104,6 +104,17 @@ struct ServerConfig {
   /// allocation. 0 = unlimited (trusted networks only — a client could
   /// request a multi-gigabyte tree in one line).
   std::uint64_t max_spec_nodes = 2'000'000;
+  /// Upper bound on the on-disk size of a `file:` tree spec, checked
+  /// BEFORE the file is read (max_spec_nodes bounds the parsed tree;
+  /// this bounds the read itself). 0 = unlimited.
+  std::uint64_t max_spec_bytes = 16 << 20;
+  /// Hard ceiling on the graceful drain, in milliseconds: a SIGTERM/
+  /// stop() drain normally waits for every client to read its last
+  /// answers, but a client that never reads would hold the process up
+  /// forever. Past the timeout the remaining connections are closed
+  /// (their queued tickets cancelled) and the drain completes. 0 = wait
+  /// forever (the pre-timeout behavior).
+  double drain_timeout_ms = 0.0;
 };
 
 /// Monotonic server counters (I/O-thread state, reported by `stats`).
@@ -204,6 +215,7 @@ class Server {
   Listener listener_;
   std::unique_ptr<MetricsHttp> metrics_http_;
   int signal_fd_ = -1;
+  int drain_timer_fd_ = -1;  ///< armed by begin_drain past drain_timeout_ms
   bool listener_active_ = false;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;

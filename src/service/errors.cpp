@@ -20,6 +20,7 @@ constexpr CodeName kCodeNames[] = {
     {ErrorCode::kSchedulerFailure, "scheduler_failure"},
     {ErrorCode::kStoreFull, "store_full"},
     {ErrorCode::kBadRequest, "bad_request"},
+    {ErrorCode::kNodeUnavailable, "node_unavailable"},
 };
 
 }  // namespace
@@ -54,6 +55,7 @@ std::exception_ptr to_exception(const ServiceError& error) {
     case ErrorCode::kBadRequest:
       return std::make_exception_ptr(std::invalid_argument(error.message));
     case ErrorCode::kSchedulerFailure:
+    case ErrorCode::kNodeUnavailable:
       break;
   }
   return std::make_exception_ptr(std::runtime_error(error.message));

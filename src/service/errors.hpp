@@ -36,6 +36,9 @@ enum class ErrorCode : int {
   kStoreFull = 6,         ///< instance store byte budget exhausted
   kBadRequest = 7,        ///< protocol-level violation (parse error,
                           ///< unknown id, malformed cancel, bad frame)
+  kNodeUnavailable = 8,   ///< cluster router: the backend node chosen for
+                          ///< this request died (or no node is up) and no
+                          ///< retry on an alternate succeeded
 };
 
 /// Wire spelling of `code` ("unknown_algorithm", "queue_full", ...).
@@ -93,7 +96,7 @@ class StoreFull : public std::runtime_error {
 /// code (kDeadlineExpired -> DeadlineExpired, kQueueFull -> QueueFull,
 /// kCancelled -> Cancelled, kStoreFull -> StoreFull, kUnknownAlgorithm /
 /// kInvalidResources / kBadRequest -> std::invalid_argument,
-/// kSchedulerFailure -> std::runtime_error).
+/// kSchedulerFailure / kNodeUnavailable -> std::runtime_error).
 [[nodiscard]] std::exception_ptr to_exception(const ServiceError& error);
 
 [[noreturn]] inline void throw_error(const ServiceError& error) {

@@ -31,6 +31,29 @@ using TreeHash = std::uint64_t;
 /// patterns of the work values, mixed with splitmix64. Structural and
 /// weight changes both change the hash; node order matters (two
 /// relabelings of the same tree are distinct instances).
+///
+/// The fingerprint is 64 bits, and at production scale that is NOT
+/// collision-free: the birthday bound puts 50% collision odds near 2^32
+/// distinct trees, and an adversary who knows the (unkeyed, invertible)
+/// mixer can construct colliding pairs outright — tests do exactly that.
+/// Every consumer must therefore treat it as a ROUTING key, never an
+/// identity:
+///  * intern time: InstanceStore::try_intern verifies full structural
+///    equality (trees_identical) on every fingerprint match before
+///    aliasing, so two colliding trees get two distinct uids — the
+///    comparison only runs on hash matches, i.e. it is free until the
+///    day a collision actually happens;
+///  * cache keys: the result cache is keyed by the store-assigned uid,
+///    not the fingerprint, so colliding trees can never share a cached
+///    schedule;
+///  * the wire: response lines spell the fingerprint (tree=<hex>) as a
+///    human-checkable label only;
+///  * the cluster: the router shards requests across nodes by
+///    fingerprint (cluster/ring.hpp). A collision there merely lands
+///    two distinct trees on the same node, where the node's own store
+///    disambiguates them — placement is allowed to collide, identity is
+///    not. Widening to 128 bits would shrink the placement-collision
+///    rate but is deliberately NOT a correctness requirement anywhere.
 [[nodiscard]] TreeHash tree_fingerprint(const Tree& tree);
 
 /// Exact content equality (used to disambiguate fingerprint collisions).
