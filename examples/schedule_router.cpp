@@ -24,7 +24,10 @@
 // schedule_server's flags — the router resolves specs itself to compute
 // routing fingerprints, so it needs the same tree files the nodes see.
 // --metrics-port serves GET /metrics (0 = ephemeral, printed);
-// --trace-dir allows `trace dump=` of the router's own spans;
+// --trace-dir allows `trace dump=` — on the router this is the MERGED
+// cluster dump (its own spans plus every live node's, one pid each);
+// --log-json PATH appends structured JSON-lines events (node deaths,
+// reconnects, retries, drains) to PATH; "-" = stdout.
 // --drain-timeout-ms caps the SIGTERM drain exactly like the server's.
 //
 // Failure semantics: a dead node's unanswered requests are retried on
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
     config.handle_signals = true;
     config.metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
     config.trace_dir = args.get("trace-dir", "");
+    config.log_json = args.get("log-json", "");
     config.tree_dir = args.get("tree-dir", "");
     config.max_spec_nodes =
         static_cast<std::uint64_t>(args.get_int("max-spec-nodes", 2'000'000));

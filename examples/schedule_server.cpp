@@ -25,6 +25,8 @@
 // --trace-dir DIR allows the `trace dump=<file>` verb to write Chrome
 // trace JSON into DIR (relative names only); without it dumps are
 // refused — a network client must not name server-side files.
+// --log-json PATH appends structured JSON-lines events (drains, slow
+// requests, queue rejections) to PATH; "-" = stdout.
 // --tree-dir DIR allows `file:` tree specs to read trees from DIR
 // (relative names only); without it file: specs are refused — a network
 // client must not choose what the server opens. --max-spec-nodes N
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
     server_config.metrics_port = static_cast<int>(args.get_int("metrics-port", -1));
     server_config.slow_ms = args.get_double("slow-ms", 0.0);
     server_config.trace_dir = args.get("trace-dir", "");
+    server_config.log_json = args.get("log-json", "");
     server_config.tree_dir = args.get("tree-dir", "");
     server_config.max_spec_nodes =
         static_cast<std::uint64_t>(args.get_int("max-spec-nodes", 2'000'000));

@@ -14,6 +14,7 @@ Usage:
         [--min-v3-ratio 3.0]
         [--min-cache-scale-ratio 1.0]
         [--min-router-ratio 0.7]
+        [--max-trace-overhead 0.05]
 
 Two independent comparisons, each optional, both against COMMITTED
 baselines — no artifact chaining anywhere, so sub-threshold drift
@@ -41,8 +42,10 @@ numbers.
     run, so the ratio is hardware-independent), the routed-over-direct
     cache-hit throughput through the cluster router must stay >=
     --min-router-ratio (both paths hit the SAME backend in the same
-    bench run, so this too holds on any machine), and the
-    cached/uncached speedup gates like an rps key.
+    bench run, so this too holds on any machine), the fractional rps
+    lost with the span recorder enabled (trace_overhead_ratio, tracer
+    off vs on in the same run) must stay <= --max-trace-overhead, and
+    the cached/uncached speedup gates like an rps key.
 
 Updating the baselines
 ----------------------
@@ -206,6 +209,13 @@ def main():
                              "backend hit directly) in the current run — "
                              "both paths measured in the SAME run, so it "
                              "gates on any machine (default 0.7; 0 disables)")
+    parser.add_argument("--max-trace-overhead", type=float, default=0.05,
+                        help="allowed trace_overhead_ratio (fractional "
+                             "cache-hot rps lost with the span recorder "
+                             "enabled) in the current run — tracer off and "
+                             "on are measured in the SAME run, so it gates "
+                             "on any machine (default 0.05; negative "
+                             "disables)")
     args = parser.parse_args()
 
     regressions = []
@@ -272,6 +282,21 @@ def main():
                 regressions.append(
                     ("router_over_direct_ratio",
                      routed / args.min_router_ratio - 1.0))
+            compared += 1
+        # Unlike the ratios above, trace_overhead_ratio is legitimately
+        # <= 0 when tracing lands within noise, so no `> 0` filter here.
+        overhead = doc.get("trace_overhead_ratio")
+        if args.max_trace_overhead >= 0 \
+                and isinstance(overhead, (int, float)):
+            ok = overhead <= args.max_trace_overhead
+            print(f"span-recorder overhead on cache-hot rps: "
+                  f"{overhead:+.1%} "
+                  f"(required <= {args.max_trace_overhead:.1%})"
+                  f"{'' if ok else '  << REGRESSION'}")
+            if not ok:
+                regressions.append(
+                    ("trace_overhead_ratio",
+                     overhead - args.max_trace_overhead))
             compared += 1
 
     if regressions:

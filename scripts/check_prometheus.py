@@ -13,7 +13,13 @@ Checks, per file:
   * counter samples are non-negative;
   * every TYPE histogram series has increasing `le` bounds, cumulative
     (non-decreasing) bucket counts, an `le="+Inf"` bucket, and that
-    +Inf count equals the series' `_count` sample.
+    +Inf count equals the series' `_count` sample;
+  * every TYPE histogram has a sliding-window companion gauge
+    `<name>_window` carrying exactly the quantile="0.5"/"0.9"/"0.99"
+    labels per series, with non-negative values that do not decrease as
+    the quantile rises, plus a `<name>_window_count` sample. The window
+    series are gauges (they decay), so they are exempt from the
+    two-scrape monotonicity check below.
 
 With two files, additionally checks that every counter — including
 histogram `_bucket`/`_count`/`_sum` series — is monotonic: the second
@@ -149,6 +155,7 @@ def parse_exposition(path):
             errors.append(f"{where}: counter {name} is negative ({value})")
 
     check_histograms(path, samples, types, errors)
+    check_windowed_gauges(path, samples, types, errors)
     return samples, types, errors
 
 
@@ -201,6 +208,52 @@ def check_histograms(path, samples, types, errors):
                     f"({ordered[-1][1]}) != _count ({count})")
             if (name + "_sum", rest) not in samples:
                 errors.append(f"{path}: {name}{dict(rest)} lacks _sum")
+
+
+def check_windowed_gauges(path, samples, types, errors):
+    """Every histogram must export a <name>_window quantile gauge."""
+    for name, t in types.items():
+        if t != "histogram":
+            continue
+        wname = name + "_window"
+        if types.get(wname) != "gauge":
+            errors.append(
+                f"{path}: histogram {name} lacks its {wname} gauge")
+            continue
+        # Group window samples by labels-minus-quantile series identity.
+        series = {}
+        for (sname, labels), value in samples.items():
+            if sname != wname:
+                continue
+            q = [v for k, v in labels if k == "quantile"]
+            rest = tuple(p for p in labels if p[0] != "quantile")
+            if len(q) != 1:
+                errors.append(
+                    f"{path}: {wname} series without one quantile label")
+                continue
+            series.setdefault(rest, {})[q[0]] = value
+        if not series:
+            errors.append(f"{path}: {wname} has no quantile samples")
+        for rest, quantiles in series.items():
+            if sorted(quantiles) != ["0.5", "0.9", "0.99"]:
+                errors.append(
+                    f"{path}: {wname}{dict(rest)} quantiles are "
+                    f"{sorted(quantiles)}, want ['0.5', '0.9', '0.99']")
+                continue
+            ordered = [quantiles["0.5"], quantiles["0.9"], quantiles["0.99"]]
+            if any(v < 0 for v in ordered):
+                errors.append(
+                    f"{path}: {wname}{dict(rest)} has a negative quantile")
+            if any(b < a for a, b in zip(ordered, ordered[1:])):
+                errors.append(
+                    f"{path}: {wname}{dict(rest)} quantiles decrease as the "
+                    f"quantile rises: {ordered}")
+            count = samples.get((wname + "_count", rest))
+            if count is None:
+                errors.append(f"{path}: {wname}{dict(rest)} lacks _count")
+            elif count < 0:
+                errors.append(
+                    f"{path}: {wname}{dict(rest)} _count is negative")
 
 
 def monotonic_series(samples, types):

@@ -5,12 +5,17 @@
 # cluster-wide cache probe (warm a tree through one client, hit it from
 # a fresh client routed to the same node), protocol transparency (text
 # v2 and a binary-v3 batch frame through the router), the aggregated
-# stats vocabulary (per-node routing counters + backend_ sums), and the
+# stats vocabulary (per-node routing counters + backend_ sums), the
 # Prometheus endpoint (scraped twice, counters must be monotonic, the
-# per-node routed series must carry node="..." labels). Then one node
+# per-node routed series must carry node="..." labels), and the
+# cluster-wide trace path (`trace start` broadcast to every node, a
+# merged `trace dump=` whose single Chrome JSON carries one pid and
+# process_name per process — router plus both backends). Then one node
 # is SIGKILLed — abrupt death, no drain — and the cluster must detect
-# it, report nodes_up=1, and keep answering every request on the
-# survivor. Finally the router SIGTERMs to a clean graceful drain.
+# it, report nodes_up=1, keep answering every request on the survivor,
+# and record the death as a structured node_down event in the
+# --log-json event log. Finally the router SIGTERMs to a clean
+# graceful drain, which must land drain events in the same log.
 # Run by CTest as schedule_cluster_e2e with the router binary as $1 and
 # the server binary as $2 — and by the ASan/TSan CI jobs, where the
 # node-death forward handoff and the upstream reconnect machinery are
@@ -51,8 +56,10 @@ wait_port() { # $1 = stdout file, $2 = pid, $3 = label
 port_a=$(wait_port "$workdir/node_a_out" "$node_a_pid" "node A")
 port_b=$(wait_port "$workdir/node_b_out" "$node_b_pid" "node B")
 
+mkdir "$workdir/traces"
 "$router_bin" --port 0 --nodes "127.0.0.1:$port_a,127.0.0.1:$port_b" \
     --metrics-port 0 --health-interval-ms 25 --backoff-ms 50 \
+    --trace-dir "$workdir/traces" --log-json "$workdir/events.jsonl" \
     > "$workdir/router_out" 2> "$workdir/router_err" &
 router_pid=$!
 rport=$(wait_port "$workdir/router_out" "$router_pid" "router")
@@ -66,7 +73,7 @@ done
 
 python3 - "$rport" "$mport" "$workdir" phase1 \
     <<'EOF' || fail "phase-1 client driver reported a failure"
-import socket, struct, sys, time, urllib.request
+import json, socket, struct, sys, time, urllib.request
 
 rport, mport, workdir = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
 errors = []
@@ -153,6 +160,40 @@ while off + 8 <= len(data):
 if ids != set(range(10, 16)):
     errors.append(f"v3 batch through the router lost answers: {sorted(ids)}")
 
+# Cluster-wide tracing: `trace start` broadcasts to every node, traced
+# traffic flows, and one `trace dump=` merges the router's spans with a
+# live `trace pull` from each backend into a single Chrome JSON — one
+# pid and one process_name metadata event per process.
+(reply,) = ask("trace start id=90")
+if not reply.startswith("trace id=90 ") or "enabled=1" not in reply:
+    errors.append(f"trace start refused: {reply}")
+for i in range(4):
+    ask(f"random:160:{i} Liu 1 id={20+i}")
+(reply,) = ask("trace dump=cluster.json id=91")
+if not reply.startswith("trace id=91 ") or "nodes_merged=2" not in reply \
+        or "pull_failures=0" not in reply:
+    errors.append(f"merged trace dump failed: {reply}")
+(reply,) = ask("trace status id=92")
+if not reply.startswith("trace id=92 ") or \
+        "node1_pull_failures=0" not in reply:
+    errors.append(f"trace status refused: {reply}")
+ask("trace stop id=93")
+try:
+    with open(f"{workdir}/traces/cluster.json") as f:
+        events = json.load(f)["traceEvents"]
+    pids = {e["pid"] for e in events}
+    procs = {e["args"]["name"] for e in events
+             if e.get("ph") == "M" and e.get("name") == "process_name"}
+    if pids != {1, 2, 3}:
+        errors.append(f"merged dump pids are {sorted(pids)}, want 1..3")
+    if "router" not in procs or \
+            sum(1 for p in procs if p.startswith("node ")) != 2:
+        errors.append(f"merged dump process names are {sorted(procs)}")
+    if not any(e.get("ph") == "X" for e in events):
+        errors.append("merged dump has no duration spans")
+except (OSError, ValueError, KeyError) as e:
+    errors.append(f"merged trace dump is not readable Chrome JSON: {e}")
+
 # The aggregated stats vocabulary: per-node routing counters must sum
 # to forwarded, and the polled backend_ aggregate must be present.
 st = stats()
@@ -235,6 +276,21 @@ if errors:
     sys.exit(1)
 EOF
 
+# The SIGKILLed node must be on the structured event log as a
+# node_down record — and every line of that log must be one valid
+# JSON object.
+grep -q '"event":"node_down"' "$workdir/events.jsonl" \
+    || fail "event log lacks a node_down record: $(cat "$workdir/events.jsonl")"
+python3 - "$workdir/events.jsonl" <<'EOF' \
+    || fail "event log is not valid JSON lines"
+import json, sys
+with open(sys.argv[1]) as f:
+    for lineno, line in enumerate(f, 1):
+        obj = json.loads(line)
+        assert isinstance(obj, dict) and "event" in obj and "ts_ns" in obj, \
+            f"line {lineno} lacks event/ts_ns: {line!r}"
+EOF
+
 python3 "$checker" "$workdir/scrape1.txt" "$workdir/scrape2.txt" \
     || fail "Prometheus exposition checker rejected the router scrapes"
 
@@ -245,6 +301,9 @@ wait "$router_pid" || router_status=$?
 [ "$router_status" -eq 0 ] || fail "router exited $router_status on SIGTERM"
 grep -q "drained: all accepted requests answered" "$workdir/router_err" \
     || fail "missing router drain confirmation: $(cat "$workdir/router_err")"
+grep -q '"event":"drain_begin"' "$workdir/events.jsonl" \
+    && grep -q '"event":"drain_complete"' "$workdir/events.jsonl" \
+    || fail "event log lacks the drain records: $(cat "$workdir/events.jsonl")"
 
 kill -TERM "$node_a_pid"
 node_status=0

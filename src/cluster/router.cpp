@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <fstream>
 #include <map>
 #include <stdexcept>
 #include <system_error>
@@ -17,6 +18,7 @@
 
 #include "campaign/dataset.hpp"
 #include "cluster/router_connection.hpp"
+#include "obs/event_log.hpp"
 #include "service/instance_store.hpp"
 
 namespace treesched::cluster {
@@ -70,6 +72,15 @@ Router::Router(RouterConfig config)
     upstreams_.push_back(
         std::make_unique<Upstream>(*this, index, std::move(host), port));
     routed_.push_back(0);
+    trace_pull_failures_.push_back(0);
+  }
+  if (!config_.log_json.empty() && !obs::EventLog::global().enabled()) {
+    std::string error;
+    if (!obs::EventLog::global().open(config_.log_json, error)) {
+      throw std::system_error(
+          std::make_error_code(std::errc::io_error),
+          "cannot open --log-json sink: " + error);
+    }
   }
   init_metrics();
   if (config_.metrics_port >= 0) {
@@ -141,11 +152,51 @@ void Router::init_metrics() {
         gauge("treesched_router_nodes_up", "Backend nodes currently up",
               static_cast<double>(up));
         for (std::size_t i = 0; i < upstreams_.size(); ++i) {
+          const std::string node_label =
+              "node=\"" + upstreams_[i]->name() + "\"";
           out.samples.push_back(obs::MetricSample{
-              "treesched_router_node_routed_total",
-              "node=\"" + upstreams_[i]->name() + "\"",
+              "treesched_router_node_routed_total", node_label,
               "Forwards routed to this backend node",
               obs::MetricKind::kCounter, static_cast<double>(routed_[i]),
+              ""});
+          out.samples.push_back(obs::MetricSample{
+              "treesched_router_node_disconnects_total", node_label,
+              "Death events of this backend node",
+              obs::MetricKind::kCounter,
+              static_cast<double>(upstreams_[i]->disconnects()), ""});
+          out.samples.push_back(obs::MetricSample{
+              "treesched_router_node_retries_total", node_label,
+              "Forwards this node's deaths handed back with retry budget",
+              obs::MetricKind::kCounter,
+              static_cast<double>(upstreams_[i]->retries()), ""});
+          out.samples.push_back(obs::MetricSample{
+              "treesched_router_node_last_error_code", node_label,
+              "Numeric reason of this node's last death (0 = never died)",
+              obs::MetricKind::kGauge,
+              static_cast<double>(upstreams_[i]->last_error_code()), ""});
+        }
+      });
+  // Windowed SLO error ratio per priority class, same contract as the
+  // server tier's: errors over settled requests across the sliding
+  // last-minute window (0 when idle).
+  registry_.register_collector(
+      [this, alive = std::weak_ptr<bool>(alive_)](obs::RegistrySnapshot& out) {
+        if (alive.expired()) return;
+        for (int c = 0; c <= kPriorityClasses; ++c) {
+          const char* label = c == kPriorityClasses
+                                  ? "all"
+                                  : to_string(static_cast<Priority>(c));
+          const std::uint64_t total = slo_responses_[c].windowed();
+          const std::uint64_t errors = slo_errors_[c].windowed();
+          out.samples.push_back(obs::MetricSample{
+              "treesched_router_slo_error_ratio",
+              std::string("class=\"") + label + "\"",
+              "Errored share of settled requests over the sliding "
+              "last-minute window",
+              obs::MetricKind::kGauge,
+              total == 0 ? 0.0
+                         : static_cast<double>(errors) /
+                               static_cast<double>(total),
               ""});
         }
       });
@@ -153,6 +204,26 @@ void Router::init_metrics() {
       "treesched_router_upstream_seconds", "",
       "Forward send to backend answer, one routed request",
       obs::Histogram::latency_bounds_ns(), 1e-9, "upstream");
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    std::string labels = "class=\"";
+    labels.append(to_string(static_cast<Priority>(c))).append("\"");
+    // The router's rolling per-class p99 gauges ride these histograms'
+    // sliding windows (treesched_router_upstream_seconds_window).
+    h_upstream_class_[c] = &registry_.histogram(
+        "treesched_router_upstream_seconds", labels,
+        "Forward send to backend answer, one routed request",
+        obs::Histogram::latency_bounds_ns(), 1e-9, "");
+  }
+}
+
+void Router::note_settled(int cls, bool ok) {
+  if (cls < 0 || cls > kPriorityClasses) cls = kPriorityClasses;
+  slo_responses_[cls].inc();
+  if (!ok) slo_errors_[cls].inc();
+  if (cls != kPriorityClasses) {
+    slo_responses_[kPriorityClasses].inc();
+    if (!ok) slo_errors_[kPriorityClasses].inc();
+  }
 }
 
 void Router::run() {
@@ -332,8 +403,20 @@ bool Router::try_cancel(std::size_t node, std::uint64_t conn_id,
 
 void Router::on_upstream_response(const Forward& fwd, ResponseLine&& resp) {
   ++counters_.responses;
-  if (h_upstream_ != nullptr && fwd.sent_ns != 0) {
-    h_upstream_->record(obs::now_ns() - fwd.sent_ns);
+  if (fwd.sent_ns != 0) {
+    const std::uint64_t rtt = obs::now_ns() - fwd.sent_ns;
+    if (h_upstream_ != nullptr) h_upstream_->record(rtt);
+    if (fwd.priority >= 0 && fwd.priority < kPriorityClasses &&
+        h_upstream_class_[fwd.priority] != nullptr) {
+      h_upstream_class_[fwd.priority]->record(rtt);
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      // The router-side half of the cross-process trace: this span's
+      // arg (the trace id) matches the backend's net/accept span for
+      // the same request in a merged dump.
+      tracer.record("router/upstream", fwd.sent_ns, rtt, fwd.trace_id);
+    }
   }
   const auto it = conns_.find(fwd.conn_id);
   if (it == conns_.end()) return;  // client vanished; drop the answer
@@ -346,6 +429,12 @@ void Router::on_upstream_failed(Forward&& fwd) {
   if (fwd.retries_left > 0) {
     --fwd.retries_left;
     ++counters_.retried;
+    obs::EventLog::global().emit(
+        "retry", fwd.trace_id,
+        {obs::EventLog::Field::u64("conn", fwd.conn_id),
+         obs::EventLog::Field::u64("retries_left",
+                                   static_cast<std::uint64_t>(
+                                       fwd.retries_left))});
     Result<std::size_t, ServiceError> routed = route(std::move(fwd));
     if (routed.ok()) {
       const auto it = conns_.find(conn_id);
@@ -363,6 +452,114 @@ void Router::on_upstream_failed(Forward&& fwd) {
   settle_error(conn_id, key, ErrorCode::kNodeUnavailable,
                "the node serving this request died (retry budget "
                "exhausted)");
+}
+
+void Router::broadcast_trace_ctl(const std::string& line) {
+  for (auto& node : upstreams_) {
+    if (node->state() != Upstream::State::kUp) continue;
+    Forward ctl;
+    ctl.kind = Forward::Kind::kTraceCtl;
+    ctl.line = line;
+    node->enqueue(std::move(ctl));
+  }
+}
+
+bool Router::start_trace_dump(std::uint64_t conn_id, std::uint64_t key,
+                              std::string path, std::string& error) {
+  if (trace_dump_) {
+    error = "a merged trace dump is already in progress";
+    return false;
+  }
+  trace_dump_ = std::make_unique<TraceDump>();
+  trace_dump_->conn_id = conn_id;
+  trace_dump_->key = key;
+  trace_dump_->path = std::move(path);
+  // The router's own spans merge as pid 1; each backend node gets
+  // pid 2 + its dense index, so the Perfetto timeline shows one row
+  // group per process with stable names.
+  obs::ProcessSpans self;
+  self.name = "router";
+  self.pid = 1;
+  for (const obs::SpanView& sv : obs::Tracer::global().snapshot()) {
+    self.spans.push_back(obs::MergedSpan{
+        sv.name != nullptr ? sv.name : "", sv.start_ns, sv.dur_ns, sv.arg,
+        sv.tid});
+  }
+  trace_dump_->procs.push_back(std::move(self));
+  for (auto& node : upstreams_) {
+    if (node->state() != Upstream::State::kUp) continue;
+    Forward pull;
+    pull.kind = Forward::Kind::kTracePull;
+    pull.line = "trace pull";
+    ++trace_dump_->awaiting;
+    node->enqueue(std::move(pull));
+  }
+  // No live backend: still a valid dump of the router's own timeline.
+  if (trace_dump_->awaiting == 0) finish_trace_dump();
+  return true;
+}
+
+void Router::on_trace_pull(
+    std::size_t node,
+    std::vector<std::pair<std::string, std::uint64_t>>&& pairs) {
+  if (!trace_dump_ || trace_dump_->awaiting == 0) return;
+  std::vector<obs::MergedSpan> spans;
+  if (decode_span_pairs(pairs, spans)) {
+    obs::ProcessSpans proc;
+    proc.name = "node " +
+                (node < upstreams_.size() ? upstreams_[node]->name()
+                                          : std::to_string(node));
+    proc.pid = static_cast<std::uint32_t>(2 + node);
+    proc.spans = std::move(spans);
+    trace_dump_->procs.push_back(std::move(proc));
+    ++trace_dump_->pulled;
+  } else {
+    // A backend answered garbage: the dump still finishes without it.
+    if (node < trace_pull_failures_.size()) ++trace_pull_failures_[node];
+    ++trace_dump_->pull_failures;
+  }
+  if (--trace_dump_->awaiting == 0) finish_trace_dump();
+}
+
+void Router::on_trace_pull_failed(std::size_t node) {
+  if (node < trace_pull_failures_.size()) ++trace_pull_failures_[node];
+  if (!trace_dump_ || trace_dump_->awaiting == 0) return;
+  ++trace_dump_->pull_failures;
+  if (--trace_dump_->awaiting == 0) finish_trace_dump();
+}
+
+void Router::finish_trace_dump() {
+  std::unique_ptr<TraceDump> dump = std::move(trace_dump_);
+  if (!dump) return;
+  ResponseLine line;
+  line.kind = ResponseLine::Kind::kTrace;
+  std::ofstream os(dump->path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    line.ok = false;
+    line.code = ErrorCode::kBadRequest;
+    line.message = "cannot open trace dump file";
+  } else {
+    const std::size_t written =
+        obs::write_merged_chrome_trace(os, dump->procs);
+    os.flush();
+    if (!os) {
+      line.ok = false;
+      line.code = ErrorCode::kBadRequest;
+      line.message = "short write on trace dump file";
+    } else {
+      line.ok = true;
+      line.stats = {
+          {"enabled", obs::Tracer::global().enabled() ? 1u : 0u},
+          {"spans", written},
+          {"dropped", obs::Tracer::global().dropped()},
+          {"nodes_merged", dump->pulled},
+          {"pull_failures", dump->pull_failures},
+      };
+    }
+  }
+  const auto it = conns_.find(dump->conn_id);
+  if (it == conns_.end()) return;  // client vanished mid-dump
+  it->second->deliver(dump->key, std::move(line));
 }
 
 void Router::settle_error(std::uint64_t conn_id, std::uint64_t key,
@@ -386,6 +583,9 @@ void Router::defer_close(std::uint64_t conn_id) {
 void Router::begin_drain() {
   if (draining_) return;
   draining_ = true;
+  obs::EventLog::global().emit(
+      "drain_begin", 0,
+      {obs::EventLog::Field::u64("conns", conns_.size())});
   if (listener_active_) {
     loop_.remove(listener_.fd());
     listener_active_ = false;
@@ -425,7 +625,10 @@ void Router::maybe_finish() {
   // Unlike the server there is no outstanding-ticket count: forwards
   // settle synchronously on this thread, and once every client is gone
   // any answer still in flight from a backend has nowhere to go.
-  if (conns_.empty()) loop_.stop();
+  if (conns_.empty()) {
+    obs::EventLog::global().emit("drain_complete", 0, {});
+    loop_.stop();
+  }
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Router::stats_pairs()
@@ -464,6 +667,10 @@ std::vector<std::pair<std::string, std::uint64_t>> Router::stats_pairs()
                      upstreams_[i]->state() == Upstream::State::kUp ? 1 : 0);
     out.emplace_back(prefix + "inflight", upstreams_[i]->inflight());
     out.emplace_back(prefix + "queued", upstreams_[i]->queued());
+    out.emplace_back(prefix + "disconnects", upstreams_[i]->disconnects());
+    out.emplace_back(prefix + "retries", upstreams_[i]->retries());
+    out.emplace_back(prefix + "last_error_code",
+                     upstreams_[i]->last_error_code());
   }
   // Cluster-wide service view: sum the last polled stats snapshot of
   // every node under a backend_ prefix. std::map keeps the key order

@@ -58,7 +58,9 @@
 #include "net/listener.hpp"
 #include "net/metrics_http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/errors.hpp"
+#include "service/request.hpp"
 #include "util/result.hpp"
 
 namespace treesched::cluster {
@@ -94,6 +96,9 @@ struct RouterConfig {
   /// Directory `trace dump=<file>` may write (router-side spans); empty
   /// disables dumps — same confinement contract as the server's.
   std::string trace_dir;
+  /// Structured JSON-lines event sink: a path (O_APPEND) or "-" for
+  /// stdout; empty disables. Process-wide — the first open wins.
+  std::string log_json;
   /// Directory `file:` tree specs may be read from WHEN FINGERPRINTING.
   /// The router resolves specs itself to compute the routing key, so it
   /// needs the same tree files the backends have (a shared directory in
@@ -226,6 +231,31 @@ class Router {
   /// counters, then the backend_-prefixed aggregate.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
   stats_pairs() const;
+  /// Fresh nonzero distributed trace id for one client request. Plain
+  /// counter — ids only need to be unique within this router's trace
+  /// window, and the origin field already namespaces processes.
+  std::uint64_t next_trace_id() { return next_trace_id_++; }
+  /// Router-side SLO accounting: one settled client request of priority
+  /// class `cls` (kPriorityClasses = unclassified), error or success.
+  void note_settled(int cls, bool ok);
+  /// Broadcasts a `trace start`/`trace stop` control line to every live
+  /// backend (fire-and-forget; nodes that are down catch up on
+  /// reconnect when tracing is still enabled).
+  void broadcast_trace_ctl(const std::string& line);
+  /// Kicks off one merged cluster dump: pulls every live backend's span
+  /// ring, merges with the router's own, writes Chrome JSON to `path`
+  /// (already confined by the caller), then settles the client window
+  /// entry (conn_id, key). False with `error` set when a dump is
+  /// already in flight or no span source exists. The caller must have
+  /// pushed the window entry BEFORE calling — the reply may be
+  /// delivered from a later event-loop turn.
+  bool start_trace_dump(std::uint64_t conn_id, std::uint64_t key,
+                        std::string path, std::string& error);
+  /// Lifetime `trace pull` failures per node (trace status satellite).
+  [[nodiscard]] std::uint64_t trace_pull_failures(std::size_t node) const {
+    return node < trace_pull_failures_.size() ? trace_pull_failures_[node]
+                                              : 0;
+  }
 
   // --- Upstream-facing surface (loop thread only) ---------------------
   /// Upstream wire ids, unique across every backend socket for the
@@ -238,6 +268,14 @@ class Router {
   /// Forward `fwd`'s node died before answering: retry on the next live
   /// ring alternate, or settle the typed node_unavailable error.
   void on_upstream_failed(Forward&& fwd);
+  /// Node `node` answered a `trace pull`: decode its spans into the
+  /// in-flight merged dump (no-op when none is waiting on it).
+  void on_trace_pull(std::size_t node,
+                     std::vector<std::pair<std::string, std::uint64_t>>&&
+                         pairs);
+  /// Node `node` died with a `trace pull` outstanding: count it and let
+  /// the in-flight merged dump finish without that node.
+  void on_trace_pull_failed(std::size_t node);
 
   void accept_ready();
   void begin_drain();
@@ -246,6 +284,21 @@ class Router {
   /// Delivers a router-generated error to a client window entry.
   void settle_error(std::uint64_t conn_id, std::uint64_t key,
                     ErrorCode code, std::string message);
+  /// Writes the merged Chrome JSON and settles the dump's client window
+  /// entry; called when the last awaited pull answered or failed.
+  void finish_trace_dump();
+
+  /// One in-flight merged cluster dump (at most one at a time: the
+  /// second `trace dump` gets a typed error instead of interleaving).
+  struct TraceDump {
+    std::uint64_t conn_id = 0;  ///< client window entry to settle
+    std::uint64_t key = 0;
+    std::string path;           ///< confined output file
+    std::size_t awaiting = 0;   ///< backend pulls not yet answered
+    std::size_t pulled = 0;     ///< backend rings merged successfully
+    std::size_t pull_failures = 0;  ///< pulls lost to node deaths
+    std::vector<obs::ProcessSpans> procs;  ///< router first, then nodes
+  };
 
   RouterConfig config_;
   net::EventLoop loop_;
@@ -268,10 +321,23 @@ class Router {
   RouterCounters counters_;
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t next_uid_ = 1;
+  std::uint64_t next_trace_id_ = 1;
   bool draining_ = false;
+
+  std::unique_ptr<TraceDump> trace_dump_;
+  /// Lifetime per-node `trace pull` failures (trace status reports
+  /// these as nodeK_pull_failures).
+  std::vector<std::uint64_t> trace_pull_failures_;
 
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   obs::Histogram* h_upstream_ = nullptr;  ///< forward send -> answer
+  /// Per-class upstream-latency histograms; their sliding windows back
+  /// the router's rolling per-class p99 gauges.
+  obs::Histogram* h_upstream_class_[kPriorityClasses] = {};
+  /// Sliding last-minute settled/errored counts per priority class
+  /// ([kPriorityClasses] = all), read by the error-ratio gauges.
+  obs::SlidingCounter slo_responses_[kPriorityClasses + 1];
+  obs::SlidingCounter slo_errors_[kPriorityClasses + 1];
 };
 
 }  // namespace treesched::cluster

@@ -7,11 +7,11 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
-#include <fstream>
 #include <utility>
 #include <vector>
 
 #include "cluster/router.hpp"
+#include "obs/event_log.hpp"
 #include "obs/trace.hpp"
 #include "service/errors.hpp"
 #include "util/confine.hpp"
@@ -188,7 +188,7 @@ void RouterConnection::handle_line(const net::LineFramer::Line& line) {
     push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
     return;
   }
-  dispatch_request(as_view(parsed));
+  dispatch_request(as_view(parsed), net::TraceContext{});
   flush_ready();
 }
 
@@ -209,20 +209,38 @@ void RouterConnection::drain_frames() {
 
 void RouterConnection::handle_frame(const net::Frame& frame) {
   switch (frame.opcode) {
-    case net::Opcode::kRequest:
-      handle_request_payload(frame.payload);
-      return;
-    case net::Opcode::kBatch: {
-      std::vector<std::string_view> entries;
+    case net::Opcode::kRequest: {
+      net::TraceContext ctx;
+      std::string_view rest;
       std::string error;
-      if (!net::decode_batch(frame.payload, entries, error)) {
+      if (!net::split_trace_context(frame, ctx, rest, error)) {
+        ++router_.counters().frames_bad;
+        protocol_violation(std::move(error));
+        return;
+      }
+      handle_request_payload(rest, ctx);
+      return;
+    }
+    case net::Opcode::kBatch: {
+      // The trace extension leads the batch payload (before the entry
+      // count); every entry of the batch shares the frame's context.
+      net::TraceContext ctx;
+      std::string_view rest;
+      std::string error;
+      if (!net::split_trace_context(frame, ctx, rest, error)) {
+        ++router_.counters().frames_bad;
+        protocol_violation(std::move(error));
+        return;
+      }
+      std::vector<std::string_view> entries;
+      if (!net::decode_batch(rest, entries, error)) {
         ++router_.counters().frames_bad;
         protocol_violation(std::move(error));
         return;
       }
       router_.counters().batch_requests += entries.size();
       for (const std::string_view entry : entries) {
-        handle_request_payload(entry);
+        handle_request_payload(entry, ctx);
         if (closing_ || read_closed_) return;
       }
       return;
@@ -260,20 +278,27 @@ void RouterConnection::handle_frame(const net::Frame& frame) {
   }
 }
 
-void RouterConnection::handle_request_payload(std::string_view payload) {
+void RouterConnection::handle_request_payload(std::string_view payload,
+                                              const net::TraceContext& ctx) {
   ++router_.counters().lines;
   RequestView req;
   std::string error;
-  if (!parse_request_view(payload, req, error)) {
+  bool parsed = false;
+  {
+    obs::ScopedSpan span(obs::Tracer::global(), "net/parse", ctx.trace_id);
+    parsed = parse_request_view(payload, req, error);
+  }
+  if (!parsed) {
     ++router_.counters().parse_errors;
     push_settled_error(std::nullopt, ErrorCode::kBadRequest,
                        std::move(error));
     return;
   }
-  dispatch_request(req);
+  dispatch_request(req, ctx);
 }
 
-void RouterConnection::dispatch_request(const RequestView& req) {
+void RouterConnection::dispatch_request(const RequestView& req,
+                                        const net::TraceContext& ctx) {
   switch (req.kind) {
     case RequestLine::Kind::kCancel:
       handle_cancel(*req.id);
@@ -288,12 +313,13 @@ void RouterConnection::dispatch_request(const RequestView& req) {
       handle_trace(req);
       break;
     case RequestLine::Kind::kSchedule:
-      handle_schedule(req);
+      handle_schedule(req, ctx);
       break;
   }
 }
 
-void RouterConnection::handle_schedule(const RequestView& req) {
+void RouterConnection::handle_schedule(const RequestView& req,
+                                       const net::TraceContext& ctx) {
   if (req.id && has_pending_tag(*req.id)) {
     push_settled_error(std::nullopt, ErrorCode::kBadRequest,
                        "duplicate id=" + std::to_string(*req.id) +
@@ -301,6 +327,10 @@ void RouterConnection::handle_schedule(const RequestView& req) {
     return;
   }
   if (inflight_ >= router_.config().max_pending) {
+    obs::EventLog::global().emit(
+        "queue_full", ctx.trace_id,
+        {obs::EventLog::Field::u64("conn", id_),
+         obs::EventLog::Field::u64("window", router_.config().max_pending)});
     const std::string msg =
         "connection window full (" +
         std::to_string(router_.config().max_pending) +
@@ -328,6 +358,16 @@ void RouterConnection::handle_schedule(const RequestView& req) {
   Pending pending;
   pending.key = next_key_++;
   pending.id = req.id;
+  pending.priority = static_cast<int>(req.priority);
+
+  // The distributed trace id: a traced client's own id wins (the
+  // correlator must be end-to-end); otherwise the router mints one per
+  // request while its tracer is on. Zero = untraced, and the forward's
+  // frame stays byte-identical to the pre-trace wire format.
+  std::uint64_t trace_id = ctx.trace_id;
+  if (trace_id == 0 && obs::Tracer::global().enabled()) {
+    trace_id = router_.next_trace_id();
+  }
 
   Forward fwd;
   fwd.kind = Forward::Kind::kSchedule;
@@ -335,6 +375,8 @@ void RouterConnection::handle_schedule(const RequestView& req) {
   fwd.key = pending.key;
   fwd.fingerprint = fp.value();
   fwd.retries_left = router_.config().retries;
+  fwd.trace_id = trace_id;
+  fwd.priority = pending.priority;
   // The canonical forward line: the client's request re-spelled WITHOUT
   // its id= tag — the upstream id is the router's own (appended fresh
   // at each send, so a retry can never collide with the first attempt)
@@ -365,6 +407,10 @@ void RouterConnection::handle_schedule(const RequestView& req) {
     const ServiceError& err = routed.error();
     if (err.code == ErrorCode::kQueueFull) {
       ++router_.counters().queue_full;
+      obs::EventLog::global().emit(
+          "queue_full", trace_id,
+          {obs::EventLog::Field::u64("conn", id_),
+           obs::EventLog::Field::str("scope", "cluster")});
     } else {
       ++router_.counters().node_unavailable;
     }
@@ -439,15 +485,27 @@ void RouterConnection::handle_stats(std::optional<std::uint64_t> id) {
 }
 
 void RouterConnection::handle_trace(const RequestView& req) {
-  // The router's own span recorder — observing the routing hop, not the
-  // backends. Same verbs, same dump confinement as the server's.
+  // Cluster-wide trace control: start/stop drive the router's own span
+  // recorder AND broadcast to every live backend, `pull` hands this
+  // process's ring out in wire form, and `dump` produces one MERGED
+  // Chrome timeline across the router and every live node.
   obs::Tracer& tracer = obs::Tracer::global();
-  std::uint64_t written = 0;
-  bool dumped = false;
   if (req.trace_action == "start") {
     tracer.enable();
+    router_.broadcast_trace_ctl("trace start");
   } else if (req.trace_action == "stop") {
     tracer.disable();
+    router_.broadcast_trace_ctl("trace stop");
+  } else if (req.trace_action == "pull") {
+    // The router can itself be a backend of a bigger router.
+    ResponseLine line;
+    line.kind = ResponseLine::Kind::kTrace;
+    line.ok = true;
+    line.id = req.id;
+    obs::encode_span_pairs(tracer.snapshot(), obs::kTracePullMaxSpans,
+                           line.stats);
+    send_response(line);
+    return;
   } else if (req.trace_action == "dump") {
     const std::string& trace_dir = router_.config().trace_dir;
     if (trace_dir.empty()) {
@@ -463,19 +521,22 @@ void RouterConnection::handle_trace(const RequestView& req) {
                  "router's trace directory (no absolute paths, no \"..\")");
       return;
     }
-    std::ofstream out{resolved};
-    if (!out) {
-      emit_error(req.id, ErrorCode::kBadRequest,
-                 "cannot open trace path \"" + resolved + "\" for writing");
-      return;
+    // The merged dump settles asynchronously (it waits on every live
+    // node's `trace pull`), so it occupies a window entry like a
+    // routed request: push it FIRST, then start the dump — with no
+    // live backend the settle happens synchronously inside the call
+    // and must already find the entry.
+    Pending pending;
+    pending.key = next_key_++;
+    pending.id = req.id;
+    const std::uint64_t key = pending.key;
+    pending_.push_back(std::move(pending));
+    std::string error;
+    if (!router_.start_trace_dump(id_, key, std::move(resolved), error)) {
+      pending_.pop_back();
+      emit_error(req.id, ErrorCode::kBadRequest, error);
     }
-    written = tracer.write_chrome_trace(out);
-    if (!out) {
-      emit_error(req.id, ErrorCode::kBadRequest,
-                 "short write dumping trace to \"" + resolved + "\"");
-      return;
-    }
-    dumped = true;
+    return;
   }  // "status" mutates nothing
   ResponseLine line;
   line.kind = ResponseLine::Kind::kTrace;
@@ -486,7 +547,20 @@ void RouterConnection::handle_trace(const RequestView& req) {
       {"spans", tracer.recorded()},
       {"dropped", tracer.dropped()},
   };
-  if (dumped) line.stats.emplace_back("written", written);
+  if (req.trace_action == "status") {
+    // Per-recording-thread overwrite counts plus, per backend node, the
+    // `trace pull`s lost to node deaths — what a truncated or partial
+    // merged dump traces back to.
+    for (const auto& [tid, drops] : tracer.dropped_by_ring()) {
+      line.stats.emplace_back("ring" + std::to_string(tid) + "_dropped",
+                              drops);
+    }
+    for (std::size_t i = 0; i < router_.config().nodes.size(); ++i) {
+      line.stats.emplace_back(
+          "node" + std::to_string(i) + "_pull_failures",
+          router_.trace_pull_failures(i));
+    }
+  }
   send_response(line);
 }
 
@@ -494,6 +568,10 @@ void RouterConnection::deliver(std::uint64_t key, ResponseLine&& resp) {
   for (Pending& p : pending_) {
     if (p.key != key) continue;
     if (!p.result.has_value()) {
+      // Schedule settles feed the router's windowed SLO gauges; the
+      // window entries a dump or a synthesized error ride carry no
+      // class and stay out of the ratio.
+      if (p.priority >= 0) router_.note_settled(p.priority, resp.ok);
       // The id remap: whatever uid rode the upstream wire is gone; the
       // client sees its own tag (or none, keeping submission order).
       resp.id = p.id;

@@ -67,12 +67,15 @@ class RouterConnection {
   enum class Mode { kDetect, kText, kBinary };
 
   /// One request of the pending window. Entries that failed before
-  /// routing carry `result` from birth.
+  /// routing carry `result` from birth. A merged `trace dump` rides the
+  /// window too (never routed; Router::finish_trace_dump settles it),
+  /// so untagged answers behind it keep submission order.
   struct Pending {
     std::uint64_t key = 0;
     std::optional<std::uint64_t> id;  ///< the CLIENT's tag
     std::size_t node = SIZE_MAX;      ///< routed node (for cancel)
     bool routed = false;
+    int priority = -1;  ///< SLO class of a schedule entry (-1 = none)
     std::optional<ResponseLine> result;
   };
 
@@ -83,12 +86,14 @@ class RouterConnection {
   void handle_line(const net::LineFramer::Line& line);
   void drain_frames();
   void handle_frame(const net::Frame& frame);
-  void handle_request_payload(std::string_view payload);
+  void handle_request_payload(std::string_view payload,
+                              const net::TraceContext& ctx);
   void protocol_violation(std::string message);
 
   // --- shared dispatch (both protocols) ------------------------------
-  void dispatch_request(const RequestView& req);
-  void handle_schedule(const RequestView& req);
+  void dispatch_request(const RequestView& req,
+                        const net::TraceContext& ctx);
+  void handle_schedule(const RequestView& req, const net::TraceContext& ctx);
   void handle_cancel(std::uint64_t cancel_id);
   void handle_ping(std::optional<std::uint64_t> id);
   void handle_stats(std::optional<std::uint64_t> id);

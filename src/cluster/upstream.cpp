@@ -12,7 +12,9 @@
 #include <cstring>
 
 #include "cluster/router.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesched::cluster {
 
@@ -104,6 +106,16 @@ void Upstream::on_connected() {
     ping.kind = Forward::Kind::kPing;
     send_forward(std::move(ping));
   }
+  obs::EventLog::global().emit(
+      "node_up", 0, {obs::EventLog::Field::str("node", name_.c_str())});
+  if (obs::Tracer::global().enabled()) {
+    // A node (re)joining mid-trace missed the `trace start` broadcast;
+    // re-arm its ring so the next merged dump includes it.
+    Forward ctl;
+    ctl.kind = Forward::Kind::kTraceCtl;
+    ctl.line = "trace start";
+    send_forward(std::move(ctl));
+  }
   flush_queue();
   send_buffered();
   if (state_ != State::kUp) return;
@@ -120,7 +132,8 @@ void Upstream::handle_events(std::uint32_t events) {
     }
     if (err != 0 || (events & (EPOLLERR | EPOLLHUP)) != 0) {
       fail(std::string("connect failed: ") +
-           std::strerror(err != 0 ? err : ECONNREFUSED));
+               std::strerror(err != 0 ? err : ECONNREFUSED),
+           kFailConnect);
       return;
     }
     on_connected();
@@ -128,7 +141,7 @@ void Upstream::handle_events(std::uint32_t events) {
   }
   if (state_ != State::kUp) return;
   if (events & EPOLLERR) {
-    fail("socket error");
+    fail("socket error", kFailSocket);
     return;
   }
   if (events & EPOLLOUT) {
@@ -142,7 +155,7 @@ void Upstream::handle_events(std::uint32_t events) {
     on_readable();
     if (state_ != State::kUp) return;
   } else if (events & EPOLLHUP) {
-    fail("backend hung up");
+    fail("backend hung up", kFailEof);
     return;
   }
   update_interest();
@@ -163,12 +176,12 @@ void Upstream::on_readable() {
       continue;
     }
     if (n == 0) {
-      fail("backend closed the connection");
+      fail("backend closed the connection", kFailEof);
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    fail(std::string("read failed: ") + std::strerror(errno));
+    fail(std::string("read failed: ") + std::strerror(errno), kFailSocket);
     return;
   }
   if (state_ != State::kUp) return;
@@ -183,13 +196,14 @@ void Upstream::drain_frames() {
     const net::FrameReader::Status status = reader_.next(frame);
     if (status == net::FrameReader::Status::kNeedMore) return;
     if (status == net::FrameReader::Status::kBad) {
-      fail("backend protocol violation: " + reader_.bad_reason());
+      fail("backend protocol violation: " + reader_.bad_reason(),
+           kFailProtocol);
       return;
     }
     ResponseLine resp;
     std::string error;
     if (!net::decode_response_frame(frame, resp, error)) {
-      fail("undecodable backend frame: " + error);
+      fail("undecodable backend frame: " + error, kFailProtocol);
       return;
     }
     handle_response(std::move(resp));
@@ -221,6 +235,11 @@ void Upstream::handle_response(ResponseLine&& resp) {
     case Forward::Kind::kSchedule:
       router_.on_upstream_response(fwd, std::move(resp));
       break;
+    case Forward::Kind::kTracePull:
+      router_.on_trace_pull(index_, std::move(resp.stats));
+      break;
+    case Forward::Kind::kTraceCtl:
+      break;  // fire-and-forget broadcast; the ack carries nothing
   }
 }
 
@@ -274,6 +293,18 @@ void Upstream::send_forward(Forward&& fwd) {
       writer.stats(uid);
       break;
     case Forward::Kind::kSchedule:
+      // Traced requests carry their id to the backend in the frame's
+      // trace-context extension (origin 1 = the router); untraced ones
+      // stay byte-identical to the pre-trace wire format.
+      if (fwd.trace_id != 0) {
+        writer.request(fwd.line + " id=" + std::to_string(uid),
+                       net::TraceContext{fwd.trace_id, 1});
+      } else {
+        writer.request(fwd.line + " id=" + std::to_string(uid));
+      }
+      break;
+    case Forward::Kind::kTracePull:
+    case Forward::Kind::kTraceCtl:
       writer.request(fwd.line + " id=" + std::to_string(uid));
       break;
   }
@@ -302,7 +333,7 @@ void Upstream::send_buffered() {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    fail(std::string("write failed: ") + std::strerror(errno));
+    fail(std::string("write failed: ") + std::strerror(errno), kFailSocket);
     return;
   }
   if (wbuf_head_ == wbuf_.size()) {
@@ -332,7 +363,7 @@ void Upstream::health_tick(std::uint64_t now_ns) {
       return;
     case State::kConnecting:
       if (now_ns - connect_started_ns_ > ms_to_ns(cfg.ping_timeout_ms)) {
-        fail("connect timed out");
+        fail("connect timed out", kFailConnectTimeout);
       }
       return;
     case State::kUp:
@@ -342,7 +373,7 @@ void Upstream::health_tick(std::uint64_t now_ns) {
       now_ns - ping_sent_ns_ > ms_to_ns(cfg.ping_timeout_ms)) {
     // TCP never loses a pong; an overdue one means the node stopped
     // serving (wedged process, dead machine behind a live socket).
-    fail("ping timed out");
+    fail("ping timed out", kFailPingTimeout);
     return;
   }
   if (ping_sent_ns_ == 0) {
@@ -363,7 +394,7 @@ void Upstream::health_tick(std::uint64_t now_ns) {
   update_interest();
 }
 
-void Upstream::fail(const std::string& reason) {
+void Upstream::fail(const std::string& reason, int code) {
   if (state_ == State::kDown && fd_ < 0) return;
   close_fd();
   state_ = State::kDown;
@@ -374,25 +405,34 @@ void Upstream::fail(const std::string& reason) {
   wbuf_head_ = 0;
   last_stats_.clear();
   ++router_.counters().node_failures;
+  ++disconnects_;
+  last_error_code_ = static_cast<std::uint64_t>(code);
   std::fprintf(stderr, "[router] node %s down: %s\n", name_.c_str(),
                reason.c_str());
+  obs::EventLog::global().emit(
+      "node_down", 0,
+      {obs::EventLog::Field::str("node", name_.c_str()),
+       obs::EventLog::Field::str("reason", reason.c_str()),
+       obs::EventLog::Field::u64("code", static_cast<std::uint64_t>(code))});
   // Hand every unanswered forward back AFTER this node reads as down,
   // so a retry's ring walk can never re-pick it. Probes die with the
-  // socket; schedule forwards retry or settle the typed error.
+  // socket; schedule forwards retry or settle the typed error; a dying
+  // trace pull must tell the router so a merged dump in flight can
+  // finish without this node instead of hanging.
   auto inflight = std::move(inflight_);
   inflight_.clear();
   auto queued = std::move(queue_);
   queue_.clear();
-  for (auto& [uid, fwd] : inflight) {
+  const auto hand_back = [this](Forward&& fwd) {
     if (fwd.kind == Forward::Kind::kSchedule) {
+      if (fwd.retries_left > 0) ++retries_;
       router_.on_upstream_failed(std::move(fwd));
+    } else if (fwd.kind == Forward::Kind::kTracePull) {
+      router_.on_trace_pull_failed(index_);
     }
-  }
-  for (auto& fwd : queued) {
-    if (fwd.kind == Forward::Kind::kSchedule) {
-      router_.on_upstream_failed(std::move(fwd));
-    }
-  }
+  };
+  for (auto& [uid, fwd] : inflight) hand_back(std::move(fwd));
+  for (auto& fwd : queued) hand_back(std::move(fwd));
 }
 
 }  // namespace treesched::cluster

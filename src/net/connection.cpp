@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/server.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/errors.hpp"
@@ -169,6 +170,7 @@ void Connection::handle_bytes(const char* data, std::size_t len) {
     // 0xB3 is not printable ASCII, so no v2 text line starts with it:
     // this connection is text. Replay the prelude through the framer.
     mode_ = Mode::kText;
+    note_detected();
     const std::string prelude = std::move(prelude_);
     prelude_ = {};
     feed_text(prelude.data(), prelude.size());
@@ -184,12 +186,21 @@ void Connection::handle_bytes(const char* data, std::size_t len) {
   }
   mode_ = Mode::kBinary;
   ++server_.counters().v3_conns;
+  note_detected();
   if (prelude_.size() > kFrameMagic.size()) {
     reader_.feed(prelude_.data() + kFrameMagic.size(),
                  prelude_.size() - kFrameMagic.size());
   }
   prelude_ = {};
   drain_frames();
+}
+
+void Connection::note_detected() {
+  // One span per connection marking protocol negotiation (burst start
+  // to resolution) — the first hop of a cross-tier trace timeline.
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  tracer.record("net/detect", burst_ns_, obs::now_ns() - burst_ns_, id_);
 }
 
 void Connection::feed_text(const char* data, std::size_t len) {
@@ -224,7 +235,7 @@ void Connection::handle_line(const LineFramer::Line& line) {
     push_settled_error(std::nullopt, ErrorCode::kBadRequest, e.what());
     return;
   }
-  dispatch_request(as_view(parsed));
+  dispatch_request(as_view(parsed), TraceContext{});
   flush_ready();
 }
 
@@ -245,13 +256,31 @@ void Connection::drain_frames() {
 
 void Connection::handle_frame(const Frame& frame) {
   switch (frame.opcode) {
-    case Opcode::kRequest:
-      handle_request_payload(frame.payload);
-      return;
-    case Opcode::kBatch: {
-      std::vector<std::string_view> entries;
+    case Opcode::kRequest: {
+      TraceContext ctx;
+      std::string_view rest;
       std::string error;
-      if (!decode_batch(frame.payload, entries, error)) {
+      if (!split_trace_context(frame, ctx, rest, error)) {
+        ++server_.counters().frames_bad;
+        protocol_violation(std::move(error));
+        return;
+      }
+      handle_request_payload(rest, ctx);
+      return;
+    }
+    case Opcode::kBatch: {
+      // The trace extension leads the batch payload (before the entry
+      // count); every entry of the batch shares the frame's context.
+      TraceContext ctx;
+      std::string_view rest;
+      std::string error;
+      if (!split_trace_context(frame, ctx, rest, error)) {
+        ++server_.counters().frames_bad;
+        protocol_violation(std::move(error));
+        return;
+      }
+      std::vector<std::string_view> entries;
+      if (!decode_batch(rest, entries, error)) {
         ++server_.counters().frames_bad;
         protocol_violation(std::move(error));
         return;
@@ -260,7 +289,7 @@ void Connection::handle_frame(const Frame& frame) {
       // One frame, many pipelined requests: every answer lands in
       // wbuf_ and the whole batch flushes in a coalesced write.
       for (const std::string_view entry : entries) {
-        handle_request_payload(entry);
+        handle_request_payload(entry, ctx);
         if (closing_ || read_closed_) return;
       }
       return;
@@ -298,11 +327,19 @@ void Connection::handle_frame(const Frame& frame) {
   }
 }
 
-void Connection::handle_request_payload(std::string_view payload) {
+void Connection::handle_request_payload(std::string_view payload,
+                                        const TraceContext& ctx) {
   ++server_.counters().lines;
   RequestView req;
   std::string error;
-  if (!parse_request_view(payload, req, error)) {
+  bool parsed;
+  {
+    // The parse span carries the propagated trace id, so a cross-tier
+    // timeline shows where the backend spent its grammar time.
+    obs::ScopedSpan span(obs::Tracer::global(), "net/parse", ctx.trace_id);
+    parsed = parse_request_view(payload, req, error);
+  }
+  if (!parsed) {
     // A grammar error is the client's problem, not a protocol
     // violation: answer bad_request in stream order and keep going,
     // exactly like a bad text line.
@@ -311,10 +348,11 @@ void Connection::handle_request_payload(std::string_view payload) {
                        std::move(error));
     return;
   }
-  dispatch_request(req);
+  dispatch_request(req, ctx);
 }
 
-void Connection::dispatch_request(const RequestView& req) {
+void Connection::dispatch_request(const RequestView& req,
+                                  const TraceContext& ctx) {
   switch (req.kind) {
     case RequestLine::Kind::kCancel:
       handle_cancel(*req.id);
@@ -329,12 +367,13 @@ void Connection::dispatch_request(const RequestView& req) {
       handle_trace(req);
       break;
     case RequestLine::Kind::kSchedule:
-      handle_schedule(req);
+      handle_schedule(req, ctx);
       break;
   }
 }
 
-void Connection::handle_schedule(const RequestView& req) {
+void Connection::handle_schedule(const RequestView& req,
+                                 const TraceContext& ctx) {
   if (req.id && has_pending_tag(*req.id)) {
     push_settled_error(std::nullopt, ErrorCode::kBadRequest,
                        "duplicate id=" + std::to_string(*req.id) +
@@ -348,6 +387,11 @@ void Connection::handle_schedule(const RequestView& req) {
         "connection window full (" +
         std::to_string(server_.config().max_pending) +
         " requests in flight); read some answers first";
+    obs::EventLog::global().emit(
+        "queue_full", ctx.trace_id,
+        {obs::EventLog::Field::u64("conn", id_),
+         obs::EventLog::Field::u64("window",
+                                   server_.config().max_pending)});
     if (req.id) {
       emit_error(req.id, ErrorCode::kQueueFull, msg);
     } else {
@@ -359,6 +403,7 @@ void Connection::handle_schedule(const RequestView& req) {
   Pending pending;
   pending.key = next_key_++;
   pending.id = req.id;
+  pending.trace_id = ctx.trace_id;
   // The single owned copy of the request's strings: everything upstream
   // of this point was views into the read buffer.
   pending.algo = std::string(req.algo);
@@ -492,6 +537,19 @@ void Connection::handle_trace(const RequestView& req) {
     tracer.enable();
   } else if (req.trace_action == "stop") {
     tracer.disable();
+  } else if (req.trace_action == "pull") {
+    // The spans themselves, encoded as stats pairs — the primitive the
+    // cluster router's merged cross-tier dump is built on. Bounded
+    // (kTracePullMaxSpans, latest kept) so the reply frame always fits
+    // the default frame budget.
+    ResponseLine line;
+    line.kind = ResponseLine::Kind::kTrace;
+    line.ok = true;
+    line.id = req.id;
+    obs::encode_span_pairs(tracer.snapshot(), obs::kTracePullMaxSpans,
+                           line.stats);
+    send_response(line);
+    return;
   } else if (req.trace_action == "dump") {
     // Dumps write a server-side file, so they are off unless the
     // operator opted in with a trace directory, and the client's path
@@ -539,6 +597,14 @@ void Connection::handle_trace(const RequestView& req) {
       {"spans", tracer.recorded()},
       {"dropped", tracer.dropped()},
   };
+  if (req.trace_action == "status") {
+    // Per-recording-thread overwrite counts: a truncated dump can name
+    // the thread that lost spans instead of one opaque total.
+    for (const auto& [tid, drops] : tracer.dropped_by_ring()) {
+      line.stats.emplace_back("ring" + std::to_string(tid) + "_dropped",
+                              drops);
+    }
+  }
   if (dumped) line.stats.emplace_back("written", written);
   send_response(line);
 }
@@ -597,6 +663,7 @@ void Connection::emit(const Pending& pending, const ServiceResult& result) {
     line.message = result.error().message;
   }
   send_response(line);
+  server_.note_response(static_cast<int>(pending.priority), result.ok());
   if (!result.ok() || !result.value().stamps.has(obs::Stage::kAccept)) {
     // Errors and requests born before stamping (in-process callers'
     // cached entries) carry no stamps worth a histogram.
@@ -610,6 +677,7 @@ void Connection::emit(const Pending& pending, const ServiceResult& result) {
   mark.timing.id = pending.id;
   mark.timing.algo = pending.algo;
   mark.timing.cache_hit = result.value().cache_hit;
+  mark.timing.trace_id = pending.trace_id;
   // The response is flushed once this many bytes have left the process.
   mark.target = cum_sent_ + (wbuf_.size() - wbuf_head_);
   flush_q_.push_back(std::move(mark));
@@ -623,6 +691,7 @@ void Connection::emit_error(std::optional<std::uint64_t> id, ErrorCode code,
   line.code = code;
   line.message = message;
   send_response(line);
+  server_.note_response(kPriorityClasses, false);
 }
 
 void Connection::push_settled_error(std::optional<std::uint64_t> id,

@@ -73,6 +73,10 @@ struct ResponseTiming {
   std::optional<std::uint64_t> id;
   std::string algo;  ///< short names; stays within SSO on the hot path
   bool cache_hit = false;
+  /// Router-stamped distributed trace id (0 = untraced); rides the net
+  /// spans and the slow-request / event-log lines so one id follows a
+  /// request across tiers.
+  std::uint64_t trace_id = 0;
 };
 
 class Connection {
@@ -118,6 +122,7 @@ class Connection {
     std::string algo;
     int p = 1;
     Priority priority = Priority::kBatch;
+    std::uint64_t trace_id = 0;  ///< propagated v3 trace context (0 = none)
     std::optional<ServiceResult> result;
   };
 
@@ -125,26 +130,31 @@ class Connection {
   void on_readable();
   /// kDetect/kText bytes: resolves the protocol, then frames.
   void handle_bytes(const char* data, std::size_t len);
+  /// Records the per-connection protocol-negotiation span (tracer on).
+  void note_detected();
   void feed_text(const char* data, std::size_t len);
   void handle_line(const LineFramer::Line& line);
   /// Drains every complete frame buffered in the FrameReader.
   void drain_frames();
   void handle_frame(const Frame& frame);
   /// One v3 request payload (standalone or batch entry): zero-copy
-  /// parse, then the shared dispatch.
-  void handle_request_payload(std::string_view payload);
+  /// parse, then the shared dispatch. `ctx` is the frame's propagated
+  /// trace context (all-zero on the text path and on untraced frames).
+  void handle_request_payload(std::string_view payload,
+                              const TraceContext& ctx);
   /// Marks the connection protocol-dead: answers bad_request, stops
   /// reading, and lets the window settle and flush before closing.
   void protocol_violation(std::string message);
 
   // --- shared dispatch (both protocols) ------------------------------
-  void dispatch_request(const RequestView& req);
-  void handle_schedule(const RequestView& req);
+  void dispatch_request(const RequestView& req, const TraceContext& ctx);
+  void handle_schedule(const RequestView& req, const TraceContext& ctx);
   void handle_cancel(std::uint64_t cancel_id);
   void handle_ping(std::optional<std::uint64_t> id);
   void handle_stats(std::optional<std::uint64_t> id);
-  /// `trace start|stop|status|dump=<path>`: drives the process-wide
-  /// obs::Tracer and answers a stats-shaped `trace` line.
+  /// `trace start|stop|status|pull|dump=<path>`: drives the
+  /// process-wide obs::Tracer and answers a stats-shaped `trace` line
+  /// (`pull` answers the spans themselves, encoded as pairs).
   void handle_trace(const RequestView& req);
 
   // --- output path ---------------------------------------------------

@@ -179,11 +179,44 @@ void FrameWriter::request(std::string_view line) {
   raw_frame(static_cast<std::uint8_t>(Opcode::kRequest), 0, line);
 }
 
+void FrameWriter::request(std::string_view line, const TraceContext& ctx) {
+  if (ctx.trace_id == 0) {
+    // Untraced stays byte-identical to the pre-extension wire format.
+    request(line);
+    return;
+  }
+  append_header(out_, static_cast<std::uint8_t>(Opcode::kRequest),
+                kFlagHasTrace,
+                static_cast<std::uint32_t>(kTraceContextLen + line.size()));
+  put_u64(out_, ctx.trace_id);
+  put_u32(out_, ctx.origin);
+  out_.append(line);
+}
+
 void FrameWriter::batch(const std::vector<std::string>& lines) {
   std::size_t payload_len = 4;
   for (const std::string& line : lines) payload_len += 4 + line.size();
   append_header(out_, static_cast<std::uint8_t>(Opcode::kBatch), 0,
                 static_cast<std::uint32_t>(payload_len));
+  put_u32(out_, static_cast<std::uint32_t>(lines.size()));
+  for (const std::string& line : lines) {
+    put_u32(out_, static_cast<std::uint32_t>(line.size()));
+    out_.append(line);
+  }
+}
+
+void FrameWriter::batch(const std::vector<std::string>& lines,
+                        const TraceContext& ctx) {
+  if (ctx.trace_id == 0) {
+    batch(lines);
+    return;
+  }
+  std::size_t payload_len = kTraceContextLen + 4;
+  for (const std::string& line : lines) payload_len += 4 + line.size();
+  append_header(out_, static_cast<std::uint8_t>(Opcode::kBatch),
+                kFlagHasTrace, static_cast<std::uint32_t>(payload_len));
+  put_u64(out_, ctx.trace_id);
+  put_u32(out_, ctx.origin);
   put_u32(out_, static_cast<std::uint32_t>(lines.size()));
   for (const std::string& line : lines) {
     put_u32(out_, static_cast<std::uint32_t>(line.size()));
@@ -278,6 +311,25 @@ void FrameWriter::response(const ResponseLine& resp) {
 // ---------------------------------------------------------------------------
 // control-payload decoders
 // ---------------------------------------------------------------------------
+
+bool split_trace_context(const Frame& frame, TraceContext& ctx,
+                         std::string_view& rest, std::string& error) {
+  ctx = TraceContext{};
+  if ((frame.flags & kFlagHasTrace) == 0) {
+    rest = frame.payload;
+    return true;
+  }
+  if (frame.payload.size() < kTraceContextLen) {
+    error = "frame claims a trace context its " +
+            std::to_string(frame.payload.size()) +
+            "-byte payload cannot hold";
+    return false;
+  }
+  ctx.trace_id = get_u64(frame.payload.data());
+  ctx.origin = get_u32(frame.payload.data() + 8);
+  rest = frame.payload.substr(kTraceContextLen);
+  return true;
+}
 
 bool decode_cancel(const Frame& frame, std::uint64_t& id) {
   if (frame.payload.size() != 8) return false;

@@ -30,6 +30,16 @@
 //   kPing    0x04  payload = u64 id iff flags & kFlagHasId, else empty
 //   kStats   0x05  payload = u64 id iff flags & kFlagHasId, else empty
 //
+// Trace-context extension: a kRequest/kBatch frame with kFlagHasTrace
+// set prefixes its payload with 12 bytes — u64 trace_id, u32 origin
+// (the sending node's id) — and the request line(s) follow unchanged.
+// The extension rides the PAYLOAD, not the reserved header bytes, so
+// reserved-byte hygiene (must be 0, violations close the connection)
+// is untouched; flag absent = the exact pre-extension wire format, so
+// old clients never change and old servers only ever see it from a
+// peer explicitly running with tracing enabled. Text v2 has no trace
+// context — a text hop starts a fresh trace.
+//
 // Server -> client opcodes (every payload leads with u64 id, meaningful
 // iff flags & kFlagHasId):
 //   kResponse   0x81  flags kFlagOk: u64 id, u64 tree_hash,
@@ -92,6 +102,18 @@ enum class Opcode : std::uint8_t {
 inline constexpr std::uint8_t kFlagOk = 0x01;
 inline constexpr std::uint8_t kFlagHasId = 0x02;
 inline constexpr std::uint8_t kFlagCacheHit = 0x04;
+/// kRequest/kBatch: the payload leads with a 12-byte trace context
+/// (u64 trace_id, u32 origin) before the request line(s).
+inline constexpr std::uint8_t kFlagHasTrace = 0x08;
+
+/// Propagated trace identity of one request: the 64-bit trace id the
+/// origin stamped plus that origin's node id, so every tier's spans can
+/// carry the same correlator. trace_id 0 = untraced.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t origin = 0;
+};
+inline constexpr std::size_t kTraceContextLen = 12;
 
 /// One framed unit. `payload` is a view into the FrameReader's buffer —
 /// valid until the reader's next write_ptr()/commit().
@@ -151,9 +173,14 @@ class FrameWriter {
   /// One response frame — kResponse/kPong/kStatsReply by `resp.kind`.
   void response(const ResponseLine& resp);
 
-  // Client -> server frames.
+  // Client -> server frames. The TraceContext overloads set
+  // kFlagHasTrace and lead the payload with the 12-byte extension; a
+  // zero trace_id emits the plain (flag-free, byte-identical) frame so
+  // untraced traffic never grows on the wire.
   void request(std::string_view line);
+  void request(std::string_view line, const TraceContext& ctx);
   void batch(const std::vector<std::string>& lines);
+  void batch(const std::vector<std::string>& lines, const TraceContext& ctx);
   void cancel(std::uint64_t id);
   void ping(std::optional<std::uint64_t> id);
   void stats(std::optional<std::uint64_t> id);
@@ -165,6 +192,14 @@ class FrameWriter {
  private:
   std::string& out_;
 };
+
+/// Splits the trace-context extension off a kRequest/kBatch frame:
+/// without kFlagHasTrace, `ctx` is zeroed and `rest` is the whole
+/// payload; with it, the leading 12 bytes decode into `ctx` and `rest`
+/// views what follows. False (with a message) when the flag is set but
+/// the payload cannot hold the extension — a protocol violation.
+bool split_trace_context(const Frame& frame, TraceContext& ctx,
+                         std::string_view& rest, std::string& error);
 
 /// Decodes a kCancel payload (exactly one u64 id). False on any other
 /// payload size.

@@ -13,7 +13,9 @@
 #include <utility>
 
 #include "campaign/dataset.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace treesched::net {
 
@@ -23,6 +25,14 @@ Server::Server(SchedulingService& service, ServerConfig config)
       listener_(ListenerConfig{.bind = config_.bind,
                                .port = config_.port,
                                .unix_path = config_.unix_path}) {
+  if (!config_.log_json.empty() && !obs::EventLog::global().enabled()) {
+    std::string error;
+    if (!obs::EventLog::global().open(config_.log_json, error)) {
+      throw std::system_error(
+          std::make_error_code(std::errc::io_error),
+          "cannot open --log-json sink: " + error);
+    }
+  }
   init_metrics();
   if (config_.metrics_port >= 0) {
     metrics_http_ = std::make_unique<MetricsHttp>(
@@ -90,10 +100,43 @@ void Server::init_metrics() {
               "Submitted tickets not yet settled",
               static_cast<double>(outstanding_));
       });
+  // Windowed SLO error ratio, one gauge per priority class: errors over
+  // responses across the sliding last-minute window (0 when idle).
+  reg.register_collector(
+      [this, alive = std::weak_ptr<bool>(alive_)](obs::RegistrySnapshot& out) {
+        if (alive.expired()) return;
+        for (int c = 0; c <= kPriorityClasses; ++c) {
+          const char* label = c == kPriorityClasses
+                                  ? "all"
+                                  : to_string(static_cast<Priority>(c));
+          const std::uint64_t total = slo_responses_[c].windowed();
+          const std::uint64_t errors = slo_errors_[c].windowed();
+          out.samples.push_back(obs::MetricSample{
+              "treesched_slo_error_ratio",
+              std::string("class=\"") + label + "\"",
+              "Errored share of responses over the sliding last-minute "
+              "window",
+              obs::MetricKind::kGauge,
+              total == 0 ? 0.0
+                         : static_cast<double>(errors) /
+                               static_cast<double>(total),
+              ""});
+        }
+      });
   h_net_e2e_ = &reg.histogram(
       "treesched_net_e2e_seconds", "",
       "Accept-to-flush wall time of one served request",
       obs::Histogram::latency_bounds_ns(), 1e-9, "net_e2e");
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    std::string labels = "class=\"";
+    labels.append(to_string(static_cast<Priority>(c))).append("\"");
+    // The per-class rolling p99 SLO gauges ride these histograms'
+    // sliding windows (exported as treesched_net_e2e_seconds_window).
+    h_e2e_class_[c] = &reg.histogram(
+        "treesched_net_e2e_seconds", labels,
+        "Accept-to-flush wall time of one served request",
+        obs::Histogram::latency_bounds_ns(), 1e-9, "");
+  }
   for (int c = 0; c <= kPriorityClasses; ++c) {
     const char* label =
         c == kPriorityClasses ? "all" : to_string(static_cast<Priority>(c));
@@ -107,6 +150,16 @@ void Server::init_metrics() {
   }
 }
 
+void Server::note_response(int cls, bool ok) {
+  if (cls < 0 || cls > kPriorityClasses) cls = kPriorityClasses;
+  slo_responses_[cls].inc();
+  if (!ok) slo_errors_[cls].inc();
+  if (cls != kPriorityClasses) {
+    slo_responses_[kPriorityClasses].inc();
+    if (!ok) slo_errors_[kPriorityClasses].inc();
+  }
+}
+
 void Server::record_flushed(const ResponseTiming& timing) {
   using obs::Stage;
   const obs::StageStamps& st = timing.stamps;
@@ -115,12 +168,32 @@ void Server::record_flushed(const ResponseTiming& timing) {
   h_net_e2e_->record(e2e);
   int cls = static_cast<int>(timing.priority);
   if (cls < 0 || cls >= kPriorityClasses) cls = kPriorityClasses;
+  if (cls != kPriorityClasses) h_e2e_class_[cls]->record(e2e);
   h_write_stall_[cls]->record(stall);
   if (cls != kPriorityClasses) h_write_stall_[kPriorityClasses]->record(stall);
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled() && st.has(Stage::kAccept)) {
+    // The net-layer residency spans, stamped from the stage record at
+    // flush time so the hot path pays nothing while tracing is off.
+    // Both carry the propagated trace id — the hook a merged cluster
+    // dump correlates router and backend timelines by.
+    tracer.record("net/accept", st.at(Stage::kAccept), e2e, timing.trace_id);
+    if (st.has(Stage::kSerialize)) {
+      tracer.record("net/flush", st.at(Stage::kSerialize), stall,
+                    timing.trace_id);
+    }
+  }
   if (config_.slow_ms <= 0.0 ||
       static_cast<double>(e2e) < config_.slow_ms * 1e6) {
     return;
   }
+  obs::EventLog::global().emit(
+      "slow_request", timing.trace_id,
+      {obs::EventLog::Field::u64("id", timing.id.value_or(0)),
+       obs::EventLog::Field::str("class", to_string(timing.priority)),
+       obs::EventLog::Field::str("algo", timing.algo),
+       obs::EventLog::Field::u64("e2e_us", e2e / 1000),
+       obs::EventLog::Field::u64("cache_hit", timing.cache_hit ? 1 : 0)});
   // One stderr line per slow request, built whole so concurrent writers
   // (pool workers log nothing, but the stdin front-end shares stderr)
   // can't interleave mid-line.
@@ -277,6 +350,10 @@ void Server::defer_close(std::uint64_t conn_id) {
 void Server::begin_drain() {
   if (draining_) return;
   draining_ = true;
+  obs::EventLog::global().emit(
+      "drain_begin", 0,
+      {obs::EventLog::Field::u64("conns", conns_.size()),
+       obs::EventLog::Field::u64("outstanding", outstanding_)});
   if (listener_active_) {
     loop_.remove(listener_.fd());
     listener_active_ = false;
@@ -317,7 +394,10 @@ void Server::begin_drain() {
 }
 
 void Server::maybe_finish() {
-  if (conns_.empty() && outstanding_ == 0) loop_.stop();
+  if (conns_.empty() && outstanding_ == 0) {
+    obs::EventLog::global().emit("drain_complete", 0, {});
+    loop_.stop();
+  }
 }
 
 }  // namespace treesched::net

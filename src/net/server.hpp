@@ -43,6 +43,7 @@
 #include "net/frame.hpp"
 #include "net/listener.hpp"
 #include "net/metrics_http.hpp"
+#include "obs/metrics.hpp"
 #include "service/service.hpp"
 
 namespace treesched::net {
@@ -87,6 +88,12 @@ struct ServerConfig {
   /// accept-to-flush time exceeds it logs its full stage breakdown to
   /// stderr. 0 = disabled.
   double slow_ms = 0.0;
+  /// Structured event-log sink: a file path (opened O_APPEND) or "-"
+  /// for stdout. Empty = disabled. Rare operational events (drain,
+  /// queue_full, slow requests) emit one JSON line each, carrying the
+  /// propagated trace id when the request had one. Process-wide: the
+  /// first server to open it wins; see obs/event_log.hpp.
+  std::string log_json;
   /// Directory `trace dump=<file>` may write into. Empty (the default)
   /// disables dumps entirely: the verb names a server-side file, and an
   /// unauthenticated network client must never choose where the server
@@ -197,8 +204,13 @@ class Server {
   [[nodiscard]] bool draining() const { return draining_; }
   /// A response's last byte reached the kernel: record the transport
   /// stage histograms (accept-to-flush, serialize-to-flush by priority
-  /// class) and, past config.slow_ms, log the stage breakdown.
+  /// class), the net-layer trace spans, and, past config.slow_ms, log
+  /// the stage breakdown (stderr + structured event log).
   void record_flushed(const ResponseTiming& timing);
+  /// SLO accounting: one response settled for priority class `cls`
+  /// (kPriorityClasses = unclassified), error or success. Feeds the
+  /// windowed error-ratio gauges.
+  void note_response(int cls, bool ok);
 
   void accept_ready();
   void begin_drain();
@@ -238,6 +250,15 @@ class Server {
   /// carries the stats-verb key.
   obs::Histogram* h_net_e2e_ = nullptr;
   obs::Histogram* h_write_stall_[kPriorityClasses + 1] = {};
+  /// Per-class accept-to-flush histograms (class="..." labels beside
+  /// the unlabeled aggregate above). Their sliding windows ARE the
+  /// per-class rolling p99 the /metrics `_window` gauges export.
+  obs::Histogram* h_e2e_class_[kPriorityClasses] = {};
+  /// Windowed SLO accounting: responses / errors per priority class
+  /// ([kPriorityClasses] = all), read by the error-ratio gauge
+  /// collector. Loop-thread state like the counters.
+  obs::SlidingCounter slo_responses_[kPriorityClasses + 1];
+  obs::SlidingCounter slo_errors_[kPriorityClasses + 1];
 };
 
 }  // namespace treesched::net

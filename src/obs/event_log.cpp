@@ -1,0 +1,142 @@
+#include "obs/event_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace treesched::obs {
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+EventLog::~EventLog() {
+  if (owned_ && fd_ >= 0) ::close(fd_);
+}
+
+bool EventLog::open(const std::string& target, std::string& error) {
+  if (target == "-") {
+    fd_ = STDOUT_FILENO;
+    owned_ = false;
+    return true;
+  }
+  const int fd = ::open(target.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    error = "cannot open event log \"" + target +
+            "\": " + std::strerror(errno);
+    return false;
+  }
+  fd_ = fd;
+  owned_ = true;
+  return true;
+}
+
+namespace {
+
+/// Appends at most the bytes that fit, JSON-escaping quotes/backslashes
+/// and replacing control bytes. Returns false when out of room.
+bool append_escaped(char* buf, std::size_t cap, std::size_t& len,
+                    std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      if (len + 2 > cap) return false;
+      buf[len++] = '\\';
+      buf[len++] = c;
+    } else {
+      if (len + 1 > cap) return false;
+      buf[len++] = static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  return true;
+}
+
+bool append_raw(char* buf, std::size_t cap, std::size_t& len,
+                const char* s) {
+  const std::size_t n = std::strlen(s);
+  if (len + n > cap) return false;
+  std::memcpy(buf + len, s, n);
+  len += n;
+  return true;
+}
+
+bool append_u64(char* buf, std::size_t cap, std::size_t& len,
+                std::uint64_t v) {
+  char tmp[24];
+  const int n = std::snprintf(tmp, sizeof tmp, "%llu",
+                              static_cast<unsigned long long>(v));
+  if (n < 0 || len + static_cast<std::size_t>(n) > cap) return false;
+  std::memcpy(buf + len, tmp, static_cast<std::size_t>(n));
+  len += static_cast<std::size_t>(n);
+  return true;
+}
+
+}  // namespace
+
+void EventLog::emit(const char* event, std::uint64_t trace_id,
+                    std::initializer_list<Field> fields) noexcept {
+  if (fd_ < 0) return;
+  // The whole line lives on the stack; one write() keeps concurrent
+  // emitters from interleaving (O_APPEND makes the offset atomic too).
+  char buf[1024];
+  // Reserve room for the worst-case tail: ,"truncated":1}\n
+  const std::size_t cap = sizeof(buf) - 18;
+  std::size_t len = 0;
+  const std::uint64_t unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  bool ok = append_raw(buf, cap, len, "{\"ts_ns\":") &&
+            append_u64(buf, cap, len, now_ns()) &&
+            append_raw(buf, cap, len, ",\"unix_ms\":") &&
+            append_u64(buf, cap, len, unix_ms) &&
+            append_raw(buf, cap, len, ",\"event\":\"") &&
+            append_escaped(buf, cap, len, event) &&
+            append_raw(buf, cap, len, "\"");
+  if (ok && trace_id != 0) {
+    ok = append_raw(buf, cap, len, ",\"trace_id\":") &&
+         append_u64(buf, cap, len, trace_id);
+  }
+  if (ok) {
+    for (const Field& f : fields) {
+      const std::size_t before = len;
+      bool field_ok = append_raw(buf, cap, len, ",\"") &&
+                      append_raw(buf, cap, len, f.key) &&
+                      append_raw(buf, cap, len, "\":");
+      if (field_ok) {
+        if (f.is_str) {
+          field_ok = append_raw(buf, cap, len, "\"") &&
+                     append_escaped(buf, cap, len, f.s) &&
+                     append_raw(buf, cap, len, "\"");
+        } else {
+          field_ok = append_u64(buf, cap, len, f.u);
+        }
+      }
+      if (!field_ok) {
+        // Truncate at the field boundary: never emit half a field.
+        len = before;
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    std::size_t tail = len;
+    (void)append_raw(buf, sizeof(buf), tail, ",\"truncated\":1");
+    len = tail;
+  }
+  buf[len++] = '}';
+  buf[len++] = '\n';
+  // Best effort: a full pipe or closed fd must never take the serving
+  // path down with it.
+  (void)!::write(fd_, buf, len);
+}
+
+}  // namespace treesched::obs

@@ -1,0 +1,72 @@
+#pragma once
+// Structured event log (src/obs/): rare-but-important lifecycle events
+// (node death/reconnect, retry-on-alternate, drain, queue_full, slow
+// requests) as JSON lines, one event per line, each carrying the trace
+// id when the event belongs to a traced request.
+//
+// Channel contract: emit() is lock-free and signal-safe-ish — the line
+// is formatted into a stack buffer and handed to the kernel in ONE
+// ::write(2) on an O_APPEND descriptor, so concurrent emitters from any
+// thread never interleave mid-line and never contend on a mutex. Events
+// are rare (state changes, not per-request traffic), so the syscall per
+// event is the right trade against buffering machinery.
+//
+// Schema: {"ts_ns":<steady-clock ns>,"unix_ms":<wall ms>,
+//          "event":"<name>",...fields...}
+// ts_ns shares the clock of stage stamps and trace spans, so an event
+// lines up with the flame graph; unix_ms is for humans and log mixers.
+// Field values are u64 integers or strings (escaped; control bytes are
+// replaced). A line that would overflow the stack buffer is truncated
+// at a field boundary and flagged with "truncated":1.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace treesched::obs {
+
+class EventLog {
+ public:
+  /// One key/value of an event. Use the u64/str factories; keys must be
+  /// literal-lifetime strings without characters needing escapes.
+  struct Field {
+    const char* key;
+    bool is_str;
+    std::uint64_t u;
+    std::string_view s;
+
+    static Field u64(const char* key, std::uint64_t v) {
+      return Field{key, false, v, {}};
+    }
+    static Field str(const char* key, std::string_view v) {
+      return Field{key, true, 0, v};
+    }
+  };
+
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens the sink: "-" logs to stdout (fd 1, not owned), anything
+  /// else is opened O_APPEND|O_CREAT. Returns false (with a message)
+  /// when the path cannot be opened; the log stays disabled.
+  bool open(const std::string& target, std::string& error);
+
+  [[nodiscard]] bool enabled() const noexcept { return fd_ >= 0; }
+
+  /// Formats and writes one event line. No-op while disabled. A zero
+  /// `trace_id` means "untraced" and the field is omitted.
+  void emit(const char* event, std::uint64_t trace_id,
+            std::initializer_list<Field> fields) noexcept;
+
+  /// Process-wide log both front-ends and the net layer share.
+  static EventLog& global();
+
+ private:
+  int fd_ = -1;
+  bool owned_ = false;  ///< "-" borrows stdout; paths are owned
+};
+
+}  // namespace treesched::obs

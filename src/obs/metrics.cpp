@@ -45,6 +45,10 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
   for (unsigned i = 0; i < kShards; ++i) {
     auto& shard = shards_.emplace_back();
     shard.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+    shard.windows = std::vector<Window>(kWindowSlots);
+    for (Window& w : shard.windows) {
+      w.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+    }
   }
 }
 
@@ -59,12 +63,28 @@ unsigned thread_slot() noexcept {
 }
 }  // namespace
 
-void Histogram::record(std::uint64_t v) noexcept {
+void Histogram::record_at(std::uint64_t v, std::uint64_t now) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
   Shard& shard = shards_[thread_slot() % kShards];
   shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(v, std::memory_order_relaxed);
+  // Window view: claim the current epoch's slot (CAS from whatever
+  // stale epoch it held and zero it), then add. A recorder that loses
+  // the CAS adds into the fresh slot; one racing the winner's zeroing
+  // can lose its add from the window — bounded, boundary-only, and
+  // never visible in the lifetime arrays above.
+  const std::uint64_t epoch = now / kWindowPeriodNs + 1;  // +1: 0 = unused
+  Window& w = shard.windows[epoch % kWindowSlots];
+  std::uint64_t tag = w.epoch.load(std::memory_order_relaxed);
+  if (tag != epoch &&
+      w.epoch.compare_exchange_strong(tag, epoch,
+                                      std::memory_order_relaxed)) {
+    w.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : w.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  w.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  w.sum.fetch_add(v, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -82,6 +102,52 @@ HistogramSnapshot Histogram::snapshot() const {
   // stays monotonic in le even while recorders race the snapshot.
   for (std::uint64_t c : out.counts) out.count += c;
   return out;
+}
+
+HistogramSnapshot Histogram::windowed_snapshot_at(std::uint64_t now) const {
+  HistogramSnapshot out;
+  out.bounds = bounds_;
+  out.counts.assign(bounds_.size() + 1, 0);
+  const std::uint64_t epoch = now / kWindowPeriodNs + 1;
+  const std::uint64_t oldest =
+      epoch > kWindowSlots ? epoch - kWindowSlots + 1 : 1;
+  for (const Shard& shard : shards_) {
+    for (const Window& w : shard.windows) {
+      const std::uint64_t tag = w.epoch.load(std::memory_order_relaxed);
+      if (tag < oldest || tag > epoch) continue;  // aged out or unused
+      for (std::size_t i = 0; i < out.counts.size(); ++i) {
+        out.counts[i] += w.buckets[i].load(std::memory_order_relaxed);
+      }
+      out.sum += w.sum.load(std::memory_order_relaxed);
+    }
+  }
+  for (std::uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+void SlidingCounter::add_at(std::uint64_t n, std::uint64_t now) noexcept {
+  const std::uint64_t epoch = now / kWindowPeriodNs + 1;
+  Slot& slot = slots_[epoch % kWindowSlots];
+  std::uint64_t tag = slot.epoch.load(std::memory_order_relaxed);
+  if (tag != epoch &&
+      slot.epoch.compare_exchange_strong(tag, epoch,
+                                         std::memory_order_relaxed)) {
+    slot.value.store(0, std::memory_order_relaxed);
+  }
+  slot.value.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t SlidingCounter::windowed_at(std::uint64_t now) const noexcept {
+  const std::uint64_t epoch = now / kWindowPeriodNs + 1;
+  const std::uint64_t oldest =
+      epoch > kWindowSlots ? epoch - kWindowSlots + 1 : 1;
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t tag = slot.epoch.load(std::memory_order_relaxed);
+    if (tag < oldest || tag > epoch) continue;
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 const std::vector<std::uint64_t>& Histogram::latency_bounds_ns() {
@@ -123,12 +189,17 @@ RegistrySnapshot::stats_pairs() const {
     const double div = h.scale == 1e-9 ? 1'000.0 : 1.0;
     const char* suffix = h.scale == 1e-9 ? "_us" : "";
     out.emplace_back(h.stats_key + "_count", h.snap.count);
+    out.emplace_back(h.stats_key + "_window_count", h.window.count);
+    // Quantiles describe the sliding window (what the service is doing
+    // NOW); a quiet window falls back to lifetime so the keys never
+    // go blank on an idle service.
+    const HistogramSnapshot& q_src = h.window.count > 0 ? h.window : h.snap;
     for (auto [q, tag] :
          {std::pair<double, const char*>{0.50, "_p50"},
           std::pair<double, const char*>{0.90, "_p90"},
           std::pair<double, const char*>{0.99, "_p99"}}) {
       out.emplace_back(h.stats_key + tag + suffix,
-                       static_cast<std::uint64_t>(h.snap.quantile(q) / div));
+                       static_cast<std::uint64_t>(q_src.quantile(q) / div));
     }
   }
   return out;
@@ -246,7 +317,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
         const HistogramEntry& e = histograms_[idx];
         out.histograms.push_back(HistogramSample{
             e.name, e.labels, e.help, e.scale, e.stats_key,
-            e.metric.snapshot()});
+            e.metric.snapshot(), e.metric.windowed_snapshot()});
         break;
       }
     }

@@ -39,6 +39,16 @@ namespace treesched::obs {
 /// stamps, histograms, and trace spans, so intervals subtract cleanly.
 std::uint64_t now_ns() noexcept;
 
+/// Sliding-window geometry shared by windowed histograms and counters:
+/// a ring of epoch-tagged sub-windows merged at read time, covering the
+/// most recent ~minute (12 x 5 s). A recorder claims its epoch's slot by
+/// CAS and zeroes it before adding; records racing the zeroing at an
+/// epoch boundary can be lost from the WINDOW view (never from the
+/// lifetime view) — the window is an estimate by design, fully atomic so
+/// the hot path takes no lock and stays TSan-clean.
+inline constexpr unsigned kWindowSlots = 12;
+inline constexpr std::uint64_t kWindowPeriodNs = 5'000'000'000ULL;
+
 /// Monotonically increasing count. Padded to a cache line so adjacent
 /// registry entries don't false-share.
 class Counter {
@@ -89,13 +99,26 @@ struct HistogramSnapshot {
 
 /// Fixed-bucket histogram over unsigned integers. Buckets are chosen at
 /// construction and never change; record() is a binary search plus
-/// three relaxed adds into a per-thread shard.
+/// relaxed adds into a per-thread shard — once into the lifetime arrays
+/// (monotonic, what Prometheus `_bucket`/`_sum`/`_count` export) and
+/// once into the current epoch's window slot, so windowed_snapshot()
+/// can answer "the last minute" without lifetime staleness.
 class Histogram {
  public:
   explicit Histogram(std::vector<std::uint64_t> bounds);
 
-  void record(std::uint64_t v) noexcept;
+  void record(std::uint64_t v) noexcept { record_at(v, now_ns()); }
+  /// Timestamp-injected record, for deterministic window tests.
+  void record_at(std::uint64_t v, std::uint64_t now) noexcept;
   [[nodiscard]] HistogramSnapshot snapshot() const;
+  /// Merged view of the sub-windows still inside the sliding window at
+  /// `now` (kWindowSlots x kWindowPeriodNs). Approximate at epoch
+  /// boundaries; exact whenever no recorder races the read.
+  [[nodiscard]] HistogramSnapshot windowed_snapshot() const {
+    return windowed_snapshot_at(now_ns());
+  }
+  [[nodiscard]] HistogramSnapshot windowed_snapshot_at(
+      std::uint64_t now) const;
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
     return bounds_;
   }
@@ -107,13 +130,43 @@ class Histogram {
 
  private:
   static constexpr unsigned kShards = 8;
+  /// One sub-window of one shard. `epoch` stores epoch+1 (0 = never
+  /// used) so a fresh slot can't masquerade as epoch 0's live data.
+  struct Window {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::atomic<std::uint64_t>> buckets;
+  };
   struct Shard {
     alignas(64) std::atomic<std::uint64_t> sum{0};
     std::vector<std::atomic<std::uint64_t>> buckets;
+    std::vector<Window> windows;  ///< kWindowSlots, indexed epoch % slots
   };
 
   std::vector<std::uint64_t> bounds_;
   std::deque<Shard> shards_;
+};
+
+/// Windowed event counter: same epoch-tagged slot ring as the
+/// histograms' window view, for rates that must reflect the last minute
+/// (request and error counts feeding the SLO error-ratio gauges).
+/// Lifetime totals belong in a Counter; this type only answers "how
+/// many in the window".
+class SlidingCounter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { add_at(n, now_ns()); }
+  void add_at(std::uint64_t n, std::uint64_t now) noexcept;
+  [[nodiscard]] std::uint64_t windowed() const noexcept {
+    return windowed_at(now_ns());
+  }
+  [[nodiscard]] std::uint64_t windowed_at(std::uint64_t now) const noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> epoch{0};  ///< epoch+1; 0 = never used
+    std::atomic<std::uint64_t> value{0};
+  };
+  Slot slots_[kWindowSlots];
 };
 
 enum class MetricKind { kCounter, kGauge };
@@ -140,7 +193,8 @@ struct HistogramSample {
   std::string help;
   double scale = 1.0;
   std::string stats_key;
-  HistogramSnapshot snap;
+  HistogramSnapshot snap;    ///< lifetime (monotonic _bucket/_sum/_count)
+  HistogramSnapshot window;  ///< sliding last-minute view (quantiles)
 };
 
 struct RegistrySnapshot {
@@ -149,8 +203,12 @@ struct RegistrySnapshot {
 
   /// Flattens every stats_key'd entry to the (key, integer) pairs the
   /// `stats` verb speaks: scalars as-is (gauges clamp at zero),
-  /// histograms as <key>_count and <key>_p50/p90/p99 (in microseconds
-  /// for scale 1e-9, raw units otherwise).
+  /// histograms as the lifetime <key>_count, the sliding-window
+  /// <key>_window_count, and <key>_p50/p90/p99 quantiles computed over
+  /// the WINDOW (in microseconds for scale 1e-9, raw units otherwise) —
+  /// summaries describe current behavior, not process history. An empty
+  /// window falls back to lifetime quantiles so a quiet service still
+  /// reports what it last did.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
   stats_pairs() const;
 };

@@ -37,11 +37,16 @@ void append_sample(std::string& out, const std::string& name,
   out.append(" ").append(fmt_value(value)).append("\n");
 }
 
-std::string with_le(const std::string& labels, const std::string& le) {
+std::string with_label(const std::string& labels, const char* key,
+                       const std::string& value) {
   std::string joined = labels;
   if (!joined.empty()) joined.append(",");
-  joined.append("le=\"").append(le).append("\"");
+  joined.append(key).append("=\"").append(value).append("\"");
   return joined;
+}
+
+std::string with_le(const std::string& labels, const std::string& le) {
+  return with_label(labels, "le", le);
 }
 
 }  // namespace
@@ -96,6 +101,29 @@ std::string render_prometheus(const RegistrySnapshot& snap) {
                     static_cast<double>(h->snap.sum) * h->scale);
       append_sample(out, name + "_count", h->labels,
                     static_cast<double>(h->snap.count));
+    }
+  }
+
+  // Sliding-window quantile gauges: <name>_window{quantile=...} reflects
+  // the last kWindowSlots x kWindowPeriodNs (about a minute), unlike the
+  // lifetime histogram series above. Gauges on purpose — windowed values
+  // go down, and the monotonicity checker must not flag them.
+  for (const auto& [name, hists] : hist_groups) {
+    const std::string wname = name + "_window";
+    append_header(out, wname,
+                  hists.front()->help + " (sliding last-minute window)",
+                  "gauge", seen);
+    for (const HistogramSample* h : hists) {
+      for (auto [q, tag] : {std::pair<double, const char*>{0.5, "0.5"},
+                            std::pair<double, const char*>{0.9, "0.9"},
+                            std::pair<double, const char*>{0.99, "0.99"}}) {
+        append_sample(out, wname, with_label(h->labels, "quantile", tag),
+                      h->window.quantile(q) * h->scale);
+      }
+    }
+    for (const HistogramSample* h : hists) {
+      append_sample(out, wname + "_count", h->labels,
+                    static_cast<double>(h->window.count));
     }
   }
   return out;

@@ -101,6 +101,19 @@ std::uint64_t Tracer::dropped() const noexcept {
   return total;
 }
 
+std::vector<std::pair<std::uint32_t, std::uint64_t>> Tracer::dropped_by_ring()
+    const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  out.reserve(rings_.size());
+  for (const auto& ring : rings_) {
+    const std::uint64_t written = ring->next.load(std::memory_order_relaxed);
+    out.emplace_back(ring->tid,
+                     written > kRingSpans ? written - kRingSpans : 0);
+  }
+  return out;
+}
+
 const char* Tracer::intern_name(std::string_view name) {
   std::lock_guard<std::mutex> lock(rings_mu_);
   for (const auto& s : interned_) {
@@ -111,9 +124,8 @@ const char* Tracer::intern_name(std::string_view name) {
 }
 
 namespace {
-void json_escape(std::ostream& os, const char* s) {
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
     if (c == '"' || c == '\\') {
       os << '\\' << c;
     } else if (static_cast<unsigned char>(c) < 0x20) {
@@ -150,6 +162,120 @@ std::size_t Tracer::write_chrome_trace(std::ostream& os) const {
   os << "]}\n";
   os.precision(saved);
   return spans.size();
+}
+
+std::size_t write_merged_chrome_trace(std::ostream& os,
+                                      const std::vector<ProcessSpans>& procs) {
+  // One global rebase: the earliest span anywhere becomes ts 0, so
+  // cross-process ordering survives the microsecond conversion (every
+  // process on one machine stamps the same steady clock).
+  std::uint64_t base = ~0ULL;
+  std::size_t total = 0;
+  for (const ProcessSpans& proc : procs) {
+    for (const MergedSpan& span : proc.spans) {
+      base = std::min(base, span.start_ns);
+      ++total;
+    }
+  }
+  if (total == 0) base = 0;
+  const auto saved = os.precision(15);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ProcessSpans& proc : procs) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << proc.pid
+       << ",\"args\":{\"name\":\"";
+    json_escape(os, proc.name);
+    os << "\"}}";
+    for (const MergedSpan& span : proc.spans) {
+      os << ",{\"name\":\"";
+      json_escape(os, span.name);
+      os << "\",\"ph\":\"X\",\"pid\":" << proc.pid << ",\"tid\":" << span.tid
+         << ",\"ts\":" << static_cast<double>(span.start_ns - base) / 1e3
+         << ",\"dur\":" << static_cast<double>(span.dur_ns) / 1e3
+         << ",\"args\":{\"arg\":" << span.arg << "}}";
+    }
+  }
+  os << "]}\n";
+  os.precision(saved);
+  return total;
+}
+
+void encode_span_pairs(
+    std::vector<SpanView> spans, std::size_t max_spans,
+    std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  std::size_t omitted = 0;
+  if (max_spans != 0 && spans.size() > max_spans) {
+    // Keep the latest spans: the tail of the story is what a merged
+    // dump correlates against the router's own (recent) spans.
+    omitted = spans.size() - max_spans;
+    std::nth_element(spans.begin(), spans.begin() + static_cast<long>(omitted),
+                     spans.end(), [](const SpanView& a, const SpanView& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    spans.erase(spans.begin(), spans.begin() + static_cast<long>(omitted));
+  }
+  out.reserve(out.size() + 1 + spans.size() * 4 + (omitted ? 1 : 0));
+  out.emplace_back("spans", spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanView& span = spans[i];
+    const std::string idx = std::to_string(i);
+    out.emplace_back("n" + idx + ":" + span.name, span.tid);
+    out.emplace_back("t" + idx, span.start_ns);
+    out.emplace_back("d" + idx, span.dur_ns);
+    out.emplace_back("a" + idx, span.arg);
+  }
+  if (omitted != 0) out.emplace_back("truncated", omitted);
+}
+
+bool decode_span_pairs(
+    const std::vector<std::pair<std::string, std::uint64_t>>& pairs,
+    std::vector<MergedSpan>& out) {
+  // The encoder emits span groups in index order, each led by its
+  // n<i>:<name> pair; t/d/a fill the span the n pair opened. Unknown
+  // keys pass through so a newer backend can add counters freely.
+  const auto index_of = [](std::string_view key, char lead,
+                           std::size_t end) -> long {
+    if (key.size() < 2 || key.front() != lead) return -1;
+    long idx = 0;
+    for (std::size_t i = 1; i < end; ++i) {
+      const char c = key[i];
+      if (c < '0' || c > '9' || idx > 1'000'000'000) return -1;
+      idx = idx * 10 + (c - '0');
+    }
+    return end > 1 ? idx : -1;
+  };
+  long open = -1;  // index of the span group currently being filled
+  for (const auto& [key, value] : pairs) {
+    const std::size_t colon = key.find(':');
+    if (colon != std::string::npos) {
+      const long idx = index_of(key, 'n', colon);
+      if (idx < 0) continue;
+      if (idx != static_cast<long>(out.size())) return false;
+      MergedSpan span;
+      span.name = key.substr(colon + 1);
+      span.tid = static_cast<std::uint32_t>(value);
+      out.push_back(std::move(span));
+      open = idx;
+      continue;
+    }
+    for (const char lead : {'t', 'd', 'a'}) {
+      const long idx = index_of(key, lead, key.size());
+      if (idx < 0) continue;
+      if (idx != open || out.empty()) return false;
+      MergedSpan& span = out.back();
+      if (lead == 't') {
+        span.start_ns = value;
+      } else if (lead == 'd') {
+        span.dur_ns = value;
+      } else {
+        span.arg = value;
+      }
+      break;
+    }
+  }
+  return true;
 }
 
 ScopedSpan::ScopedSpan(Tracer& tracer, const char* name,

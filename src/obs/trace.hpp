@@ -25,7 +25,9 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace treesched::obs {
@@ -66,6 +68,11 @@ class Tracer {
     return recorded_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Per-ring (per recording thread) overwrite counts, in tid order —
+  /// what `trace status` reports so a truncated dump names the thread
+  /// that lost spans.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>>
+  dropped_by_ring() const;
 
   /// Interns a dynamic span name; returned pointer lives forever.
   const char* intern_name(std::string_view name);
@@ -106,6 +113,57 @@ class Tracer {
   std::vector<std::unique_ptr<Ring>> rings_;
   std::vector<std::unique_ptr<std::string>> interned_;
 };
+
+/// One span of a cross-process merged dump: like SpanView but with an
+/// owned name (backend span names arrive over the wire).
+struct MergedSpan {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;
+};
+
+/// One process's contribution to a merged dump.
+struct ProcessSpans {
+  std::string name;        ///< e.g. "router", "node 127.0.0.1:4001"
+  std::uint32_t pid = 1;   ///< distinct per process in the output
+  std::vector<MergedSpan> spans;
+};
+
+/// Merged Chrome trace_event JSON across processes: every process gets
+/// its own pid plus a process_name metadata event, all timestamps are
+/// rebased to the globally earliest span (sound on one machine — every
+/// process stamps the same steady clock). Returns spans written.
+std::size_t write_merged_chrome_trace(std::ostream& os,
+                                      const std::vector<ProcessSpans>& procs);
+
+/// Most spans one `trace pull` answer carries. One ring's worth: a
+/// pulled snapshot larger than this keeps only the latest spans (by
+/// start time) so the reply frame stays well under the 1 MiB default
+/// frame bound even with long interned names.
+inline constexpr std::size_t kTracePullMaxSpans = 4096;
+
+/// Encodes a span snapshot as the ordered (key, non-negative integer)
+/// pairs a stats-shaped `trace` reply carries — the wire format of
+/// `trace pull`, the primitive the cluster router's merged dump is
+/// built on. Layout: ("spans", N) then, for span i in [0, N),
+/// ("n<i>:<name>", tid), ("t<i>", start_ns), ("d<i>", dur_ns),
+/// ("a<i>", arg). Every key is unique, so the reply survives the v2
+/// text path's duplicate-key rejection too. When the snapshot exceeds
+/// `max_spans` only the latest (by start_ns) survive and a trailing
+/// ("truncated", omitted) pair says how many were dropped.
+void encode_span_pairs(
+    std::vector<SpanView> spans, std::size_t max_spans,
+    std::vector<std::pair<std::string, std::uint64_t>>& out);
+
+/// Decodes the encode_span_pairs layout back into owned spans (the
+/// router side of `trace pull`). Unknown keys are ignored — a newer
+/// backend may add counters — but a structurally broken span group
+/// (t/d/a without its n, index mismatch) returns false.
+bool decode_span_pairs(
+    const std::vector<std::pair<std::string, std::uint64_t>>& pairs,
+    std::vector<MergedSpan>& out);
 
 /// RAII span: records [construction, destruction) when the tracer is
 /// enabled at *construction* time.

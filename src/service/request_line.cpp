@@ -103,8 +103,10 @@ RequestLine parse_cancel_line(std::istringstream& is) {
   return out;
 }
 
-/// `trace start|stop|status [id=<n>]` / `trace dump=<path> [id=<n>]`:
-/// exactly one action, an optional tag.
+/// `trace start|stop|status|pull [id=<n>]` / `trace dump=<path>
+/// [id=<n>]`: exactly one action, an optional tag. `pull` answers with
+/// the recorder's spans encoded as stats pairs — the router's merged
+/// dump collects every backend's ring through it.
 RequestLine parse_trace_line(std::istringstream& is) {
   RequestLine out;
   out.kind = RequestLine::Kind::kTrace;
@@ -115,9 +117,10 @@ RequestLine parse_trace_line(std::istringstream& is) {
       if (!out.trace_action.empty()) {
         throw std::invalid_argument("trailing token \"" + token + "\"");
       }
-      if (token != "start" && token != "stop" && token != "status") {
+      if (token != "start" && token != "stop" && token != "status" &&
+          token != "pull") {
         throw std::invalid_argument(
-            "trace line must be: trace start|stop|status|dump=<path> "
+            "trace line must be: trace start|stop|status|pull|dump=<path> "
             "[id=<n>] (got \"" + token + "\")");
       }
       out.trace_action = token;
@@ -148,7 +151,8 @@ RequestLine parse_trace_line(std::istringstream& is) {
   }
   if (out.trace_action.empty()) {
     throw std::invalid_argument(
-        "trace line must name an action: trace start|stop|status|dump=<path>");
+        "trace line must name an action: "
+        "trace start|stop|status|pull|dump=<path>");
   }
   return out;
 }

@@ -9,7 +9,7 @@
 //   cancel id=<n>
 //   ping [id=<n>]
 //   stats [id=<n>]
-//   trace start|stop|status [id=<n>]
+//   trace start|stop|status|pull [id=<n>]
 //   trace dump=<path> [id=<n>]
 // with the named fields
 //   priority=interactive|batch|bulk   admission class (default batch)
@@ -32,9 +32,12 @@
 // a server drowning in Bulk work still answers its health check.
 //
 // `trace` drives the in-process span recorder (obs/trace.hpp): start
-// and stop toggle it, status reports counters, dump=<path> writes the
-// collected spans as Chrome trace_event JSON to a server-side file.
-// Like ping/stats it is answered immediately by the front-end.
+// and stop toggle it, status reports counters (per-ring drop counts
+// included), dump=<path> writes the collected spans as Chrome
+// trace_event JSON to a server-side file, and pull answers the spans
+// themselves encoded as stats pairs — how the cluster router collects
+// backend rings for a merged cross-tier dump. Like ping/stats it is
+// answered immediately by the front-end.
 //
 // Response lines (v2):
 //   ok [id=<n>] tree=<hex> n=<nodes> algo=<name> p=<p> makespan=<f>

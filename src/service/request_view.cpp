@@ -91,8 +91,8 @@ bool parse_control_view(std::string_view verb, RequestLine::Kind kind,
   return true;
 }
 
-/// `trace start|stop|status [id=<n>]` / `trace dump=<path> [id=<n>]`,
-/// acceptance-identical to the v2 parse_trace_line.
+/// `trace start|stop|status|pull [id=<n>]` / `trace dump=<path>
+/// [id=<n>]`, acceptance-identical to the v2 parse_trace_line.
 bool parse_trace_view(std::string_view rest, RequestView& out,
                       std::string& error) {
   out.kind = RequestLine::Kind::kTrace;
@@ -104,9 +104,10 @@ bool parse_trace_view(std::string_view rest, RequestView& out,
         error = "trailing token \"" + std::string(token) + "\"";
         return false;
       }
-      if (token != "start" && token != "stop" && token != "status") {
+      if (token != "start" && token != "stop" && token != "status" &&
+          token != "pull") {
         error =
-            "trace line must be: trace start|stop|status|dump=<path> "
+            "trace line must be: trace start|stop|status|pull|dump=<path> "
             "[id=<n>] (got \"" + std::string(token) + "\")";
         return false;
       }
@@ -143,7 +144,8 @@ bool parse_trace_view(std::string_view rest, RequestView& out,
   }
   if (out.trace_action.empty()) {
     error =
-        "trace line must name an action: trace start|stop|status|dump=<path>";
+        "trace line must name an action: "
+        "trace start|stop|status|pull|dump=<path>";
     return false;
   }
   return true;

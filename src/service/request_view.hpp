@@ -14,7 +14,7 @@
 //   cancel id=<n>
 //   ping [id=<n>]
 //   stats [id=<n>]
-//   trace start|stop|status|dump=<path> [id=<n>]
+//   trace start|stop|status|pull|dump=<path> [id=<n>]
 // Equivalence with parse_request_line is pinned by tests/test_frame.cpp:
 // every line either parses to the same fields through both parsers or is
 // rejected by both (messages may differ; acceptance may not).

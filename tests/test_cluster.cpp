@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -746,6 +747,126 @@ TEST(ClusterRouter, RejectsDuplicateNodesAndEmptyNodeLists) {
   RouterConfig malformed;
   malformed.nodes = {"127.0.0.1"};
   EXPECT_THROW(Router{malformed}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-wide tracing and event logging: the merged dump pulls every
+// live backend's ring, per-node failure counters surface in stats, and
+// node deaths land in the structured event log.
+//
+// In-process caveat: router and backends share Tracer::global(), so a
+// backend's pull can return spans the router also snapshotted. These
+// tests therefore assert the MERGE MECHANICS (per-process pids,
+// process_name metadata, nodes_merged) — span exclusivity is a
+// cross-process property the shell e2e script covers.
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTrace, MergedDumpCoversRouterAndEveryNode) {
+  BackendHarness node_a;
+  BackendHarness node_b;
+  char tmpl[] = "/tmp/treesched-trace-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  RouterConfig config;
+  config.trace_dir = dir;
+  RouterHarness router({node_a.name(), node_b.name()}, config);
+  ASSERT_TRUE(router.wait_nodes_up(2));
+
+  Client client("127.0.0.1", router.port());
+  const ResponseLine start = client.request("trace start id=1");
+  ASSERT_TRUE(start.ok) << start.message;
+  for (int seed = 1; seed <= 6; ++seed) {
+    const ResponseLine resp =
+        client.request("random:100:" + std::to_string(seed) + " Liu 1 id=" +
+                       std::to_string(10 + seed));
+    ASSERT_TRUE(resp.ok) << resp.message;
+  }
+
+  const ResponseLine dump = client.request("trace dump=cluster.json id=9");
+  ASSERT_TRUE(dump.ok) << dump.message;
+  EXPECT_EQ(dump.id, 9u);
+  EXPECT_EQ(stat_value(dump, "nodes_merged"), 2u)
+      << "both live backends must contribute their rings";
+  EXPECT_EQ(stat_value(dump, "pull_failures"), 0u);
+  EXPECT_GT(stat_value(dump, "spans"), 0u);
+
+  // `trace status` names the per-node pull-failure counters.
+  const ResponseLine status = client.request("trace status");
+  EXPECT_EQ(stat_value(status, "node0_pull_failures"), 0u);
+  EXPECT_EQ(stat_value(status, "node1_pull_failures"), 0u);
+  EXPECT_TRUE(client.request("trace stop").ok);
+
+  std::ifstream in(std::string(dir) + "/cluster.json");
+  ASSERT_TRUE(in.good()) << "the merged dump file must exist under trace_dir";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node " + node_a.name() + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node " + node_b.name() + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << "router = pid 1";
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(json.find("router/upstream"), std::string::npos)
+      << "the router's own upstream round-trip spans are in the dump";
+}
+
+TEST(ClusterTrace, MergedDumpWithoutTraceDirIsRefused) {
+  // No trace_dir at all: the dump must be refused up front, exactly
+  // like the single-node server refuses server-side file writes.
+  BackendHarness node;
+  RouterHarness router({node.name()});
+  ASSERT_TRUE(router.wait_nodes_up(1));
+  Client client("127.0.0.1", router.port());
+  const ResponseLine refused = client.request("trace dump=x.json id=1");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, ErrorCode::kBadRequest);
+}
+
+TEST(ClusterRouter, PerNodeFailureCountersAndEventLogRecordADeath) {
+  // Node 0 dies mid-request (FakeNode closes on the first schedule
+  // forward); node 1 is real. The retry answers the client, and the
+  // death must surface three ways: per-node stats counters, labeled
+  // Prometheus series (same samples), and the structured event log.
+  FakeNode fake(FakeNode::OnRequest::kCloseAbruptly);
+  BackendHarness real;
+  std::vector<std::string> names{fake.name(), real.name()};
+  char tmpl[] = "/tmp/treesched-events-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+  const std::string log_path = std::string(dir) + "/events.jsonl";
+  RouterConfig config;
+  config.retries = 1;
+  config.log_json = log_path;
+  RouterHarness router(names, config);
+  ASSERT_TRUE(router.wait_nodes_up(2));
+
+  HashRing ring(router.router().config().vnodes);
+  for (const auto& n : names) ring.add(n);
+  const std::string spec = spec_routed_to(ring, 0);
+
+  Client client("127.0.0.1", router.port());
+  const ResponseLine resp = client.request(spec + " Liu 1 id=1");
+  ASSERT_TRUE(resp.ok) << resp.message;
+
+  const ResponseLine stats = client.request("stats");
+  EXPECT_GE(stat_value(stats, "node0_disconnects"), 1u);
+  EXPECT_GE(stat_value(stats, "node0_retries"), 1u);
+  EXPECT_NE(stat_value(stats, "node0_last_error_code"), 0u)
+      << "the death must leave a typed failure code behind";
+  EXPECT_EQ(stat_value(stats, "node1_disconnects"), 0u)
+      << "the healthy node's counters stay clean";
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good()) << "--log-json must have created the sink";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string events = ss.str();
+  EXPECT_NE(events.find("\"event\":\"node_down\""), std::string::npos);
+  EXPECT_NE(events.find("\"event\":\"retry\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -424,6 +424,95 @@ TEST(FrameCodec, TraceReplyRoundTripsUnderItsOwnOpcode) {
 }
 
 // ---------------------------------------------------------------------------
+// Trace-context extension (kFlagHasTrace): the 12-byte payload prefix
+// that threads one trace id across tiers — and the compatibility pin
+// that untraced traffic stays byte-identical to the pre-extension wire.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodec, TracedRequestRoundTripsItsContext) {
+  std::string wire;
+  FrameWriter(wire).request("random:300:1 Liu 1 id=1",
+                            net::TraceContext{42, 7});
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  EXPECT_EQ(frame.opcode, Opcode::kRequest);
+  ASSERT_EQ(frame.flags & net::kFlagHasTrace, net::kFlagHasTrace);
+  net::TraceContext ctx;
+  std::string_view rest;
+  std::string error;
+  ASSERT_TRUE(net::split_trace_context(frame, ctx, rest, error)) << error;
+  EXPECT_EQ(ctx.trace_id, 42u);
+  EXPECT_EQ(ctx.origin, 7u);
+  EXPECT_EQ(rest, "random:300:1 Liu 1 id=1")
+      << "the request line follows the extension unchanged";
+}
+
+TEST(FrameCodec, ZeroTraceIdEmitsTheByteIdenticalPlainFrame) {
+  std::string plain;
+  FrameWriter(plain).request("a Liu 1");
+  std::string via_ctx;
+  FrameWriter(via_ctx).request("a Liu 1", net::TraceContext{0, 7});
+  EXPECT_EQ(plain, via_ctx)
+      << "untraced traffic must never grow on the wire";
+
+  // And a flag-free frame splits to a zeroed context + full payload.
+  FrameReader reader;
+  reader.feed(plain.data(), plain.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  EXPECT_EQ(frame.flags & net::kFlagHasTrace, 0);
+  net::TraceContext ctx{99, 99};
+  std::string_view rest;
+  std::string error;
+  ASSERT_TRUE(net::split_trace_context(frame, ctx, rest, error)) << error;
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.origin, 0u);
+  EXPECT_EQ(rest, "a Liu 1");
+}
+
+TEST(FrameCodec, TracedBatchSharesOneContextAcrossItsEntries) {
+  std::string wire;
+  FrameWriter(wire).batch({"a Liu 1 id=1", "b Liu 2 id=2"},
+                          net::TraceContext{1234, 1});
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame);
+  ASSERT_EQ(frame.opcode, Opcode::kBatch);
+  ASSERT_EQ(frame.flags & net::kFlagHasTrace, net::kFlagHasTrace);
+  net::TraceContext ctx;
+  std::string_view rest;
+  std::string error;
+  ASSERT_TRUE(net::split_trace_context(frame, ctx, rest, error)) << error;
+  EXPECT_EQ(ctx.trace_id, 1234u);
+  std::vector<std::string_view> entries;
+  ASSERT_TRUE(decode_batch(rest, entries, error)) << error;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], "a Liu 1 id=1");
+  EXPECT_EQ(entries[1], "b Liu 2 id=2");
+}
+
+TEST(FrameCodec, TruncatedTraceExtensionIsAProtocolViolation) {
+  // The flag promises 12 bytes; a payload that can't hold them must be
+  // refused, not decoded out of thin air.
+  std::string wire;
+  FrameWriter(wire).raw_frame(static_cast<std::uint8_t>(Opcode::kRequest),
+                              net::kFlagHasTrace, "short");
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.next(frame), FrameReader::Status::kFrame)
+      << "the frame itself is well-formed; the extension is what's broken";
+  net::TraceContext ctx;
+  std::string_view rest;
+  std::string error;
+  EXPECT_FALSE(net::split_trace_context(frame, ctx, rest, error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Hostile frames, unit level: the reader must go sticky-bad without
 // over-reading or buffering hostile lengths.
 // ---------------------------------------------------------------------------
@@ -847,6 +936,34 @@ TEST(ScheduleServerV3, UnknownOpcodeIsRefused) {
   Client client("127.0.0.1", harness.port(), Protocol::kText);
   std::string wire(kFrameMagic);
   wire += header_bytes(0x7f, 0, 0, 0);
+  send_raw(client, wire);
+  const auto responses = drain_binary(client);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].code, ErrorCode::kBadRequest);
+}
+
+TEST(ScheduleServerV3, TracedRequestFrameIsServedLikeAnUntracedOne) {
+  ServerHarness harness;
+  Client client("127.0.0.1", harness.port(), Protocol::kText);
+  std::string wire(kFrameMagic);
+  FrameWriter(wire).request("random:200:1 Liu 1 id=4",
+                            net::TraceContext{77, 1});
+  send_raw(client, wire);
+  client.shutdown_write();
+  const auto responses = drain_binary(client);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].ok) << responses[0].message;
+  EXPECT_EQ(responses[0].id, 4u)
+      << "the trace extension must be stripped before the line parses";
+}
+
+TEST(ScheduleServerV3, TruncatedTraceExtensionClosesWithBadRequest) {
+  ServerHarness harness;
+  Client client("127.0.0.1", harness.port(), Protocol::kText);
+  std::string wire(kFrameMagic);
+  FrameWriter(wire).raw_frame(static_cast<std::uint8_t>(Opcode::kRequest),
+                              net::kFlagHasTrace, "tiny");
   send_raw(client, wire);
   const auto responses = drain_binary(client);
   ASSERT_EQ(responses.size(), 1u);

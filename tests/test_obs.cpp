@@ -17,6 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+
+#include "obs/event_log.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/stages.hpp"
 #include "obs/trace.hpp"
@@ -231,7 +235,14 @@ TEST(ObsPrometheus, GoldenExposition) {
       "treesched_lat_seconds_bucket{le=\"2\"} 2\n"
       "treesched_lat_seconds_bucket{le=\"+Inf\"} 3\n"
       "treesched_lat_seconds_sum 11\n"
-      "treesched_lat_seconds_count 3\n";
+      "treesched_lat_seconds_count 3\n"
+      "# HELP treesched_lat_seconds_window Latency (sliding last-minute "
+      "window)\n"
+      "# TYPE treesched_lat_seconds_window gauge\n"
+      "treesched_lat_seconds_window{quantile=\"0.5\"} 1.5\n"
+      "treesched_lat_seconds_window{quantile=\"0.9\"} 2\n"
+      "treesched_lat_seconds_window{quantile=\"0.99\"} 2\n"
+      "treesched_lat_seconds_window_count 3\n";
   EXPECT_EQ(text, expected);
 }
 
@@ -341,6 +352,233 @@ TEST(ObsTrace, ScopedSpanRecordsItsLifetime) {
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_STREQ(spans[0].name, "scoped");
   EXPECT_EQ(spans[0].arg, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Sliding windows: timestamp-injected records, so the minute-long decay
+// runs in microseconds of test time.
+// ---------------------------------------------------------------------------
+
+TEST(ObsWindow, HistogramWindowDecaysButLifetimeIsMonotonic) {
+  using obs::kWindowPeriodNs;
+  using obs::kWindowSlots;
+  Histogram h({10, 20, 50});
+  const std::uint64_t base = 100 * kWindowPeriodNs;
+  h.record_at(15, base);
+  h.record_at(40, base + 6 * kWindowPeriodNs);
+
+  HistogramSnapshot w = h.windowed_snapshot_at(base + 6 * kWindowPeriodNs);
+  EXPECT_EQ(w.count, 2u) << "both records inside the first minute";
+  EXPECT_EQ(w.sum, 55u);
+
+  // kWindowSlots sub-windows cover the last minute: reading 12 epochs
+  // after the FIRST record expires it while the second survives.
+  w = h.windowed_snapshot_at(base + kWindowSlots * kWindowPeriodNs);
+  EXPECT_EQ(w.count, 1u) << "the older record aged out of the window";
+  EXPECT_EQ(w.sum, 40u);
+
+  w = h.windowed_snapshot_at(base + 20 * kWindowSlots * kWindowPeriodNs);
+  EXPECT_EQ(w.count, 0u) << "a long-idle window reads empty";
+  EXPECT_EQ(w.sum, 0u);
+
+  const HistogramSnapshot life = h.snapshot();
+  EXPECT_EQ(life.count, 2u) << "lifetime view never decays";
+  EXPECT_EQ(life.sum, 55u);
+}
+
+TEST(ObsWindow, SlidingCounterDecays) {
+  using obs::kWindowPeriodNs;
+  using obs::kWindowSlots;
+  obs::SlidingCounter c;
+  const std::uint64_t base = 40 * kWindowPeriodNs;
+  c.add_at(3, base);
+  c.add_at(4, base + 2 * kWindowPeriodNs);
+  EXPECT_EQ(c.windowed_at(base + 2 * kWindowPeriodNs), 7u);
+  EXPECT_EQ(c.windowed_at(base + kWindowSlots * kWindowPeriodNs), 4u)
+      << "only the newer burst is still inside the minute";
+  EXPECT_EQ(c.windowed_at(base + 3 * kWindowSlots * kWindowPeriodNs), 0u);
+  // Re-use after full decay: slots are reclaimed, not poisoned.
+  const std::uint64_t later = base + 5 * kWindowSlots * kWindowPeriodNs;
+  c.add_at(9, later);
+  EXPECT_EQ(c.windowed_at(later), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log: JSON-lines shape, trace-id presence, escaping,
+// truncation, and open-failure behavior — all against a local instance
+// (EventLog::global() belongs to the binaries, not the tests).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+}  // namespace
+
+TEST(ObsEventLog, WritesOneJsonObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "obs_event_log_test.jsonl";
+  std::remove(path.c_str());
+  obs::EventLog log;
+  std::string error;
+  ASSERT_TRUE(log.open(path, error)) << error;
+  ASSERT_TRUE(log.enabled());
+  log.emit("node_down", 42,
+           {obs::EventLog::Field::u64("node", 3),
+            obs::EventLog::Field::str("reason", "backend \"A\" hung\nup")});
+  log.emit("drain_begin", 0, {obs::EventLog::Field::u64("conns", 2)});
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+  EXPECT_NE(lines[0].find("\"event\":\"node_down\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trace_id\":42"), std::string::npos)
+      << "a traced event carries its trace id";
+  EXPECT_NE(lines[0].find("\"node\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\\\"A\\\""), std::string::npos)
+      << "quotes inside string fields are escaped";
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos)
+      << "control bytes never split a line";
+  EXPECT_NE(lines[0].find("\"ts_ns\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"unix_ms\":"), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"trace_id\""), std::string::npos)
+      << "trace_id 0 means untraced: the field is omitted";
+  EXPECT_NE(lines[1].find("\"event\":\"drain_begin\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventLog, TruncatesOverlongLinesAtAFieldBoundary) {
+  const std::string path = ::testing::TempDir() + "obs_event_log_trunc.jsonl";
+  std::remove(path.c_str());
+  obs::EventLog log;
+  std::string error;
+  ASSERT_TRUE(log.open(path, error)) << error;
+  const std::string huge(4000, 'x');
+  log.emit("slow_request", 7,
+           {obs::EventLog::Field::u64("ms", 123),
+            obs::EventLog::Field::str("detail", huge)});
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_LE(lines[0].size(), 1024u) << "one stack buffer, one write(2)";
+  EXPECT_NE(lines[0].find("\"truncated\":1"), std::string::npos);
+  EXPECT_EQ(lines[0].back(), '}') << "truncation keeps the line valid JSON";
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventLog, OpenFailureDisablesTheLog) {
+  obs::EventLog log;
+  std::string error;
+  EXPECT_FALSE(log.open("/nonexistent_dir_treesched/x.jsonl", error));
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(error.empty());
+  log.emit("ignored", 0, {});  // must be a harmless no-op while disabled
+}
+
+// ---------------------------------------------------------------------------
+// Span-pair wire codec: the `trace pull` format the cluster router's
+// merged dump rides on.
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanPairs, EncodeDecodeRoundTrip) {
+  std::vector<obs::SpanView> spans;
+  spans.push_back({"net/parse", 1000, 50, 42, 0});
+  spans.push_back({"compute:ParSubtrees", 1100, 900, 42, 3});
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  obs::encode_span_pairs(spans, obs::kTracePullMaxSpans, pairs);
+  ASSERT_FALSE(pairs.empty());
+  EXPECT_EQ(pairs[0].first, "spans");
+  EXPECT_EQ(pairs[0].second, 2u);
+
+  std::vector<obs::MergedSpan> out;
+  ASSERT_TRUE(obs::decode_span_pairs(pairs, out));
+  ASSERT_EQ(out.size(), 2u);
+  // encode orders by start_ns; both orders below match that.
+  EXPECT_EQ(out[0].name, "net/parse");
+  EXPECT_EQ(out[0].start_ns, 1000u);
+  EXPECT_EQ(out[0].dur_ns, 50u);
+  EXPECT_EQ(out[0].arg, 42u);
+  EXPECT_EQ(out[0].tid, 0u);
+  EXPECT_EQ(out[1].name, "compute:ParSubtrees");
+  EXPECT_EQ(out[1].tid, 3u);
+}
+
+TEST(ObsSpanPairs, TruncationKeepsTheLatestSpans) {
+  std::vector<obs::SpanView> spans;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    spans.push_back({"s", i * 100, 10, i, 0});
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  obs::encode_span_pairs(spans, 2, pairs);
+  bool saw_truncated = false;
+  for (const auto& [k, v] : pairs) {
+    if (k == "truncated") {
+      saw_truncated = true;
+      EXPECT_EQ(v, 3u) << "reports how many spans were dropped";
+    }
+  }
+  EXPECT_TRUE(saw_truncated);
+  std::vector<obs::MergedSpan> out;
+  ASSERT_TRUE(obs::decode_span_pairs(pairs, out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GE(out[0].start_ns, 400u) << "only the latest spans survive";
+  EXPECT_GE(out[1].start_ns, 400u);
+}
+
+TEST(ObsSpanPairs, DecodeRejectsStructuralBreakageButIgnoresUnknownKeys) {
+  std::vector<obs::MergedSpan> out;
+  // t0 without its n0: a broken span group.
+  EXPECT_FALSE(obs::decode_span_pairs({{"spans", 1}, {"t0", 5}}, out));
+  // Index mismatch: span 0 announced, span 1 encoded.
+  EXPECT_FALSE(obs::decode_span_pairs(
+      {{"spans", 1}, {"n1:x", 0}, {"t1", 1}, {"d1", 2}, {"a1", 3}}, out));
+  // Unknown trailing keys (a newer backend's counters) are fine.
+  std::vector<obs::SpanView> spans;
+  spans.push_back({"ok", 10, 5, 0, 0});
+  std::vector<std::pair<std::string, std::uint64_t>> pairs;
+  obs::encode_span_pairs(spans, 16, pairs);
+  pairs.emplace_back("future_counter", 99);
+  out.clear();
+  EXPECT_TRUE(obs::decode_span_pairs(pairs, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].name, "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Merged Chrome trace: one pid and one process_name metadata event per
+// process, timestamps rebased to the earliest span cluster-wide.
+// ---------------------------------------------------------------------------
+
+TEST(ObsMergedTrace, OnePidAndProcessNamePerProcess) {
+  std::vector<obs::ProcessSpans> procs;
+  procs.push_back(
+      {"router", 1, {{"router/upstream", 5000, 900, 42, 0}}});
+  procs.push_back(
+      {"node 127.0.0.1:4001", 2, {{"compute:ParSubtrees", 5200, 400, 42, 3}}});
+  std::ostringstream os;
+  const std::size_t written = obs::write_merged_chrome_trace(os, procs);
+  EXPECT_EQ(written, 2u) << "metadata events don't count as spans";
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 127.0.0.1:4001\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"router/upstream\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\":42"), std::string::npos)
+      << "the shared trace id correlates spans across pids";
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos)
+      << "timestamps rebase to the earliest span across ALL processes";
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
 }
 
 // ---------------------------------------------------------------------------
